@@ -1,0 +1,279 @@
+package rumble_test
+
+// Benchmarks reproducing every figure of the paper's evaluation (§6),
+// scaled to run under `go test -bench=.`:
+//
+//	BenchmarkFig11_*  local measurements (Rumble, Spark, Spark SQL, PySpark)
+//	BenchmarkFig12_*  JSONiq engines (Rumble, Zorba-model, Xidel-model)
+//	BenchmarkFig13_*  cluster measurements (more cores, bigger input)
+//	BenchmarkFig14_*  speedup vs executors
+//	BenchmarkFig15_*  scaling with dataset size
+//	BenchmarkAblation_* design-choice ablations (group-by COUNT pushdown,
+//	                  DataFrame vs local FLWOR execution)
+//
+// cmd/benchfig runs the same harness at larger scales and prints the
+// paper-style series.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"rumble"
+	"rumble/internal/baselines"
+	"rumble/internal/baselines/pyspark"
+	"rumble/internal/baselines/rawspark"
+	"rumble/internal/baselines/singlenode"
+	"rumble/internal/baselines/sparksql"
+	"rumble/internal/bench"
+	"rumble/internal/spark"
+)
+
+var benchBase = filepath.Join(os.TempDir(), "rumble-bench-testing")
+
+var datasetOnce sync.Map // key string -> path
+
+func confusionPath(b *testing.B, n int) string {
+	b.Helper()
+	key := fmt.Sprintf("confusion-%d", n)
+	if p, ok := datasetOnce.Load(key); ok {
+		return p.(string)
+	}
+	p, err := bench.ConfusionDataset(benchBase, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	datasetOnce.Store(key, p)
+	return p
+}
+
+func redditPath(b *testing.B, n int) string {
+	b.Helper()
+	key := fmt.Sprintf("reddit-%d", n)
+	if p, ok := datasetOnce.Load(key); ok {
+		return p.(string)
+	}
+	p, err := bench.RedditDataset(benchBase, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	datasetOnce.Store(key, p)
+	return p
+}
+
+const (
+	fig11Objects = 20_000
+	fig13Objects = 40_000
+	benchSplit   = 256 << 10
+)
+
+func fig11Engines() []baselines.Engine {
+	sc := func() *spark.Context {
+		return spark.NewContext(spark.Config{Parallelism: 8, Executors: 4})
+	}
+	return []baselines.Engine{
+		bench.NewRumble(rumble.Config{Parallelism: 8, Executors: 4, SplitSize: benchSplit}),
+		rawspark.New(sc(), benchSplit),
+		sparksql.New(sc(), benchSplit),
+		pyspark.New(sc(), benchSplit),
+	}
+}
+
+func benchEngineQuery(b *testing.B, e baselines.Engine, q baselines.Query, path string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(q, path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11 is the local-measurements figure: three queries, four
+// engines, one machine.
+func BenchmarkFig11(b *testing.B) {
+	path := confusionPath(b, fig11Objects)
+	for _, q := range []baselines.Query{baselines.QueryFilter, baselines.QueryGroup, baselines.QuerySort} {
+		for _, e := range fig11Engines() {
+			b.Run(fmt.Sprintf("%s/%s", q, e.Name()), func(b *testing.B) {
+				benchEngineQuery(b, e, q, path)
+			})
+		}
+	}
+}
+
+// BenchmarkFig12 compares the JSONiq engines; the single-threaded models
+// run with an effectively unlimited budget here (the OOM cliffs are
+// exercised in the harness and unit tests, not timed).
+func BenchmarkFig12(b *testing.B) {
+	sizes := []int{5_000, 10_000, 20_000}
+	for _, size := range sizes {
+		path := confusionPath(b, size)
+		engines := []baselines.Engine{
+			bench.NewRumble(rumble.Config{Parallelism: 8, Executors: 4, SplitSize: benchSplit}),
+			singlenode.New(singlenode.Zorba, 0),
+			singlenode.New(singlenode.Xidel, 0),
+		}
+		for _, q := range []baselines.Query{baselines.QueryFilter, baselines.QueryGroup, baselines.QuerySort} {
+			for _, e := range engines {
+				b.Run(fmt.Sprintf("%s/n%d/%s", q, size, e.Name()), func(b *testing.B) {
+					benchEngineQuery(b, e, q, path)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig13 is the cluster-measurements figure: the same engines on a
+// larger input with doubled parallelism.
+func BenchmarkFig13(b *testing.B) {
+	path := confusionPath(b, fig13Objects)
+	sc := func() *spark.Context {
+		return spark.NewContext(spark.Config{Parallelism: 16, Executors: 8})
+	}
+	engines := []baselines.Engine{
+		bench.NewRumble(rumble.Config{Parallelism: 16, Executors: 8, SplitSize: benchSplit / 2}),
+		rawspark.New(sc(), benchSplit/2),
+		sparksql.New(sc(), benchSplit/2),
+		pyspark.New(sc(), benchSplit/2),
+	}
+	for _, q := range []baselines.Query{baselines.QueryFilter, baselines.QueryGroup, baselines.QuerySort} {
+		for _, e := range engines {
+			b.Run(fmt.Sprintf("%s/%s", q, e.Name()), func(b *testing.B) {
+				benchEngineQuery(b, e, q, path)
+			})
+		}
+	}
+}
+
+// BenchmarkFig14 is the speedup figure: the selective Reddit filter at
+// increasing executor counts; simulated storage latency lets the overlap
+// exceed the physical core count as on the paper's cluster.
+func BenchmarkFig14(b *testing.B) {
+	path := redditPath(b, 20_000)
+	for _, executors := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("executors-%d", executors), func(b *testing.B) {
+			eng := rumble.New(rumble.Config{
+				Parallelism: 32, Executors: executors,
+				SplitSize: 64 << 10, IOLatency: time.Millisecond,
+			})
+			q := fmt.Sprintf(`count(for $c in json-file(%q)
+				where $c.score gt 1500 and contains($c.body, "data")
+				return $c)`, path)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			m := eng.Metrics()
+			b.ReportMetric(m.TaskTime.Seconds()/float64(b.N), "agg-task-s/op")
+		})
+	}
+}
+
+// BenchmarkFig15 is the scaling figure: the filter query at growing
+// replication factors; ns/op must grow linearly with size.
+func BenchmarkFig15(b *testing.B) {
+	base := 10_000
+	for _, scale := range []int{1, 2, 4} {
+		n := base * scale
+		path := redditPath(b, n)
+		b.Run(fmt.Sprintf("scale-%dx", scale), func(b *testing.B) {
+			eng := rumble.New(rumble.Config{Parallelism: 8, Executors: 4, SplitSize: benchSplit})
+			q := fmt.Sprintf(`count(for $c in json-file(%q)
+				where $c.subreddit eq "programming" and $c.score gt 100
+				return $c)`, path)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_GroupByCountPushdown measures the §4.7 optimization:
+// a group-by whose non-grouping variable is consumed only through count()
+// (pushed down to COUNT()) versus one that must materialize the variable.
+func BenchmarkAblation_GroupByCountPushdown(b *testing.B) {
+	path := confusionPath(b, fig11Objects)
+	eng := rumble.New(rumble.Config{Parallelism: 8, Executors: 4, SplitSize: benchSplit})
+	cases := map[string]string{
+		"count-only": fmt.Sprintf(`
+			for $o in json-file(%q)
+			group by $t := $o.target
+			return { "t": $t, "n": count($o) }`, path),
+		"materialized": fmt.Sprintf(`
+			for $o in json-file(%q)
+			group by $t := $o.target
+			return { "t": $t, "n": count($o), "first": [ $o ][[1]].country }`, path),
+	}
+	for name, q := range cases {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_DataFrameVsLocal measures the value of the DataFrame
+// execution path by running the same grouping query through the parallel
+// plan and through the single-threaded local tuple pipeline.
+func BenchmarkAblation_DataFrameVsLocal(b *testing.B) {
+	path := confusionPath(b, fig11Objects)
+	query := fmt.Sprintf(`
+		for $o in json-file(%q)
+		group by $c := $o.country, $t := $o.target
+		return { "c": $c, "t": $t, "n": count($o) }`, path)
+	b.Run("dataframe-parallel", func(b *testing.B) {
+		eng := rumble.New(rumble.Config{Parallelism: 8, Executors: 4, SplitSize: benchSplit})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("local-tuple-stream", func(b *testing.B) {
+		eng := rumble.New(rumble.Config{Parallelism: 8, Executors: 4, SplitSize: benchSplit})
+		st, err := eng.Compile(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if err := st.Stream(func(rumble.Item) error { n++; return nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQueryCompilation isolates the frontend: lexing, parsing, static
+// analysis and iterator construction of a realistic query.
+func BenchmarkQueryCompilation(b *testing.B) {
+	eng := rumble.New(rumble.Config{})
+	query := `
+	for $person in parallelize(())
+	where $person.age le 65
+	group by $pos := $person.position
+	let $count := count($person)
+	order by $count descending
+	return { "position" : $pos, "count" : $count }`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Compile(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

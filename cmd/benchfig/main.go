@@ -1,0 +1,90 @@
+// Command benchfig regenerates the paper's evaluation figures (11-15) on
+// synthetic datasets and prints the measured series as a table and,
+// optionally, CSV.
+//
+//	benchfig -fig 11 -n 200000
+//	benchfig -fig all -csv results.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rumble/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to reproduce: 11, 12, 13, 14, 15 or all")
+		n       = flag.Int("n", 100_000, "dataset size in objects (base size for sweeps)")
+		baseDir = flag.String("data", "", "directory for generated datasets (default: temp)")
+		csvPath = flag.String("csv", "", "also write results to this CSV file")
+		budget  = flag.Int("budget", 60_000, "single-node engines' materialization budget (items)")
+		iolat   = flag.Duration("iolatency", 0, "simulated storage latency per 64KiB block (figures 14/15)")
+	)
+	flag.Parse()
+
+	opts := bench.Options{
+		BaseDir:   *baseDir,
+		Objects:   *n,
+		Budget:    *budget,
+		IOLatency: *iolat,
+	}
+	var rows []bench.Row
+	for _, f := range strings.Split(*fig, ",") {
+		var (
+			part []bench.Row
+			err  error
+		)
+		start := time.Now()
+		switch f {
+		case "11":
+			part, err = bench.RunFigure11(opts)
+		case "12":
+			part, err = bench.RunFigure12(opts)
+		case "13":
+			part, err = bench.RunFigure13(opts)
+		case "14":
+			part, err = bench.RunFigure14(opts)
+		case "15":
+			part, err = bench.RunFigure15(opts)
+		case "all":
+			for _, ff := range []func(bench.Options) ([]bench.Row, error){
+				bench.RunFigure11, bench.RunFigure12, bench.RunFigure13,
+				bench.RunFigure14, bench.RunFigure15,
+			} {
+				p, e := ff(opts)
+				if e != nil {
+					fatal(e)
+				}
+				part = append(part, p...)
+			}
+		default:
+			fatal(fmt.Errorf("unknown figure %q", f))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "figure %s done in %v\n", f, time.Since(start).Round(time.Millisecond))
+		rows = append(rows, part...)
+	}
+	bench.PrintTable(os.Stdout, rows)
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := bench.WriteCSV(f, rows); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchfig:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Command datagen generates the synthetic evaluation datasets as JSON-Lines
+// part-file directories.
+//
+//	datagen -kind confusion -n 1000000 -out /data/confusion
+//	datagen -kind reddit -n 500000 -out /data/reddit -parts 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rumble/internal/datagen"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "confusion", "dataset kind: confusion or reddit")
+		n     = flag.Int("n", 100_000, "number of objects")
+		out   = flag.String("out", "", "output directory (required)")
+		parts = flag.Int("parts", 8, "number of part files")
+		seed  = flag.Int64("seed", 2024, "generator seed")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "datagen: -out is required")
+		os.Exit(2)
+	}
+	var gen datagen.Generator
+	switch *kind {
+	case "confusion":
+		gen = datagen.NewConfusionGenerator(*seed)
+	case "reddit":
+		gen = datagen.NewRedditGenerator(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	start := time.Now()
+	if err := datagen.WriteDataset(*out, gen, *n, *parts); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d %s objects to %s (%d parts) in %v\n",
+		*n, *kind, *out, *parts, time.Since(start).Round(time.Millisecond))
+}

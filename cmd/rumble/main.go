@@ -1,0 +1,141 @@
+// Command rumble executes JSONiq queries from the command line or an
+// interactive shell, the way the Rumble jar does:
+//
+//	rumble -q 'for $x in parallelize(1 to 5) return $x * $x'
+//	rumble -f query.jq --output out-dir
+//	rumble                # starts the shell
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"rumble"
+)
+
+func main() {
+	var (
+		query       = flag.String("q", "", "JSONiq query text")
+		file        = flag.String("f", "", "file containing the JSONiq query")
+		output      = flag.String("output", "", "write results to this directory as JSON-Lines part files")
+		parallelism = flag.Int("parallelism", 8, "default number of partitions")
+		executors   = flag.Int("executors", 4, "concurrent executor slots")
+		maxResults  = flag.Int("max-results", 1000, "shell materialization cap (0 = unlimited)")
+		showTime    = flag.Bool("time", false, "print execution time")
+	)
+	flag.Parse()
+
+	eng := rumble.New(rumble.Config{
+		Parallelism:    *parallelism,
+		Executors:      *executors,
+		MaxResultItems: *maxResults,
+	})
+
+	text := *query
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		text = string(data)
+	}
+	if text == "" {
+		shell(eng, *showTime)
+		return
+	}
+	if err := runQuery(eng, text, *output, *showTime); err != nil {
+		fatal(err)
+	}
+}
+
+func runQuery(eng *rumble.Engine, text, output string, showTime bool) error {
+	return runQueryTo(os.Stdout, os.Stderr, eng, text, output, showTime)
+}
+
+// runQueryTo compiles and runs one query, streaming results to out; status
+// messages (timings) go to errw.
+func runQueryTo(out, errw io.Writer, eng *rumble.Engine, text, output string, showTime bool) error {
+	start := time.Now()
+	st, err := eng.Compile(text)
+	if err != nil {
+		return err
+	}
+	if output != "" {
+		if err := st.WriteTo(output); err != nil {
+			return err
+		}
+		if showTime {
+			fmt.Fprintf(errw, "written to %s in %v\n", output, time.Since(start))
+		}
+		return nil
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	n := 0
+	if err := st.Stream(func(it rumble.Item) error {
+		n++
+		w.Write(it.AppendJSON(nil))
+		return w.WriteByte('\n')
+	}); err != nil {
+		return err
+	}
+	if showTime {
+		w.Flush()
+		fmt.Fprintf(errw, "%d items in %v\n", n, time.Since(start))
+	}
+	return nil
+}
+
+// shell runs the interactive REPL. Like the Rumble shell, the cluster
+// context is set up once at launch and queries run against it; a trailing
+// blank line (or a complete single line) submits the query.
+func shell(eng *rumble.Engine, showTime bool) {
+	shellOn(os.Stdin, os.Stdout, os.Stderr, eng, showTime)
+}
+
+// shellOn runs the REPL over explicit streams.
+func shellOn(in io.Reader, out, errw io.Writer, eng *rumble.Engine, showTime bool) {
+	fmt.Fprintln(out, "Rumble-Go shell — JSONiq on a Spark-like engine")
+	fmt.Fprintln(out, `Type a query and finish with an empty line. "quit" exits.`)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf []string
+	for {
+		if len(buf) == 0 {
+			fmt.Fprint(out, "jsoniq$ ")
+		} else {
+			fmt.Fprint(out, "      > ")
+		}
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if len(buf) == 0 && (trimmed == "quit" || trimmed == "exit") {
+			return
+		}
+		if trimmed != "" {
+			buf = append(buf, line)
+			continue
+		}
+		if len(buf) == 0 {
+			continue
+		}
+		text := strings.Join(buf, "\n")
+		buf = nil
+		if err := runQueryTo(out, errw, eng, text, "", showTime); err != nil {
+			fmt.Fprintln(errw, "error:", err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rumble:", err)
+	os.Exit(1)
+}

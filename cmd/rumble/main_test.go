@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rumble"
+)
+
+func testEngine() *rumble.Engine {
+	return rumble.New(rumble.Config{Parallelism: 2, Executors: 2})
+}
+
+func TestRunQueryToStdout(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := runQueryTo(&out, &errw, testEngine(), `1 to 3`, "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "1\n2\n3\n" {
+		t.Errorf("stdout = %q", out.String())
+	}
+	if !strings.Contains(errw.String(), "3 items in") {
+		t.Errorf("timing line = %q", errw.String())
+	}
+}
+
+func TestRunQueryToOutputDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	var out, errw bytes.Buffer
+	err := runQueryTo(&out, &errw, testEngine(),
+		`for $x in parallelize(1 to 20) return { "x": $x }`, dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Error("output-dir mode should not print results")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "_SUCCESS")); err != nil {
+		t.Error("_SUCCESS marker missing")
+	}
+}
+
+func TestRunQueryReportsErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := runQueryTo(&out, &errw, testEngine(), `$unbound`, "", false); err == nil {
+		t.Error("static error should propagate")
+	}
+	if err := runQueryTo(&out, &errw, testEngine(), `1 div 0`, "", false); err == nil {
+		t.Error("dynamic error should propagate")
+	}
+}
+
+func TestShellSession(t *testing.T) {
+	in := strings.NewReader("1 + 1\n\nfor $x in (1,2)\nreturn $x\n\nbad syntax here(\n\nquit\n")
+	var out, errw bytes.Buffer
+	shellOn(in, &out, &errw, testEngine(), false)
+	s := out.String()
+	if !strings.Contains(s, "2\n") {
+		t.Errorf("shell did not evaluate 1+1: %q", s)
+	}
+	if !strings.Contains(s, "1\n2\n") {
+		t.Errorf("shell did not evaluate multi-line FLWOR: %q", s)
+	}
+	if !strings.Contains(errw.String(), "error:") {
+		t.Errorf("shell did not report the syntax error: %q", errw.String())
+	}
+}
+
+func TestShellEOFExits(t *testing.T) {
+	in := strings.NewReader("") // immediate EOF
+	var out, errw bytes.Buffer
+	shellOn(in, &out, &errw, testEngine(), false) // must return, not loop
+	if !strings.Contains(out.String(), "jsoniq$") {
+		t.Errorf("prompt missing: %q", out.String())
+	}
+}

@@ -1,0 +1,80 @@
+// Datacleaning: the paper's heterogeneity scenarios (Figures 5-7). The
+// country field is sometimes a string, sometimes an array of strings, and
+// sometimes missing — a dataset Spark SQL's DataFrames cannot type
+// (Figure 6 forces it to strings). JSONiq's on-the-fly fallback expression
+// ($o.country[], $o.country, "USA")[1] cleans it at query time while
+// preserving every value's original type.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rumble"
+)
+
+var messyDocs = []string{
+	`{"country": "AU", "target": "French", "bar": 2}`,
+	`{"country": ["DE", "AT"], "target": "French", "bar": [4]}`,
+	`{"target": "German", "bar": "6"}`,
+	`{"country": "AU", "target": "German", "bar": 2}`,
+	`{"country": ["US"], "target": "French", "bar": true}`,
+	`{"country": null, "target": "German", "bar": 2}`,
+}
+
+func main() {
+	eng := rumble.New(rumble.Config{Parallelism: 2, Executors: 2})
+	if err := eng.RegisterJSON("messy", messyDocs); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("## Figure 7: grouping with an on-the-fly fallback for country")
+	lines, err := eng.QueryJSON(`
+		for $o in collection("messy")
+		group by $c := ($o.country[], $o.country, "USA")[1],
+		         $t := $o.target
+		order by string($c), $t
+		return { "country": $c, "target": $t, "count": count($o) }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+
+	fmt.Println("\n## Figure 6 avoided: the bar field keeps its original type")
+	lines, err = eng.QueryJSON(`
+		for $o in collection("messy")
+		let $kind := switch (true)
+		    case $o.bar instance of integer return "integer"
+		    case $o.bar instance of string  return "string"
+		    case $o.bar instance of array   return "array"
+		    case $o.bar instance of boolean return "boolean"
+		    default return "missing"
+		group by $k := $kind
+		order by $k
+		return { "bar-type": $k, "rows": count($o) }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+
+	fmt.Println("\n## Cleaning: normalize every record to a flat, typed shape")
+	lines, err = eng.QueryJSON(`
+		for $o in collection("messy")
+		count $id
+		return {
+		  "id": $id,
+		  "country": ($o.country[], $o.country, "??")[1],
+		  "target": $o.target,
+		  "bar": (try { $o.bar cast as integer } catch * { null })
+		}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}

@@ -1,0 +1,27 @@
+// Quickstart: run a JSONiq FLWOR query over an in-memory sequence,
+// distributed across the embedded Spark-like engine by parallelize().
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rumble"
+)
+
+func main() {
+	eng := rumble.New(rumble.Config{Parallelism: 4, Executors: 4})
+
+	results, err := eng.QueryJSON(`
+		for $x in parallelize(1 to 1000)
+		where $x mod 7 eq 0
+		group by $bucket := $x idiv 100
+		order by $bucket
+		return { "hundreds": $bucket, "multiples-of-7": count($x) }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range results {
+		fmt.Println(line)
+	}
+}

@@ -1,0 +1,352 @@
+// Package ast defines the expression and clause tree that the parser
+// produces and the compiler translates into runtime iterators. It mirrors
+// Rumble's "tree of expressions and clauses, with a class for each type of
+// expression and clause" (§5.3 of the paper).
+package ast
+
+import (
+	"rumble/internal/item"
+	"rumble/internal/lexer"
+)
+
+// Expr is any JSONiq expression node.
+type Expr interface {
+	Pos() lexer.Pos
+	exprNode()
+}
+
+type base struct {
+	P lexer.Pos
+}
+
+// Pos returns the source position of the node.
+func (b base) Pos() lexer.Pos { return b.P }
+
+// SetPos records the source position; the parser calls it on every node.
+func (b *base) SetPos(p lexer.Pos) { b.P = p }
+func (base) exprNode()             {}
+
+// Literal is an atomic literal (integer, decimal, double, string, boolean,
+// null).
+type Literal struct {
+	base
+	Value item.Item
+}
+
+// NewLiteral constructs a literal node.
+func NewLiteral(pos lexer.Pos, v item.Item) *Literal {
+	return &Literal{base: base{P: pos}, Value: v}
+}
+
+// VarRef is a variable reference $name.
+type VarRef struct {
+	base
+	Name string
+}
+
+// NewVarRef constructs a variable reference.
+func NewVarRef(pos lexer.Pos, name string) *VarRef { return &VarRef{base{pos}, name} }
+
+// ContextItem is the $$ expression.
+type ContextItem struct{ base }
+
+// NewContextItem constructs a context item reference.
+func NewContextItem(pos lexer.Pos) *ContextItem { return &ContextItem{base{pos}} }
+
+// CommaExpr is sequence construction: e1, e2, ..., flattened.
+type CommaExpr struct {
+	base
+	Exprs []Expr
+}
+
+// ObjectConstructor is { k1: v1, ... }. Keys are expressions (NCNames and
+// string literals parse to string Literals; dynamic keys are allowed).
+type ObjectConstructor struct {
+	base
+	Keys   []Expr
+	Values []Expr
+}
+
+// ArrayConstructor is [ expr? ].
+type ArrayConstructor struct {
+	base
+	Body Expr // nil for []
+}
+
+// Unary is + or - applied to an operand ("-" may stack).
+type Unary struct {
+	base
+	Minus   bool
+	Operand Expr
+}
+
+// Arith is a binary arithmetic expression.
+type Arith struct {
+	base
+	Op   item.ArithOp
+	L, R Expr
+}
+
+// RangeExpr is "L to R".
+type RangeExpr struct {
+	base
+	L, R Expr
+}
+
+// ConcatExpr is the string concatenation operator "||".
+type ConcatExpr struct {
+	base
+	L, R Expr
+}
+
+// CompareOp is a comparison operator name: one of eq ne lt le gt ge for
+// value comparisons and = != < <= > >= for general comparisons.
+type CompareOp string
+
+// Comparison is a value or general comparison. General reports whether the
+// operator was the general form (=, !=, <, ...), which has existential
+// semantics over sequences.
+type Comparison struct {
+	base
+	Op      CompareOp
+	General bool
+	L, R    Expr
+}
+
+// Logic is "and" / "or" (two-valued, with effective boolean values).
+type Logic struct {
+	base
+	IsAnd bool
+	L, R  Expr
+}
+
+// Predicate is Input[Pred], filtering items by predicate; numeric
+// predicates select by position.
+type Predicate struct {
+	base
+	Input Expr
+	Pred  Expr
+}
+
+// ObjectLookup is Input.Key (Key may be dynamic).
+type ObjectLookup struct {
+	base
+	Input Expr
+	Key   Expr
+}
+
+// ArrayLookup is Input[[Index]].
+type ArrayLookup struct {
+	base
+	Input Expr
+	Index Expr
+}
+
+// ArrayUnbox is Input[] — streams the members of each array item.
+type ArrayUnbox struct {
+	base
+	Input Expr
+}
+
+// SimpleMap is the "!" operator: Input ! Mapping evaluates Mapping once
+// per input item with $$ bound to it, concatenating the results.
+type SimpleMap struct {
+	base
+	Input   Expr
+	Mapping Expr
+}
+
+// FunctionCall invokes a builtin or user-declared function.
+type FunctionCall struct {
+	base
+	Name string
+	Args []Expr
+}
+
+// IfExpr is if (Cond) then Then else Else.
+type IfExpr struct {
+	base
+	Cond, Then, Else Expr
+}
+
+// SwitchCase is one case of a switch expression; several case values may
+// share a return.
+type SwitchCase struct {
+	Values []Expr
+	Result Expr
+}
+
+// SwitchExpr is switch (Input) case ... default return Default.
+type SwitchExpr struct {
+	base
+	Input   Expr
+	Cases   []SwitchCase
+	Default Expr
+}
+
+// TryCatch is try { Try } catch * { Catch }. The error description is bound
+// to $err:description inside the catch block when requested.
+type TryCatch struct {
+	base
+	Try   Expr
+	Catch Expr
+}
+
+// QuantifiedBinding is one "$v in expr" binding of a quantified expression.
+type QuantifiedBinding struct {
+	Var string
+	In  Expr
+}
+
+// Quantified is some/every $v in e (, ...) satisfies cond.
+type Quantified struct {
+	base
+	Every     bool
+	Bindings  []QuantifiedBinding
+	Satisfies Expr
+}
+
+// SequenceType is a parsed sequence type: an item type name plus an
+// occurrence indicator ("", "?", "*", "+"), or empty-sequence().
+type SequenceType struct {
+	ItemType      string
+	Occurrence    string
+	EmptySequence bool
+}
+
+// InstanceOf is "Input instance of Type".
+type InstanceOf struct {
+	base
+	Input Expr
+	Type  SequenceType
+}
+
+// TreatAs is "Input treat as Type" — a runtime-checked cast of the static
+// type.
+type TreatAs struct {
+	base
+	Input Expr
+	Type  SequenceType
+}
+
+// CastableAs is "Input castable as TypeName".
+type CastableAs struct {
+	base
+	Input    Expr
+	TypeName string
+}
+
+// CastAs is "Input cast as TypeName".
+type CastAs struct {
+	base
+	Input    Expr
+	TypeName string
+}
+
+// --- FLWOR ---
+
+// Clause is any FLWOR clause except return.
+type Clause interface {
+	Pos() lexer.Pos
+	clauseNode()
+}
+
+type clauseBase struct {
+	P lexer.Pos
+}
+
+// Pos returns the source position of the clause.
+func (b clauseBase) Pos() lexer.Pos { return b.P }
+
+// SetPos records the source position; the parser calls it on every clause.
+func (b *clauseBase) SetPos(p lexer.Pos) { b.P = p }
+func (clauseBase) clauseNode()           {}
+
+// ForClause binds Var to each item of In; PosVar ("at $i") optionally binds
+// the 1-based position; AllowEmpty keeps a tuple with an empty binding when
+// In is empty.
+type ForClause struct {
+	clauseBase
+	Var        string
+	PosVar     string
+	AllowEmpty bool
+	In         Expr
+}
+
+// LetClause binds Var to the whole sequence of Value.
+type LetClause struct {
+	clauseBase
+	Var   string
+	Value Expr
+}
+
+// WhereClause filters tuples by the effective boolean value of Cond.
+type WhereClause struct {
+	clauseBase
+	Cond Expr
+}
+
+// GroupSpec is one grouping key: "$v" (group by an existing variable) or
+// "$v := expr" (bind then group).
+type GroupSpec struct {
+	Var  string
+	Expr Expr // nil when grouping by an already-bound variable
+}
+
+// GroupByClause groups tuples by its key specs; non-grouping variables
+// rebind to the concatenation of their values within each group.
+type GroupByClause struct {
+	clauseBase
+	Specs []GroupSpec
+}
+
+// OrderSpec is one ordering key.
+type OrderSpec struct {
+	Expr          Expr
+	Descending    bool
+	EmptyGreatest bool
+}
+
+// OrderByClause sorts the tuple stream.
+type OrderByClause struct {
+	clauseBase
+	Specs []OrderSpec
+}
+
+// CountClause binds Var to the 1-based position of each tuple.
+type CountClause struct {
+	clauseBase
+	Var string
+}
+
+// FLWOR is the full FLWOR expression: clauses plus the return expression.
+type FLWOR struct {
+	base
+	Clauses []Clause
+	Return  Expr
+}
+
+// --- Prolog ---
+
+// VarDecl is "declare variable $name := expr;".
+type VarDecl struct {
+	Pos  lexer.Pos
+	Name string
+	Init Expr
+}
+
+// FunctionDecl is "declare function name($p1, ...) { body };" — the
+// user-defined functions the paper lists as future work.
+type FunctionDecl struct {
+	Pos    lexer.Pos
+	Name   string
+	Params []string
+	Body   Expr
+}
+
+// Module is a parsed query: prolog declarations plus the main expression.
+type Module struct {
+	Vars      []VarDecl
+	Functions []FunctionDecl
+	Body      Expr
+}

@@ -1,0 +1,67 @@
+package ast
+
+import (
+	"testing"
+
+	"rumble/internal/item"
+	"rumble/internal/lexer"
+)
+
+func TestPositionsRoundTrip(t *testing.T) {
+	pos := lexer.Pos{Line: 3, Col: 7}
+	nodes := []Expr{
+		NewLiteral(pos, item.Int(1)),
+		NewVarRef(pos, "x"),
+		NewContextItem(pos),
+	}
+	for _, n := range nodes {
+		if n.Pos() != pos {
+			t.Errorf("%T position = %v", n, n.Pos())
+		}
+	}
+	l := &Logic{IsAnd: true}
+	l.SetPos(pos)
+	if l.Pos() != pos {
+		t.Error("SetPos on expression node failed")
+	}
+	fc := &ForClause{Var: "v"}
+	fc.SetPos(pos)
+	if fc.Pos() != pos {
+		t.Error("SetPos on clause node failed")
+	}
+}
+
+func TestExprInterfaceCoverage(t *testing.T) {
+	// Every node kind must satisfy Expr (compile-time check via
+	// assignment; failures break the build rather than this test).
+	var exprs = []Expr{
+		&Literal{}, &VarRef{}, &ContextItem{}, &CommaExpr{},
+		&ObjectConstructor{}, &ArrayConstructor{}, &Unary{}, &Arith{},
+		&RangeExpr{}, &ConcatExpr{}, &Comparison{}, &Logic{}, &Predicate{},
+		&ObjectLookup{}, &ArrayLookup{}, &ArrayUnbox{}, &SimpleMap{},
+		&FunctionCall{}, &IfExpr{}, &SwitchExpr{}, &TryCatch{},
+		&Quantified{}, &InstanceOf{}, &TreatAs{}, &CastableAs{}, &CastAs{},
+		&FLWOR{},
+	}
+	if len(exprs) != 27 {
+		t.Errorf("%d expression kinds registered", len(exprs))
+	}
+	var clauses = []Clause{
+		&ForClause{}, &LetClause{}, &WhereClause{}, &GroupByClause{},
+		&OrderByClause{}, &CountClause{},
+	}
+	if len(clauses) != 6 {
+		t.Errorf("%d clause kinds registered", len(clauses))
+	}
+}
+
+func TestSequenceTypeFields(t *testing.T) {
+	st := SequenceType{ItemType: "integer", Occurrence: "+"}
+	if st.EmptySequence {
+		t.Error("zero EmptySequence should be false")
+	}
+	es := SequenceType{EmptySequence: true}
+	if es.ItemType != "" {
+		t.Error("empty-sequence type should have no item type")
+	}
+}

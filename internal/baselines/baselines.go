@@ -1,0 +1,127 @@
+// Package baselines defines the common benchmark contract implemented by
+// every engine of the paper's evaluation: Rumble itself, hand-written RDD
+// programs ("Spark (Java)"), hand-written DataFrame programs ("Spark SQL"),
+// a PySpark cost model, and the single-threaded JSONiq engines (Zorba,
+// Xidel). All engines answer the same three standard queries over the
+// confusion dataset (§6.1): filtering, grouping (aggregation) and sorting.
+package baselines
+
+import (
+	"fmt"
+
+	"rumble/internal/dfs"
+	"rumble/internal/item"
+	"rumble/internal/jparse"
+	"rumble/internal/spark"
+)
+
+// Query identifies one of the paper's three standard query types.
+type Query int
+
+// The three standard queries of §6.1.
+const (
+	QueryFilter Query = iota // count objects where guess = target
+	QueryGroup               // count per (country, target) group
+	QuerySort                // top 10 by target asc, country desc, date desc
+)
+
+// String returns the query name as used in figures.
+func (q Query) String() string {
+	switch q {
+	case QueryFilter:
+		return "filter"
+	case QueryGroup:
+		return "group"
+	case QuerySort:
+		return "sort"
+	default:
+		return fmt.Sprintf("query(%d)", int(q))
+	}
+}
+
+// Result is an engine's answer: a scalar count (filter: matches; group:
+// groups; sort: rows returned) plus the output rows in canonical form so
+// harnesses can verify engines agree.
+type Result struct {
+	Count int64
+	Rows  []string
+}
+
+// Engine is one comparable system.
+type Engine interface {
+	// Name is the engine label used in figures.
+	Name() string
+	// Run executes the query against a JSON-Lines dataset at path.
+	Run(q Query, path string) (Result, error)
+}
+
+// SortTopN is the take size of the sorting query, matching Figure 3's
+// take(10).
+const SortTopN = 10
+
+// JSONiqQuery returns the JSONiq formulation of a standard query over the
+// dataset at path, shared by every JSONiq engine under test (Rumble and
+// the single-threaded engines) so that their outputs are comparable with
+// the hand-coded Spark programs: the filter query returns a single count;
+// group returns "country,target,count" strings; sort returns the top-N
+// "target,country,date" strings.
+func JSONiqQuery(q Query, path string) string {
+	switch q {
+	case QueryFilter:
+		return fmt.Sprintf(
+			`count(for $o in json-file(%q) where $o.guess eq $o.target return $o)`, path)
+	case QueryGroup:
+		return fmt.Sprintf(`
+			for $o in json-file(%q)
+			group by $c := $o.country, $t := $o.target
+			return $c || "," || $t || "," || string(count($o))`, path)
+	case QuerySort:
+		return fmt.Sprintf(`
+			for $o in json-file(%q)
+			where $o.guess eq $o.target
+			order by $o.target ascending,
+			         $o.country descending,
+			         $o.date descending
+			count $c
+			where $c le %d
+			return $o.target || "," || $o.country || "," || $o.date`, path, SortTopN)
+	default:
+		return ""
+	}
+}
+
+// ItemsRDD scans a JSON-Lines dataset into an RDD of items — the shared
+// input stage of the Spark-based engines.
+func ItemsRDD(sc *spark.Context, path string, splitSize int64) (*spark.RDD[item.Item], error) {
+	splits, err := dfs.ListSplits(path, splitSize)
+	if err != nil {
+		return nil, err
+	}
+	return spark.NewRDD(sc, len(splits), "json-lines", func(p int, yield func(item.Item) error) error {
+		return dfs.ReadLines(splits[p], func(blocks int) { sc.SimulateIO(blocks) }, func(line []byte) error {
+			it, perr := jparse.Parse(line)
+			if perr != nil {
+				return perr
+			}
+			return yield(it)
+		})
+	}), nil
+}
+
+// FieldString extracts a string field of a confusion object, with "" for
+// absent or non-string values.
+func FieldString(it item.Item, key string) string {
+	obj, ok := it.(*item.Object)
+	if !ok {
+		return ""
+	}
+	v, ok := obj.Get(key)
+	if !ok {
+		return ""
+	}
+	s, ok := v.(item.Str)
+	if !ok {
+		return ""
+	}
+	return string(s)
+}

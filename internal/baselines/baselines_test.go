@@ -1,0 +1,115 @@
+package baselines_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"rumble/internal/baselines"
+	"rumble/internal/baselines/pyspark"
+	"rumble/internal/baselines/rawspark"
+	"rumble/internal/baselines/singlenode"
+	"rumble/internal/baselines/sparksql"
+	"rumble/internal/datagen"
+	"rumble/internal/spark"
+)
+
+func testDataset(t *testing.T, n int) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "confusion")
+	if err := datagen.WriteDataset(dir, datagen.NewConfusionGenerator(11), n, 3); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func engines() []baselines.Engine {
+	sc := spark.NewContext(spark.Config{Parallelism: 4, Executors: 4})
+	return []baselines.Engine{
+		rawspark.New(sc, 4096),
+		sparksql.New(sc, 4096),
+		pyspark.New(sc, 4096),
+		singlenode.New(singlenode.Zorba, 0),
+		singlenode.New(singlenode.Xidel, 0),
+	}
+}
+
+// TestEnginesAgree is the harness-level correctness check: every engine
+// must return identical counts and rows for all three standard queries.
+func TestEnginesAgree(t *testing.T) {
+	path := testDataset(t, 3000)
+	for _, q := range []baselines.Query{baselines.QueryFilter, baselines.QueryGroup, baselines.QuerySort} {
+		var ref baselines.Result
+		var refName string
+		for i, e := range engines() {
+			res, err := e.Run(q, path)
+			if err != nil {
+				t.Fatalf("%s %s: %v", e.Name(), q, err)
+			}
+			if i == 0 {
+				ref, refName = res, e.Name()
+				continue
+			}
+			if res.Count != ref.Count {
+				t.Errorf("%s: %s count=%d but %s count=%d", q, e.Name(), res.Count, refName, ref.Count)
+			}
+			if len(ref.Rows) > 0 && !reflect.DeepEqual(res.Rows, ref.Rows) {
+				t.Errorf("%s: %s rows differ from %s\n%v\nvs\n%v", q, e.Name(), refName, res.Rows, ref.Rows)
+			}
+		}
+	}
+}
+
+func TestFilterCountPlausible(t *testing.T) {
+	path := testDataset(t, 5000)
+	sc := spark.NewContext(spark.Config{Parallelism: 4, Executors: 4})
+	res, err := rawspark.New(sc, 4096).Run(baselines.QueryFilter, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(res.Count) / 5000
+	if rate < 0.65 || rate > 0.85 {
+		t.Errorf("filter selectivity = %.3f, expected ~0.73", rate)
+	}
+}
+
+func TestZorbaOOMOnGroupSort(t *testing.T) {
+	// The Figure 12 failure cliff: a grouping/sorting budget smaller than
+	// the dataset makes the single-threaded engines fail, while the
+	// filter query still streams through.
+	path := testDataset(t, 2000)
+	zorba := singlenode.New(singlenode.Zorba, 500)
+	if _, err := zorba.Run(baselines.QueryFilter, path); err != nil {
+		t.Errorf("filter should stream within budget: %v", err)
+	}
+	if _, err := zorba.Run(baselines.QueryGroup, path); err != singlenode.ErrOutOfMemory {
+		t.Errorf("group beyond budget: err = %v, want ErrOutOfMemory", err)
+	}
+	if _, err := zorba.Run(baselines.QuerySort, path); err != singlenode.ErrOutOfMemory {
+		t.Errorf("sort beyond budget: err = %v, want ErrOutOfMemory", err)
+	}
+	// Xidel fails even on the filter query (whole-input materialization).
+	xidel := singlenode.New(singlenode.Xidel, 500)
+	if _, err := xidel.Run(baselines.QueryFilter, path); err != singlenode.ErrOutOfMemory {
+		t.Errorf("xidel filter beyond budget: err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestSortTopNStable(t *testing.T) {
+	path := testDataset(t, 1000)
+	sc := spark.NewContext(spark.Config{Parallelism: 4, Executors: 4})
+	res, err := rawspark.New(sc, 2048).Run(baselines.QuerySort, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != baselines.SortTopN {
+		t.Fatalf("sort returned %d rows", len(res.Rows))
+	}
+	// Rows must already be ordered by target asc.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i] < res.Rows[i-1] && res.Rows[i][:6] != res.Rows[i-1][:6] {
+			// only verify the leading (target) field ordering
+			t.Errorf("rows out of order: %q before %q", res.Rows[i-1], res.Rows[i])
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package singlenode models the single-threaded JSONiq engines of Figure
+// 12: Zorba (a generic C++ JSONiq engine, streaming but materializing for
+// group/sort) and Xidel (a Pascal engine that materializes the whole
+// document tree before evaluating anything). Both run genuine JSONiq — the
+// same query texts as Rumble — through this repository's runtime-iterator
+// interpreter restricted to its single-threaded local execution path, so
+// their per-item costs are those of a real generic JSONiq evaluator rather
+// than of a hand-tuned program.
+//
+// Each engine enforces a materialization budget in items: queries that
+// need to hold more than the budget in memory fail with ErrOutOfMemory,
+// reproducing the paper's observed failure cliffs (Zorba could not group
+// or sort beyond 4M objects in 16 GB; Xidel failed even earlier, on every
+// query shape, because it loads the entire input first).
+package singlenode
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rumble/internal/baselines"
+	"rumble/internal/item"
+	"rumble/internal/parser"
+	"rumble/internal/runtime"
+)
+
+// ErrOutOfMemory reports that an engine exceeded its materialization
+// budget, the analogue of the OOM kills in Figure 12.
+var ErrOutOfMemory = errors.New("singlenode: out of memory (materialization budget exceeded)")
+
+// Profile selects the modeled engine.
+type Profile int
+
+// The two single-threaded engines of Figure 12.
+const (
+	// Zorba streams filters but materializes tuples for group/sort.
+	Zorba Profile = iota
+	// Xidel materializes the entire input before evaluating, and walks
+	// the materialized tree a second time to answer the query.
+	Xidel
+)
+
+// Engine is a single-threaded JSONiq engine model.
+type Engine struct {
+	profile Profile
+	// budget is the maximum number of items the engine may hold
+	// materialized at once (its memory model); 0 means unlimited.
+	budget int
+}
+
+// New creates a single-node engine with the given materialization budget
+// in items (0 means unlimited).
+func New(p Profile, budgetItems int) *Engine {
+	return &Engine{profile: p, budget: budgetItems}
+}
+
+// Name implements baselines.Engine.
+func (e *Engine) Name() string {
+	if e.profile == Zorba {
+		return "Zorba"
+	}
+	return "Xidel"
+}
+
+// countRecords counts the input records cheaply (no JSON parse), the way
+// an engine's memory footprint is determined by its input cardinality.
+func countRecords(path string) (int, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	var files []string
+	if info.IsDir() {
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return 0, err
+		}
+		for _, e := range entries {
+			if e.IsDir() || strings.HasPrefix(e.Name(), "_") || strings.HasPrefix(e.Name(), ".") {
+				continue
+			}
+			files = append(files, filepath.Join(path, e.Name()))
+		}
+	} else {
+		files = []string{path}
+	}
+	total := 0
+	for _, f := range files {
+		fh, err := os.Open(f)
+		if err != nil {
+			return 0, err
+		}
+		r := bufio.NewReaderSize(fh, 256<<10)
+		for {
+			chunk, err := r.ReadSlice('\n')
+			if len(chunk) > 1 {
+				total++
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil && err != bufio.ErrBufferFull {
+				fh.Close()
+				return 0, err
+			}
+		}
+		fh.Close()
+	}
+	return total, nil
+}
+
+// wouldMaterialize reports whether the engine must hold the whole (or
+// filtered) input in memory for this query.
+func (e *Engine) wouldMaterialize(q baselines.Query) bool {
+	if e.profile == Xidel {
+		return true // whole-input materialization regardless of query
+	}
+	return q != baselines.QueryFilter // group and sort materialize tuples
+}
+
+// Run implements baselines.Engine: compile the JSONiq text and evaluate it
+// on the interpreter's local (single-threaded) path.
+func (e *Engine) Run(q baselines.Query, path string) (baselines.Result, error) {
+	if e.budget > 0 && e.wouldMaterialize(q) {
+		n, err := countRecords(path)
+		if err != nil {
+			return baselines.Result{}, err
+		}
+		if n > e.budget {
+			return baselines.Result{}, ErrOutOfMemory
+		}
+	}
+	env := &runtime.Env{} // no Spark context: strictly local execution
+	if e.profile == Xidel {
+		// Xidel's first pass: parse and hold the entire document set.
+		loader, err := compileLocal(env, fmt.Sprintf(`count(json-file(%q))`, path))
+		if err != nil {
+			return baselines.Result{}, err
+		}
+		if _, err := loader.Run(); err != nil {
+			return baselines.Result{}, err
+		}
+	}
+	prog, err := compileLocal(env, baselines.JSONiqQuery(q, path))
+	if err != nil {
+		return baselines.Result{}, err
+	}
+	out, err := prog.Run()
+	if err != nil {
+		return baselines.Result{}, err
+	}
+	switch q {
+	case baselines.QueryFilter:
+		if len(out) != 1 {
+			return baselines.Result{}, fmt.Errorf("singlenode: filter returned %d items", len(out))
+		}
+		n, ok := out[0].(item.Int)
+		if !ok {
+			return baselines.Result{}, fmt.Errorf("singlenode: filter returned %s", out[0].Kind())
+		}
+		return baselines.Result{Count: int64(n)}, nil
+	case baselines.QueryGroup:
+		rows := itemsToStrings(out)
+		sort.Strings(rows)
+		return baselines.Result{Count: int64(len(rows)), Rows: rows}, nil
+	case baselines.QuerySort:
+		rows := itemsToStrings(out)
+		return baselines.Result{Count: int64(len(rows)), Rows: rows}, nil
+	default:
+		return baselines.Result{}, fmt.Errorf("singlenode: unknown query %v", q)
+	}
+}
+
+func compileLocal(env *runtime.Env, query string) (*runtime.Program, error) {
+	m, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return runtime.Compile(m, env)
+}
+
+func itemsToStrings(items []item.Item) []string {
+	rows := make([]string, len(items))
+	for i, it := range items {
+		rows[i] = it.String()
+	}
+	return rows
+}

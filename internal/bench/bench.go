@@ -1,0 +1,386 @@
+// Package bench is the figure-reproduction harness: it generates the
+// datasets, runs every engine of the paper's evaluation on the paper's
+// queries, and produces the series behind each figure (11-15). Both the
+// testing.B benchmarks at the repository root and cmd/benchfig drive it.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"rumble"
+	"rumble/internal/baselines"
+	"rumble/internal/baselines/pyspark"
+	"rumble/internal/baselines/rawspark"
+	"rumble/internal/baselines/singlenode"
+	"rumble/internal/baselines/sparksql"
+	"rumble/internal/datagen"
+	"rumble/internal/spark"
+)
+
+// Row is one measurement of a figure's series.
+type Row struct {
+	Figure    string
+	Engine    string
+	Query     string
+	Size      int     // number of objects
+	Executors int     // executor cores (figures 13/14)
+	Seconds   float64 // wall-clock end-to-end
+	AggSecs   float64 // aggregated task time over the cluster (figure 14)
+	Status    string  // "ok", "oom", "timeout"
+}
+
+// RumbleEngine adapts the public rumble API to the baselines contract so
+// it can be measured next to the hand-written engines.
+type RumbleEngine struct {
+	Eng *rumble.Engine
+}
+
+// NewRumble builds a Rumble adapter with the given engine configuration.
+func NewRumble(cfg rumble.Config) *RumbleEngine {
+	return &RumbleEngine{Eng: rumble.New(cfg)}
+}
+
+// Name implements baselines.Engine.
+func (r *RumbleEngine) Name() string { return "Rumble" }
+
+// Run implements baselines.Engine with the shared JSONiq formulations of
+// the three standard queries (baselines.JSONiqQuery).
+func (r *RumbleEngine) Run(q baselines.Query, path string) (baselines.Result, error) {
+	items, err := r.Eng.Query(baselines.JSONiqQuery(q, path))
+	if err != nil {
+		return baselines.Result{}, err
+	}
+	switch q {
+	case baselines.QueryFilter:
+		if len(items) != 1 {
+			return baselines.Result{}, fmt.Errorf("rumble adapter: filter returned %d items", len(items))
+		}
+		return baselines.Result{Count: int64(items[0].(rumble.Int))}, nil
+	case baselines.QueryGroup, baselines.QuerySort:
+		rows := make([]string, len(items))
+		for i, it := range items {
+			rows[i] = string(it.(rumble.Str))
+		}
+		if q == baselines.QueryGroup {
+			sort.Strings(rows)
+		}
+		return baselines.Result{Count: int64(len(rows)), Rows: rows}, nil
+	default:
+		return baselines.Result{}, fmt.Errorf("rumble adapter: unknown query %v", q)
+	}
+}
+
+// Options tunes a harness run. Zero values pick laptop-scale defaults that
+// preserve the paper's shapes.
+type Options struct {
+	// BaseDir holds generated datasets; defaults to a temp directory.
+	BaseDir string
+	// Objects is the dataset size for figures 11 and 13.
+	Objects int
+	// Sizes is the size sweep of figure 12 (defaults to a 1/2/4/8/16
+	// geometric sweep scaled down from the paper's millions).
+	Sizes []int
+	// Budget is the single-node engines' materialization budget in items
+	// (the 16 GB of the paper's laptop, scaled).
+	Budget int
+	// Executors is the executor sweep of figure 14.
+	Executors []int
+	// Scales is the replication sweep of figure 15.
+	Scales []int
+	// Parallelism and ExecutorCores configure the Spark contexts.
+	Parallelism   int
+	ExecutorCores int
+	// SplitSize is the storage split size for parallel scans.
+	SplitSize int64
+	// IOLatency enables storage latency simulation for figures 14/15.
+	IOLatency time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.BaseDir == "" {
+		o.BaseDir = filepath.Join(os.TempDir(), "rumble-bench")
+	}
+	if o.Objects == 0 {
+		o.Objects = 100_000
+	}
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int{12_500, 25_000, 50_000, 100_000, 200_000}
+	}
+	if o.Budget == 0 {
+		o.Budget = 60_000
+	}
+	if len(o.Executors) == 0 {
+		o.Executors = []int{1, 2, 4, 8, 16, 32}
+	}
+	if len(o.Scales) == 0 {
+		o.Scales = []int{1, 2, 4, 8, 16}
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = 8
+	}
+	if o.ExecutorCores == 0 {
+		o.ExecutorCores = 4
+	}
+	if o.SplitSize == 0 {
+		o.SplitSize = 1 << 20
+	}
+	return o
+}
+
+// ConfusionDataset generates (or reuses) a confusion dataset of n objects
+// and returns its path.
+func ConfusionDataset(baseDir string, n int) (string, error) {
+	dir := filepath.Join(baseDir, fmt.Sprintf("confusion-%d", n))
+	if ready(dir) {
+		return dir, nil
+	}
+	if err := datagen.WriteDataset(dir, datagen.NewConfusionGenerator(2024), n, parts(n)); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// RedditDataset generates (or reuses) a reddit dataset of n objects.
+func RedditDataset(baseDir string, n int) (string, error) {
+	dir := filepath.Join(baseDir, fmt.Sprintf("reddit-%d", n))
+	if ready(dir) {
+		return dir, nil
+	}
+	if err := datagen.WriteDataset(dir, datagen.NewRedditGenerator(2024), n, parts(n)); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+func ready(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, "_SUCCESS"))
+	return err == nil
+}
+
+func parts(n int) int {
+	p := n / 25_000
+	if p < 2 {
+		p = 2
+	}
+	if p > 32 {
+		p = 32
+	}
+	return p
+}
+
+func timed(f func() error) (float64, string) {
+	start := time.Now()
+	err := f()
+	secs := time.Since(start).Seconds()
+	switch {
+	case err == nil:
+		return secs, "ok"
+	case err == singlenode.ErrOutOfMemory:
+		return secs, "oom"
+	default:
+		return secs, "error: " + err.Error()
+	}
+}
+
+// sparkEngines builds the four Spark-based engines of figures 11/13 on
+// fresh contexts.
+func sparkEngines(o Options) []baselines.Engine {
+	mk := func() *spark.Context {
+		return spark.NewContext(spark.Config{
+			Parallelism: o.Parallelism,
+			Executors:   o.ExecutorCores,
+			IOLatency:   o.IOLatency,
+		})
+	}
+	return []baselines.Engine{
+		NewRumble(rumble.Config{Parallelism: o.Parallelism, Executors: o.ExecutorCores,
+			SplitSize: o.SplitSize, IOLatency: o.IOLatency}),
+		rawspark.New(mk(), o.SplitSize),
+		sparksql.New(mk(), o.SplitSize),
+		pyspark.New(mk(), o.SplitSize),
+	}
+}
+
+var allQueries = []baselines.Query{baselines.QueryFilter, baselines.QueryGroup, baselines.QuerySort}
+
+// RunFigure11 reproduces the local measurements: Rumble vs Spark vs Spark
+// SQL vs PySpark on the three standard queries over the confusion dataset.
+func RunFigure11(o Options) ([]Row, error) {
+	o = o.withDefaults()
+	path, err := ConfusionDataset(o.BaseDir, o.Objects)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, q := range allQueries {
+		for _, e := range sparkEngines(o) {
+			secs, status := timed(func() error {
+				_, err := e.Run(q, path)
+				return err
+			})
+			rows = append(rows, Row{Figure: "11", Engine: e.Name(), Query: q.String(),
+				Size: o.Objects, Seconds: secs, Status: status})
+		}
+	}
+	return rows, nil
+}
+
+// RunFigure12 reproduces the JSONiq-engine comparison: Rumble vs Zorba vs
+// Xidel across dataset sizes, with the single-threaded engines' memory
+// budget producing the paper's OOM cliffs.
+func RunFigure12(o Options) ([]Row, error) {
+	o = o.withDefaults()
+	for _, size := range o.Sizes {
+		if _, err := ConfusionDataset(o.BaseDir, size); err != nil {
+			return nil, err
+		}
+	}
+	var rows []Row
+	for _, q := range allQueries {
+		for _, size := range o.Sizes {
+			path, err := ConfusionDataset(o.BaseDir, size)
+			if err != nil {
+				return nil, err
+			}
+			engines := []baselines.Engine{
+				NewRumble(rumble.Config{Parallelism: o.Parallelism, Executors: o.ExecutorCores,
+					SplitSize: o.SplitSize}),
+				singlenode.New(singlenode.Zorba, o.Budget),
+				singlenode.New(singlenode.Xidel, o.Budget/2),
+			}
+			for _, e := range engines {
+				secs, status := timed(func() error {
+					_, err := e.Run(q, path)
+					return err
+				})
+				rows = append(rows, Row{Figure: "12", Engine: e.Name(), Query: q.String(),
+					Size: size, Seconds: secs, Status: status})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RunFigure13 reproduces the cluster measurements: the figure-11 engines
+// on the 20x-duplicated dataset with the 9-node (36 core) configuration,
+// scaled to the host.
+func RunFigure13(o Options) ([]Row, error) {
+	o = o.withDefaults()
+	if o.Objects < 200_000 {
+		o.Objects = 200_000 // the "20x duplication" scaled down
+	}
+	o.ExecutorCores *= 2
+	o.Parallelism *= 2
+	path, err := ConfusionDataset(o.BaseDir, o.Objects)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, q := range allQueries {
+		for _, e := range sparkEngines(o) {
+			secs, status := timed(func() error {
+				_, err := e.Run(q, path)
+				return err
+			})
+			rows = append(rows, Row{Figure: "13", Engine: e.Name(), Query: q.String(),
+				Size: o.Objects, Executors: o.ExecutorCores, Seconds: secs, Status: status})
+		}
+	}
+	return rows, nil
+}
+
+// RunFigure14 reproduces the speedup analysis: a highly selective filter
+// over the Reddit dataset for 1..32 executors, reporting both wall-clock
+// runtime and the aggregated task time over the cluster. Storage latency
+// simulation lets the overlap extend beyond the host's physical cores, as
+// on the paper's EMR cluster.
+func RunFigure14(o Options) ([]Row, error) {
+	o = o.withDefaults()
+	if o.IOLatency == 0 {
+		o.IOLatency = 2 * time.Millisecond
+	}
+	n := o.Objects
+	path, err := RedditDataset(o.BaseDir, n)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for _, ex := range o.Executors {
+		eng := NewRumble(rumble.Config{Parallelism: 64, Executors: ex,
+			SplitSize: o.SplitSize / 4, IOLatency: o.IOLatency})
+		q := fmt.Sprintf(`count(for $c in json-file(%q)
+			where $c.score gt 1500 and contains($c.body, "data")
+			return $c)`, path)
+		start := time.Now()
+		_, err := eng.Eng.Query(q)
+		secs := time.Since(start).Seconds()
+		status := "ok"
+		if err != nil {
+			status = "error: " + err.Error()
+		}
+		m := eng.Eng.Metrics()
+		rows = append(rows, Row{Figure: "14", Engine: "Rumble", Query: "filter",
+			Size: n, Executors: ex, Seconds: secs, AggSecs: m.TaskTime.Seconds(), Status: status})
+	}
+	return rows, nil
+}
+
+// RunFigure15 reproduces the big-data scaling analysis: runtime of the
+// filter query against replication factors of the Reddit dataset; the
+// curve must stay linear.
+func RunFigure15(o Options) ([]Row, error) {
+	o = o.withDefaults()
+	base := o.Objects / 2
+	var rows []Row
+	for _, scale := range o.Scales {
+		n := base * scale
+		path, err := RedditDataset(o.BaseDir, n)
+		if err != nil {
+			return nil, err
+		}
+		eng := NewRumble(rumble.Config{Parallelism: o.Parallelism, Executors: o.ExecutorCores,
+			SplitSize: o.SplitSize, IOLatency: o.IOLatency})
+		q := fmt.Sprintf(`count(for $c in json-file(%q)
+			where $c.subreddit eq "programming" and $c.score gt 100
+			return $c)`, path)
+		start := time.Now()
+		_, err = eng.Eng.Query(q)
+		secs := time.Since(start).Seconds()
+		status := "ok"
+		if err != nil {
+			status = "error: " + err.Error()
+		}
+		rows = append(rows, Row{Figure: "15", Engine: "Rumble", Query: "filter",
+			Size: n, Seconds: secs, Status: status})
+	}
+	return rows, nil
+}
+
+// PrintTable renders rows as an aligned text table.
+func PrintTable(w io.Writer, rows []Row) {
+	fmt.Fprintf(w, "%-6s %-9s %-7s %10s %5s %9s %9s  %s\n",
+		"figure", "engine", "query", "objects", "exec", "wall(s)", "agg(s)", "status")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %-9s %-7s %10d %5d %9.3f %9.3f  %s\n",
+			r.Figure, r.Engine, r.Query, r.Size, r.Executors, r.Seconds, r.AggSecs, r.Status)
+	}
+}
+
+// WriteCSV renders rows as CSV.
+func WriteCSV(w io.Writer, rows []Row) error {
+	if _, err := fmt.Fprintln(w, "figure,engine,query,objects,executors,wall_seconds,agg_seconds,status"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%.4f,%.4f,%s\n",
+			r.Figure, r.Engine, r.Query, r.Size, r.Executors, r.Seconds, r.AggSecs, r.Status); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rumble"
+	"rumble/internal/baselines"
+)
+
+func tinyOptions(t *testing.T) Options {
+	return Options{
+		BaseDir:       t.TempDir(),
+		Objects:       2_000,
+		Sizes:         []int{500, 1_000},
+		Budget:        100_000,
+		Executors:     []int{1, 2},
+		Scales:        []int{1, 2},
+		Parallelism:   4,
+		ExecutorCores: 2,
+		SplitSize:     32 << 10,
+	}
+}
+
+func requireAllOK(t *testing.T, rows []Row, figure string) {
+	t.Helper()
+	if len(rows) == 0 {
+		t.Fatalf("figure %s produced no rows", figure)
+	}
+	for _, r := range rows {
+		if r.Figure != figure {
+			t.Errorf("row tagged %q, want %q", r.Figure, figure)
+		}
+		if r.Status != "ok" {
+			t.Errorf("%s/%s/%s failed: %s", r.Figure, r.Engine, r.Query, r.Status)
+		}
+		if r.Seconds <= 0 {
+			t.Errorf("%s/%s/%s has non-positive wall time", r.Figure, r.Engine, r.Query)
+		}
+	}
+}
+
+func TestRunFigure11(t *testing.T) {
+	rows, err := RunFigure11(tinyOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllOK(t, rows, "11")
+	if len(rows) != 12 { // 3 queries x 4 engines
+		t.Errorf("%d rows, want 12", len(rows))
+	}
+}
+
+func TestRunFigure12(t *testing.T) {
+	rows, err := RunFigure12(tinyOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllOK(t, rows, "12")
+	if len(rows) != 18 { // 3 queries x 2 sizes x 3 engines
+		t.Errorf("%d rows, want 18", len(rows))
+	}
+}
+
+func TestRunFigure12OOMCliff(t *testing.T) {
+	o := tinyOptions(t)
+	o.Budget = 300 // smaller than the datasets
+	rows, err := RunFigure12(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oom := 0
+	for _, r := range rows {
+		if r.Status == "oom" {
+			oom++
+			if r.Engine == "Rumble" {
+				t.Error("Rumble must never hit the single-node OOM cliff")
+			}
+		}
+	}
+	if oom == 0 {
+		t.Error("tiny budget should produce OOM rows for the single-node engines")
+	}
+}
+
+func TestRunFigure14SpeedupShape(t *testing.T) {
+	o := tinyOptions(t)
+	o.Objects = 4_000
+	rows, err := RunFigure14(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllOK(t, rows, "14")
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// More executors must not be slower by more than noise; with simulated
+	// I/O latency 2 executors should be measurably faster than 1.
+	if rows[1].Seconds > rows[0].Seconds*1.05 {
+		t.Errorf("no speedup: 1 exec %.3fs, 2 exec %.3fs", rows[0].Seconds, rows[1].Seconds)
+	}
+	if rows[0].AggSecs <= 0 {
+		t.Error("aggregated task time missing")
+	}
+}
+
+func TestRunFigure15Linearity(t *testing.T) {
+	o := tinyOptions(t)
+	o.Objects = 8_000
+	o.Scales = []int{1, 4}
+	rows, err := RunFigure15(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllOK(t, rows, "15")
+	// 4x the data should take noticeably more than 1.5x the time and not
+	// explode past ~12x (linear within generous noise bounds).
+	ratio := rows[1].Seconds / rows[0].Seconds
+	if ratio < 1.5 || ratio > 12 {
+		t.Errorf("scaling ratio %.2f outside linear envelope", ratio)
+	}
+}
+
+func TestRumbleAdapterMatchesBaselines(t *testing.T) {
+	o := tinyOptions(t)
+	path, err := ConfusionDataset(o.BaseDir, 1_500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRumble(rumble.Config{Parallelism: 4, Executors: 2, SplitSize: o.SplitSize})
+	engines := sparkEngines(o)
+	for _, q := range []baselines.Query{baselines.QueryFilter, baselines.QueryGroup, baselines.QuerySort} {
+		want, err := r.Run(q, path)
+		if err != nil {
+			t.Fatalf("rumble %s: %v", q, err)
+		}
+		for _, e := range engines[1:] { // skip the duplicate Rumble
+			got, err := e.Run(q, path)
+			if err != nil {
+				t.Fatalf("%s %s: %v", e.Name(), q, err)
+			}
+			if got.Count != want.Count {
+				t.Errorf("%s: %s count %d != rumble %d", q, e.Name(), got.Count, want.Count)
+			}
+			if len(want.Rows) > 0 && strings.Join(got.Rows, "|") != strings.Join(want.Rows, "|") {
+				t.Errorf("%s: %s rows diverge from rumble", q, e.Name())
+			}
+		}
+	}
+}
+
+func TestTableAndCSVOutput(t *testing.T) {
+	rows := []Row{{Figure: "11", Engine: "Rumble", Query: "filter", Size: 10, Seconds: 0.5, Status: "ok"}}
+	var tb bytes.Buffer
+	PrintTable(&tb, rows)
+	if !strings.Contains(tb.String(), "Rumble") {
+		t.Error("table output missing engine")
+	}
+	var cb bytes.Buffer
+	if err := WriteCSV(&cb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(cb.String(), "figure,engine,query") {
+		t.Error("CSV header missing")
+	}
+	if !strings.Contains(cb.String(), "11,Rumble,filter,10,0,0.5000") {
+		t.Errorf("CSV row malformed: %s", cb.String())
+	}
+}

@@ -1,0 +1,199 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"rumble/internal/ast"
+	"rumble/internal/parser"
+)
+
+func analyze(t *testing.T, src string) (*ast.Module, *Info) {
+	t.Helper()
+	m, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := Analyze(m)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return m, info
+}
+
+func analyzeErr(t *testing.T, src string) error {
+	t.Helper()
+	m, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Analyze(m)
+	return err
+}
+
+func TestScopeErrors(t *testing.T) {
+	bad := map[string]string{
+		`$x`:                            "not in scope",
+		`for $a in (1) return $b`:       "not in scope",
+		`let $a := $a return 1`:         "not in scope",
+		`some $q in (1) satisfies $w`:   "not in scope",
+		`(for $a in (1) return $a), $a`: "not in scope", // FLWOR vars don't leak
+		`nosuch()`:                      "unknown function",
+		`count()`:                       "called with 0",
+		`json-file()`:                   "expects 1 to 2",
+		`declare function local:f($x) { $x }; local:f()`:                            "expects 1",
+		`declare function local:f($x) { $y }; 1`:                                    "not in scope",
+		`declare function local:f($x) { 1 }; declare function local:f($x) { 2 }; 1`: "declared twice",
+	}
+	for src, fragment := range bad {
+		err := analyzeErr(t, src)
+		if err == nil {
+			t.Errorf("Analyze(%q) should fail", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), fragment) {
+			t.Errorf("Analyze(%q) error %q does not mention %q", src, err, fragment)
+		}
+	}
+}
+
+func TestScopeSuccesses(t *testing.T) {
+	good := []string{
+		`for $a in (1) let $b := $a where $b eq $a order by $b count $c return ($a, $b, $c)`,
+		`declare variable $g := 1; for $a in (1) return $a + $g`,
+		`declare function local:rec($n) { if ($n le 0) then 0 else local:rec($n - 1) }; local:rec(3)`,
+		`try { 1 } catch * { $err:description }`,
+		`every $a in (1), $b in ($a) satisfies $b eq $a`,
+		`for $a in (1) group by $k := $a return ($k, $a)`,
+		`for $o in (1) for $o in (2) return $o`, // redeclaration shadows
+	}
+	for _, src := range good {
+		if err := analyzeErr(t, src); err != nil {
+			t.Errorf("Analyze(%q) failed: %v", src, err)
+		}
+	}
+}
+
+func findGroupPlan(t *testing.T, info *Info) *GroupPlan {
+	t.Helper()
+	if len(info.GroupPlans) != 1 {
+		t.Fatalf("%d group plans", len(info.GroupPlans))
+	}
+	for _, p := range info.GroupPlans {
+		return p
+	}
+	return nil
+}
+
+func TestUsageCountOnly(t *testing.T) {
+	m, info := analyze(t, `
+		for $o in (1, 2)
+		group by $k := $o mod 2
+		return { "k": $k, "n": count($o) }`)
+	plan := findGroupPlan(t, info)
+	if plan.Usage["o"] != UsageCountOnly {
+		t.Errorf("usage[o] = %v, want UsageCountOnly", plan.Usage["o"])
+	}
+	// the count($o) node must have been rewritten to the synthetic var
+	var found bool
+	collect := map[string]*useInfo{"o" + CountMarkerSuffix: {}}
+	collectUses(m.Body, collect)
+	if collect["o"+CountMarkerSuffix].plainUses > 0 {
+		found = true
+	}
+	if !found {
+		t.Error("count($o) was not rewritten to the synthetic count variable")
+	}
+}
+
+func TestUsageMaterialize(t *testing.T) {
+	_, info := analyze(t, `
+		for $o in (1, 2)
+		group by $k := $o mod 2
+		return { "k": $k, "n": count($o), "all": [ $o ] }`)
+	plan := findGroupPlan(t, info)
+	if plan.Usage["o"] != UsageMaterialize {
+		t.Errorf("usage[o] = %v, want UsageMaterialize (plain use present)", plan.Usage["o"])
+	}
+}
+
+func TestUsageUnused(t *testing.T) {
+	_, info := analyze(t, `
+		for $o in (1, 2)
+		let $tag := "t"
+		group by $k := $o mod 2
+		return { "k": $k, "n": count($o) }`)
+	plan := findGroupPlan(t, info)
+	if plan.Usage["tag"] != UsageUnused {
+		t.Errorf("usage[tag] = %v, want UsageUnused", plan.Usage["tag"])
+	}
+	if plan.Usage["o"] != UsageCountOnly {
+		t.Errorf("usage[o] = %v, want UsageCountOnly", plan.Usage["o"])
+	}
+}
+
+func TestUsageCountInLaterClause(t *testing.T) {
+	_, info := analyze(t, `
+		for $o in (1, 2)
+		group by $k := $o mod 2
+		order by count($o)
+		return $k`)
+	plan := findGroupPlan(t, info)
+	if plan.Usage["o"] != UsageCountOnly {
+		t.Errorf("usage[o] = %v, want UsageCountOnly (count in order-by)", plan.Usage["o"])
+	}
+}
+
+func TestGroupByUnboundKeyFails(t *testing.T) {
+	if err := analyzeErr(t, `for $o in (1) group by $zzz return 1`); err == nil {
+		t.Error("grouping by unbound variable should fail")
+	}
+}
+
+func TestPositionalVarCollision(t *testing.T) {
+	if err := analyzeErr(t, `for $x at $x in (1) return $x`); err == nil {
+		t.Error("positional variable colliding with for variable should fail")
+	}
+}
+
+func TestInScopeOrderRecorded(t *testing.T) {
+	_, info := analyze(t, `
+		for $a in (1)
+		let $b := 2
+		group by $k := $a
+		return count($b)`)
+	plan := findGroupPlan(t, info)
+	want := []string{"a", "b", "k"}
+	if len(plan.InScope) != len(want) {
+		t.Fatalf("InScope = %v", plan.InScope)
+	}
+	for i, n := range want {
+		if plan.InScope[i] != n {
+			t.Errorf("InScope[%d] = %s, want %s", i, plan.InScope[i], n)
+		}
+	}
+}
+
+func TestNestedFLWORUsageIndependent(t *testing.T) {
+	// The inner FLWOR's group plan must be independent of the outer's.
+	_, info := analyze(t, `
+		for $a in (1, 2)
+		group by $k := $a
+		return count(
+			for $b in (1, 2)
+			group by $j := $b
+			return ($j, [ $b ])
+		)`)
+	if len(info.GroupPlans) != 2 {
+		t.Fatalf("%d group plans, want 2", len(info.GroupPlans))
+	}
+	classes := map[VarUsage]int{}
+	for _, p := range info.GroupPlans {
+		for _, u := range p.Usage {
+			classes[u]++
+		}
+	}
+	if classes[UsageMaterialize] == 0 {
+		t.Error("inner $b (used plainly) should be materialized")
+	}
+}

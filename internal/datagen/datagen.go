@@ -1,0 +1,247 @@
+// Package datagen generates the synthetic stand-ins for the paper's two
+// evaluation datasets: the Great Language Game "confusion" dataset (highly
+// structured JSON objects, §6.1) and the Reddit comments dataset
+// (semi-structured, with schema drift across years and heterogeneous
+// fields). Generation is deterministic for a given seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rumble/internal/dfs"
+)
+
+// Languages mirrors the choice set of the Great Language Game.
+var Languages = []string{
+	"French", "German", "Danish", "Swedish", "Norwegian", "Dutch",
+	"Italian", "Spanish", "Portuguese", "Romanian", "Polish", "Czech",
+	"Russian", "Ukrainian", "Turkish", "Arabic", "Korean", "Mandarin",
+	"Cantonese", "Vietnamese", "Thai", "Burmese", "Hungarian", "Finnish",
+}
+
+// Countries is the country-code pool for the confusion dataset.
+var Countries = []string{
+	"AU", "US", "GB", "DE", "FR", "SE", "DK", "NO", "NL", "IT",
+	"ES", "PT", "PL", "CZ", "RU", "UA", "TR", "CA", "NZ", "CH",
+}
+
+// ConfusionGenerator produces confusion-dataset objects. About 72% of
+// guesses are correct, matching the real dataset's overall accuracy.
+type ConfusionGenerator struct {
+	rng *rand.Rand
+}
+
+// NewConfusionGenerator seeds a generator.
+func NewConfusionGenerator(seed int64) *ConfusionGenerator {
+	return &ConfusionGenerator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns one JSON-Lines record.
+func (g *ConfusionGenerator) Next() []byte {
+	r := g.rng
+	target := Languages[r.Intn(len(Languages))]
+	var guess string
+	if r.Float64() < 0.72 {
+		guess = target
+	} else {
+		guess = Languages[r.Intn(len(Languages))]
+	}
+	nChoices := 2 + r.Intn(3)*2 // 2, 4 or 6 choices
+	choices := make([]string, 0, nChoices)
+	targetAt := r.Intn(nChoices)
+	for i := 0; i < nChoices; i++ {
+		if i == targetAt {
+			choices = append(choices, target)
+		} else {
+			choices = append(choices, Languages[r.Intn(len(Languages))])
+		}
+	}
+	sample := fmt.Sprintf("%08x%08x%08x%08x", r.Uint32(), r.Uint32(), r.Uint32(), r.Uint32())
+	date := fmt.Sprintf("20%02d-%02d-%02d", 13+r.Intn(3), 1+r.Intn(12), 1+r.Intn(28))
+	buf := make([]byte, 0, 256)
+	buf = append(buf, `{"guess": "`...)
+	buf = append(buf, guess...)
+	buf = append(buf, `", "target": "`...)
+	buf = append(buf, target...)
+	buf = append(buf, `", "country": "`...)
+	buf = append(buf, Countries[r.Intn(len(Countries))]...)
+	buf = append(buf, `", "choices": [`...)
+	for i, c := range choices {
+		if i > 0 {
+			buf = append(buf, ", "...)
+		}
+		buf = append(buf, '"')
+		buf = append(buf, c...)
+		buf = append(buf, '"')
+	}
+	buf = append(buf, `], "sample": "`...)
+	buf = append(buf, sample...)
+	buf = append(buf, `", "date": "`...)
+	buf = append(buf, date...)
+	buf = append(buf, `"}`...)
+	return buf
+}
+
+// Subreddits is the subreddit pool for the Reddit generator.
+var Subreddits = []string{
+	"AskReddit", "funny", "pics", "gaming", "worldnews", "todayilearned",
+	"science", "movies", "news", "programming", "datasets", "aww",
+}
+
+var redditWords = []string{
+	"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+	"data", "query", "json", "nested", "heterogeneous", "spark", "scale",
+	"comment", "thread", "upvote", "karma", "repost", "original", "source",
+}
+
+// RedditGenerator produces semi-structured Reddit-comment objects with the
+// schema drift the paper describes: fields appear and change type across
+// "years" of data — edited is false or a timestamp, distinguished is
+// null/absent/string, score_hidden appears only in later years, media is
+// occasionally a nested object, and gildings switches from a number to an
+// object.
+type RedditGenerator struct {
+	rng *rand.Rand
+}
+
+// NewRedditGenerator seeds a generator.
+func NewRedditGenerator(seed int64) *RedditGenerator {
+	return &RedditGenerator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns one JSON-Lines record.
+func (g *RedditGenerator) Next() []byte {
+	r := g.rng
+	year := 2008 + r.Intn(8) // 2008..2015, the paper's range
+	created := int64(year-1970)*365*24*3600 + int64(r.Intn(365*24*3600))
+	score := r.Intn(2000) - 100
+	nWords := 3 + r.Intn(20)
+	buf := make([]byte, 0, 512)
+	buf = append(buf, `{"id": "t1_`...)
+	buf = appendBase36(buf, r.Int63n(1<<40))
+	buf = append(buf, `", "author": "user`...)
+	buf = appendInt(buf, int64(r.Intn(500000)))
+	buf = append(buf, `", "subreddit": "`...)
+	buf = append(buf, Subreddits[r.Intn(len(Subreddits))]...)
+	buf = append(buf, `", "body": "`...)
+	for i := 0; i < nWords; i++ {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, redditWords[r.Intn(len(redditWords))]...)
+	}
+	buf = append(buf, `", "score": `...)
+	buf = appendInt(buf, int64(score))
+	buf = append(buf, `, "created_utc": `...)
+	buf = appendInt(buf, created)
+	// ups/downs only exist in early years.
+	if year <= 2012 {
+		buf = append(buf, `, "ups": `...)
+		buf = appendInt(buf, int64(score+r.Intn(50)))
+		buf = append(buf, `, "downs": `...)
+		buf = appendInt(buf, int64(r.Intn(50)))
+	}
+	// edited: false or a timestamp (type heterogeneity).
+	if r.Float64() < 0.9 {
+		buf = append(buf, `, "edited": false`...)
+	} else {
+		buf = append(buf, `, "edited": `...)
+		buf = appendInt(buf, created+int64(r.Intn(10000)))
+	}
+	// distinguished: absent, null or a string.
+	switch r.Intn(10) {
+	case 0:
+		buf = append(buf, `, "distinguished": "moderator"`...)
+	case 1:
+		buf = append(buf, `, "distinguished": null`...)
+	}
+	// score_hidden appears from 2013 on.
+	if year >= 2013 {
+		if r.Intn(2) == 0 {
+			buf = append(buf, `, "score_hidden": true`...)
+		} else {
+			buf = append(buf, `, "score_hidden": false`...)
+		}
+	}
+	// gildings: number in early years, object later (schema drift).
+	if year >= 2014 {
+		buf = append(buf, `, "gildings": {"gid_1": `...)
+		buf = appendInt(buf, int64(r.Intn(3)))
+		buf = append(buf, `, "gid_2": `...)
+		buf = appendInt(buf, int64(r.Intn(2)))
+		buf = append(buf, `}`...)
+	} else if r.Intn(4) == 0 {
+		buf = append(buf, `, "gildings": `...)
+		buf = appendInt(buf, int64(r.Intn(3)))
+	}
+	// media: occasionally a nested object.
+	if r.Intn(20) == 0 {
+		buf = append(buf, `, "media": {"type": "image", "dims": [`...)
+		buf = appendInt(buf, int64(100+r.Intn(1900)))
+		buf = append(buf, `, `...)
+		buf = appendInt(buf, int64(100+r.Intn(1000)))
+		buf = append(buf, `]}`...)
+	}
+	buf = append(buf, `, "controversiality": `...)
+	buf = appendInt(buf, int64(r.Intn(2)))
+	buf = append(buf, '}')
+	return buf
+}
+
+func appendInt(buf []byte, v int64) []byte {
+	return fmt.Appendf(buf, "%d", v)
+}
+
+func appendBase36(buf []byte, v int64) []byte {
+	const digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+	if v == 0 {
+		return append(buf, '0')
+	}
+	var tmp [16]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = digits[v%36]
+		v /= 36
+	}
+	return append(buf, tmp[i:]...)
+}
+
+// Generator is a seeded record source.
+type Generator interface {
+	Next() []byte
+}
+
+// WriteDataset writes n records from gen to dir as numParts part files.
+func WriteDataset(dir string, gen Generator, n, numParts int) error {
+	if numParts <= 0 {
+		numParts = 1
+	}
+	w, err := dfs.NewWriter(dir)
+	if err != nil {
+		return err
+	}
+	perPart := n / numParts
+	extra := n % numParts
+	for p := 0; p < numParts; p++ {
+		pw, err := w.Part(p)
+		if err != nil {
+			return err
+		}
+		count := perPart
+		if p < extra {
+			count++
+		}
+		for i := 0; i < count; i++ {
+			if err := pw.WriteLine(gen.Next()); err != nil {
+				pw.Close()
+				return err
+			}
+		}
+		if err := pw.Close(); err != nil {
+			return err
+		}
+	}
+	return w.Commit()
+}

@@ -1,0 +1,145 @@
+package datagen
+
+import (
+	"path/filepath"
+	"testing"
+
+	"rumble/internal/dfs"
+	"rumble/internal/item"
+	"rumble/internal/jparse"
+)
+
+func TestConfusionRecordsParse(t *testing.T) {
+	g := NewConfusionGenerator(1)
+	for i := 0; i < 1000; i++ {
+		line := g.Next()
+		it, err := jparse.Parse(line)
+		if err != nil {
+			t.Fatalf("record %d invalid: %v\n%s", i, err, line)
+		}
+		obj := it.(*item.Object)
+		for _, field := range []string{"guess", "target", "country", "choices", "sample", "date"} {
+			if _, ok := obj.Get(field); !ok {
+				t.Fatalf("record %d missing %q", i, field)
+			}
+		}
+		choices, _ := obj.Get("choices")
+		if choices.Kind() != item.KindArray {
+			t.Fatalf("choices is %s", choices.Kind())
+		}
+	}
+}
+
+func TestConfusionAccuracyRate(t *testing.T) {
+	g := NewConfusionGenerator(7)
+	correct := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		it, err := jparse.Parse(g.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj := it.(*item.Object)
+		guess, _ := obj.Get("guess")
+		target, _ := obj.Get("target")
+		if item.DeepEqual(guess, target) {
+			correct++
+		}
+	}
+	rate := float64(correct) / n
+	if rate < 0.70 || rate > 0.78 {
+		t.Errorf("accuracy rate = %.3f, want ~0.72-0.74", rate)
+	}
+}
+
+func TestConfusionDeterministic(t *testing.T) {
+	a, b := NewConfusionGenerator(42), NewConfusionGenerator(42)
+	for i := 0; i < 100; i++ {
+		if string(a.Next()) != string(b.Next()) {
+			t.Fatal("same seed should produce identical records")
+		}
+	}
+	c := NewConfusionGenerator(43)
+	same := 0
+	a2 := NewConfusionGenerator(42)
+	for i := 0; i < 100; i++ {
+		if string(a2.Next()) == string(c.Next()) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("different seeds produced %d/100 identical records", same)
+	}
+}
+
+func TestRedditRecordsParseAndDrift(t *testing.T) {
+	g := NewRedditGenerator(3)
+	editedBool, editedNum := 0, 0
+	gildingsNum, gildingsObj := 0, 0
+	hasMedia := 0
+	for i := 0; i < 5000; i++ {
+		line := g.Next()
+		it, err := jparse.Parse(line)
+		if err != nil {
+			t.Fatalf("record %d invalid: %v\n%s", i, err, line)
+		}
+		obj := it.(*item.Object)
+		if v, ok := obj.Get("edited"); ok {
+			switch v.Kind() {
+			case item.KindBoolean:
+				editedBool++
+			case item.KindInteger:
+				editedNum++
+			}
+		}
+		if v, ok := obj.Get("gildings"); ok {
+			switch v.Kind() {
+			case item.KindInteger:
+				gildingsNum++
+			case item.KindObject:
+				gildingsObj++
+			}
+		}
+		if _, ok := obj.Get("media"); ok {
+			hasMedia++
+		}
+	}
+	if editedBool == 0 || editedNum == 0 {
+		t.Error("edited should be heterogeneous (bool and timestamp)")
+	}
+	if gildingsNum == 0 || gildingsObj == 0 {
+		t.Error("gildings should drift between number and object")
+	}
+	if hasMedia == 0 {
+		t.Error("some records should carry nested media objects")
+	}
+}
+
+func TestWriteDataset(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "confusion")
+	if err := WriteDataset(dir, NewConfusionGenerator(1), 250, 4); err != nil {
+		t.Fatal(err)
+	}
+	splits, err := dfs.ListSplits(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 4 {
+		t.Fatalf("%d splits, want 4 parts", len(splits))
+	}
+	total := 0
+	for _, s := range splits {
+		if err := dfs.ReadLines(s, nil, func(line []byte) error {
+			if _, err := jparse.Parse(line); err != nil {
+				return err
+			}
+			total++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != 250 {
+		t.Errorf("read %d records, want 250", total)
+	}
+}

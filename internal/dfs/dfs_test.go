@@ -1,0 +1,183 @@
+package dfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTempFile(t *testing.T, content string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.jsonl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func collectSplit(t *testing.T, s Split) []string {
+	t.Helper()
+	var lines []string
+	if err := ReadLines(s, nil, func(line []byte) error {
+		lines = append(lines, string(line))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+func TestSingleSplitReadsAllLines(t *testing.T) {
+	path := writeTempFile(t, "one\ntwo\nthree\n")
+	splits, err := ListSplits(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 1 {
+		t.Fatalf("%d splits", len(splits))
+	}
+	lines := collectSplit(t, splits[0])
+	if strings.Join(lines, ",") != "one,two,three" {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestNoTrailingNewline(t *testing.T) {
+	path := writeTempFile(t, "a\nb")
+	splits, _ := ListSplits(path, 0)
+	lines := collectSplit(t, splits[0])
+	if strings.Join(lines, ",") != "a,b" {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestCRLFHandling(t *testing.T) {
+	path := writeTempFile(t, "a\r\nb\r\n")
+	splits, _ := ListSplits(path, 0)
+	lines := collectSplit(t, splits[0])
+	if strings.Join(lines, ",") != "a,b" {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestSplitBoundariesExactlyOnce(t *testing.T) {
+	// Many lines, tiny splits: every line must appear exactly once no
+	// matter where the split boundaries fall.
+	var sb strings.Builder
+	const n = 500
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, `{"id": %d, "pad": "%s"}`+"\n", i, strings.Repeat("x", i%37))
+	}
+	path := writeTempFile(t, sb.String())
+	for _, splitSize := range []int64{64, 256, 1000, 1 << 20} {
+		splits, err := ListSplits(path, splitSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]int{}
+		total := 0
+		for _, s := range splits {
+			for _, line := range collectSplit(t, s) {
+				seen[line]++
+				total++
+			}
+		}
+		if total != n {
+			t.Fatalf("splitSize %d: %d lines total, want %d", splitSize, total, n)
+		}
+		for line, count := range seen {
+			if count != 1 {
+				t.Fatalf("splitSize %d: line %q seen %d times", splitSize, line, count)
+			}
+		}
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	path := writeTempFile(t, "")
+	splits, err := ListSplits(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 1 {
+		t.Fatalf("%d splits for empty file", len(splits))
+	}
+	if lines := collectSplit(t, splits[0]); len(lines) != 0 {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestBlankLinesSkipped(t *testing.T) {
+	path := writeTempFile(t, "a\n\n\nb\n")
+	splits, _ := ListSplits(path, 0)
+	lines := collectSplit(t, splits[0])
+	if strings.Join(lines, ",") != "a,b" {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestDirectoryOfPartFiles(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		pw, err := w.Part(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if err := pw.WriteLine([]byte(fmt.Sprintf("p%d-%d", p, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := pw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	splits, err := ListSplits(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 3 {
+		t.Fatalf("%d splits, want 3 (the _SUCCESS marker must be skipped)", len(splits))
+	}
+	total := 0
+	for _, s := range splits {
+		total += len(collectSplit(t, s))
+	}
+	if total != 12 {
+		t.Errorf("read %d lines, want 12", total)
+	}
+}
+
+func TestListSplitsMissingPath(t *testing.T) {
+	if _, err := ListSplits("/definitely/not/here", 0); err == nil {
+		t.Error("missing path should error")
+	}
+}
+
+func TestBlockObserverCalled(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 5000; i++ {
+		sb.WriteString(strings.Repeat("y", 100))
+		sb.WriteByte('\n')
+	}
+	path := writeTempFile(t, sb.String())
+	splits, _ := ListSplits(path, 1<<30)
+	blocks := 0
+	if err := ReadLines(splits[0], func(n int) { blocks += n }, func([]byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	wantAtLeast := (5000 * 101) / BlockSize
+	if blocks < wantAtLeast-1 {
+		t.Errorf("observer saw %d blocks, want about %d", blocks, wantAtLeast)
+	}
+}

@@ -1,0 +1,161 @@
+package functions
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rumble/internal/item"
+)
+
+func TestCodepointRoundTrip(t *testing.T) {
+	out := call(t, "string-to-codepoints", seq(item.Str("héB")))
+	if len(out) != 3 || int64(out[0].(item.Int)) != 'h' || int64(out[1].(item.Int)) != 'é' {
+		t.Errorf("codepoints = %v", out)
+	}
+	back := call(t, "codepoints-to-string", out)
+	if string(back[0].(item.Str)) != "héB" {
+		t.Errorf("round trip = %q", back[0])
+	}
+	if callErr(t, "codepoints-to-string", seq(item.Int(-1))) == nil {
+		t.Error("negative codepoint should error")
+	}
+}
+
+// Property: codepoints-to-string(string-to-codepoints(s)) == s for valid
+// UTF-8 inputs.
+func TestCodepointRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		cp, _ := Lookup("string-to-codepoints")
+		cps, err := cp.Call([][]item.Item{{item.Str(s)}})
+		if err != nil {
+			return false
+		}
+		back, _ := Lookup("codepoints-to-string")
+		out, err := back.Call([][]item.Item{cps})
+		if err != nil {
+			return false
+		}
+		// Invalid UTF-8 normalizes; compare through the rune view.
+		return string(out[0].(item.Str)) == string([]rune(s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	out := call(t, "translate", seq(item.Str("bare")), seq(item.Str("abr")), seq(item.Str("AB")))
+	// a->A, b->B, r dropped (no target)
+	if string(out[0].(item.Str)) != "BAe" {
+		t.Errorf("translate = %q", out[0])
+	}
+}
+
+func TestPadding(t *testing.T) {
+	if out := call(t, "pad-left", seq(item.Str("7")), seq(item.Int(3)), seq(item.Str("0"))); string(out[0].(item.Str)) != "007" {
+		t.Errorf("pad-left = %q", out[0])
+	}
+	if out := call(t, "pad-right", seq(item.Str("ab")), seq(item.Int(5))); string(out[0].(item.Str)) != "ab   " {
+		t.Errorf("pad-right = %q", out[0])
+	}
+	if out := call(t, "pad-left", seq(item.Str("long")), seq(item.Int(2))); string(out[0].(item.Str)) != "long" {
+		t.Errorf("pad shorter than input = %q", out[0])
+	}
+	if callErr(t, "pad-left", seq(item.Str("x")), seq(item.Int(5)), seq(item.Str(""))) == nil {
+		t.Error("empty fill should error")
+	}
+	if out := call(t, "repeat-string", seq(item.Str("ab")), seq(item.Int(3))); string(out[0].(item.Str)) != "ababab" {
+		t.Errorf("repeat-string = %q", out[0])
+	}
+	if out := call(t, "trim", seq(item.Str("  x "))); string(out[0].(item.Str)) != "x" {
+		t.Errorf("trim = %q", out[0])
+	}
+}
+
+func TestEncodings(t *testing.T) {
+	enc := call(t, "hex-encode", seq(item.Str("AB")))
+	if string(enc[0].(item.Str)) != "4142" {
+		t.Errorf("hex-encode = %q", enc[0])
+	}
+	dec := call(t, "hex-decode", enc)
+	if string(dec[0].(item.Str)) != "AB" {
+		t.Errorf("hex-decode = %q", dec[0])
+	}
+	if callErr(t, "hex-decode", seq(item.Str("zz"))) == nil {
+		t.Error("invalid hex should error")
+	}
+	b64 := call(t, "base64-encode", seq(item.Str("hello")))
+	if string(b64[0].(item.Str)) != "aGVsbG8=" {
+		t.Errorf("base64-encode = %q", b64[0])
+	}
+	back := call(t, "base64-decode", b64)
+	if string(back[0].(item.Str)) != "hello" {
+		t.Errorf("base64-decode = %q", back[0])
+	}
+}
+
+func TestMathFunctions(t *testing.T) {
+	if out := call(t, "exp", seq(item.Int(0))); float64(out[0].(item.Double)) != 1 {
+		t.Errorf("exp(0) = %v", out[0])
+	}
+	if out := call(t, "log10", seq(item.Int(1000))); float64(out[0].(item.Double)) != 3 {
+		t.Errorf("log10(1000) = %v", out[0])
+	}
+	pi := call(t, "pi")
+	if float64(pi[0].(item.Double)) < 3.14 || float64(pi[0].(item.Double)) > 3.15 {
+		t.Errorf("pi = %v", pi[0])
+	}
+	// banker's rounding
+	if out := call(t, "round-half-to-even", seq(item.Double(2.5))); float64(out[0].(item.Double)) != 2 {
+		t.Errorf("round-half-to-even(2.5) = %v", out[0])
+	}
+	if out := call(t, "round-half-to-even", seq(item.Double(3.5))); float64(out[0].(item.Double)) != 4 {
+		t.Errorf("round-half-to-even(3.5) = %v", out[0])
+	}
+	out := call(t, "round-half-to-even", seq(item.Double(2.345)), seq(item.Int(2)))
+	if v := float64(out[0].(item.Double)); v < 2.33 || v > 2.35 {
+		t.Errorf("round-half-to-even(2.345, 2) = %v", v)
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a := seq(item.Int(1), item.Int(2), item.Int(3), item.Int(2))
+	b := seq(item.Int(2), item.Int(4))
+	inter := call(t, "intersect", a, b)
+	if len(inter) != 1 || int64(inter[0].(item.Int)) != 2 {
+		t.Errorf("intersect = %v", inter)
+	}
+	exc := call(t, "except", a, b)
+	if len(exc) != 2 || int64(exc[0].(item.Int)) != 1 || int64(exc[1].(item.Int)) != 3 {
+		t.Errorf("except = %v", exc)
+	}
+	uni := call(t, "union-values", a, b)
+	if len(uni) != 4 {
+		t.Errorf("union-values = %v", uni)
+	}
+}
+
+// Property: intersect(a, b) + except(a, b) covers distinct-values(a).
+func TestIntersectExceptPartition(t *testing.T) {
+	f := func(xs, ys []int8) bool {
+		a := make([]item.Item, len(xs))
+		for i, x := range xs {
+			a[i] = item.Int(int64(x))
+		}
+		b := make([]item.Item, len(ys))
+		for i, y := range ys {
+			b[i] = item.Int(int64(y))
+		}
+		inter, _ := Lookup("intersect")
+		exc, _ := Lookup("except")
+		i1, err1 := inter.Call([][]item.Item{a, b})
+		e1, err2 := exc.Call([][]item.Item{a, b})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return len(i1)+len(e1) == len(DistinctValues(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,348 @@
+package functions
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rumble/internal/item"
+)
+
+func call(t *testing.T, name string, args ...[]item.Item) []item.Item {
+	t.Helper()
+	f, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("function %s not registered", name)
+	}
+	out, err := f.Call(args)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return out
+}
+
+func callErr(t *testing.T, name string, args ...[]item.Item) error {
+	t.Helper()
+	f, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("function %s not registered", name)
+	}
+	_, err := f.Call(args)
+	return err
+}
+
+func seq(items ...item.Item) []item.Item { return items }
+
+func TestRegistryComplete(t *testing.T) {
+	required := []string{
+		"count", "sum", "avg", "min", "max", "empty", "exists", "head",
+		"tail", "reverse", "subsequence", "distinct-values", "index-of",
+		"insert-before", "remove", "exactly-one", "zero-or-one",
+		"one-or-more", "string", "string-length", "concat", "string-join",
+		"substring", "upper-case", "lower-case", "normalize-space",
+		"contains", "starts-with", "ends-with", "substring-before",
+		"substring-after", "tokenize", "matches", "replace", "abs",
+		"floor", "ceiling", "round", "sqrt", "pow", "number", "keys",
+		"values", "members", "size", "flatten", "project", "remove-keys",
+		"object-merge", "json-doc", "parse-json", "serialize", "boolean",
+		"not", "error", "null", "is-null",
+	}
+	for _, name := range required {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("builtin %s missing from registry", name)
+		}
+	}
+	if len(Names()) < len(required) {
+		t.Errorf("registry has %d functions, expected at least %d", len(Names()), len(required))
+	}
+}
+
+func TestArityMetadata(t *testing.T) {
+	f, _ := Lookup("substring")
+	if f.MinArgs != 2 || f.MaxArgs != 3 {
+		t.Errorf("substring arity = [%d,%d]", f.MinArgs, f.MaxArgs)
+	}
+	c, _ := Lookup("concat")
+	if c.MaxArgs != -1 {
+		t.Errorf("concat should be variadic, MaxArgs=%d", c.MaxArgs)
+	}
+}
+
+func TestSumPromotion(t *testing.T) {
+	out := call(t, "sum", seq(item.Int(1), item.Int(2), item.Double(0.5)))
+	if out[0].Kind() != item.KindDouble || float64(out[0].(item.Double)) != 3.5 {
+		t.Errorf("sum = %v (%s)", out[0], out[0].Kind())
+	}
+	// empty sum with default
+	out = call(t, "sum", nil, seq(item.Str("zero")))
+	if string(out[0].(item.Str)) != "zero" {
+		t.Errorf("sum((), 'zero') = %v", out[0])
+	}
+	// empty sum without default is 0
+	out = call(t, "sum", nil)
+	if int64(out[0].(item.Int)) != 0 {
+		t.Errorf("sum(()) = %v", out[0])
+	}
+	if callErr(t, "sum", seq(item.Int(1), item.Str("x"))) == nil {
+		t.Error("sum over mixed types should error")
+	}
+}
+
+func TestMinMaxComparable(t *testing.T) {
+	out := call(t, "min", seq(item.Int(3), item.Double(1.5), item.Int(2)))
+	if float64(out[0].(item.Double)) != 1.5 {
+		t.Errorf("min = %v", out[0])
+	}
+	if callErr(t, "min", seq(item.Int(1), item.Str("a"))) == nil {
+		t.Error("min over incomparable types should error")
+	}
+	if out := call(t, "max", nil); len(out) != 0 {
+		t.Errorf("max(()) = %v, want empty", out)
+	}
+}
+
+func TestAvgExactness(t *testing.T) {
+	out := call(t, "avg", seq(item.Int(1), item.Int(2)))
+	if out[0].String() != "1.5" {
+		t.Errorf("avg(1,2) = %s", out[0])
+	}
+}
+
+func TestDistinctValuesCrossNumeric(t *testing.T) {
+	out := DistinctValues(seq(item.Int(2), item.Double(2.0), item.Str("2"), item.Int(2)))
+	if len(out) != 2 {
+		t.Fatalf("distinct = %v", out)
+	}
+	if out[0].Kind() != item.KindInteger || out[1].Kind() != item.KindString {
+		t.Errorf("distinct kept %s, %s", out[0].Kind(), out[1].Kind())
+	}
+}
+
+func TestCardinalityFunctions(t *testing.T) {
+	if callErr(t, "exactly-one", seq(item.Int(1), item.Int(2))) == nil {
+		t.Error("exactly-one of 2 should error")
+	}
+	if callErr(t, "zero-or-one", seq(item.Int(1), item.Int(2))) == nil {
+		t.Error("zero-or-one of 2 should error")
+	}
+	if callErr(t, "one-or-more", nil) == nil {
+		t.Error("one-or-more of 0 should error")
+	}
+	if out := call(t, "exactly-one", seq(item.Int(7))); int64(out[0].(item.Int)) != 7 {
+		t.Error("exactly-one identity broken")
+	}
+}
+
+func TestSubsequenceEdgeCases(t *testing.T) {
+	s := seq(item.Int(1), item.Int(2), item.Int(3), item.Int(4))
+	if out := call(t, "subsequence", s, seq(item.Int(0))); len(out) != 4 {
+		t.Errorf("subsequence from 0 = %v", out)
+	}
+	if out := call(t, "subsequence", s, seq(item.Int(3))); len(out) != 2 {
+		t.Errorf("subsequence from 3 = %v", out)
+	}
+	if out := call(t, "subsequence", s, seq(item.Double(2.4)), seq(item.Int(2))); len(out) != 2 {
+		t.Errorf("subsequence rounds start: %v", out)
+	}
+	if out := call(t, "subsequence", s, seq(item.Int(10))); len(out) != 0 {
+		t.Errorf("out-of-range subsequence = %v", out)
+	}
+}
+
+func TestStringFunctionsUnicode(t *testing.T) {
+	out := call(t, "substring", seq(item.Str("héllo")), seq(item.Int(2)), seq(item.Int(2)))
+	if string(out[0].(item.Str)) != "él" {
+		t.Errorf("substring over runes = %q", out[0])
+	}
+	out = call(t, "string-length", seq(item.Str("😀x")))
+	if int64(out[0].(item.Int)) != 2 {
+		t.Errorf("string-length = %v", out[0])
+	}
+}
+
+func TestEmptyStringConvention(t *testing.T) {
+	// XPath convention: the empty sequence behaves as "" for string args.
+	out := call(t, "string-length", nil)
+	if int64(out[0].(item.Int)) != 0 {
+		t.Errorf("string-length(()) = %v", out[0])
+	}
+	out = call(t, "contains", nil, seq(item.Str("")))
+	if !bool(out[0].(item.Bool)) {
+		t.Errorf(`contains((), "") = %v`, out[0])
+	}
+}
+
+func TestRegexFunctions(t *testing.T) {
+	if callErr(t, "matches", seq(item.Str("x")), seq(item.Str("["))) == nil {
+		t.Error("invalid regex should error")
+	}
+	out := call(t, "replace", seq(item.Str("a1b2")), seq(item.Str("[0-9]")), seq(item.Str("#")))
+	if string(out[0].(item.Str)) != "a#b#" {
+		t.Errorf("replace = %v", out[0])
+	}
+	out = call(t, "tokenize", seq(item.Str("a1b22c")), seq(item.Str("[0-9]+")))
+	if len(out) != 3 {
+		t.Errorf("tokenize = %v", out)
+	}
+}
+
+func TestObjectFunctions(t *testing.T) {
+	o := item.NewObject([]string{"a", "b", "c"}, []item.Item{item.Int(1), item.Int(2), item.Int(3)})
+	out := call(t, "project", seq(o), seq(item.Str("a"), item.Str("c")))
+	proj := out[0].(*item.Object)
+	if proj.Len() != 2 {
+		t.Errorf("project kept %d keys", proj.Len())
+	}
+	if _, ok := proj.Get("b"); ok {
+		t.Error("project kept dropped key")
+	}
+	out = call(t, "remove-keys", seq(o), seq(item.Str("b")))
+	rem := out[0].(*item.Object)
+	if _, ok := rem.Get("b"); ok || rem.Len() != 2 {
+		t.Errorf("remove-keys = %v", rem)
+	}
+	o2 := item.NewObject([]string{"c", "d"}, []item.Item{item.Int(9), item.Int(4)})
+	out = call(t, "object-merge", seq(o, o2))
+	merged := out[0].(*item.Object)
+	if merged.Len() != 4 {
+		t.Errorf("merged has %d keys", merged.Len())
+	}
+	if v, _ := merged.Get("c"); int64(v.(item.Int)) != 3 {
+		t.Errorf("merge should keep first occurrence, c=%v", v)
+	}
+	// keys over multiple objects dedups
+	out = call(t, "keys", seq(o, o2))
+	if len(out) != 4 {
+		t.Errorf("keys over 2 objects = %v", out)
+	}
+}
+
+func TestFlattenDeep(t *testing.T) {
+	deep := item.NewArray(seq(item.Int(1), item.NewArray(seq(item.NewArray(seq(item.Int(2))), item.Int(3)))))
+	out := call(t, "flatten", seq(deep))
+	if len(out) != 3 {
+		t.Fatalf("flatten = %v", out)
+	}
+	for i, want := range []int64{1, 2, 3} {
+		if int64(out[i].(item.Int)) != want {
+			t.Errorf("flatten[%d] = %v", i, out[i])
+		}
+	}
+}
+
+func TestJSONDocRejectsInvalid(t *testing.T) {
+	if callErr(t, "json-doc", seq(item.Str("{broken"))) == nil {
+		t.Error("json-doc on invalid JSON should error")
+	}
+}
+
+func TestNumberFunction(t *testing.T) {
+	out := call(t, "number", seq(item.Str("not-a-number")))
+	if !math.IsNaN(float64(out[0].(item.Double))) {
+		t.Errorf("number of garbage = %v, want NaN", out[0])
+	}
+	out = call(t, "number", nil)
+	if !math.IsNaN(float64(out[0].(item.Double))) {
+		t.Errorf("number(()) = %v, want NaN", out[0])
+	}
+	out = call(t, "number", seq(item.Bool(true)))
+	if float64(out[0].(item.Double)) != 1 {
+		t.Errorf("number(true) = %v", out[0])
+	}
+}
+
+func TestRoundingPreservesIntegers(t *testing.T) {
+	out := call(t, "floor", seq(item.Int(5)))
+	if out[0].Kind() != item.KindInteger {
+		t.Errorf("floor(int) kind = %s", out[0].Kind())
+	}
+	out = call(t, "round", seq(item.Double(2.5)))
+	if out[0].Kind() != item.KindDouble || float64(out[0].(item.Double)) != 3 {
+		t.Errorf("round(2.5) = %v (%s)", out[0], out[0].Kind())
+	}
+}
+
+func TestErrorFunction(t *testing.T) {
+	err := callErr(t, "error", seq(item.Str("custom message")))
+	if err == nil || !strings.Contains(err.Error(), "custom message") {
+		t.Errorf("error() = %v", err)
+	}
+	if callErr(t, "error") == nil {
+		t.Error("error with no args should still error")
+	}
+}
+
+// Property: reverse(reverse(s)) == s.
+func TestReverseInvolution(t *testing.T) {
+	f := func(xs []int16) bool {
+		s := make([]item.Item, len(xs))
+		for i, x := range xs {
+			s[i] = item.Int(int64(x))
+		}
+		r, _ := Lookup("reverse")
+		once, err := r.Call([][]item.Item{s})
+		if err != nil {
+			return false
+		}
+		twice, err := r.Call([][]item.Item{once})
+		if err != nil || len(twice) != len(s) {
+			return false
+		}
+		for i := range s {
+			if !item.DeepEqual(s[i], twice[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct-values is idempotent and order-preserving on first
+// occurrences.
+func TestDistinctIdempotent(t *testing.T) {
+	f := func(xs []int8) bool {
+		s := make([]item.Item, len(xs))
+		for i, x := range xs {
+			s[i] = item.Int(int64(x))
+		}
+		once := DistinctValues(s)
+		twice := DistinctValues(once)
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if !item.DeepEqual(once[i], twice[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: head + tail recompose the sequence.
+func TestHeadTailRecompose(t *testing.T) {
+	f := func(xs []int16) bool {
+		s := make([]item.Item, len(xs))
+		for i, x := range xs {
+			s[i] = item.Int(int64(x))
+		}
+		h, _ := Lookup("head")
+		tl, _ := Lookup("tail")
+		hs, err1 := h.Call([][]item.Item{s})
+		ts, err2 := tl.Call([][]item.Item{s})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return len(hs)+len(ts) == len(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,234 @@
+package item
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// ArithOp names a binary arithmetic operator.
+type ArithOp int
+
+// The JSONiq arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv  // div: integer operands promote to decimal
+	OpIDiv // idiv: integer division
+	OpMod
+)
+
+// String returns the JSONiq spelling of the operator.
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "div"
+	case OpIDiv:
+		return "idiv"
+	case OpMod:
+		return "mod"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+// Arithmetic applies op to two numeric items with JSONiq type promotion:
+// double if either operand is a double, else decimal if either is a decimal
+// (and always for div on non-doubles), else integer.
+func Arithmetic(op ArithOp, a, b Item) (Item, error) {
+	if !IsNumeric(a) || !IsNumeric(b) {
+		return nil, fmt.Errorf("arithmetic %s requires numeric operands, got %s and %s", op, a.Kind(), b.Kind())
+	}
+	if a.Kind() == KindDouble || b.Kind() == KindDouble {
+		return doubleArith(op, Float64Value(a), Float64Value(b))
+	}
+	if op == OpIDiv {
+		return intDivide(a, b)
+	}
+	if a.Kind() == KindDecimal || b.Kind() == KindDecimal || op == OpDiv {
+		return decimalArith(op, ratValue(a), ratValue(b))
+	}
+	return intArith(op, int64(a.(Int)), int64(b.(Int)))
+}
+
+func intArith(op ArithOp, a, b int64) (Item, error) {
+	switch op {
+	case OpAdd:
+		if r, ok := addOverflows(a, b); ok {
+			return decimalArith(op, new(big.Rat).SetInt64(a), new(big.Rat).SetInt64(b))
+		} else {
+			return Int(r), nil
+		}
+	case OpSub:
+		if r, ok := addOverflows(a, -b); ok && b != math.MinInt64 {
+			return decimalArith(op, new(big.Rat).SetInt64(a), new(big.Rat).SetInt64(b))
+		} else if b == math.MinInt64 {
+			return decimalArith(op, new(big.Rat).SetInt64(a), new(big.Rat).SetInt64(b))
+		} else {
+			return Int(r), nil
+		}
+	case OpMul:
+		if a != 0 {
+			r := a * b
+			if r/a != b {
+				return decimalArith(op, new(big.Rat).SetInt64(a), new(big.Rat).SetInt64(b))
+			}
+			return Int(r), nil
+		}
+		return Int(0), nil
+	case OpMod:
+		if b == 0 {
+			return nil, fmt.Errorf("modulo by zero")
+		}
+		return Int(a % b), nil
+	default:
+		return nil, fmt.Errorf("integer arithmetic: unsupported operator %s", op)
+	}
+}
+
+// addOverflows returns a+b and whether the addition overflowed.
+func addOverflows(a, b int64) (int64, bool) {
+	r := a + b
+	return r, (b > 0 && r < a) || (b < 0 && r > a)
+}
+
+func intDivide(a, b Item) (Item, error) {
+	if a.Kind() == KindDecimal || b.Kind() == KindDecimal {
+		ra, rb := ratValue(a), ratValue(b)
+		if rb.Sign() == 0 {
+			return nil, fmt.Errorf("integer division by zero")
+		}
+		q := new(big.Rat).Quo(ra, rb)
+		z := new(big.Int).Quo(q.Num(), q.Denom())
+		if !z.IsInt64() {
+			return nil, fmt.Errorf("idiv result out of int64 range")
+		}
+		return Int(z.Int64()), nil
+	}
+	ia, ib := int64(a.(Int)), int64(b.(Int))
+	if ib == 0 {
+		return nil, fmt.Errorf("integer division by zero")
+	}
+	return Int(ia / ib), nil
+}
+
+func decimalArith(op ArithOp, a, b *big.Rat) (Item, error) {
+	r := new(big.Rat)
+	switch op {
+	case OpAdd:
+		r.Add(a, b)
+	case OpSub:
+		r.Sub(a, b)
+	case OpMul:
+		r.Mul(a, b)
+	case OpDiv:
+		if b.Sign() == 0 {
+			return nil, fmt.Errorf("division by zero")
+		}
+		r.Quo(a, b)
+	case OpMod:
+		if b.Sign() == 0 {
+			return nil, fmt.Errorf("modulo by zero")
+		}
+		// a mod b = a - b * trunc(a/b), matching Go's % for integers.
+		q := new(big.Rat).Quo(a, b)
+		t := new(big.Int).Quo(q.Num(), q.Denom())
+		r.Sub(a, new(big.Rat).Mul(b, new(big.Rat).SetInt(t)))
+	default:
+		return nil, fmt.Errorf("decimal arithmetic: unsupported operator %s", op)
+	}
+	return normalizeDecimal(r), nil
+}
+
+// normalizeDecimal narrows integral rationals that fit an int64 back to Int,
+// keeping the common case allocation-free downstream.
+func normalizeDecimal(r *big.Rat) Item {
+	if r.IsInt() && r.Num().IsInt64() {
+		return Int(r.Num().Int64())
+	}
+	return Dec{rat: r}
+}
+
+func doubleArith(op ArithOp, a, b float64) (Item, error) {
+	switch op {
+	case OpAdd:
+		return Double(a + b), nil
+	case OpSub:
+		return Double(a - b), nil
+	case OpMul:
+		return Double(a * b), nil
+	case OpDiv:
+		return Double(a / b), nil
+	case OpIDiv:
+		if b == 0 {
+			return nil, fmt.Errorf("integer division by zero")
+		}
+		q := math.Trunc(a / b)
+		if math.IsNaN(q) || math.IsInf(q, 0) || math.Abs(q) > math.MaxInt64 {
+			return nil, fmt.Errorf("idiv result out of int64 range")
+		}
+		return Int(int64(q)), nil
+	case OpMod:
+		return Double(math.Mod(a, b)), nil
+	default:
+		return nil, fmt.Errorf("double arithmetic: unsupported operator %s", op)
+	}
+}
+
+// Negate returns the arithmetic negation of a numeric item.
+func Negate(a Item) (Item, error) {
+	switch v := a.(type) {
+	case Int:
+		if int64(v) == math.MinInt64 {
+			return Dec{rat: new(big.Rat).Neg(new(big.Rat).SetInt64(int64(v)))}, nil
+		}
+		return Int(-v), nil
+	case Double:
+		return Double(-v), nil
+	case Dec:
+		return Dec{rat: new(big.Rat).Neg(v.rat)}, nil
+	default:
+		return nil, fmt.Errorf("unary minus requires a numeric operand, got %s", a.Kind())
+	}
+}
+
+// EffectiveBoolean computes the effective boolean value of a sequence:
+// empty is false; a single boolean is itself; a single numeric is false iff
+// zero or NaN; a single string is false iff empty; null is false; a single
+// object or array is true; longer sequences are an error unless the first
+// item is a node-like (object/array), which JSONiq treats as true.
+func EffectiveBoolean(seq []Item) (bool, error) {
+	if len(seq) == 0 {
+		return false, nil
+	}
+	first := seq[0]
+	if len(seq) > 1 {
+		if !IsAtomic(first) {
+			return true, nil
+		}
+		return false, fmt.Errorf("effective boolean value of a sequence of %d atomic items", len(seq))
+	}
+	switch v := first.(type) {
+	case Bool:
+		return bool(v), nil
+	case Null:
+		return false, nil
+	case Str:
+		return v != "", nil
+	case Int:
+		return v != 0, nil
+	case Double:
+		return !(float64(v) == 0 || math.IsNaN(float64(v))), nil
+	case Dec:
+		return v.rat.Sign() != 0, nil
+	default:
+		return true, nil
+	}
+}

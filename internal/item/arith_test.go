@@ -1,0 +1,222 @@
+package item
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func mustArith(t *testing.T, op ArithOp, a, b Item) Item {
+	t.Helper()
+	r, err := Arithmetic(op, a, b)
+	if err != nil {
+		t.Fatalf("Arithmetic(%s, %v, %v): %v", op, a, b, err)
+	}
+	return r
+}
+
+func TestIntegerArithmetic(t *testing.T) {
+	cases := []struct {
+		op   ArithOp
+		a, b int64
+		want string
+	}{
+		{OpAdd, 2, 3, "5"},
+		{OpSub, 2, 5, "-3"},
+		{OpMul, 6, 7, "42"},
+		{OpIDiv, 7, 2, "3"},
+		{OpIDiv, -7, 2, "-3"},
+		{OpMod, 7, 3, "1"},
+		{OpMod, -7, 3, "-1"},
+		{OpDiv, 6, 3, "2"},   // div promotes to decimal, normalized back to int
+		{OpDiv, 1, 2, "0.5"}, // div of integers yields a decimal
+	}
+	for _, c := range cases {
+		got := mustArith(t, c.op, Int(c.a), Int(c.b)).String()
+		if got != c.want {
+			t.Errorf("%d %s %d = %s, want %s", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestArithmeticPromotion(t *testing.T) {
+	// double contaminates
+	r := mustArith(t, OpAdd, Int(1), Double(0.5))
+	if r.Kind() != KindDouble || float64(r.(Double)) != 1.5 {
+		t.Errorf("int+double = %v (%s)", r, r.Kind())
+	}
+	// decimal + int stays exact
+	d := NewDecimal(big.NewRat(1, 3))
+	r = mustArith(t, OpMul, d, Int(3))
+	if r.String() != "1" {
+		t.Errorf("(1/3)*3 = %s, want 1 (exact rational)", r)
+	}
+	// div on integers is decimal, never float
+	r = mustArith(t, OpDiv, Int(1), Int(3))
+	if r.Kind() != KindDecimal {
+		t.Errorf("1 div 3 kind = %s, want decimal", r.Kind())
+	}
+}
+
+func TestIntegerOverflowPromotesToDecimal(t *testing.T) {
+	r := mustArith(t, OpAdd, Int(math.MaxInt64), Int(1))
+	if r.Kind() != KindDecimal {
+		t.Fatalf("MaxInt64+1 kind = %s, want decimal", r.Kind())
+	}
+	if r.String() != "9223372036854775808" {
+		t.Errorf("MaxInt64+1 = %s", r)
+	}
+	r = mustArith(t, OpMul, Int(math.MaxInt64), Int(2))
+	if r.Kind() != KindDecimal {
+		t.Errorf("MaxInt64*2 kind = %s, want decimal", r.Kind())
+	}
+	r = mustArith(t, OpSub, Int(math.MinInt64), Int(1))
+	if r.String() != "-9223372036854775809" {
+		t.Errorf("MinInt64-1 = %s", r)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	for _, op := range []ArithOp{OpDiv, OpIDiv, OpMod} {
+		if _, err := Arithmetic(op, Int(1), Int(0)); err == nil {
+			t.Errorf("1 %s 0 should error", op)
+		}
+	}
+	// double division by zero yields infinity, not an error
+	r := mustArith(t, OpDiv, Double(1), Double(0))
+	if !math.IsInf(float64(r.(Double)), 1) {
+		t.Errorf("1.0 div 0.0 = %v, want +Inf", r)
+	}
+}
+
+func TestArithmeticTypeErrors(t *testing.T) {
+	if _, err := Arithmetic(OpAdd, Str("1"), Int(1)); err == nil {
+		t.Error("string + int should error")
+	}
+	if _, err := Arithmetic(OpAdd, NewArray(nil), Int(1)); err == nil {
+		t.Error("array + int should error")
+	}
+}
+
+func TestNegate(t *testing.T) {
+	if r, _ := Negate(Int(5)); int64(r.(Int)) != -5 {
+		t.Errorf("-(5) = %v", r)
+	}
+	if r, _ := Negate(Double(2.5)); float64(r.(Double)) != -2.5 {
+		t.Errorf("-(2.5) = %v", r)
+	}
+	r, err := Negate(Int(math.MinInt64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != "9223372036854775808" {
+		t.Errorf("-(MinInt64) = %s", r)
+	}
+	if _, err := Negate(Str("x")); err == nil {
+		t.Error("negating a string should error")
+	}
+}
+
+// Property: for safe ranges, a+b-b == a through the item layer.
+func TestAddSubInverse(t *testing.T) {
+	f := func(a, b int32) bool {
+		sum := mustA(OpAdd, Int(int64(a)), Int(int64(b)))
+		back := mustA(OpSub, sum, Int(int64(b)))
+		return DeepEqual(back, Int(int64(a)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: idiv/mod law: a == b*(a idiv b) + (a mod b) for b != 0.
+func TestDivModLaw(t *testing.T) {
+	f := func(a, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		q := mustA(OpIDiv, Int(int64(a)), Int(int64(b)))
+		r := mustA(OpMod, Int(int64(a)), Int(int64(b)))
+		recomposed := mustA(OpAdd, mustA(OpMul, Int(int64(b)), q), r)
+		return DeepEqual(recomposed, Int(int64(a)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decimal arithmetic is exact: (a/b)*(b) == a over rationals.
+func TestDecimalExactness(t *testing.T) {
+	f := func(a int16, b int16) bool {
+		if b == 0 {
+			return true
+		}
+		q := mustA(OpDiv, Int(int64(a)), Int(int64(b)))
+		back := mustA(OpMul, q, Int(int64(b)))
+		return DeepEqual(back, Int(int64(a)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustA(op ArithOp, a, b Item) Item {
+	r, err := Arithmetic(op, a, b)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestCasts(t *testing.T) {
+	if r, _ := CastToInteger(Double(2.9)); int64(r.(Int)) != 2 {
+		t.Errorf("integer(2.9) = %v, want truncation", r)
+	}
+	if r, _ := CastToInteger(Str(" 42 ")); int64(r.(Int)) != 42 {
+		t.Errorf(`integer(" 42 ") = %v`, r)
+	}
+	if _, err := CastToInteger(Str("4.5")); err == nil {
+		t.Error(`integer("4.5") should error`)
+	}
+	if r, _ := CastToDouble(Str("2.5e3")); float64(r.(Double)) != 2500 {
+		t.Errorf(`double("2.5e3") = %v`, r)
+	}
+	if r, _ := CastToBoolean(Str("true")); !bool(r.(Bool)) {
+		t.Errorf(`boolean("true") = %v`, r)
+	}
+	if _, err := CastToBoolean(Str("yes")); err == nil {
+		t.Error(`boolean("yes") should error`)
+	}
+	if s, _ := StringValue(Int(-7)); s != "-7" {
+		t.Errorf("string(-7) = %q", s)
+	}
+	if s, _ := StringValue(Bool(false)); s != "false" {
+		t.Errorf("string(false) = %q", s)
+	}
+	if _, err := StringValue(NewArray(nil)); err == nil {
+		t.Error("string([]) should error")
+	}
+}
+
+func TestCastToAndInstanceOf(t *testing.T) {
+	r, err := CastTo(Str("12"), "integer")
+	if err != nil || int64(r.(Int)) != 12 {
+		t.Errorf("CastTo integer = %v, %v", r, err)
+	}
+	if !Castable(Str("12"), "integer") || Castable(Str("x"), "integer") {
+		t.Error("Castable misreports")
+	}
+	if !InstanceOf(Int(1), "integer") || !InstanceOf(Int(1), "decimal") || !InstanceOf(Int(1), "numeric") {
+		t.Error("integer should be instance of integer/decimal/numeric")
+	}
+	if InstanceOf(Str("x"), "numeric") || !InstanceOf(Str("x"), "atomic") {
+		t.Error("string classification wrong")
+	}
+	if !InstanceOf(NewArray(nil), "array") || !InstanceOf(NewObject(nil, nil), "object") {
+		t.Error("structured classification wrong")
+	}
+	if !InstanceOf(Null{}, "null") || !InstanceOf(Null{}, "item") {
+		t.Error("null classification wrong")
+	}
+}

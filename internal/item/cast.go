@@ -1,0 +1,225 @@
+package item
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"strconv"
+	"strings"
+)
+
+// StringValue casts an atomic item to its string value (the "cast as
+// string" semantics). Objects and arrays cannot be cast.
+func StringValue(it Item) (string, error) {
+	switch v := it.(type) {
+	case Str:
+		return string(v), nil
+	case Int:
+		return strconv.FormatInt(int64(v), 10), nil
+	case Double:
+		return string(appendDouble(nil, float64(v))), nil
+	case Dec:
+		return v.String(), nil
+	case Bool:
+		if v {
+			return "true", nil
+		}
+		return "false", nil
+	case Null:
+		return "null", nil
+	default:
+		return "", fmt.Errorf("cannot cast %s item to string", it.Kind())
+	}
+}
+
+// CastToInteger casts an atomic item to integer: numbers truncate toward
+// zero, strings parse, booleans map to 0/1.
+func CastToInteger(it Item) (Item, error) {
+	switch v := it.(type) {
+	case Int:
+		return v, nil
+	case Double:
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) || math.Abs(f) >= math.MaxInt64 {
+			return nil, fmt.Errorf("cannot cast double %v to integer", f)
+		}
+		return Int(int64(math.Trunc(f))), nil
+	case Dec:
+		r := v.Rat()
+		z := new(big.Int).Quo(r.Num(), r.Denom())
+		if !z.IsInt64() {
+			return nil, fmt.Errorf("decimal %s out of integer range", v)
+		}
+		return Int(z.Int64()), nil
+	case Bool:
+		if v {
+			return Int(1), nil
+		}
+		return Int(0), nil
+	case Str:
+		n, err := strconv.ParseInt(strings.TrimSpace(string(v)), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cannot cast string %q to integer", string(v))
+		}
+		return Int(n), nil
+	default:
+		return nil, fmt.Errorf("cannot cast %s item to integer", it.Kind())
+	}
+}
+
+// CastToDouble casts an atomic item to double.
+func CastToDouble(it Item) (Item, error) {
+	switch v := it.(type) {
+	case Double:
+		return v, nil
+	case Int:
+		return Double(float64(v)), nil
+	case Dec:
+		return Double(v.Float64()), nil
+	case Bool:
+		if v {
+			return Double(1), nil
+		}
+		return Double(0), nil
+	case Str:
+		s := strings.TrimSpace(string(v))
+		switch s {
+		case "NaN":
+			return Double(math.NaN()), nil
+		case "Infinity", "INF":
+			return Double(math.Inf(1)), nil
+		case "-Infinity", "-INF":
+			return Double(math.Inf(-1)), nil
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cannot cast string %q to double", string(v))
+		}
+		return Double(f), nil
+	default:
+		return nil, fmt.Errorf("cannot cast %s item to double", it.Kind())
+	}
+}
+
+// CastToDecimal casts an atomic item to decimal.
+func CastToDecimal(it Item) (Item, error) {
+	switch v := it.(type) {
+	case Dec:
+		return v, nil
+	case Int:
+		return Dec{rat: new(big.Rat).SetInt64(int64(v))}, nil
+	case Double:
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("cannot cast non-finite double to decimal")
+		}
+		r := new(big.Rat)
+		r.SetFloat64(f)
+		return Dec{rat: r}, nil
+	case Bool:
+		if v {
+			return Dec{rat: big.NewRat(1, 1)}, nil
+		}
+		return Dec{rat: big.NewRat(0, 1)}, nil
+	case Str:
+		d, err := DecimalFromString(strings.TrimSpace(string(v)))
+		if err != nil {
+			return nil, fmt.Errorf("cannot cast string %q to decimal", string(v))
+		}
+		return d, nil
+	default:
+		return nil, fmt.Errorf("cannot cast %s item to decimal", it.Kind())
+	}
+}
+
+// CastToBoolean casts an atomic item to boolean: numbers are false iff zero
+// or NaN, strings must spell "true"/"false"/"1"/"0".
+func CastToBoolean(it Item) (Item, error) {
+	switch v := it.(type) {
+	case Bool:
+		return v, nil
+	case Int:
+		return Bool(v != 0), nil
+	case Double:
+		f := float64(v)
+		return Bool(!(f == 0 || math.IsNaN(f))), nil
+	case Dec:
+		return Bool(v.rat.Sign() != 0), nil
+	case Str:
+		switch strings.TrimSpace(string(v)) {
+		case "true", "1":
+			return Bool(true), nil
+		case "false", "0":
+			return Bool(false), nil
+		}
+		return nil, fmt.Errorf("cannot cast string %q to boolean", string(v))
+	default:
+		return nil, fmt.Errorf("cannot cast %s item to boolean", it.Kind())
+	}
+}
+
+// CastTo casts an atomic item to the named core type. Supported targets:
+// string, integer, double, decimal, boolean, null.
+func CastTo(it Item, typeName string) (Item, error) {
+	switch typeName {
+	case "string":
+		s, err := StringValue(it)
+		if err != nil {
+			return nil, err
+		}
+		return Str(s), nil
+	case "integer":
+		return CastToInteger(it)
+	case "double":
+		return CastToDouble(it)
+	case "decimal":
+		return CastToDecimal(it)
+	case "boolean":
+		return CastToBoolean(it)
+	case "null":
+		if it.Kind() == KindNull {
+			return it, nil
+		}
+		return nil, fmt.Errorf("cannot cast %s item to null", it.Kind())
+	default:
+		return nil, fmt.Errorf("unknown type %q in cast", typeName)
+	}
+}
+
+// Castable reports whether the cast of it to typeName would succeed.
+func Castable(it Item, typeName string) bool {
+	_, err := CastTo(it, typeName)
+	return err == nil
+}
+
+// InstanceOf reports whether it is an instance of the named core item type.
+// "numeric" matches any of integer/decimal/double, and "atomic" any atomic.
+func InstanceOf(it Item, typeName string) bool {
+	switch typeName {
+	case "item":
+		return true
+	case "atomic":
+		return IsAtomic(it)
+	case "numeric":
+		return IsNumeric(it)
+	case "string":
+		return it.Kind() == KindString
+	case "integer":
+		return it.Kind() == KindInteger
+	case "decimal":
+		// xs:integer is derived from xs:decimal.
+		return it.Kind() == KindDecimal || it.Kind() == KindInteger
+	case "double":
+		return it.Kind() == KindDouble
+	case "boolean":
+		return it.Kind() == KindBoolean
+	case "null":
+		return it.Kind() == KindNull
+	case "object":
+		return it.Kind() == KindObject
+	case "array":
+		return it.Kind() == KindArray
+	default:
+		return false
+	}
+}

@@ -1,0 +1,281 @@
+package item
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// ErrNonComparable is wrapped by comparison errors for incompatible types.
+var ErrNonComparable = fmt.Errorf("items are not comparable")
+
+// CompareValues compares two atomic items under JSONiq value-comparison
+// semantics and returns -1, 0 or +1. Numeric kinds compare numerically
+// across integer/decimal/double. null compares equal to null and lower than
+// any other atomic. Comparing a string with a number, a boolean with a
+// string, or any non-atomic item is an error.
+func CompareValues(a, b Item) (int, error) {
+	ka, kb := a.Kind(), b.Kind()
+	if ka == KindArray || ka == KindObject || kb == KindArray || kb == KindObject {
+		return 0, fmt.Errorf("%w: %s vs %s", ErrNonComparable, ka, kb)
+	}
+	if ka == KindNull || kb == KindNull {
+		switch {
+		case ka == KindNull && kb == KindNull:
+			return 0, nil
+		case ka == KindNull:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if IsNumeric(a) && IsNumeric(b) {
+		return compareNumeric(a, b), nil
+	}
+	if ka == KindString && kb == KindString {
+		sa, sb := string(a.(Str)), string(b.(Str))
+		switch {
+		case sa < sb:
+			return -1, nil
+		case sa > sb:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if ka == KindBoolean && kb == KindBoolean {
+		ba, bb := bool(a.(Bool)), bool(b.(Bool))
+		switch {
+		case ba == bb:
+			return 0, nil
+		case !ba:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %s vs %s", ErrNonComparable, ka, kb)
+}
+
+func compareNumeric(a, b Item) int {
+	// Promote to the widest representation present. Integer/decimal pairs
+	// compare exactly through big.Rat; any double forces float comparison.
+	if a.Kind() == KindDouble || b.Kind() == KindDouble {
+		fa, fb := Float64Value(a), Float64Value(b)
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.Kind() == KindDecimal || b.Kind() == KindDecimal {
+		return ratValue(a).Cmp(ratValue(b))
+	}
+	ia, ib := int64(a.(Int)), int64(b.(Int))
+	switch {
+	case ia < ib:
+		return -1
+	case ia > ib:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// DeepEqual reports structural equality of two items, as used by
+// deep-equal() and by group-by key equivalence on nested values. Unlike
+// CompareValues it never errors: items of different kinds are unequal
+// (except cross-numeric comparisons, which compare numerically).
+func DeepEqual(a, b Item) bool {
+	if IsNumeric(a) && IsNumeric(b) {
+		return compareNumeric(a, b) == 0
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case KindNull:
+		return true
+	case KindBoolean:
+		return a.(Bool) == b.(Bool)
+	case KindString:
+		return a.(Str) == b.(Str)
+	case KindArray:
+		aa, ab := a.(*Array), b.(*Array)
+		if aa.Len() != ab.Len() {
+			return false
+		}
+		for i := 0; i < aa.Len(); i++ {
+			if !DeepEqual(aa.Member(i), ab.Member(i)) {
+				return false
+			}
+		}
+		return true
+	case KindObject:
+		oa, ob := a.(*Object), b.(*Object)
+		if oa.Len() != ob.Len() {
+			return false
+		}
+		for i, k := range oa.Keys() {
+			v, ok := ob.Get(k)
+			if !ok || !DeepEqual(oa.ValueAt(i), v) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Float64Value returns the numeric value of a numeric item as float64.
+// It panics on non-numeric items; callers must check IsNumeric first.
+func Float64Value(it Item) float64 {
+	switch v := it.(type) {
+	case Int:
+		return float64(v)
+	case Double:
+		return float64(v)
+	case Dec:
+		return v.Float64()
+	default:
+		panic(fmt.Sprintf("item: Float64Value on %s item", it.Kind()))
+	}
+}
+
+func ratValue(it Item) *big.Rat {
+	switch v := it.(type) {
+	case Int:
+		return new(big.Rat).SetInt64(int64(v))
+	case Dec:
+		return v.Rat()
+	case Double:
+		r := new(big.Rat)
+		r.SetFloat64(float64(v))
+		return r
+	default:
+		panic(fmt.Sprintf("item: ratValue on %s item", it.Kind()))
+	}
+}
+
+// Type tags used by the three-column group/sort key encoding of §4.7 of the
+// paper: an integer column carrying the tag, a string column and a double
+// column carrying the value when applicable.
+const (
+	TagEmptyLeast    = 1 // empty sequence, ordered lowest (default)
+	TagNull          = 2
+	TagTrue          = 3
+	TagFalse         = 4
+	TagString        = 5
+	TagNumber        = 6
+	TagEmptyGreatest = 7 // empty sequence when "empty greatest" is in force
+)
+
+// SortKey is the typed encoding of one grouping/ordering variable, matching
+// the DataFrame columns the paper creates (type tag, string value, double
+// value). Rows group and order correctly by comparing (Tag, Str, Num)
+// lexicographically.
+type SortKey struct {
+	Tag int
+	Str string
+	Num float64
+}
+
+// EncodeSortKey encodes the sequence bound to a grouping/ordering variable.
+// The sequence must be empty or hold a single atomic item; group-by
+// tolerates any atomic (heterogeneous keys are legal), which is why the
+// encoding is total over atomics.
+func EncodeSortKey(seq []Item, emptyGreatest bool) (SortKey, error) {
+	if len(seq) == 0 {
+		if emptyGreatest {
+			return SortKey{Tag: TagEmptyGreatest}, nil
+		}
+		return SortKey{Tag: TagEmptyLeast}, nil
+	}
+	if len(seq) > 1 {
+		return SortKey{}, fmt.Errorf("key binds a sequence of %d items; a single atomic is required", len(seq))
+	}
+	it := seq[0]
+	switch it.Kind() {
+	case KindNull:
+		return SortKey{Tag: TagNull}, nil
+	case KindBoolean:
+		if bool(it.(Bool)) {
+			return SortKey{Tag: TagTrue}, nil
+		}
+		return SortKey{Tag: TagFalse}, nil
+	case KindString:
+		return SortKey{Tag: TagString, Str: string(it.(Str))}, nil
+	case KindInteger, KindDecimal, KindDouble:
+		return SortKey{Tag: TagNumber, Num: Float64Value(it)}, nil
+	default:
+		return SortKey{}, fmt.Errorf("key binds a non-atomic %s item", it.Kind())
+	}
+}
+
+// Compare orders two sort keys lexicographically over (Tag, Str, Num).
+func (k SortKey) Compare(o SortKey) int {
+	if k.Tag != o.Tag {
+		if k.Tag < o.Tag {
+			return -1
+		}
+		return 1
+	}
+	if k.Str != o.Str {
+		if k.Str < o.Str {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case k.Num < o.Num:
+		return -1
+	case k.Num > o.Num:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// DecodeSortKey reconstructs the original grouping key item from its typed
+// encoding, as the ARRAY_DISTINCT step of §4.7 does. The boolean result is
+// false for the empty sequence.
+func DecodeSortKey(k SortKey) (Item, bool) {
+	switch k.Tag {
+	case TagEmptyLeast, TagEmptyGreatest:
+		return nil, false
+	case TagNull:
+		return Null{}, true
+	case TagTrue:
+		return Bool(true), true
+	case TagFalse:
+		return Bool(false), true
+	case TagString:
+		return Str(k.Str), true
+	case TagNumber:
+		if k.Num == math.Trunc(k.Num) && math.Abs(k.Num) < 1e15 {
+			return Int(int64(k.Num)), true
+		}
+		return Double(k.Num), true
+	default:
+		return nil, false
+	}
+}
+
+// Hash returns a 64-bit FNV-1a hash of the item's canonical serialization,
+// used by the shuffle's hash partitioner.
+func Hash(it Item) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range it.AppendJSON(nil) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}

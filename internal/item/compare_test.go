@@ -1,0 +1,267 @@
+package item
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func mustCmp(t *testing.T, a, b Item) int {
+	t.Helper()
+	c, err := CompareValues(a, b)
+	if err != nil {
+		t.Fatalf("CompareValues(%v, %v): %v", a, b, err)
+	}
+	return c
+}
+
+func TestCompareNumericCrossType(t *testing.T) {
+	dec := NewDecimal(big.NewRat(5, 2)) // 2.5
+	cases := []struct {
+		a, b Item
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(2), Double(2.0), 0},
+		{Int(2), Double(2.5), -1},
+		{dec, Double(2.5), 0},
+		{dec, Int(2), 1},
+		{dec, Int(3), -1},
+		{Double(-1), dec, -1},
+	}
+	for _, c := range cases {
+		if got := mustCmp(t, c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareStringsBooleans(t *testing.T) {
+	if mustCmp(t, Str("a"), Str("b")) != -1 || mustCmp(t, Str("b"), Str("b")) != 0 {
+		t.Error("string comparison wrong")
+	}
+	if mustCmp(t, Bool(false), Bool(true)) != -1 || mustCmp(t, Bool(true), Bool(true)) != 0 {
+		t.Error("boolean comparison wrong")
+	}
+}
+
+func TestNullComparesLowerThanEverything(t *testing.T) {
+	for _, other := range []Item{Int(-100), Double(-1e300), Str(""), Bool(false)} {
+		if mustCmp(t, Null{}, other) != -1 {
+			t.Errorf("null should compare lower than %v", other)
+		}
+		if mustCmp(t, other, Null{}) != 1 {
+			t.Errorf("%v should compare higher than null", other)
+		}
+	}
+	if mustCmp(t, Null{}, Null{}) != 0 {
+		t.Error("null eq null should hold")
+	}
+}
+
+func TestCompareIncompatibleTypesErrors(t *testing.T) {
+	incompatible := [][2]Item{
+		{Str("1"), Int(1)},
+		{Bool(true), Int(1)},
+		{Str("true"), Bool(true)},
+		{NewArray(nil), Int(1)},
+		{NewObject(nil, nil), NewObject(nil, nil)},
+	}
+	for _, p := range incompatible {
+		if _, err := CompareValues(p[0], p[1]); !errors.Is(err, ErrNonComparable) {
+			t.Errorf("CompareValues(%v, %v) err = %v, want ErrNonComparable", p[0], p[1], err)
+		}
+	}
+}
+
+func TestDeepEqual(t *testing.T) {
+	a1 := NewArray([]Item{Int(1), NewObject([]string{"k"}, []Item{Str("v")})})
+	a2 := NewArray([]Item{Int(1), NewObject([]string{"k"}, []Item{Str("v")})})
+	if !DeepEqual(a1, a2) {
+		t.Error("structurally equal arrays not DeepEqual")
+	}
+	a3 := NewArray([]Item{Int(1), NewObject([]string{"k"}, []Item{Str("w")})})
+	if DeepEqual(a1, a3) {
+		t.Error("different arrays DeepEqual")
+	}
+	if !DeepEqual(Int(2), Double(2.0)) {
+		t.Error("cross-numeric DeepEqual should hold")
+	}
+	if DeepEqual(Str("1"), Int(1)) {
+		t.Error("string vs number should not be DeepEqual")
+	}
+	o1 := NewObject([]string{"a", "b"}, []Item{Int(1), Int(2)})
+	o2 := NewObject([]string{"b", "a"}, []Item{Int(2), Int(1)})
+	if !DeepEqual(o1, o2) {
+		t.Error("objects with same pairs in different order should be DeepEqual")
+	}
+}
+
+func TestEncodeSortKeyTags(t *testing.T) {
+	cases := []struct {
+		seq []Item
+		tag int
+	}{
+		{nil, TagEmptyLeast},
+		{[]Item{Null{}}, TagNull},
+		{[]Item{Bool(true)}, TagTrue},
+		{[]Item{Bool(false)}, TagFalse},
+		{[]Item{Str("x")}, TagString},
+		{[]Item{Int(7)}, TagNumber},
+		{[]Item{Double(7)}, TagNumber},
+	}
+	for _, c := range cases {
+		k, err := EncodeSortKey(c.seq, false)
+		if err != nil {
+			t.Fatalf("EncodeSortKey(%v): %v", c.seq, err)
+		}
+		if k.Tag != c.tag {
+			t.Errorf("EncodeSortKey(%v).Tag = %d, want %d", c.seq, k.Tag, c.tag)
+		}
+	}
+	if k, _ := EncodeSortKey(nil, true); k.Tag != TagEmptyGreatest {
+		t.Error("empty greatest tag not used")
+	}
+}
+
+func TestEncodeSortKeyErrors(t *testing.T) {
+	if _, err := EncodeSortKey([]Item{Int(1), Int(2)}, false); err == nil {
+		t.Error("multi-item key should error")
+	}
+	if _, err := EncodeSortKey([]Item{NewArray(nil)}, false); err == nil {
+		t.Error("array key should error")
+	}
+}
+
+func TestSortKeyOrderMatchesPaperSemantics(t *testing.T) {
+	// empty < null < true < false(?) — per the paper's tag table, true=3 and
+	// false=4, so true sorts before false; strings before numbers.
+	seqs := [][]Item{
+		nil,
+		{Null{}},
+		{Bool(true)},
+		{Bool(false)},
+		{Str("a")},
+		{Str("b")},
+		{Int(1)},
+		{Int(2)},
+	}
+	var prev SortKey
+	for i, s := range seqs {
+		k, err := EncodeSortKey(s, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && prev.Compare(k) != -1 {
+			t.Errorf("key %d (%v) not strictly greater than predecessor", i, s)
+		}
+		prev = k
+	}
+}
+
+func TestDecodeSortKeyRoundTrip(t *testing.T) {
+	inputs := [][]Item{{Null{}}, {Bool(true)}, {Bool(false)}, {Str("s")}, {Int(42)}, {Double(2.5)}}
+	for _, in := range inputs {
+		k, err := EncodeSortKey(in, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, ok := DecodeSortKey(k)
+		if !ok {
+			t.Fatalf("DecodeSortKey(%v) reported empty", in)
+		}
+		if !DeepEqual(in[0], out) {
+			t.Errorf("round trip %v -> %v", in[0], out)
+		}
+	}
+	if _, ok := DecodeSortKey(SortKey{Tag: TagEmptyLeast}); ok {
+		t.Error("empty key decoded to an item")
+	}
+}
+
+// Property: SortKey.Compare is a total preorder consistent with
+// CompareValues on homogeneous numeric keys.
+func TestSortKeyCompareConsistentWithValueCompare(t *testing.T) {
+	f := func(a, b float64) bool {
+		ka, err1 := EncodeSortKey([]Item{Double(a)}, false)
+		kb, err2 := EncodeSortKey([]Item{Double(b)}, false)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		c, err := CompareValues(Double(a), Double(b))
+		if err != nil {
+			return false
+		}
+		return ka.Compare(kb) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric: sign(cmp(a,b)) == -sign(cmp(b,a)).
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		ab := mustCompare(Int(a), Int(b))
+		ba := mustCompare(Int(b), Int(a))
+		return ab == -ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustCompare(a, b Item) int {
+	c, err := CompareValues(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Property: Hash is deterministic and serialization-stable.
+func TestHashDeterministic(t *testing.T) {
+	f := func(s string, n int64) bool {
+		o1 := NewObject([]string{"s", "n"}, []Item{Str(s), Int(n)})
+		o2 := NewObject([]string{"s", "n"}, []Item{Str(s), Int(n)})
+		return Hash(o1) == Hash(o2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEffectiveBoolean(t *testing.T) {
+	cases := []struct {
+		seq  []Item
+		want bool
+	}{
+		{nil, false},
+		{[]Item{Bool(true)}, true},
+		{[]Item{Bool(false)}, false},
+		{[]Item{Null{}}, false},
+		{[]Item{Str("")}, false},
+		{[]Item{Str("x")}, true},
+		{[]Item{Int(0)}, false},
+		{[]Item{Int(3)}, true},
+		{[]Item{Double(0)}, false},
+		{[]Item{NewArray(nil)}, true},
+		{[]Item{NewObject(nil, nil)}, true},
+		{[]Item{NewObject(nil, nil), Int(1)}, true},
+	}
+	for _, c := range cases {
+		got, err := EffectiveBoolean(c.seq)
+		if err != nil {
+			t.Fatalf("EffectiveBoolean(%v): %v", c.seq, err)
+		}
+		if got != c.want {
+			t.Errorf("EffectiveBoolean(%v) = %v, want %v", c.seq, got, c.want)
+		}
+	}
+	if _, err := EffectiveBoolean([]Item{Int(1), Int(2)}); err == nil {
+		t.Error("EBV of multi-atomic sequence should error")
+	}
+}

@@ -1,0 +1,78 @@
+package item
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// appendInt appends the decimal representation of v.
+func appendInt(dst []byte, v int64) []byte {
+	return strconv.AppendInt(dst, v, 10)
+}
+
+// appendDouble appends the JSON representation of a double. NaN and
+// infinities, which JSON cannot represent, serialize as JSONiq spells them
+// ("NaN", "Infinity", "-Infinity") so that round-tripping through the shell
+// stays lossless.
+func appendDouble(dst []byte, f float64) []byte {
+	switch {
+	case math.IsNaN(f):
+		return append(dst, "NaN"...)
+	case math.IsInf(f, 1):
+		return append(dst, "Infinity"...)
+	case math.IsInf(f, -1):
+		return append(dst, "-Infinity"...)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'E'
+	}
+	return strconv.AppendFloat(dst, f, format, -1, 64)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendQuoted appends s as a JSON string literal, escaping control
+// characters, quotes and backslashes.
+func appendQuoted(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		b := s[i]
+		if b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '"':
+				dst = append(dst, '\\', '"')
+			case '\\':
+				dst = append(dst, '\\', '\\')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		// Multi-byte runes pass through verbatim; JSON permits raw UTF-8.
+		_, size := utf8.DecodeRuneInString(s[i:])
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}

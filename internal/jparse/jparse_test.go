@@ -1,0 +1,183 @@
+package jparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rumble/internal/item"
+)
+
+func mustParse(t *testing.T, s string) item.Item {
+	t.Helper()
+	it, err := Parse([]byte(s))
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return it
+}
+
+func TestParseAtoms(t *testing.T) {
+	cases := []struct {
+		in   string
+		kind item.Kind
+		out  string
+	}{
+		{"null", item.KindNull, "null"},
+		{"true", item.KindBoolean, "true"},
+		{"false", item.KindBoolean, "false"},
+		{"0", item.KindInteger, "0"},
+		{"-17", item.KindInteger, "-17"},
+		{"3.25", item.KindDecimal, "3.25"},
+		{"-0.5", item.KindDecimal, "-0.5"},
+		{"1e3", item.KindDouble, "1000"},
+		{"2.5E-1", item.KindDouble, "0.25"},
+		{`"hi"`, item.KindString, `"hi"`},
+		{`""`, item.KindString, `""`},
+	}
+	for _, c := range cases {
+		it := mustParse(t, c.in)
+		if it.Kind() != c.kind {
+			t.Errorf("Parse(%q).Kind = %s, want %s", c.in, it.Kind(), c.kind)
+		}
+		if got := string(it.AppendJSON(nil)); got != c.out {
+			t.Errorf("Parse(%q) serializes as %s, want %s", c.in, got, c.out)
+		}
+	}
+}
+
+func TestNumberTypingFollowsJSONiq(t *testing.T) {
+	// integer literal -> integer, fraction -> decimal, exponent -> double
+	if mustParse(t, "42").Kind() != item.KindInteger {
+		t.Error("42 should be integer")
+	}
+	if mustParse(t, "42.0").Kind() != item.KindDecimal {
+		t.Error("42.0 should be decimal")
+	}
+	if mustParse(t, "42e0").Kind() != item.KindDouble {
+		t.Error("42e0 should be double")
+	}
+}
+
+func TestHugeIntegerWidensToDecimal(t *testing.T) {
+	it := mustParse(t, "123456789012345678901234567890")
+	if it.Kind() != item.KindDecimal {
+		t.Fatalf("kind = %s, want decimal", it.Kind())
+	}
+	if it.String() != "123456789012345678901234567890" {
+		t.Errorf("value = %s", it)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	cases := map[string]string{
+		`"a\nb"`:        "a\nb",
+		`"a\tb"`:        "a\tb",
+		`"q\""`:         `q"`,
+		`"back\\slash"`: `back\slash`,
+		`"sol\/idus"`:   "sol/idus",
+		`"A"`:           "A",
+		`"é"`:           "é",
+		`"😀"`:           "😀",
+	}
+	for in, want := range cases {
+		it := mustParse(t, in)
+		if got := string(it.(item.Str)); got != want {
+			t.Errorf("Parse(%s) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLoneSurrogateBecomesReplacement(t *testing.T) {
+	it := mustParse(t, `"\ud800x"`)
+	if got := string(it.(item.Str)); got != "�x" {
+		t.Errorf("lone surrogate decoded to %q", got)
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	it := mustParse(t, `{"a": [1, {"b": null}, "s"], "c": {"d": [true]}}`)
+	o := it.(*item.Object)
+	a, _ := o.Get("a")
+	arr := a.(*item.Array)
+	if arr.Len() != 3 {
+		t.Fatalf("a has %d members", arr.Len())
+	}
+	inner := arr.Member(1).(*item.Object)
+	if v, _ := inner.Get("b"); v.Kind() != item.KindNull {
+		t.Error("a[1].b should be null")
+	}
+}
+
+func TestParsePreservesKeyOrder(t *testing.T) {
+	it := mustParse(t, `{"z": 1, "a": 2, "m": 3}`)
+	keys := it.(*item.Object).Keys()
+	if keys[0] != "z" || keys[1] != "a" || keys[2] != "m" {
+		t.Errorf("key order = %v", keys)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "tru", "nul", "{", "[", `"unterminated`, "{]", "[}",
+		`{"k" 1}`, `{"k": 1,}x`, "01x", "-", "1.", "1e", "1e+",
+		`"bad \q escape"`, "[1 2]", `{"a": 1} extra`, "\x01",
+		`{"k"}`, "[1,]]", `"\u12"`,
+	}
+	for _, s := range bad {
+		if _, err := Parse([]byte(s)); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseWhitespaceTolerance(t *testing.T) {
+	it := mustParse(t, " \t\n{ \"a\" :\r\n [ 1 , 2 ] } \n")
+	if it.Kind() != item.KindObject {
+		t.Error("whitespace-heavy parse failed")
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	deep := strings.Repeat("[", 600) + strings.Repeat("]", 600)
+	if _, err := Parse([]byte(deep)); err == nil {
+		t.Error("600-deep nesting should be rejected")
+	}
+	ok := strings.Repeat("[", 100) + strings.Repeat("]", 100)
+	if _, err := Parse([]byte(ok)); err != nil {
+		t.Errorf("100-deep nesting should parse: %v", err)
+	}
+}
+
+// Property: parse ∘ serialize ∘ parse == parse (serialization round-trips).
+func TestRoundTripProperty(t *testing.T) {
+	f := func(s string, n int64, b bool, f64 float64) bool {
+		obj := item.NewObject(
+			[]string{"s", "n", "b", "f", "arr"},
+			[]item.Item{item.Str(s), item.Int(n), item.Bool(b), item.Double(f64),
+				item.NewArray([]item.Item{item.Null{}, item.Str(s)})},
+		)
+		ser1 := obj.AppendJSON(nil)
+		back, err := Parse(ser1)
+		if err != nil {
+			return false
+		}
+		ser2 := back.AppendJSON(nil)
+		return string(ser1) == string(ser2)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParseConfusionObject(b *testing.B) {
+	line := []byte(`{"guess": "French", "target": "French", "country": "AU", "choices": ["Burmese", "Danish", "French", "Swedish"], "sample": "92f9e1c17e6df988780527341fdb471d", "date": "2013-08-19"}`)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(line)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package lexer tokenizes JSONiq queries. It replaces the ANTLR-generated
+// lexer of the paper's implementation with a hand-written scanner that
+// reports line/column positions for every token.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds. Keywords are lexed as Name and classified by the parser,
+// because JSONiq keywords are contextual (a field called "for" is legal).
+const (
+	EOF Kind = iota
+	Name
+	IntegerLit
+	DecimalLit
+	DoubleLit
+	StringLit
+	Symbol
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "end of query"
+	case Name:
+		return "name"
+	case IntegerLit:
+		return "integer literal"
+	case DecimalLit:
+		return "decimal literal"
+	case DoubleLit:
+		return "double literal"
+	case StringLit:
+		return "string literal"
+	case Symbol:
+		return "symbol"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical unit. Text holds the name, symbol spelling, or the
+// decoded value of a string literal / raw text of numeric literals.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// Is reports whether the token is the given symbol or keyword name.
+func (t Token) Is(text string) bool {
+	return (t.Kind == Symbol || t.Kind == Name) && t.Text == text
+}
+
+// Error is a lexical error with position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("lexical error at %s: %s", e.Pos, e.Msg) }
+
+// multi-character symbols, longest first so the scanner can match greedily.
+var multiSymbols = []string{
+	"[[", "]]", "||", ":=", "!=", "<=", ">=", "=>", "$$", "!!",
+}
+
+const singleSymbols = "{}[]()<>=+-*,.;:$?!@#|/%"
+
+// Lex tokenizes the whole query. Comments (: like this :) nest and are
+// discarded.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func (l *lexer) errorf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) here() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := l.here()
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '"':
+		return l.scanString(start)
+	case c >= '0' && c <= '9':
+		return l.scanNumber(start)
+	case c == '.' && l.peekAt(1) >= '0' && l.peekAt(1) <= '9':
+		return l.scanNumber(start)
+	case isNameStart(rune(c)) || c >= utf8.RuneSelf:
+		return l.scanName(start)
+	}
+	for _, sym := range multiSymbols {
+		if strings.HasPrefix(l.src[l.pos:], sym) {
+			l.advance(len(sym))
+			return Token{Kind: Symbol, Text: sym, Pos: start}, nil
+		}
+	}
+	if strings.IndexByte(singleSymbols, c) >= 0 {
+		l.advance(1)
+		return Token{Kind: Symbol, Text: string(c), Pos: start}, nil
+	}
+	return Token{}, l.errorf(start, "unexpected character %q", c)
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance(1)
+		case c == '(' && l.peekAt(1) == ':':
+			start := l.here()
+			l.advance(2)
+			depth := 1
+			for depth > 0 {
+				if l.pos >= len(l.src) {
+					return l.errorf(start, "unterminated comment")
+				}
+				if l.peekByte() == '(' && l.peekAt(1) == ':' {
+					depth++
+					l.advance(2)
+				} else if l.peekByte() == ':' && l.peekAt(1) == ')' {
+					depth--
+					l.advance(2)
+				} else {
+					l.advance(1)
+				}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNamePart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// scanName scans an NCName. A '-' continues the name when the next
+// character is a name character, per XML NCName rules ("json-file" is one
+// name; "a - b" needs spaces to be a subtraction).
+func (l *lexer) scanName(start Pos) (Token, error) {
+	b := strings.Builder{}
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if isNamePart(r) {
+			b.WriteRune(r)
+			l.advance(size)
+			continue
+		}
+		if r == '-' && l.pos+size < len(l.src) {
+			nr, _ := utf8.DecodeRuneInString(l.src[l.pos+size:])
+			if isNamePart(nr) {
+				b.WriteRune('-')
+				l.advance(size)
+				continue
+			}
+		}
+		break
+	}
+	if b.Len() == 0 {
+		return Token{}, l.errorf(start, "invalid name")
+	}
+	return Token{Kind: Name, Text: b.String(), Pos: start}, nil
+}
+
+func (l *lexer) scanNumber(start Pos) (Token, error) {
+	b := strings.Builder{}
+	kind := IntegerLit
+	digits := func() {
+		for l.pos < len(l.src) && l.peekByte() >= '0' && l.peekByte() <= '9' {
+			b.WriteByte(l.peekByte())
+			l.advance(1)
+		}
+	}
+	digits()
+	if l.peekByte() == '.' && !(l.peekAt(1) == '.') {
+		kind = DecimalLit
+		b.WriteByte('.')
+		l.advance(1)
+		digits()
+	}
+	if c := l.peekByte(); c == 'e' || c == 'E' {
+		kind = DoubleLit
+		b.WriteByte(c)
+		l.advance(1)
+		if c := l.peekByte(); c == '+' || c == '-' {
+			b.WriteByte(c)
+			l.advance(1)
+		}
+		before := b.Len()
+		digits()
+		if b.Len() == before {
+			return Token{}, l.errorf(start, "exponent requires digits")
+		}
+	}
+	text := b.String()
+	if text == "." {
+		return Token{}, l.errorf(start, "invalid number")
+	}
+	return Token{Kind: kind, Text: text, Pos: start}, nil
+}
+
+func (l *lexer) scanString(start Pos) (Token, error) {
+	l.advance(1) // opening quote
+	b := strings.Builder{}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.advance(1)
+			return Token{Kind: StringLit, Text: b.String(), Pos: start}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return Token{}, l.errorf(start, "unterminated escape")
+			}
+			e := l.src[l.pos+1]
+			switch e {
+			case '"', '\\', '/':
+				b.WriteByte(e)
+				l.advance(2)
+			case 'n':
+				b.WriteByte('\n')
+				l.advance(2)
+			case 't':
+				b.WriteByte('\t')
+				l.advance(2)
+			case 'r':
+				b.WriteByte('\r')
+				l.advance(2)
+			case 'b':
+				b.WriteByte('\b')
+				l.advance(2)
+			case 'f':
+				b.WriteByte('\f')
+				l.advance(2)
+			case 'u':
+				if l.pos+6 > len(l.src) {
+					return Token{}, l.errorf(start, "truncated \\u escape")
+				}
+				var r rune
+				if _, err := fmt.Sscanf(l.src[l.pos+2:l.pos+6], "%04x", &r); err != nil {
+					return Token{}, l.errorf(start, "invalid \\u escape")
+				}
+				b.WriteRune(r)
+				l.advance(6)
+			default:
+				return Token{}, l.errorf(start, "invalid escape \\%c", e)
+			}
+		case '\n':
+			return Token{}, l.errorf(start, "unterminated string literal")
+		default:
+			b.WriteByte(c)
+			l.advance(1)
+		}
+	}
+	return Token{}, l.errorf(start, "unterminated string literal")
+}

@@ -1,0 +1,95 @@
+package lexer
+
+import "testing"
+
+func kinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := kinds(t, `for $x in json-file("f.json") return $x.a[[1]]`)
+	want := []struct {
+		kind Kind
+		text string
+	}{
+		{Name, "for"}, {Symbol, "$"}, {Name, "x"}, {Name, "in"},
+		{Name, "json-file"}, {Symbol, "("}, {StringLit, "f.json"}, {Symbol, ")"},
+		{Name, "return"}, {Symbol, "$"}, {Name, "x"}, {Symbol, "."}, {Name, "a"},
+		{Symbol, "[["}, {IntegerLit, "1"}, {Symbol, "]]"}, {EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("%d tokens, want %d: %+v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("tok %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestNumberKinds(t *testing.T) {
+	toks := kinds(t, "1 2.5 3e4 0.5e-2")
+	wantKinds := []Kind{IntegerLit, DecimalLit, DoubleLit, DoubleLit, EOF}
+	for i, k := range wantKinds {
+		if toks[i].Kind != k {
+			t.Errorf("tok %d kind = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	toks := kinds(t, `"a\n\"b\"A"`)
+	if toks[0].Text != "a\n\"b\"A" {
+		t.Errorf("decoded = %q", toks[0].Text)
+	}
+}
+
+func TestHyphenNameRule(t *testing.T) {
+	toks := kinds(t, "a-b a -b a- b")
+	if toks[0].Text != "a-b" {
+		t.Errorf("a-b lexed as %q", toks[0].Text)
+	}
+	if toks[1].Text != "a" || !toks[2].Is("-") || toks[3].Text != "b" {
+		t.Errorf("'a -b' lexed as %v %v %v", toks[1], toks[2], toks[3])
+	}
+	if toks[4].Text != "a" || !toks[5].Is("-") {
+		t.Errorf("'a- b' lexed as %v %v", toks[4], toks[5])
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := kinds(t, "1 +\n  2")
+	if toks[2].Pos.Line != 2 || toks[2].Pos.Col != 3 {
+		t.Errorf("token 2 pos = %v", toks[2].Pos)
+	}
+}
+
+func TestCommentNesting(t *testing.T) {
+	toks := kinds(t, "(: a (: b :) c :) 42")
+	if toks[0].Kind != IntegerLit {
+		t.Errorf("first token after comment = %v", toks[0])
+	}
+	if _, err := Lex("(: unterminated"); err == nil {
+		t.Error("unterminated comment should fail")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"open`, "1e", "`", `"\q"`, "\"nl\n\""} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestUnicodeNames(t *testing.T) {
+	toks := kinds(t, "héllo_wörld")
+	if toks[0].Kind != Name || toks[0].Text != "héllo_wörld" {
+		t.Errorf("unicode name = %+v", toks[0])
+	}
+}

@@ -1,0 +1,1248 @@
+// Package parser builds the ast tree from JSONiq source text. It is a
+// hand-written recursive-descent parser covering the JSONiq core grammar:
+// all expression forms of DESIGN.md §5, FLWOR expressions with every clause
+// of the paper's Figure 9, and prolog declarations (variables and
+// user-defined functions). It replaces the ANTLR ALL(*) parser of the
+// paper's implementation.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"rumble/internal/ast"
+	"rumble/internal/item"
+	"rumble/internal/lexer"
+)
+
+// Error is a syntax error with source position.
+type Error struct {
+	Pos lexer.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("syntax error at %s: %s", e.Pos, e.Msg) }
+
+// Parse parses a complete query (prolog + body expression).
+func Parse(src string) (*ast.Module, error) {
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	m := &ast.Module{}
+	if err := p.parseProlog(m); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(lexer.EOF) {
+		return nil, p.errorf("unexpected %s", p.describe())
+	}
+	m.Body = body
+	return m, nil
+}
+
+// ParseExpr parses a single expression (no prolog), for tests and tools.
+func ParseExpr(src string) (ast.Expr, error) {
+	m, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return m.Body, nil
+}
+
+type parser struct {
+	toks []lexer.Token
+	pos  int
+}
+
+func (p *parser) cur() lexer.Token     { return p.toks[p.pos] }
+func (p *parser) at(k lexer.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) peek(off int) lexer.Token {
+	if p.pos+off >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+off]
+}
+
+func (p *parser) describe() string {
+	t := p.cur()
+	if t.Kind == lexer.EOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() lexer.Token {
+	t := p.cur()
+	if t.Kind != lexer.EOF {
+		p.pos++
+	}
+	return t
+}
+
+// isSym reports whether the current token is the given symbol.
+func (p *parser) isSym(s string) bool {
+	t := p.cur()
+	return t.Kind == lexer.Symbol && t.Text == s
+}
+
+// isKw reports whether the current token is the given (contextual) keyword.
+func (p *parser) isKw(s string) bool {
+	t := p.cur()
+	return t.Kind == lexer.Name && t.Text == s
+}
+
+func (p *parser) eatSym(s string) bool {
+	if p.isSym(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) eatKw(s string) bool {
+	if p.isKw(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) error {
+	if !p.eatSym(s) {
+		return p.errorf("expected %q, found %s", s, p.describe())
+	}
+	return nil
+}
+
+func (p *parser) expectKw(s string) error {
+	if !p.eatKw(s) {
+		return p.errorf("expected %q, found %s", s, p.describe())
+	}
+	return nil
+}
+
+// splitSym splits a two-character symbol token ("[[", "]]") into its two
+// halves, consuming the first. Needed where an array constructor starts
+// immediately inside another ("[[1]]").
+func (p *parser) splitSym() {
+	t := p.cur()
+	half := t.Text[:1]
+	rest := t.Text[1:]
+	p.toks[p.pos] = lexer.Token{Kind: lexer.Symbol, Text: half, Pos: t.Pos}
+	restTok := lexer.Token{Kind: lexer.Symbol, Text: rest, Pos: lexer.Pos{Line: t.Pos.Line, Col: t.Pos.Col + 1}}
+	p.toks = append(p.toks[:p.pos+1], append([]lexer.Token{restTok}, p.toks[p.pos+1:]...)...)
+	p.advance()
+}
+
+// parseVarName parses "$name" and returns the name.
+func (p *parser) parseVarName() (string, error) {
+	if !p.isSym("$") {
+		return "", p.errorf("expected variable, found %s", p.describe())
+	}
+	p.advance()
+	if !p.at(lexer.Name) {
+		return "", p.errorf("expected variable name after '$'")
+	}
+	return p.parseQName()
+}
+
+// parseQName parses a possibly prefixed name (local:fn).
+func (p *parser) parseQName() (string, error) {
+	if !p.at(lexer.Name) {
+		return "", p.errorf("expected name, found %s", p.describe())
+	}
+	name := p.advance().Text
+	if p.isSym(":") && p.peek(1).Kind == lexer.Name && !p.isSym(":=") {
+		p.advance()
+		name = name + ":" + p.advance().Text
+	}
+	return name, nil
+}
+
+// --- Prolog ---
+
+func (p *parser) parseProlog(m *ast.Module) error {
+	// Optional "jsoniq version "1.0";"
+	if p.isKw("jsoniq") && p.peek(1).Is("version") {
+		p.advance()
+		p.advance()
+		if !p.at(lexer.StringLit) {
+			return p.errorf("expected version string")
+		}
+		p.advance()
+		if err := p.expectSym(";"); err != nil {
+			return err
+		}
+	}
+	for p.isKw("declare") {
+		declPos := p.cur().Pos
+		p.advance()
+		switch {
+		case p.eatKw("variable"):
+			name, err := p.parseVarName()
+			if err != nil {
+				return err
+			}
+			if p.eatKw("as") {
+				if _, err := p.parseSequenceType(); err != nil {
+					return err
+				}
+			}
+			if !p.eatSym(":=") {
+				return p.errorf("expected ':=' in variable declaration")
+			}
+			init, err := p.parseExprSingle()
+			if err != nil {
+				return err
+			}
+			if err := p.expectSym(";"); err != nil {
+				return err
+			}
+			m.Vars = append(m.Vars, ast.VarDecl{Pos: declPos, Name: name, Init: init})
+		case p.eatKw("function"):
+			name, err := p.parseQName()
+			if err != nil {
+				return err
+			}
+			if err := p.expectSym("("); err != nil {
+				return err
+			}
+			var params []string
+			for !p.isSym(")") {
+				pn, err := p.parseVarName()
+				if err != nil {
+					return err
+				}
+				if p.eatKw("as") {
+					if _, err := p.parseSequenceType(); err != nil {
+						return err
+					}
+				}
+				params = append(params, pn)
+				if !p.eatSym(",") {
+					break
+				}
+			}
+			if err := p.expectSym(")"); err != nil {
+				return err
+			}
+			if p.eatKw("as") {
+				if _, err := p.parseSequenceType(); err != nil {
+					return err
+				}
+			}
+			if err := p.expectSym("{"); err != nil {
+				return err
+			}
+			body, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			if err := p.expectSym("}"); err != nil {
+				return err
+			}
+			if err := p.expectSym(";"); err != nil {
+				return err
+			}
+			m.Functions = append(m.Functions, ast.FunctionDecl{Pos: declPos, Name: name, Params: params, Body: body})
+		default:
+			return p.errorf("expected 'variable' or 'function' after 'declare'")
+		}
+	}
+	return nil
+}
+
+// --- Expressions ---
+
+func (p *parser) parseExpr() (ast.Expr, error) {
+	pos := p.cur().Pos
+	first, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isSym(",") {
+		return first, nil
+	}
+	exprs := []ast.Expr{first}
+	for p.eatSym(",") {
+		e, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+	}
+	c := &ast.CommaExpr{Exprs: exprs}
+	c.SetPos(pos)
+	return c, nil
+}
+
+func (p *parser) parseExprSingle() (ast.Expr, error) {
+	switch {
+	case (p.isKw("for") || p.isKw("let")) && p.peek(1).Is("$"):
+		return p.parseFLWOR()
+	case (p.isKw("some") || p.isKw("every")) && p.peek(1).Is("$"):
+		return p.parseQuantified()
+	case p.isKw("if") && p.peek(1).Is("("):
+		return p.parseIf()
+	case p.isKw("switch") && p.peek(1).Is("("):
+		return p.parseSwitch()
+	case p.isKw("try") && p.peek(1).Is("{"):
+		return p.parseTryCatch()
+	default:
+		return p.parseOr()
+	}
+}
+
+func (p *parser) parseOr() (ast.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKw("or") {
+		pos := p.cur().Pos
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		n := &ast.Logic{IsAnd: false, L: l, R: r}
+		n.SetPos(pos)
+		l = n
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (ast.Expr, error) {
+	l, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKw("and") {
+		pos := p.cur().Pos
+		p.advance()
+		r, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		n := &ast.Logic{IsAnd: true, L: l, R: r}
+		n.SetPos(pos)
+		l = n
+	}
+	return l, nil
+}
+
+var valueCompOps = map[string]bool{"eq": true, "ne": true, "lt": true, "le": true, "gt": true, "ge": true}
+
+func (p *parser) comparisonOp() (op string, general bool, ok bool) {
+	t := p.cur()
+	if t.Kind == lexer.Name && valueCompOps[t.Text] {
+		return t.Text, false, true
+	}
+	if t.Kind == lexer.Symbol {
+		switch t.Text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			return t.Text, true, true
+		}
+	}
+	return "", false, false
+}
+
+func (p *parser) parseComparison() (ast.Expr, error) {
+	l, err := p.parseStringConcat()
+	if err != nil {
+		return nil, err
+	}
+	if op, general, ok := p.comparisonOp(); ok {
+		pos := p.cur().Pos
+		p.advance()
+		r, err := p.parseStringConcat()
+		if err != nil {
+			return nil, err
+		}
+		n := &ast.Comparison{Op: ast.CompareOp(op), General: general, L: l, R: r}
+		n.SetPos(pos)
+		return n, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseStringConcat() (ast.Expr, error) {
+	l, err := p.parseRange()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSym("||") {
+		pos := p.cur().Pos
+		p.advance()
+		r, err := p.parseRange()
+		if err != nil {
+			return nil, err
+		}
+		n := &ast.ConcatExpr{L: l, R: r}
+		n.SetPos(pos)
+		l = n
+	}
+	return l, nil
+}
+
+func (p *parser) parseRange() (ast.Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.isKw("to") {
+		pos := p.cur().Pos
+		p.advance()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		n := &ast.RangeExpr{L: l, R: r}
+		n.SetPos(pos)
+		return n, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (ast.Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSym("+") || p.isSym("-") {
+		pos := p.cur().Pos
+		op := item.OpAdd
+		if p.cur().Text == "-" {
+			op = item.OpSub
+		}
+		p.advance()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		n := &ast.Arith{Op: op, L: l, R: r}
+		n.SetPos(pos)
+		l = n
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (ast.Expr, error) {
+	l, err := p.parseInstanceOf()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op item.ArithOp
+		switch {
+		case p.isSym("*"):
+			op = item.OpMul
+		case p.isKw("div"):
+			op = item.OpDiv
+		case p.isKw("idiv"):
+			op = item.OpIDiv
+		case p.isKw("mod"):
+			op = item.OpMod
+		default:
+			return l, nil
+		}
+		pos := p.cur().Pos
+		p.advance()
+		r, err := p.parseInstanceOf()
+		if err != nil {
+			return nil, err
+		}
+		n := &ast.Arith{Op: op, L: l, R: r}
+		n.SetPos(pos)
+		l = n
+	}
+}
+
+func (p *parser) parseInstanceOf() (ast.Expr, error) {
+	l, err := p.parseTreat()
+	if err != nil {
+		return nil, err
+	}
+	if p.isKw("instance") && p.peek(1).Is("of") {
+		pos := p.cur().Pos
+		p.advance()
+		p.advance()
+		st, err := p.parseSequenceType()
+		if err != nil {
+			return nil, err
+		}
+		n := &ast.InstanceOf{Input: l, Type: st}
+		n.SetPos(pos)
+		return n, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseTreat() (ast.Expr, error) {
+	l, err := p.parseCastable()
+	if err != nil {
+		return nil, err
+	}
+	if p.isKw("treat") && p.peek(1).Is("as") {
+		pos := p.cur().Pos
+		p.advance()
+		p.advance()
+		st, err := p.parseSequenceType()
+		if err != nil {
+			return nil, err
+		}
+		n := &ast.TreatAs{Input: l, Type: st}
+		n.SetPos(pos)
+		return n, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseCastable() (ast.Expr, error) {
+	l, err := p.parseCast()
+	if err != nil {
+		return nil, err
+	}
+	if p.isKw("castable") && p.peek(1).Is("as") {
+		pos := p.cur().Pos
+		p.advance()
+		p.advance()
+		tn, err := p.parseQName()
+		if err != nil {
+			return nil, err
+		}
+		n := &ast.CastableAs{Input: l, TypeName: tn}
+		n.SetPos(pos)
+		return n, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseCast() (ast.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if p.isKw("cast") && p.peek(1).Is("as") {
+		pos := p.cur().Pos
+		p.advance()
+		p.advance()
+		tn, err := p.parseQName()
+		if err != nil {
+			return nil, err
+		}
+		n := &ast.CastAs{Input: l, TypeName: tn}
+		n.SetPos(pos)
+		return n, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	minus := false
+	pos := p.cur().Pos
+	seen := false
+	for p.isSym("-") || p.isSym("+") {
+		if p.cur().Text == "-" {
+			minus = !minus
+		}
+		seen = true
+		p.advance()
+	}
+	operand, err := p.parseSimpleMap()
+	if err != nil {
+		return nil, err
+	}
+	if !seen {
+		return operand, nil
+	}
+	n := &ast.Unary{Minus: minus, Operand: operand}
+	n.SetPos(pos)
+	return n, nil
+}
+
+// parseSimpleMap parses the "!" mapping operator chain.
+func (p *parser) parseSimpleMap() (ast.Expr, error) {
+	l, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	for p.isSym("!") {
+		pos := p.cur().Pos
+		p.advance()
+		r, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		n := &ast.SimpleMap{Input: l, Mapping: r}
+		n.SetPos(pos)
+		l = n
+	}
+	return l, nil
+}
+
+func (p *parser) parsePostfix() (ast.Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isSym("."):
+			pos := p.cur().Pos
+			p.advance()
+			key, err := p.parseLookupKey()
+			if err != nil {
+				return nil, err
+			}
+			n := &ast.ObjectLookup{Input: e, Key: key}
+			n.SetPos(pos)
+			e = n
+		case p.isSym("[["):
+			pos := p.cur().Pos
+			p.advance()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.isSym("]]") {
+				p.advance()
+			} else if p.isSym("]") {
+				return nil, p.errorf("expected ']]' to close array lookup")
+			} else {
+				return nil, p.errorf("expected ']]', found %s", p.describe())
+			}
+			n := &ast.ArrayLookup{Input: e, Index: idx}
+			n.SetPos(pos)
+			e = n
+		case p.isSym("[") && p.peek(1).Is("]"):
+			pos := p.cur().Pos
+			p.advance()
+			p.advance()
+			n := &ast.ArrayUnbox{Input: e}
+			n.SetPos(pos)
+			e = n
+		case p.isSym("["):
+			pos := p.cur().Pos
+			p.advance()
+			pred, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.isSym("]]") {
+				p.splitSym()
+			} else if err := p.expectSym("]"); err != nil {
+				return nil, err
+			}
+			n := &ast.Predicate{Input: e, Pred: pred}
+			n.SetPos(pos)
+			e = n
+		default:
+			return e, nil
+		}
+	}
+}
+
+// parseLookupKey parses the key of an object lookup: a name, a string
+// literal, a variable, the context item, or a parenthesized expression.
+func (p *parser) parseLookupKey() (ast.Expr, error) {
+	pos := p.cur().Pos
+	switch {
+	case p.at(lexer.Name):
+		name := p.advance().Text
+		return ast.NewLiteral(pos, item.Str(name)), nil
+	case p.at(lexer.StringLit):
+		return ast.NewLiteral(pos, item.Str(p.advance().Text)), nil
+	case p.isSym("$$"):
+		p.advance()
+		return ast.NewContextItem(pos), nil
+	case p.isSym("$"):
+		name, err := p.parseVarName()
+		if err != nil {
+			return nil, err
+		}
+		return ast.NewVarRef(pos, name), nil
+	case p.isSym("("):
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errorf("expected object lookup key, found %s", p.describe())
+	}
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	pos := p.cur().Pos
+	t := p.cur()
+	switch t.Kind {
+	case lexer.IntegerLit:
+		p.advance()
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			d, derr := item.DecimalFromString(t.Text)
+			if derr != nil {
+				return nil, p.errorf("invalid integer literal %q", t.Text)
+			}
+			return ast.NewLiteral(pos, d), nil
+		}
+		return ast.NewLiteral(pos, item.Int(n)), nil
+	case lexer.DecimalLit:
+		d, err := item.DecimalFromString(t.Text)
+		if err != nil {
+			return nil, p.errorf("invalid decimal literal %q", t.Text)
+		}
+		p.advance()
+		return ast.NewLiteral(pos, d), nil
+	case lexer.DoubleLit:
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("invalid double literal %q", t.Text)
+		}
+		p.advance()
+		return ast.NewLiteral(pos, item.Double(f)), nil
+	case lexer.StringLit:
+		p.advance()
+		return ast.NewLiteral(pos, item.Str(t.Text)), nil
+	}
+	switch {
+	case p.isSym("$$"):
+		p.advance()
+		return ast.NewContextItem(pos), nil
+	case p.isSym("$"):
+		name, err := p.parseVarName()
+		if err != nil {
+			return nil, err
+		}
+		return ast.NewVarRef(pos, name), nil
+	case p.isSym("("):
+		p.advance()
+		if p.eatSym(")") {
+			// () is the empty sequence.
+			c := &ast.CommaExpr{}
+			c.SetPos(pos)
+			return c, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.isSym("{"):
+		return p.parseObjectConstructor()
+	case p.isSym("["), p.isSym("[["):
+		return p.parseArrayConstructor()
+	case p.at(lexer.Name):
+		switch t.Text {
+		case "true":
+			p.advance()
+			return ast.NewLiteral(pos, item.Bool(true)), nil
+		case "false":
+			p.advance()
+			return ast.NewLiteral(pos, item.Bool(false)), nil
+		case "null":
+			p.advance()
+			return ast.NewLiteral(pos, item.Null{}), nil
+		}
+		name, err := p.parseQName()
+		if err != nil {
+			return nil, err
+		}
+		if !p.isSym("(") {
+			return nil, p.errorf("unexpected name %q (variables start with '$'; function calls need parentheses)", name)
+		}
+		p.advance()
+		var args []ast.Expr
+		for !p.isSym(")") {
+			a, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.eatSym(",") {
+				break
+			}
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		n := &ast.FunctionCall{Name: name, Args: args}
+		n.SetPos(pos)
+		return n, nil
+	default:
+		return nil, p.errorf("unexpected %s", p.describe())
+	}
+}
+
+func (p *parser) parseObjectConstructor() (ast.Expr, error) {
+	pos := p.cur().Pos
+	p.advance() // '{'
+	oc := &ast.ObjectConstructor{}
+	oc.SetPos(pos)
+	if p.eatSym("}") {
+		return oc, nil
+	}
+	for {
+		key, err := p.parseObjectKey()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(":"); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		oc.Keys = append(oc.Keys, key)
+		oc.Values = append(oc.Values, val)
+		if p.eatSym(",") {
+			continue
+		}
+		if err := p.expectSym("}"); err != nil {
+			return nil, err
+		}
+		return oc, nil
+	}
+}
+
+// parseObjectKey parses an object constructor key: an NCName or string
+// literal (static), or any expression evaluating to a string (dynamic).
+func (p *parser) parseObjectKey() (ast.Expr, error) {
+	pos := p.cur().Pos
+	if p.at(lexer.Name) && p.peek(1).Is(":") {
+		name := p.advance().Text
+		return ast.NewLiteral(pos, item.Str(name)), nil
+	}
+	if p.at(lexer.StringLit) && p.peek(1).Is(":") {
+		return ast.NewLiteral(pos, item.Str(p.advance().Text)), nil
+	}
+	return p.parseExprSingle()
+}
+
+func (p *parser) parseArrayConstructor() (ast.Expr, error) {
+	pos := p.cur().Pos
+	if p.isSym("[[") {
+		p.splitSym()
+	} else {
+		p.advance() // '['
+	}
+	ac := &ast.ArrayConstructor{}
+	ac.SetPos(pos)
+	if p.isSym("]]") {
+		p.splitSym()
+		return ac, nil
+	}
+	if p.eatSym("]") {
+		return ac, nil
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	ac.Body = body
+	if p.isSym("]]") {
+		p.splitSym()
+		return ac, nil
+	}
+	if err := p.expectSym("]"); err != nil {
+		return nil, err
+	}
+	return ac, nil
+}
+
+func (p *parser) parseIf() (ast.Expr, error) {
+	pos := p.cur().Pos
+	p.advance() // if
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("then"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("else"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	n := &ast.IfExpr{Cond: cond, Then: then, Else: els}
+	n.SetPos(pos)
+	return n, nil
+}
+
+func (p *parser) parseSwitch() (ast.Expr, error) {
+	pos := p.cur().Pos
+	p.advance() // switch
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	input, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	n := &ast.SwitchExpr{Input: input}
+	n.SetPos(pos)
+	for p.isKw("case") {
+		p.advance()
+		var values []ast.Expr
+		for {
+			v, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			values = append(values, v)
+			if !p.eatKw("case") {
+				break
+			}
+		}
+		if err := p.expectKw("return"); err != nil {
+			return nil, err
+		}
+		result, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		n.Cases = append(n.Cases, ast.SwitchCase{Values: values, Result: result})
+	}
+	if len(n.Cases) == 0 {
+		return nil, p.errorf("switch requires at least one case")
+	}
+	if err := p.expectKw("default"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("return"); err != nil {
+		return nil, err
+	}
+	def, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	n.Default = def
+	return n, nil
+}
+
+func (p *parser) parseTryCatch() (ast.Expr, error) {
+	pos := p.cur().Pos
+	p.advance() // try
+	if err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+	tryExpr, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("}"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("catch"); err != nil {
+		return nil, err
+	}
+	// catch * { ... } or catch errname { ... }; the error name is accepted
+	// and ignored (all errors are caught).
+	if p.isSym("*") {
+		p.advance()
+	} else if p.at(lexer.Name) {
+		if _, err := p.parseQName(); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, p.errorf("expected '*' or error name after 'catch'")
+	}
+	if err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+	catchExpr, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("}"); err != nil {
+		return nil, err
+	}
+	n := &ast.TryCatch{Try: tryExpr, Catch: catchExpr}
+	n.SetPos(pos)
+	return n, nil
+}
+
+func (p *parser) parseQuantified() (ast.Expr, error) {
+	pos := p.cur().Pos
+	every := p.cur().Text == "every"
+	p.advance()
+	n := &ast.Quantified{Every: every}
+	n.SetPos(pos)
+	for {
+		v, err := p.parseVarName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("in"); err != nil {
+			return nil, err
+		}
+		in, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		n.Bindings = append(n.Bindings, ast.QuantifiedBinding{Var: v, In: in})
+		if !p.eatSym(",") {
+			break
+		}
+	}
+	if err := p.expectKw("satisfies"); err != nil {
+		return nil, err
+	}
+	sat, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	n.Satisfies = sat
+	return n, nil
+}
+
+func (p *parser) parseSequenceType() (ast.SequenceType, error) {
+	if p.isKw("empty-sequence") {
+		p.advance()
+		if err := p.expectSym("("); err != nil {
+			return ast.SequenceType{}, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return ast.SequenceType{}, err
+		}
+		return ast.SequenceType{EmptySequence: true}, nil
+	}
+	if !p.at(lexer.Name) {
+		return ast.SequenceType{}, p.errorf("expected type name, found %s", p.describe())
+	}
+	name := p.advance().Text
+	// item() style parentheses on item types are tolerated.
+	if p.isSym("(") && p.peek(1).Is(")") {
+		p.advance()
+		p.advance()
+	}
+	st := ast.SequenceType{ItemType: name}
+	if p.isSym("?") || p.isSym("*") || p.isSym("+") {
+		st.Occurrence = p.advance().Text
+	}
+	return st, nil
+}
+
+// --- FLWOR ---
+
+func (p *parser) parseFLWOR() (ast.Expr, error) {
+	pos := p.cur().Pos
+	n := &ast.FLWOR{}
+	n.SetPos(pos)
+	for {
+		switch {
+		case p.isKw("for") && p.peek(1).Is("$"):
+			clauses, err := p.parseForClause()
+			if err != nil {
+				return nil, err
+			}
+			n.Clauses = append(n.Clauses, clauses...)
+		case p.isKw("let") && p.peek(1).Is("$"):
+			clauses, err := p.parseLetClause()
+			if err != nil {
+				return nil, err
+			}
+			n.Clauses = append(n.Clauses, clauses...)
+		case p.isKw("where"):
+			cpos := p.cur().Pos
+			p.advance()
+			cond, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			wc := &ast.WhereClause{Cond: cond}
+			wc.SetPos(cpos)
+			n.Clauses = append(n.Clauses, wc)
+		case p.isKw("group") && p.peek(1).Is("by"):
+			cpos := p.cur().Pos
+			p.advance()
+			p.advance()
+			gc := &ast.GroupByClause{}
+			gc.SetPos(cpos)
+			for {
+				v, err := p.parseVarName()
+				if err != nil {
+					return nil, err
+				}
+				spec := ast.GroupSpec{Var: v}
+				if p.eatSym(":=") {
+					e, err := p.parseExprSingle()
+					if err != nil {
+						return nil, err
+					}
+					spec.Expr = e
+				}
+				gc.Specs = append(gc.Specs, spec)
+				if !p.eatSym(",") {
+					break
+				}
+			}
+			n.Clauses = append(n.Clauses, gc)
+		case p.isKw("stable") && p.peek(1).Is("order"):
+			p.advance()
+			// fallthrough to order handling on next loop iteration
+		case p.isKw("order") && p.peek(1).Is("by"):
+			cpos := p.cur().Pos
+			p.advance()
+			p.advance()
+			oc := &ast.OrderByClause{}
+			oc.SetPos(cpos)
+			for {
+				e, err := p.parseExprSingle()
+				if err != nil {
+					return nil, err
+				}
+				spec := ast.OrderSpec{Expr: e}
+				if p.eatKw("ascending") {
+				} else if p.eatKw("descending") {
+					spec.Descending = true
+				}
+				if p.eatKw("empty") {
+					switch {
+					case p.eatKw("greatest"):
+						spec.EmptyGreatest = true
+					case p.eatKw("least"):
+					default:
+						return nil, p.errorf("expected 'greatest' or 'least' after 'empty'")
+					}
+				}
+				oc.Specs = append(oc.Specs, spec)
+				if !p.eatSym(",") {
+					break
+				}
+			}
+			n.Clauses = append(n.Clauses, oc)
+		case p.isKw("count") && p.peek(1).Is("$"):
+			cpos := p.cur().Pos
+			p.advance()
+			v, err := p.parseVarName()
+			if err != nil {
+				return nil, err
+			}
+			cc := &ast.CountClause{Var: v}
+			cc.SetPos(cpos)
+			n.Clauses = append(n.Clauses, cc)
+		case p.isKw("return"):
+			p.advance()
+			ret, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			n.Return = ret
+			if len(n.Clauses) == 0 {
+				return nil, p.errorf("FLWOR expression requires at least one clause before 'return'")
+			}
+			switch n.Clauses[0].(type) {
+			case *ast.ForClause, *ast.LetClause:
+			default:
+				return nil, p.errorf("FLWOR expression must start with 'for' or 'let'")
+			}
+			return n, nil
+		default:
+			return nil, p.errorf("expected FLWOR clause or 'return', found %s", p.describe())
+		}
+	}
+}
+
+func (p *parser) parseForClause() ([]ast.Clause, error) {
+	p.advance() // for
+	var out []ast.Clause
+	for {
+		cpos := p.cur().Pos
+		v, err := p.parseVarName()
+		if err != nil {
+			return nil, err
+		}
+		fc := &ast.ForClause{Var: v}
+		fc.SetPos(cpos)
+		if p.isKw("allowing") && p.peek(1).Is("empty") {
+			p.advance()
+			p.advance()
+			fc.AllowEmpty = true
+		}
+		if p.eatKw("at") {
+			pv, err := p.parseVarName()
+			if err != nil {
+				return nil, err
+			}
+			fc.PosVar = pv
+		}
+		if err := p.expectKw("in"); err != nil {
+			return nil, err
+		}
+		in, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		fc.In = in
+		out = append(out, fc)
+		if !p.eatSym(",") {
+			return out, nil
+		}
+	}
+}
+
+func (p *parser) parseLetClause() ([]ast.Clause, error) {
+	p.advance() // let
+	var out []ast.Clause
+	for {
+		cpos := p.cur().Pos
+		v, err := p.parseVarName()
+		if err != nil {
+			return nil, err
+		}
+		if p.eatKw("as") {
+			if _, err := p.parseSequenceType(); err != nil {
+				return nil, err
+			}
+		}
+		if !p.eatSym(":=") {
+			return nil, p.errorf("expected ':=' in let clause")
+		}
+		val, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		lc := &ast.LetClause{Var: v, Value: val}
+		lc.SetPos(cpos)
+		out = append(out, lc)
+		if !p.eatSym(",") {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,420 @@
+package parser
+
+import (
+	"testing"
+
+	"rumble/internal/ast"
+	"rumble/internal/item"
+)
+
+func mustExpr(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func TestLiterals(t *testing.T) {
+	cases := map[string]item.Kind{
+		"1":     item.KindInteger,
+		"2.5":   item.KindDecimal,
+		"1e3":   item.KindDouble,
+		`"s"`:   item.KindString,
+		"true":  item.KindBoolean,
+		"false": item.KindBoolean,
+		"null":  item.KindNull,
+	}
+	for src, kind := range cases {
+		e := mustExpr(t, src)
+		lit, ok := e.(*ast.Literal)
+		if !ok {
+			t.Errorf("%q parsed to %T, want Literal", src, e)
+			continue
+		}
+		if lit.Value.Kind() != kind {
+			t.Errorf("%q literal kind = %s, want %s", src, lit.Value.Kind(), kind)
+		}
+	}
+}
+
+func TestArithmeticPrecedence(t *testing.T) {
+	e := mustExpr(t, "1 + 2 * 3")
+	add, ok := e.(*ast.Arith)
+	if !ok || add.Op != item.OpAdd {
+		t.Fatalf("top = %#v, want +", e)
+	}
+	mul, ok := add.R.(*ast.Arith)
+	if !ok || mul.Op != item.OpMul {
+		t.Fatalf("right = %#v, want *", add.R)
+	}
+}
+
+func TestLeftAssociativity(t *testing.T) {
+	e := mustExpr(t, "10 - 3 - 2")
+	outer := e.(*ast.Arith)
+	if outer.Op != item.OpSub {
+		t.Fatal("outer not -")
+	}
+	inner, ok := outer.L.(*ast.Arith)
+	if !ok || inner.Op != item.OpSub {
+		t.Fatalf("subtraction should be left-associative, left = %#v", outer.L)
+	}
+}
+
+func TestDivKeywords(t *testing.T) {
+	for src, op := range map[string]item.ArithOp{
+		"6 div 3": item.OpDiv, "6 idiv 3": item.OpIDiv, "6 mod 3": item.OpMod,
+	} {
+		e := mustExpr(t, src).(*ast.Arith)
+		if e.Op != op {
+			t.Errorf("%q op = %v, want %v", src, e.Op, op)
+		}
+	}
+}
+
+func TestNameWithHyphenIsOneToken(t *testing.T) {
+	e := mustExpr(t, `distinct-values(1)`)
+	fc, ok := e.(*ast.FunctionCall)
+	if !ok || fc.Name != "distinct-values" {
+		t.Fatalf("parsed %#v", e)
+	}
+	// with spaces it is a subtraction of two names -> error (names alone
+	// are not expressions)
+	if _, err := ParseExpr("a - b"); err == nil {
+		t.Error("bare names should not parse")
+	}
+}
+
+func TestComparisonForms(t *testing.T) {
+	v := mustExpr(t, "1 eq 2").(*ast.Comparison)
+	if v.General || v.Op != "eq" {
+		t.Errorf("eq parsed as %+v", v)
+	}
+	g := mustExpr(t, "1 = 2").(*ast.Comparison)
+	if !g.General || g.Op != "=" {
+		t.Errorf("= parsed as %+v", g)
+	}
+	le := mustExpr(t, "1 <= 2").(*ast.Comparison)
+	if !le.General || le.Op != "<=" {
+		t.Errorf("<= parsed as %+v", le)
+	}
+}
+
+func TestLogicPrecedence(t *testing.T) {
+	e := mustExpr(t, "true or false and false")
+	or, ok := e.(*ast.Logic)
+	if !ok || or.IsAnd {
+		t.Fatalf("top should be or: %#v", e)
+	}
+	and, ok := or.R.(*ast.Logic)
+	if !ok || !and.IsAnd {
+		t.Fatalf("right of or should be and: %#v", or.R)
+	}
+}
+
+func TestRangeAndConcat(t *testing.T) {
+	if _, ok := mustExpr(t, "1 to 10").(*ast.RangeExpr); !ok {
+		t.Error("range not parsed")
+	}
+	if _, ok := mustExpr(t, `"a" || "b"`).(*ast.ConcatExpr); !ok {
+		t.Error("concat not parsed")
+	}
+}
+
+func TestObjectConstructor(t *testing.T) {
+	e := mustExpr(t, `{ "a": 1, b: 2, $x: 3 }`)
+	oc := e.(*ast.ObjectConstructor)
+	if len(oc.Keys) != 3 {
+		t.Fatalf("%d keys", len(oc.Keys))
+	}
+	if k, ok := oc.Keys[1].(*ast.Literal); !ok || string(k.Value.(item.Str)) != "b" {
+		t.Error("NCName key should become string literal")
+	}
+	if _, ok := oc.Keys[2].(*ast.VarRef); !ok {
+		t.Error("dynamic key should stay an expression")
+	}
+}
+
+func TestArrayConstructors(t *testing.T) {
+	if ac := mustExpr(t, "[]").(*ast.ArrayConstructor); ac.Body != nil {
+		t.Error("[] should have nil body")
+	}
+	ac := mustExpr(t, "[1, 2, 3]").(*ast.ArrayConstructor)
+	if _, ok := ac.Body.(*ast.CommaExpr); !ok {
+		t.Error("array body should be comma expr")
+	}
+	// nested arrays exercise the [[ token split
+	nested := mustExpr(t, "[[1], [2]]").(*ast.ArrayConstructor)
+	body := nested.Body.(*ast.CommaExpr)
+	if _, ok := body.Exprs[0].(*ast.ArrayConstructor); !ok {
+		t.Error("nested array did not parse")
+	}
+	if _, ok := mustExpr(t, "[[1]]").(*ast.ArrayConstructor); !ok {
+		t.Error("[[1]] should be array of array")
+	}
+}
+
+func TestPostfixChain(t *testing.T) {
+	e := mustExpr(t, `$o.foo[].bar[[1]][$$.x eq 2]`)
+	pred, ok := e.(*ast.Predicate)
+	if !ok {
+		t.Fatalf("top = %#v", e)
+	}
+	al, ok := pred.Input.(*ast.ArrayLookup)
+	if !ok {
+		t.Fatalf("pred input = %#v", pred.Input)
+	}
+	ol, ok := al.Input.(*ast.ObjectLookup)
+	if !ok {
+		t.Fatalf("array lookup input = %#v", al.Input)
+	}
+	ub, ok := ol.Input.(*ast.ArrayUnbox)
+	if !ok {
+		t.Fatalf("lookup input = %#v", ol.Input)
+	}
+	if _, ok := ub.Input.(*ast.ObjectLookup); !ok {
+		t.Fatalf("unbox input = %#v", ub.Input)
+	}
+}
+
+func TestLookupKeyVariants(t *testing.T) {
+	mustExpr(t, `$o."quoted key"`)
+	mustExpr(t, `$o.$k`)
+	mustExpr(t, `$o.("dyn" || "amic")`)
+}
+
+func TestIfSwitchTry(t *testing.T) {
+	ife := mustExpr(t, `if (1 eq 1) then "y" else "n"`).(*ast.IfExpr)
+	if ife.Cond == nil || ife.Then == nil || ife.Else == nil {
+		t.Error("if incomplete")
+	}
+	sw := mustExpr(t, `switch (2) case 1 return "one" case 2 case 3 return "few" default return "many"`).(*ast.SwitchExpr)
+	if len(sw.Cases) != 2 || len(sw.Cases[1].Values) != 2 {
+		t.Errorf("switch cases = %+v", sw.Cases)
+	}
+	tc := mustExpr(t, `try { 1 div 0 } catch * { "caught" }`).(*ast.TryCatch)
+	if tc.Try == nil || tc.Catch == nil {
+		t.Error("try incomplete")
+	}
+}
+
+func TestQuantified(t *testing.T) {
+	q := mustExpr(t, `every $x in 1 to 3, $y in 4 to 5 satisfies $x lt $y`).(*ast.Quantified)
+	if !q.Every || len(q.Bindings) != 2 {
+		t.Errorf("quantified = %+v", q)
+	}
+	s := mustExpr(t, `some $x in (1,2) satisfies $x eq 2`).(*ast.Quantified)
+	if s.Every {
+		t.Error("some parsed as every")
+	}
+}
+
+func TestTypeExpressions(t *testing.T) {
+	io := mustExpr(t, `5 instance of integer`).(*ast.InstanceOf)
+	if io.Type.ItemType != "integer" || io.Type.Occurrence != "" {
+		t.Errorf("instance of = %+v", io.Type)
+	}
+	iop := mustExpr(t, `(1,2) instance of integer+`).(*ast.InstanceOf)
+	if iop.Type.Occurrence != "+" {
+		t.Errorf("occurrence = %q", iop.Type.Occurrence)
+	}
+	ca := mustExpr(t, `"5" cast as integer`).(*ast.CastAs)
+	if ca.TypeName != "integer" {
+		t.Errorf("cast as = %+v", ca)
+	}
+	cb := mustExpr(t, `"x" castable as double`).(*ast.CastableAs)
+	if cb.TypeName != "double" {
+		t.Errorf("castable as = %+v", cb)
+	}
+	tr := mustExpr(t, `() treat as empty-sequence()`).(*ast.TreatAs)
+	if !tr.Type.EmptySequence {
+		t.Errorf("treat as = %+v", tr.Type)
+	}
+}
+
+func TestFLWORFull(t *testing.T) {
+	src := `
+	for $person at $i in json-file("people.json")
+	where $person.age le 65
+	group by $pos := $person.position
+	let $count := count($person)
+	order by $count descending empty greatest
+	count $c
+	return { "position" : $pos, "count" : $count }`
+	e := mustExpr(t, src)
+	fl := e.(*ast.FLWOR)
+	if len(fl.Clauses) != 6 {
+		t.Fatalf("%d clauses", len(fl.Clauses))
+	}
+	fc := fl.Clauses[0].(*ast.ForClause)
+	if fc.Var != "person" || fc.PosVar != "i" {
+		t.Errorf("for clause = %+v", fc)
+	}
+	if _, ok := fl.Clauses[1].(*ast.WhereClause); !ok {
+		t.Error("clause 1 should be where")
+	}
+	gb := fl.Clauses[2].(*ast.GroupByClause)
+	if gb.Specs[0].Var != "pos" || gb.Specs[0].Expr == nil {
+		t.Errorf("group by = %+v", gb.Specs)
+	}
+	if _, ok := fl.Clauses[3].(*ast.LetClause); !ok {
+		t.Error("clause 3 should be let")
+	}
+	ob := fl.Clauses[4].(*ast.OrderByClause)
+	if !ob.Specs[0].Descending || !ob.Specs[0].EmptyGreatest {
+		t.Errorf("order by = %+v", ob.Specs[0])
+	}
+	cc := fl.Clauses[5].(*ast.CountClause)
+	if cc.Var != "c" {
+		t.Errorf("count var = %q", cc.Var)
+	}
+}
+
+func TestFLWORMultiVarDesugaring(t *testing.T) {
+	fl := mustExpr(t, `for $a in (1,2), $b in (3,4) return $a`).(*ast.FLWOR)
+	if len(fl.Clauses) != 2 {
+		t.Fatalf("multi-for should desugar to 2 clauses, got %d", len(fl.Clauses))
+	}
+	fl2 := mustExpr(t, `let $a := 1, $b := 2 return $b`).(*ast.FLWOR)
+	if len(fl2.Clauses) != 2 {
+		t.Fatalf("multi-let should desugar to 2 clauses, got %d", len(fl2.Clauses))
+	}
+}
+
+func TestForAllowingEmpty(t *testing.T) {
+	fl := mustExpr(t, `for $x allowing empty in () return $x`).(*ast.FLWOR)
+	if !fl.Clauses[0].(*ast.ForClause).AllowEmpty {
+		t.Error("allowing empty not set")
+	}
+}
+
+func TestGroupByExistingVariable(t *testing.T) {
+	fl := mustExpr(t, `for $x in (1,2) group by $x return $x`).(*ast.FLWOR)
+	gb := fl.Clauses[1].(*ast.GroupByClause)
+	if gb.Specs[0].Expr != nil {
+		t.Error("grouping by existing variable should have nil expr")
+	}
+}
+
+func TestProlog(t *testing.T) {
+	m, err := Parse(`
+	jsoniq version "1.0";
+	declare variable $threshold := 10;
+	declare function local:double($x) { $x * 2 };
+	local:double($threshold)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Vars) != 1 || m.Vars[0].Name != "threshold" {
+		t.Errorf("vars = %+v", m.Vars)
+	}
+	if len(m.Functions) != 1 || m.Functions[0].Name != "local:double" || len(m.Functions[0].Params) != 1 {
+		t.Errorf("functions = %+v", m.Functions)
+	}
+	if _, ok := m.Body.(*ast.FunctionCall); !ok {
+		t.Errorf("body = %#v", m.Body)
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	e := mustExpr(t, `(: outer (: nested :) comment :) 1 + (: mid :) 2`)
+	if _, ok := e.(*ast.Arith); !ok {
+		t.Errorf("comments broke parse: %#v", e)
+	}
+}
+
+func TestEmptySequenceLiteral(t *testing.T) {
+	e := mustExpr(t, "()")
+	c, ok := e.(*ast.CommaExpr)
+	if !ok || len(c.Exprs) != 0 {
+		t.Errorf("() = %#v", e)
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	u := mustExpr(t, "-5").(*ast.Unary)
+	if !u.Minus {
+		t.Error("minus not set")
+	}
+	uu := mustExpr(t, "--5").(*ast.Unary)
+	if uu.Minus {
+		t.Error("double minus should cancel")
+	}
+}
+
+func TestContextItemExpr(t *testing.T) {
+	e := mustExpr(t, `$$.pid`)
+	ol := e.(*ast.ObjectLookup)
+	if _, ok := ol.Input.(*ast.ContextItem); !ok {
+		t.Errorf("input = %#v", ol.Input)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"", "1 +", "for $x return $x", "for x in (1) return $x",
+		"{ a 1 }", "[1", `"unterminated`, "if (1) then 2", "let $x := 1",
+		"1 2", "$", "switch (1) default return 2 case 1 return 3",
+		"declare variable x := 1; 1", "1 ~", "try { 1 } catch { 2 }",
+		"for $x in (1) order by $x ascending descending return $x",
+		"some $x in (1)", "(1,)", "{ }1{",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestErrorsCarryPosition(t *testing.T) {
+	_, err := Parse("1 +\n  )")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Pos.Line != 2 {
+		t.Errorf("error line = %d, want 2", perr.Pos.Line)
+	}
+}
+
+func TestComplexPaperQuery(t *testing.T) {
+	// The Figure 8 query shape from the paper (adapted to implemented
+	// functions).
+	src := `
+	{
+	  "items-ordered-on-busy-days" : [
+	    for $order in collection("orders")
+	    let $customer := collection("customers")[$$.cid eq $order.customer]
+	    where $order.from eq "USA"
+	    where every $item in $order.items[] satisfies
+	      some $product in collection("products") satisfies $product.pid eq $item.pid
+	    group by $date := $order.date
+	    let $number-of-orders := count($order)
+	    order by $number-of-orders
+	    count $position
+	    return {
+	      "date": $date,
+	      "rank": $position,
+	      "items": [ distinct-values(
+	        for $item in $order.items[]
+	        for $product in collection("products")
+	        where $product.pid eq $item.pid
+	        return { "name": $product.name, "id": $product.id }
+	      ) ]
+	    }
+	  ]
+	}`
+	mustExpr(t, src)
+}
+
+func TestStableOrderBy(t *testing.T) {
+	fl := mustExpr(t, `for $x in (1,2) stable order by $x return $x`).(*ast.FLWOR)
+	if _, ok := fl.Clauses[1].(*ast.OrderByClause); !ok {
+		t.Error("stable order by not parsed")
+	}
+}

@@ -1,0 +1,473 @@
+package runtime
+
+import (
+	"rumble/internal/ast"
+	"rumble/internal/compiler"
+	"rumble/internal/functions"
+	"rumble/internal/item"
+)
+
+// Program is a fully compiled query: a root iterator plus the global
+// dynamic context holding prolog variable bindings.
+type Program struct {
+	Root    Iterator
+	globals *DynamicContext
+}
+
+// GlobalContext returns the dynamic context with prolog variables bound.
+func (p *Program) GlobalContext() *DynamicContext { return p.globals }
+
+// Run materializes the whole result locally (collecting through the
+// cluster when the root iterator is RDD-capable).
+func (p *Program) Run() ([]item.Item, error) {
+	if p.Root.IsRDD() {
+		return CollectRDD(p.Root, p.globals)
+	}
+	return Materialize(p.Root, p.globals)
+}
+
+// Compile analyzes and compiles a parsed module against an environment.
+func Compile(m *ast.Module, env *Env) (*Program, error) {
+	info, err := compiler.Analyze(m)
+	if err != nil {
+		return nil, err
+	}
+	c := &comp{env: env, info: info, udfs: map[string]*udf{}}
+	prog := &Program{}
+	c.globals = func() *DynamicContext { return prog.globals }
+	// Declare UDFs first (bodies compiled after, enabling recursion).
+	for _, fd := range m.Functions {
+		c.udfs[fd.Name] = &udf{name: fd.Name, params: fd.Params}
+	}
+	for _, fd := range m.Functions {
+		body, err := c.compile(fd.Body)
+		if err != nil {
+			return nil, err
+		}
+		c.udfs[fd.Name].body = body
+	}
+	// Global variables evaluate eagerly, in declaration order.
+	globals := NewDynamicContext()
+	for _, vd := range m.Vars {
+		init, err := c.compile(vd.Init)
+		if err != nil {
+			return nil, err
+		}
+		seq, err := Materialize(init, globals)
+		if err != nil {
+			return nil, err
+		}
+		globals = globals.BindVar(vd.Name, seq)
+	}
+	prog.globals = globals
+	root, err := c.compile(m.Body)
+	if err != nil {
+		return nil, err
+	}
+	prog.Root = root
+	return prog, nil
+}
+
+type comp struct {
+	env     *Env
+	info    *compiler.Info
+	udfs    map[string]*udf
+	globals func() *DynamicContext
+}
+
+// aggregateNames are builtins with RDD pushdown in aggregateIter.
+var aggregateNames = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+	"exists": true, "empty": true,
+}
+
+func (c *comp) compile(e ast.Expr) (Iterator, error) {
+	switch n := e.(type) {
+	case *ast.Literal:
+		return &literalIter{value: n.Value}, nil
+	case *ast.VarRef:
+		return &varRefIter{name: n.Name}, nil
+	case *ast.ContextItem:
+		return contextItemIter{}, nil
+	case *ast.CommaExpr:
+		children := make([]Iterator, len(n.Exprs))
+		for i, ch := range n.Exprs {
+			it, err := c.compile(ch)
+			if err != nil {
+				return nil, err
+			}
+			children[i] = it
+		}
+		return newCommaIter(children), nil
+	case *ast.ObjectConstructor:
+		oc := &objectConstructorIter{}
+		for i := range n.Keys {
+			k, err := c.compile(n.Keys[i])
+			if err != nil {
+				return nil, err
+			}
+			v, err := c.compile(n.Values[i])
+			if err != nil {
+				return nil, err
+			}
+			oc.keys = append(oc.keys, k)
+			oc.values = append(oc.values, v)
+		}
+		return oc, nil
+	case *ast.ArrayConstructor:
+		if n.Body == nil {
+			return &arrayConstructorIter{}, nil
+		}
+		body, err := c.compile(n.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &arrayConstructorIter{body: body}, nil
+	case *ast.Unary:
+		op, err := c.compile(n.Operand)
+		if err != nil {
+			return nil, err
+		}
+		return &unaryIter{minus: n.Minus, operand: op}, nil
+	case *ast.Arith:
+		l, r, err := c.compileTwo(n.L, n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &arithIter{op: n.Op, l: l, r: r}, nil
+	case *ast.RangeExpr:
+		l, r, err := c.compileTwo(n.L, n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &rangeIter{l: l, r: r}, nil
+	case *ast.ConcatExpr:
+		l, r, err := c.compileTwo(n.L, n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &concatIter{l: l, r: r}, nil
+	case *ast.Comparison:
+		l, r, err := c.compileTwo(n.L, n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &comparisonIter{op: string(n.Op), general: n.General, l: l, r: r}, nil
+	case *ast.Logic:
+		l, r, err := c.compileTwo(n.L, n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &logicIter{isAnd: n.IsAnd, l: l, r: r}, nil
+	case *ast.Predicate:
+		in, err := c.compile(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := c.compile(n.Pred)
+		if err != nil {
+			return nil, err
+		}
+		return &predicateIter{input: in, pred: pred}, nil
+	case *ast.SimpleMap:
+		in, err := c.compile(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		mapping, err := c.compile(n.Mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &simpleMapIter{input: in, mapping: mapping}, nil
+	case *ast.ObjectLookup:
+		in, err := c.compile(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		key, err := c.compile(n.Key)
+		if err != nil {
+			return nil, err
+		}
+		return &objectLookupIter{input: in, key: key}, nil
+	case *ast.ArrayLookup:
+		in, err := c.compile(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := c.compile(n.Index)
+		if err != nil {
+			return nil, err
+		}
+		return &arrayLookupIter{input: in, index: idx}, nil
+	case *ast.ArrayUnbox:
+		in, err := c.compile(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &arrayUnboxIter{input: in}, nil
+	case *ast.FunctionCall:
+		return c.compileCall(n)
+	case *ast.IfExpr:
+		cond, err := c.compile(n.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := c.compile(n.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := c.compile(n.Else)
+		if err != nil {
+			return nil, err
+		}
+		return &ifIter{cond: cond, then: then, els: els, sc: c.env.Spark}, nil
+	case *ast.SwitchExpr:
+		in, err := c.compile(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		si := &switchIter{input: in}
+		for _, cs := range n.Cases {
+			var vals []Iterator
+			for _, v := range cs.Values {
+				vi, err := c.compile(v)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, vi)
+			}
+			res, err := c.compile(cs.Result)
+			if err != nil {
+				return nil, err
+			}
+			si.cases = append(si.cases, switchCase{values: vals, result: res})
+		}
+		dflt, err := c.compile(n.Default)
+		if err != nil {
+			return nil, err
+		}
+		si.deflt = dflt
+		return si, nil
+	case *ast.TryCatch:
+		try, err := c.compile(n.Try)
+		if err != nil {
+			return nil, err
+		}
+		catch, err := c.compile(n.Catch)
+		if err != nil {
+			return nil, err
+		}
+		return &tryCatchIter{try: try, catch: catch}, nil
+	case *ast.Quantified:
+		qi := &quantifiedIter{every: n.Every}
+		for _, b := range n.Bindings {
+			in, err := c.compile(b.In)
+			if err != nil {
+				return nil, err
+			}
+			qi.bindings = append(qi.bindings, quantBinding{name: b.Var, in: in})
+		}
+		sat, err := c.compile(n.Satisfies)
+		if err != nil {
+			return nil, err
+		}
+		qi.satisfies = sat
+		return qi, nil
+	case *ast.InstanceOf:
+		in, err := c.compile(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &instanceOfIter{input: in, typ: n.Type}, nil
+	case *ast.TreatAs:
+		in, err := c.compile(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &treatIter{input: in, typ: n.Type}, nil
+	case *ast.CastableAs:
+		in, err := c.compile(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &castableIter{input: in, typeName: n.TypeName}, nil
+	case *ast.CastAs:
+		in, err := c.compile(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &castIter{input: in, typeName: n.TypeName}, nil
+	case *ast.FLWOR:
+		return c.compileFLWOR(n)
+	default:
+		return nil, Errorf("compile: unknown expression node %T", e)
+	}
+}
+
+func (c *comp) compileTwo(l, r ast.Expr) (Iterator, Iterator, error) {
+	li, err := c.compile(l)
+	if err != nil {
+		return nil, nil, err
+	}
+	ri, err := c.compile(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return li, ri, nil
+}
+
+func (c *comp) compileCall(n *ast.FunctionCall) (Iterator, error) {
+	args := make([]Iterator, len(n.Args))
+	for i, a := range n.Args {
+		it, err := c.compile(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = it
+	}
+	// The compiler's group-by rewrite turns count($v) into #count-of($v#count),
+	// whose value is the pre-aggregated singleton integer.
+	if n.Name == "#count-of" {
+		return args[0], nil
+	}
+	if fn, ok := c.udfs[n.Name]; ok {
+		return &udfCallIter{fn: fn, args: args, globals: c.globals}, nil
+	}
+	switch n.Name {
+	case "json-file":
+		ji := &jsonFileIter{env: c.env, path: args[0]}
+		if len(args) == 2 {
+			ji.min = args[1]
+		}
+		return ji, nil
+	case "parallelize":
+		pi := &parallelizeIter{env: c.env, child: args[0]}
+		if len(args) == 2 {
+			pi.parts = args[1]
+		}
+		return pi, nil
+	case "collection":
+		return &collectionIter{env: c.env, name: args[0]}, nil
+	case "distinct-values":
+		return &distinctValuesIter{arg: args[0]}, nil
+	}
+	if aggregateNames[n.Name] {
+		ai := &aggregateIter{name: n.Name, arg: args[0]}
+		if len(args) == 2 {
+			ai.dflt = args[1]
+		}
+		return ai, nil
+	}
+	fn, ok := functions.Lookup(n.Name)
+	if !ok {
+		return nil, Errorf("unknown function %s", n.Name)
+	}
+	return &builtinCallIter{fn: fn, args: args}, nil
+}
+
+// compileFLWOR builds both the local tuple pipeline and, when the initial
+// clause is a for over an RDD-capable expression, the DataFrame plan.
+func (c *comp) compileFLWOR(f *ast.FLWOR) (Iterator, error) {
+	ret, err := c.compile(f.Return)
+	if err != nil {
+		return nil, err
+	}
+	out := &flworIter{clauses: f.Clauses, ret: ret}
+
+	var local clauseEval
+	var steps []dfStep
+	dfOK := false
+	var plan *dfPlan
+
+	for i, cl := range f.Clauses {
+		switch n := cl.(type) {
+		case *ast.ForClause:
+			in, err := c.compile(n.In)
+			if err != nil {
+				return nil, err
+			}
+			fe := &forEval{parent: local, varName: n.Var, posVar: n.PosVar, allowEmpty: n.AllowEmpty, in: in}
+			local = fe
+			if i == 0 {
+				if in.IsRDD() && !n.AllowEmpty && c.env.Spark != nil {
+					dfOK = true
+					plan = &dfPlan{sc: c.env.Spark, initVar: n.Var, initPos: n.PosVar, initIn: in, ret: ret}
+				}
+			} else if dfOK {
+				steps = append(steps, dfForStep(n.Var, n.PosVar, n.AllowEmpty, in))
+			}
+		case *ast.LetClause:
+			val, err := c.compile(n.Value)
+			if err != nil {
+				return nil, err
+			}
+			local = &letEval{parent: local, varName: n.Var, value: val}
+			if i == 0 {
+				dfOK = false // a leading let keeps execution local (§4.5)
+			} else if dfOK {
+				steps = append(steps, dfLetStep(n.Var, val))
+			}
+		case *ast.WhereClause:
+			cond, err := c.compile(n.Cond)
+			if err != nil {
+				return nil, err
+			}
+			local = &whereEval{parent: local, cond: cond}
+			if dfOK {
+				steps = append(steps, dfWhereStep(cond))
+			}
+		case *ast.GroupByClause:
+			gplan := c.info.GroupPlans[n]
+			var lspecs []groupSpecEval
+			var dspecs []dfGroupSpec
+			for _, spec := range n.Specs {
+				var exprIt Iterator
+				if spec.Expr != nil {
+					e, err := c.compile(spec.Expr)
+					if err != nil {
+						return nil, err
+					}
+					exprIt = e
+				}
+				lspecs = append(lspecs, groupSpecEval{varName: spec.Var, expr: exprIt})
+				dspecs = append(dspecs, dfGroupSpec{varName: spec.Var, expr: exprIt})
+			}
+			usage := map[string]compiler.VarUsage{}
+			if gplan != nil {
+				usage = gplan.Usage
+			}
+			local = &groupByEval{parent: local, specs: lspecs, usage: usage}
+			if dfOK {
+				steps = append(steps, dfGroupStep(dspecs, usage))
+			}
+		case *ast.OrderByClause:
+			var lspecs []orderSpecEval
+			var dspecs []dfOrderSpec
+			for _, spec := range n.Specs {
+				e, err := c.compile(spec.Expr)
+				if err != nil {
+					return nil, err
+				}
+				lspecs = append(lspecs, orderSpecEval{expr: e, descending: spec.Descending, emptyGreatest: spec.EmptyGreatest})
+				dspecs = append(dspecs, dfOrderSpec{expr: e, descending: spec.Descending, emptyGreatest: spec.EmptyGreatest})
+			}
+			local = &orderByEval{parent: local, specs: lspecs}
+			if dfOK {
+				steps = append(steps, dfOrderStep(dspecs))
+			}
+		case *ast.CountClause:
+			local = &countEval{parent: local, varName: n.Var}
+			if dfOK {
+				steps = append(steps, dfCountStep(n.Var))
+			}
+		default:
+			return nil, Errorf("compile: unknown clause node %T", cl)
+		}
+	}
+	out.local = local
+	if dfOK {
+		plan.steps = steps
+		out.df = plan
+	}
+	return out, nil
+}

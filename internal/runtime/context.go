@@ -1,0 +1,152 @@
+// Package runtime implements Rumble's runtime iterators: each compiled
+// JSONiq expression becomes an iterator that can evaluate (i) locally by
+// streaming items, (ii) on the cluster as an RDD of items, and — for FLWOR
+// clauses — (iii) as DataFrames of tuples, switching seamlessly between the
+// three exactly as §5 of the paper describes.
+//
+// Local evaluation is push-based: an iterator streams its items through a
+// yield callback. All evaluation state lives on the stack of the call, so a
+// compiled iterator tree is immutable and can be shared freely by
+// concurrent executor tasks — this replaces the closure-serialization
+// machinery Spark uses to ship Java iterators to executors.
+package runtime
+
+import (
+	"fmt"
+
+	"rumble/internal/item"
+	"rumble/internal/spark"
+)
+
+// DynamicContext carries variable bindings and the optional context item
+// ($$) during evaluation. Contexts chain to their parent and never mutate
+// after construction, so child contexts can be created per row inside
+// concurrent executor tasks.
+type DynamicContext struct {
+	parent     *DynamicContext
+	vars       map[string][]item.Item
+	ctxItem    item.Item
+	ctxPos     int64 // 1-based position for positional predicates
+	hasCtxItem bool
+}
+
+// NewDynamicContext returns an empty root context.
+func NewDynamicContext() *DynamicContext {
+	return &DynamicContext{}
+}
+
+// BindVars returns a child context with the given variable bindings added.
+// The map is owned by the context afterwards.
+func (dc *DynamicContext) BindVars(vars map[string][]item.Item) *DynamicContext {
+	return &DynamicContext{parent: dc, vars: vars}
+}
+
+// BindVar returns a child context with one extra binding.
+func (dc *DynamicContext) BindVar(name string, seq []item.Item) *DynamicContext {
+	return dc.BindVars(map[string][]item.Item{name: seq})
+}
+
+// WithContextItem returns a child context whose context item ($$) is it,
+// with 1-based position pos.
+func (dc *DynamicContext) WithContextItem(it item.Item, pos int64) *DynamicContext {
+	return &DynamicContext{parent: dc, ctxItem: it, ctxPos: pos, hasCtxItem: true}
+}
+
+// Lookup resolves a variable through the context chain.
+func (dc *DynamicContext) Lookup(name string) ([]item.Item, bool) {
+	for c := dc; c != nil; c = c.parent {
+		if c.vars != nil {
+			if seq, ok := c.vars[name]; ok {
+				return seq, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// ContextItem resolves $$ through the chain.
+func (dc *DynamicContext) ContextItem() (item.Item, int64, bool) {
+	for c := dc; c != nil; c = c.parent {
+		if c.hasCtxItem {
+			return c.ctxItem, c.ctxPos, true
+		}
+	}
+	return nil, 0, false
+}
+
+// Error is a dynamic (runtime) error raised during evaluation, catchable by
+// try/catch expressions.
+type Error struct {
+	Msg string
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// Errorf constructs a dynamic error.
+func Errorf(format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Iterator is a compiled expression. Stream is always available; RDD is
+// available when IsRDD reports true, in which case the expression's output
+// physically lives on the cluster and is never materialized locally unless
+// a consumer demands it.
+type Iterator interface {
+	// Stream evaluates the expression in dc and pushes every result item
+	// to yield, in order.
+	Stream(dc *DynamicContext, yield func(item.Item) error) error
+	// IsRDD reports whether RDD execution is available.
+	IsRDD() bool
+	// RDD returns the result as an RDD of items. Callers must check IsRDD.
+	RDD(dc *DynamicContext) (*spark.RDD[item.Item], error)
+}
+
+// localOnly provides the RDD stubs for iterators that only run locally.
+type localOnly struct{}
+
+// IsRDD implements Iterator.
+func (localOnly) IsRDD() bool { return false }
+
+// RDD implements Iterator.
+func (localOnly) RDD(*DynamicContext) (*spark.RDD[item.Item], error) {
+	return nil, Errorf("expression does not support RDD execution")
+}
+
+// Materialize evaluates it locally and returns the whole sequence. For
+// RDD-capable iterators this collects the RDD (subject to the context's
+// MaxResultItems cap), mirroring Rumble's local API over Spark results.
+func Materialize(it Iterator, dc *DynamicContext) ([]item.Item, error) {
+	var out []item.Item
+	if err := it.Stream(dc, func(i item.Item) error {
+		out = append(out, i)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CollectRDD materializes an RDD-capable iterator through the cluster,
+// subject to the context's MaxResultItems cap — the "collect and replay
+// locally" path of §5.5. Consumers that hold a whole query result (the
+// engine root, the shell) use it; nested evaluation inside closures always
+// streams through the local API instead.
+func CollectRDD(it Iterator, dc *DynamicContext) ([]item.Item, error) {
+	rdd, err := it.RDD(dc)
+	if err != nil {
+		return nil, err
+	}
+	return spark.Collect(rdd)
+}
+
+// exactlyOneAtomic enforces that a sequence holds exactly one atomic item,
+// the common requirement of arithmetic and comparison operands.
+func exactlyOneAtomic(seq []item.Item, what string) (item.Item, error) {
+	if len(seq) != 1 {
+		return nil, Errorf("%s requires a single item, got a sequence of %d", what, len(seq))
+	}
+	if !item.IsAtomic(seq[0]) {
+		return nil, Errorf("%s requires an atomic item, got %s", what, seq[0].Kind())
+	}
+	return seq[0], nil
+}

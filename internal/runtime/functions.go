@@ -1,0 +1,506 @@
+package runtime
+
+import (
+	"os"
+
+	"rumble/internal/dfs"
+	"rumble/internal/functions"
+	"rumble/internal/item"
+	"rumble/internal/jparse"
+	"rumble/internal/spark"
+)
+
+// Env is the compile-time environment: the cluster context plus named
+// collections available to the collection() function.
+type Env struct {
+	// Spark is the cluster context; nil restricts execution to local.
+	Spark *spark.Context
+	// Collections maps collection names to json-lines paths on the
+	// storage layer.
+	Collections map[string]string
+	// InMemory maps collection names to in-memory sequences, useful in
+	// tests and examples.
+	InMemory map[string][]item.Item
+	// SplitSize overrides the storage split size (0 = default).
+	SplitSize int64
+}
+
+// builtinCallIter dispatches a call to the local builtin library,
+// materializing argument sequences first.
+type builtinCallIter struct {
+	localOnly
+	fn   functions.Func
+	args []Iterator
+}
+
+func (b *builtinCallIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
+	argSeqs := make([][]item.Item, len(b.args))
+	for i, a := range b.args {
+		seq, err := Materialize(a, dc)
+		if err != nil {
+			return err
+		}
+		argSeqs[i] = seq
+	}
+	out, err := b.fn.Call(argSeqs)
+	if err != nil {
+		return Errorf("%v", err)
+	}
+	for _, it := range out {
+		if err := yield(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// aggregateIter evaluates count/sum/avg/min/max/exists/empty. When the
+// argument is physically an RDD, the aggregation is pushed down to a Spark
+// action and only the scalar result travels back (§5.5 of the paper:
+// "aggregating iterators invoke a Spark count action on the child RDD").
+type aggregateIter struct {
+	localOnly
+	name string
+	arg  Iterator
+	dflt Iterator // sum's optional zero value
+}
+
+func (a *aggregateIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
+	if a.arg.IsRDD() {
+		return a.streamFromRDD(dc, yield)
+	}
+	seq, err := Materialize(a.arg, dc)
+	if err != nil {
+		return err
+	}
+	args := [][]item.Item{seq}
+	if a.dflt != nil {
+		d, err := Materialize(a.dflt, dc)
+		if err != nil {
+			return err
+		}
+		args = append(args, d)
+	}
+	fn, _ := functions.Lookup(a.name)
+	out, err := fn.Call(args)
+	if err != nil {
+		return Errorf("%v", err)
+	}
+	for _, it := range out {
+		if err := yield(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *aggregateIter) streamFromRDD(dc *DynamicContext, yield func(item.Item) error) error {
+	rdd, err := a.arg.RDD(dc)
+	if err != nil {
+		return err
+	}
+	switch a.name {
+	case "count":
+		n, err := spark.Count(rdd)
+		if err != nil {
+			return err
+		}
+		return yield(item.Int(n))
+	case "exists":
+		first, err := spark.Take(rdd, 1)
+		if err != nil {
+			return err
+		}
+		return yield(item.Bool(len(first) > 0))
+	case "empty":
+		first, err := spark.Take(rdd, 1)
+		if err != nil {
+			return err
+		}
+		return yield(item.Bool(len(first) == 0))
+	case "sum":
+		acc, ok, err := reduceItems(rdd, func(x, y item.Item) (item.Item, error) {
+			return item.Arithmetic(item.OpAdd, x, y)
+		})
+		if err != nil {
+			return err
+		}
+		if !ok {
+			if a.dflt != nil {
+				d, err := Materialize(a.dflt, dc)
+				if err != nil {
+					return err
+				}
+				for _, it := range d {
+					if err := yield(it); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			return yield(item.Int(0))
+		}
+		return yield(acc)
+	case "avg":
+		// One pass computes both the sum and the count per partition.
+		type sc struct {
+			sum item.Item
+			n   int64
+		}
+		pairRDD := spark.MapE(rdd, func(it item.Item) (sc, error) {
+			if !item.IsNumeric(it) {
+				return sc{}, Errorf("avg: non-numeric item of type %s", it.Kind())
+			}
+			return sc{sum: it, n: 1}, nil
+		})
+		total, ok, err := spark.Reduce(pairRDD, func(x, y sc) sc {
+			s, err := item.Arithmetic(item.OpAdd, x.sum, y.sum)
+			if err != nil {
+				// Numeric inputs cannot fail addition; guard anyway.
+				panic(err)
+			}
+			return sc{sum: s, n: x.n + y.n}
+		})
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		res, err := item.Arithmetic(item.OpDiv, total.sum, item.Int(total.n))
+		if err != nil {
+			return Errorf("%v", err)
+		}
+		return yield(res)
+	case "min", "max":
+		isMin := a.name == "min"
+		best, ok, err := reduceItems(rdd, func(x, y item.Item) (item.Item, error) {
+			c, err := item.CompareValues(y, x)
+			if err != nil {
+				return nil, Errorf("min/max: %v", err)
+			}
+			if (isMin && c < 0) || (!isMin && c > 0) {
+				return y, nil
+			}
+			return x, nil
+		})
+		if err != nil || !ok {
+			return err
+		}
+		return yield(best)
+	default:
+		return Errorf("unknown aggregate %s", a.name)
+	}
+}
+
+// reduceItems folds an RDD of items with an error-returning combiner.
+func reduceItems(rdd *spark.RDD[item.Item], f func(x, y item.Item) (item.Item, error)) (item.Item, bool, error) {
+	type res struct {
+		it  item.Item
+		err error
+	}
+	wrapped := spark.Map(rdd, func(it item.Item) res { return res{it: it} })
+	out, ok, err := spark.Reduce(wrapped, func(x, y res) res {
+		if x.err != nil {
+			return x
+		}
+		if y.err != nil {
+			return y
+		}
+		r, err := f(x.it, y.it)
+		if err != nil {
+			return res{err: err}
+		}
+		return res{it: r}
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	if out.err != nil {
+		return nil, false, out.err
+	}
+	return out.it, true, nil
+}
+
+// distinctValuesIter pushes distinct-values down to a shuffle when the
+// argument is an RDD.
+type distinctValuesIter struct {
+	arg Iterator
+}
+
+func (d *distinctValuesIter) IsRDD() bool { return d.arg.IsRDD() }
+
+func (d *distinctValuesIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
+	seq, err := Materialize(d.arg, dc)
+	if err != nil {
+		return err
+	}
+	for _, it := range functions.DistinctValues(seq) {
+		if err := yield(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *distinctValuesIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
+	rdd, err := d.arg.RDD(dc)
+	if err != nil {
+		return nil, err
+	}
+	return spark.Distinct(rdd, func(it item.Item) string {
+		return string(it.AppendJSON(nil))
+	}), nil
+}
+
+// jsonFileIter reads a json-lines dataset from the storage layer as an RDD
+// of items, one streaming parse per split (the json-file() function of
+// §5.7). The optional second argument is a minimum partition count.
+type jsonFileIter struct {
+	env  *Env
+	path Iterator
+	min  Iterator // optional minimum partitions
+}
+
+func (j *jsonFileIter) IsRDD() bool { return j.env.Spark != nil }
+
+func (j *jsonFileIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
+	splits, err := j.splits(dc)
+	if err != nil {
+		return err
+	}
+	for _, s := range splits {
+		if err := dfs.ReadLines(s, nil, func(line []byte) error {
+			it, perr := jparse.Parse(line)
+			if perr != nil {
+				return Errorf("json-file: %v", perr)
+			}
+			return yield(it)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (j *jsonFileIter) splits(dc *DynamicContext) ([]dfs.Split, error) {
+	pseq, err := Materialize(j.path, dc)
+	if err != nil {
+		return nil, err
+	}
+	pit, err := exactlyOneAtomic(pseq, "json-file path")
+	if err != nil {
+		return nil, err
+	}
+	path, err := item.StringValue(pit)
+	if err != nil {
+		return nil, Errorf("%v", err)
+	}
+	splitSize := j.env.SplitSize
+	if j.min != nil {
+		mseq, err := Materialize(j.min, dc)
+		if err != nil {
+			return nil, err
+		}
+		mit, err := exactlyOneAtomic(mseq, "json-file partition count")
+		if err != nil {
+			return nil, err
+		}
+		mi, err := item.CastToInteger(mit)
+		if err != nil {
+			return nil, Errorf("json-file: %v", err)
+		}
+		if n := int64(mi.(item.Int)); n > 0 {
+			if info, statErr := statSize(path); statErr == nil && info > 0 {
+				splitSize = info/n + 1
+			}
+		}
+	}
+	splits, err := dfs.ListSplits(path, splitSize)
+	if err != nil {
+		return nil, Errorf("json-file: %v", err)
+	}
+	return splits, nil
+}
+
+func (j *jsonFileIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
+	splits, err := j.splits(dc)
+	if err != nil {
+		return nil, err
+	}
+	sc := j.env.Spark
+	return spark.NewRDD(sc, len(splits), "json-file", func(p int, yield func(item.Item) error) error {
+		var n int64
+		defer func() { sc.AddRecordsRead(n) }()
+		return dfs.ReadLines(splits[p], func(blocks int) { sc.SimulateIO(blocks) }, func(line []byte) error {
+			it, perr := jparse.Parse(line)
+			if perr != nil {
+				return Errorf("json-file: %v", perr)
+			}
+			n++
+			return yield(it)
+		})
+	}), nil
+}
+
+// parallelizeIter distributes a locally computed sequence over the cluster,
+// the JSONiq wrapper for Spark's parallelize() (§5.7).
+type parallelizeIter struct {
+	env   *Env
+	child Iterator
+	parts Iterator // optional partition count
+}
+
+func (p *parallelizeIter) IsRDD() bool { return p.env.Spark != nil }
+
+func (p *parallelizeIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
+	// Local mode: parallelize is the identity on the logical layer.
+	return p.child.Stream(dc, yield)
+}
+
+func (p *parallelizeIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
+	seq, err := Materialize(p.child, dc)
+	if err != nil {
+		return nil, err
+	}
+	parts := 0
+	if p.parts != nil {
+		pseq, err := Materialize(p.parts, dc)
+		if err != nil {
+			return nil, err
+		}
+		pit, err := exactlyOneAtomic(pseq, "parallelize partition count")
+		if err != nil {
+			return nil, err
+		}
+		pi, err := item.CastToInteger(pit)
+		if err != nil {
+			return nil, Errorf("parallelize: %v", err)
+		}
+		parts = int(pi.(item.Int))
+	}
+	return spark.Parallelize(p.env.Spark, seq, parts), nil
+}
+
+// collectionIter resolves collection(name) against the environment's
+// registered collections: a storage path or an in-memory sequence.
+type collectionIter struct {
+	env  *Env
+	name Iterator
+}
+
+func (c *collectionIter) resolve(dc *DynamicContext) (Iterator, error) {
+	nseq, err := Materialize(c.name, dc)
+	if err != nil {
+		return nil, err
+	}
+	nit, err := exactlyOneAtomic(nseq, "collection name")
+	if err != nil {
+		return nil, err
+	}
+	name, err := item.StringValue(nit)
+	if err != nil {
+		return nil, Errorf("%v", err)
+	}
+	if path, ok := c.env.Collections[name]; ok {
+		return &jsonFileIter{env: c.env, path: &literalIter{value: item.Str(path)}}, nil
+	}
+	if seq, ok := c.env.InMemory[name]; ok {
+		return &parallelizeIter{env: c.env, child: &constSeqIter{seq: seq}}, nil
+	}
+	return nil, Errorf("collection %q is not registered", name)
+}
+
+func (c *collectionIter) IsRDD() bool { return c.env.Spark != nil }
+
+func (c *collectionIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
+	it, err := c.resolve(dc)
+	if err != nil {
+		return err
+	}
+	return it.Stream(dc, yield)
+}
+
+func (c *collectionIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
+	it, err := c.resolve(dc)
+	if err != nil {
+		return nil, err
+	}
+	return it.RDD(dc)
+}
+
+// constSeqIter yields a fixed sequence (used for bound collections).
+type constSeqIter struct {
+	localOnly
+	seq []item.Item
+}
+
+func (c *constSeqIter) Stream(_ *DynamicContext, yield func(item.Item) error) error {
+	for _, it := range c.seq {
+		if err := yield(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// udf is a compiled user-declared function.
+type udf struct {
+	name   string
+	params []string
+	body   Iterator // filled after compilation to allow recursion
+}
+
+// udfCallIter invokes a user-declared function: parameters are materialized
+// and bound in a fresh context rooted at the global scope (JSONiq functions
+// see global variables but not the caller's locals).
+type udfCallIter struct {
+	localOnly
+	fn      *udf
+	args    []Iterator
+	globals func() *DynamicContext
+}
+
+func (u *udfCallIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
+	vars := make(map[string][]item.Item, len(u.args))
+	for i, a := range u.args {
+		seq, err := Materialize(a, dc)
+		if err != nil {
+			return err
+		}
+		vars[u.fn.params[i]] = seq
+	}
+	fdc := u.globals().BindVars(vars)
+	return u.fn.body.Stream(fdc, yield)
+}
+
+// statSize returns the total byte size of a file or of the part files in a
+// directory, used to honor json-file's minimum-partition hint.
+func statSize(path string) (int64, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	if !info.IsDir() {
+		return info.Size(), nil
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			return 0, err
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}

@@ -1,0 +1,256 @@
+package runtime
+
+import (
+	"rumble/internal/item"
+	"rumble/internal/spark"
+)
+
+// objectLookupIter implements Input.Key: for every object item in the
+// input, yield the value bound to the key; non-objects and absent keys
+// contribute nothing. RDD execution is a flatMap, as §4.1.2 describes.
+type objectLookupIter struct {
+	input Iterator
+	key   Iterator
+}
+
+func (o *objectLookupIter) IsRDD() bool { return o.input.IsRDD() }
+
+// lookupKey evaluates the key expression to a string.
+func (o *objectLookupIter) lookupKey(dc *DynamicContext) (string, error) {
+	seq, err := Materialize(o.key, dc)
+	if err != nil {
+		return "", err
+	}
+	kit, err := exactlyOneAtomic(seq, "object lookup key")
+	if err != nil {
+		return "", err
+	}
+	s, err := item.StringValue(kit)
+	if err != nil {
+		return "", Errorf("%v", err)
+	}
+	return s, nil
+}
+
+func (o *objectLookupIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
+	key, err := o.lookupKey(dc)
+	if err != nil {
+		return err
+	}
+	return o.input.Stream(dc, func(it item.Item) error {
+		if obj, ok := it.(*item.Object); ok {
+			if v, found := obj.Get(key); found {
+				return yield(v)
+			}
+		}
+		return nil
+	})
+}
+
+func (o *objectLookupIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
+	in, err := o.input.RDD(dc)
+	if err != nil {
+		return nil, err
+	}
+	key, err := o.lookupKey(dc)
+	if err != nil {
+		return nil, err
+	}
+	return spark.FlatMap(in, func(it item.Item) []item.Item {
+		if obj, ok := it.(*item.Object); ok {
+			if v, found := obj.Get(key); found {
+				return []item.Item{v}
+			}
+		}
+		return nil
+	}), nil
+}
+
+// arrayUnboxIter implements Input[]: stream the members of each array item;
+// non-arrays contribute nothing.
+type arrayUnboxIter struct {
+	input Iterator
+}
+
+func (a *arrayUnboxIter) IsRDD() bool { return a.input.IsRDD() }
+
+func (a *arrayUnboxIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
+	return a.input.Stream(dc, func(it item.Item) error {
+		if arr, ok := it.(*item.Array); ok {
+			for _, m := range arr.Members() {
+				if err := yield(m); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func (a *arrayUnboxIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
+	in, err := a.input.RDD(dc)
+	if err != nil {
+		return nil, err
+	}
+	return spark.FlatMap(in, func(it item.Item) []item.Item {
+		if arr, ok := it.(*item.Array); ok {
+			return arr.Members()
+		}
+		return nil
+	}), nil
+}
+
+// arrayLookupIter implements Input[[Index]] (1-based member access).
+type arrayLookupIter struct {
+	input Iterator
+	index Iterator
+}
+
+func (a *arrayLookupIter) IsRDD() bool { return a.input.IsRDD() }
+
+func (a *arrayLookupIter) indexValue(dc *DynamicContext) (int64, bool, error) {
+	seq, err := Materialize(a.index, dc)
+	if err != nil {
+		return 0, false, err
+	}
+	if len(seq) == 0 {
+		return 0, false, nil
+	}
+	iit, err := exactlyOneAtomic(seq, "array lookup index")
+	if err != nil {
+		return 0, false, err
+	}
+	n, err := item.CastToInteger(iit)
+	if err != nil {
+		return 0, false, Errorf("array lookup index must be an integer: %v", err)
+	}
+	return int64(n.(item.Int)), true, nil
+}
+
+func member(it item.Item, idx int64) (item.Item, bool) {
+	arr, ok := it.(*item.Array)
+	if !ok || idx < 1 || idx > int64(arr.Len()) {
+		return nil, false
+	}
+	return arr.Member(int(idx - 1)), true
+}
+
+func (a *arrayLookupIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
+	idx, ok, err := a.indexValue(dc)
+	if err != nil || !ok {
+		return err
+	}
+	return a.input.Stream(dc, func(it item.Item) error {
+		if m, found := member(it, idx); found {
+			return yield(m)
+		}
+		return nil
+	})
+}
+
+func (a *arrayLookupIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
+	in, err := a.input.RDD(dc)
+	if err != nil {
+		return nil, err
+	}
+	idx, ok, err := a.indexValue(dc)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return spark.Parallelize[item.Item](in.Context(), nil, 1), nil
+	}
+	return spark.FlatMap(in, func(it item.Item) []item.Item {
+		if m, found := member(it, idx); found {
+			return []item.Item{m}
+		}
+		return nil
+	}), nil
+}
+
+// simpleMapIter implements the "!" operator: the mapping expression is
+// evaluated once per input item with $$ bound to it, results concatenated.
+// On the cluster it is a flatMap whose closure carries the mapping
+// iterator, evaluated through its local API per item (§5.6).
+type simpleMapIter struct {
+	input   Iterator
+	mapping Iterator
+}
+
+func (s *simpleMapIter) IsRDD() bool { return s.input.IsRDD() }
+
+func (s *simpleMapIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
+	var pos int64
+	return s.input.Stream(dc, func(it item.Item) error {
+		pos++
+		return s.mapping.Stream(dc.WithContextItem(it, pos), yield)
+	})
+}
+
+func (s *simpleMapIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
+	in, err := s.input.RDD(dc)
+	if err != nil {
+		return nil, err
+	}
+	indexed := spark.ZipWithIndex(in)
+	return spark.FlatMapE(indexed, func(kv spark.Pair[int64, item.Item]) ([]item.Item, error) {
+		return Materialize(s.mapping, dc.WithContextItem(kv.Value, kv.Key+1))
+	}), nil
+}
+
+// predicateIter implements Input[Pred]. For every input item, the predicate
+// is evaluated with $$ bound to the item and the context position to its
+// 1-based index: a numeric predicate value selects by position, anything
+// else filters by effective boolean value. On the cluster, the predicate
+// iterator travels inside the closure and runs through its local API on
+// each executor (§5.6).
+type predicateIter struct {
+	input Iterator
+	pred  Iterator
+}
+
+func (p *predicateIter) IsRDD() bool { return p.input.IsRDD() }
+
+// keep decides whether the item at position pos (1-based) passes.
+func (p *predicateIter) keep(dc *DynamicContext, it item.Item, pos int64) (bool, error) {
+	pdc := dc.WithContextItem(it, pos)
+	seq, err := Materialize(p.pred, pdc)
+	if err != nil {
+		return false, err
+	}
+	if len(seq) == 1 && item.IsNumeric(seq[0]) {
+		return item.Float64Value(seq[0]) == float64(pos), nil
+	}
+	b, err := item.EffectiveBoolean(seq)
+	if err != nil {
+		return false, Errorf("%v", err)
+	}
+	return b, nil
+}
+
+func (p *predicateIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
+	var pos int64
+	return p.input.Stream(dc, func(it item.Item) error {
+		pos++
+		ok, err := p.keep(dc, it, pos)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return yield(it)
+		}
+		return nil
+	})
+}
+
+func (p *predicateIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
+	in, err := p.input.RDD(dc)
+	if err != nil {
+		return nil, err
+	}
+	indexed := spark.ZipWithIndex(in)
+	filtered := spark.FilterE(indexed, func(kv spark.Pair[int64, item.Item]) (bool, error) {
+		return p.keep(dc, kv.Value, kv.Key+1)
+	})
+	return spark.Values(filtered), nil
+}

@@ -1,0 +1,186 @@
+package spark
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rumble/internal/item"
+)
+
+func TestExplodeWithPosition(t *testing.T) {
+	ctx := testCtx()
+	rows := []Row{{seq(item.Int(2))}, {seq(item.Int(0))}, {seq(item.Int(3))}}
+	df := NewDataFrame(Schema{Cols: []Column{{Name: "n", Type: ColSeq}}}, Parallelize(ctx, rows, 2))
+	udf := func(r Row) ([]item.Item, error) {
+		n := int64(r.Seq(0)[0].(item.Int))
+		var out []item.Item
+		for i := int64(0); i < n; i++ {
+			out = append(out, item.Str(fmt.Sprintf("v%d", i)))
+		}
+		return out, nil
+	}
+	exploded := df.ExplodeWithPosition("v", "pos", udf, false)
+	got, err := exploded.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 { // 2 + 0 + 3
+		t.Fatalf("%d rows", len(got))
+	}
+	// Position restarts per source row and is 1-based.
+	if p := got[0].Seq(2); int64(p[0].(item.Int)) != 1 {
+		t.Errorf("first position = %v", p)
+	}
+	if p := got[1].Seq(2); int64(p[0].(item.Int)) != 2 {
+		t.Errorf("second position = %v", p)
+	}
+	if p := got[2].Seq(2); int64(p[0].(item.Int)) != 1 {
+		t.Errorf("position should restart per row: %v", p)
+	}
+	// keepEmpty binds position 0
+	kept, err := df.ExplodeWithPosition("v", "pos", udf, true).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 6 {
+		t.Fatalf("keepEmpty rows = %d", len(kept))
+	}
+	foundZero := false
+	for _, r := range kept {
+		if p := r.Seq(2); len(p) == 1 && int64(p[0].(item.Int)) == 0 {
+			foundZero = true
+			if len(r.Seq(1)) != 0 {
+				t.Error("allowing-empty row should bind the empty sequence")
+			}
+		}
+	}
+	if !foundZero {
+		t.Error("allowing-empty row with position 0 missing")
+	}
+}
+
+func TestAggSumInt(t *testing.T) {
+	ctx := testCtx()
+	var rows []Row
+	for i := 0; i < 60; i++ {
+		rows = append(rows, Row{int64(i % 3), int64(2)})
+	}
+	schema := Schema{Cols: []Column{{Name: "k", Type: ColInt}, {Name: "c", Type: ColInt}}}
+	df := NewDataFrame(schema, Parallelize(ctx, rows, 4))
+	grouped, err := df.GroupBy([]string{"k"}, []Agg{{Col: "c", Kind: AggSumInt, As: "total"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := grouped.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d groups", len(got))
+	}
+	for _, r := range got {
+		if r[1].(int64) != 40 { // 20 rows per group x 2
+			t.Errorf("group %v total = %v", r[0], r[1])
+		}
+	}
+	if grouped.Schema().Cols[1].Type != ColInt {
+		t.Error("AggSumInt output should be int-typed")
+	}
+}
+
+func TestForeachPartitionSink(t *testing.T) {
+	ctx := testCtx()
+	dir := t.TempDir()
+	r := Parallelize(ctx, []string{"a", "b", "c", "d", "e"}, 3)
+	lines := Map(r, func(s string) []byte { return []byte(s) })
+	err := ForeachPartitionSink(lines, func(p int) (Sink[[]byte], error) {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("part-%d", p)))
+		if err != nil {
+			return Sink[[]byte]{}, err
+		}
+		return Sink[[]byte]{
+			Write: func(b []byte) error {
+				_, err := f.Write(append(b, '\n'))
+				return err
+			},
+			Close: f.Close,
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Errorf("%d part files", len(entries))
+	}
+	total := 0
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range data {
+			if b == '\n' {
+				total++
+			}
+		}
+	}
+	if total != 5 {
+		t.Errorf("wrote %d lines", total)
+	}
+}
+
+func TestForeachPartitionSinkOpenError(t *testing.T) {
+	ctx := testCtx()
+	r := Parallelize(ctx, []int{1, 2, 3}, 2)
+	err := ForeachPartitionSink(r, func(p int) (Sink[int], error) {
+		return Sink[int]{}, fmt.Errorf("cannot open %d", p)
+	})
+	if err == nil {
+		t.Error("sink open failure should propagate")
+	}
+}
+
+func TestSimulateIOLatency(t *testing.T) {
+	ctx := NewContext(Config{Parallelism: 2, Executors: 2, IOLatency: 5 * time.Millisecond})
+	start := time.Now()
+	ctx.SimulateIO(3)
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("SimulateIO(3) slept only %v", elapsed)
+	}
+	// disabled latency must not sleep
+	fast := NewContext(Config{Parallelism: 2, Executors: 2})
+	start = time.Now()
+	fast.SimulateIO(1000)
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Errorf("disabled SimulateIO slept %v", elapsed)
+	}
+}
+
+func TestIOLatencyOverlapsAcrossExecutors(t *testing.T) {
+	// With per-partition I/O latency, doubling executors should roughly
+	// halve the wall time of an I/O-bound stage.
+	run := func(executors int) time.Duration {
+		ctx := NewContext(Config{Parallelism: 8, Executors: executors, IOLatency: 4 * time.Millisecond})
+		r := NewRDD(ctx, 8, "io", func(p int, yield func(int) error) error {
+			ctx.SimulateIO(2) // 8 ms per partition
+			return yield(p)
+		})
+		start := time.Now()
+		if _, err := Count(r); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	serial := run(1)
+	parallel := run(8)
+	if parallel*2 >= serial {
+		t.Errorf("no overlap: 1 exec %v, 8 exec %v", serial, parallel)
+	}
+}

@@ -1,0 +1,395 @@
+package spark
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RDD is a lazy, partitioned dataset of T values. A transformation returns
+// a new RDD whose partitions pipeline over the parent's without
+// materializing intermediate results; an action (Collect, Count, ...) runs
+// the pipeline on the executor pool.
+//
+// Compute functions are push-based: computing partition p calls yield once
+// per element. A non-nil error from yield aborts the partition (used by
+// Take to stop early).
+type RDD[T any] struct {
+	ctx     *Context
+	parts   int
+	name    string
+	compute func(p int, yield func(T) error) error
+}
+
+// errStopEarly signals deliberate early termination of a partition scan.
+var errStopEarly = fmt.Errorf("spark: stop early")
+
+// NewRDD constructs an RDD from a raw compute function. Library code and
+// input sources use it; query-level code should prefer the transformations.
+func NewRDD[T any](ctx *Context, parts int, name string, compute func(p int, yield func(T) error) error) *RDD[T] {
+	if parts < 0 {
+		parts = 0
+	}
+	return &RDD[T]{ctx: ctx, parts: parts, name: name, compute: compute}
+}
+
+// Context returns the owning context.
+func (r *RDD[T]) Context() *Context { return r.ctx }
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return r.parts }
+
+// Name returns the debug name of the RDD.
+func (r *RDD[T]) Name() string { return r.name }
+
+// Parallelize distributes data over parts partitions (parts <= 0 uses the
+// context default). It mirrors Spark's parallelize and backs the JSONiq
+// parallelize() function.
+func Parallelize[T any](ctx *Context, data []T, parts int) *RDD[T] {
+	if parts <= 0 {
+		parts = ctx.conf.Parallelism
+	}
+	if parts > len(data) && len(data) > 0 {
+		parts = len(data)
+	}
+	if len(data) == 0 {
+		parts = 1
+	}
+	n := len(data)
+	return NewRDD(ctx, parts, "parallelize", func(p int, yield func(T) error) error {
+		lo, hi := sliceRange(n, parts, p)
+		for _, v := range data[lo:hi] {
+			if err := yield(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// sliceRange splits n elements into parts contiguous ranges and returns the
+// bounds of range p.
+func sliceRange(n, parts, p int) (lo, hi int) {
+	q, rem := n/parts, n%parts
+	lo = p*q + min(p, rem)
+	hi = lo + q
+	if p < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Map applies f to every element.
+func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	return NewRDD(r.ctx, r.parts, "map("+r.name+")", func(p int, yield func(U) error) error {
+		return r.compute(p, func(v T) error { return yield(f(v)) })
+	})
+}
+
+// MapE is Map with an error-returning function; an error aborts the job.
+func MapE[T, U any](r *RDD[T], f func(T) (U, error)) *RDD[U] {
+	return NewRDD(r.ctx, r.parts, "map("+r.name+")", func(p int, yield func(U) error) error {
+		return r.compute(p, func(v T) error {
+			u, err := f(v)
+			if err != nil {
+				return err
+			}
+			return yield(u)
+		})
+	})
+}
+
+// Filter keeps the elements for which pred returns true.
+func Filter[T any](r *RDD[T], pred func(T) bool) *RDD[T] {
+	return NewRDD(r.ctx, r.parts, "filter("+r.name+")", func(p int, yield func(T) error) error {
+		return r.compute(p, func(v T) error {
+			if pred(v) {
+				return yield(v)
+			}
+			return nil
+		})
+	})
+}
+
+// FilterE is Filter with an error-returning predicate.
+func FilterE[T any](r *RDD[T], pred func(T) (bool, error)) *RDD[T] {
+	return NewRDD(r.ctx, r.parts, "filter("+r.name+")", func(p int, yield func(T) error) error {
+		return r.compute(p, func(v T) error {
+			ok, err := pred(v)
+			if err != nil {
+				return err
+			}
+			if ok {
+				return yield(v)
+			}
+			return nil
+		})
+	})
+}
+
+// FlatMap applies f to every element and flattens the results.
+func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	return NewRDD(r.ctx, r.parts, "flatMap("+r.name+")", func(p int, yield func(U) error) error {
+		return r.compute(p, func(v T) error {
+			for _, u := range f(v) {
+				if err := yield(u); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+}
+
+// FlatMapE is FlatMap with an error-returning function.
+func FlatMapE[T, U any](r *RDD[T], f func(T) ([]U, error)) *RDD[U] {
+	return NewRDD(r.ctx, r.parts, "flatMap("+r.name+")", func(p int, yield func(U) error) error {
+		return r.compute(p, func(v T) error {
+			us, err := f(v)
+			if err != nil {
+				return err
+			}
+			for _, u := range us {
+				if err := yield(u); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+}
+
+// MapPartitions transforms one whole partition at a time. f receives the
+// partition index and a pull function and pushes results to yield; it is
+// the engine-level hook json-file uses to run a streaming parser per split.
+func MapPartitions[T, U any](r *RDD[T], f func(p int, in []T, yield func(U) error) error) *RDD[U] {
+	return NewRDD(r.ctx, r.parts, "mapPartitions("+r.name+")", func(p int, yield func(U) error) error {
+		var buf []T
+		if err := r.compute(p, func(v T) error {
+			buf = append(buf, v)
+			return nil
+		}); err != nil {
+			return err
+		}
+		return f(p, buf, yield)
+	})
+}
+
+// Union concatenates two RDDs (partitions of a followed by partitions of b).
+func Union[T any](a, b *RDD[T]) *RDD[T] {
+	return NewRDD(a.ctx, a.parts+b.parts, "union", func(p int, yield func(T) error) error {
+		if p < a.parts {
+			return a.compute(p, yield)
+		}
+		return b.compute(p-a.parts, yield)
+	})
+}
+
+// Coalesce reduces the partition count to parts by concatenating ranges of
+// parent partitions. It does not shuffle.
+func Coalesce[T any](r *RDD[T], parts int) *RDD[T] {
+	if parts <= 0 || parts >= r.parts {
+		return r
+	}
+	return NewRDD(r.ctx, parts, "coalesce("+r.name+")", func(p int, yield func(T) error) error {
+		lo, hi := sliceRange(r.parts, parts, p)
+		for pp := lo; pp < hi; pp++ {
+			if err := r.compute(pp, yield); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Cache materializes the RDD on first action and serves subsequent
+// computations from memory, like Spark's cache()/persist(MEMORY_ONLY).
+func Cache[T any](r *RDD[T]) *RDD[T] {
+	var (
+		once sync.Once
+		data [][]T
+		err  error
+	)
+	materialize := func() {
+		data = make([][]T, r.parts)
+		err = r.ctx.runStage(r.parts, func(p int) error {
+			var part []T
+			e := r.compute(p, func(v T) error {
+				part = append(part, v)
+				return nil
+			})
+			data[p] = part
+			return e
+		})
+	}
+	return NewRDD(r.ctx, r.parts, "cache("+r.name+")", func(p int, yield func(T) error) error {
+		once.Do(materialize)
+		if err != nil {
+			return err
+		}
+		for _, v := range data[p] {
+			if e := yield(v); e != nil {
+				return e
+			}
+		}
+		return nil
+	})
+}
+
+// Collect materializes every element on the driver, partition order
+// preserved. It fails with ErrResultTooLarge when MaxResultItems is set and
+// exceeded.
+func Collect[T any](r *RDD[T]) ([]T, error) {
+	parts := make([][]T, r.parts)
+	limit := r.ctx.conf.MaxResultItems
+	var total int64
+	var mu sync.Mutex
+	err := r.ctx.runStage(r.parts, func(p int) error {
+		var buf []T
+		if err := r.compute(p, func(v T) error {
+			buf = append(buf, v)
+			return nil
+		}); err != nil {
+			return err
+		}
+		mu.Lock()
+		total += int64(len(buf))
+		over := limit > 0 && total > int64(limit)
+		mu.Unlock()
+		if over {
+			return ErrResultTooLarge
+		}
+		parts[p] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// Count returns the number of elements.
+func Count[T any](r *RDD[T]) (int64, error) {
+	counts := make([]int64, r.parts)
+	err := r.ctx.runStage(r.parts, func(p int) error {
+		var n int64
+		if err := r.compute(p, func(T) error { n++; return nil }); err != nil {
+			return err
+		}
+		counts[p] = n
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	return total, nil
+}
+
+// Take returns the first n elements in partition order, scanning partitions
+// sequentially and stopping early, like Spark's take().
+func Take[T any](r *RDD[T], n int) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, 0, n)
+	for p := 0; p < r.parts && len(out) < n; p++ {
+		err := r.ctx.runTask(p, func(p int) error {
+			return r.compute(p, func(v T) error {
+				out = append(out, v)
+				if len(out) >= n {
+					return errStopEarly
+				}
+				return nil
+			})
+		})
+		if err != nil && err != errStopEarly {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Reduce combines all elements with f. It returns ok=false on an empty RDD.
+func Reduce[T any](r *RDD[T], f func(T, T) T) (zero T, ok bool, err error) {
+	partials := make([]*T, r.parts)
+	err = r.ctx.runStage(r.parts, func(p int) error {
+		var acc *T
+		if e := r.compute(p, func(v T) error {
+			if acc == nil {
+				vv := v
+				acc = &vv
+			} else {
+				*acc = f(*acc, v)
+			}
+			return nil
+		}); e != nil {
+			return e
+		}
+		partials[p] = acc
+		return nil
+	})
+	if err != nil {
+		return zero, false, err
+	}
+	var acc *T
+	for _, pv := range partials {
+		if pv == nil {
+			continue
+		}
+		if acc == nil {
+			acc = pv
+		} else {
+			*acc = f(*acc, *pv)
+		}
+	}
+	if acc == nil {
+		return zero, false, nil
+	}
+	return *acc, true, nil
+}
+
+// Foreach runs f on every element for its side effects.
+func Foreach[T any](r *RDD[T], f func(T) error) error {
+	return r.ctx.runStage(r.parts, func(p int) error {
+		return r.compute(p, f)
+	})
+}
+
+// ForeachPartition streams every partition through f for its side effects;
+// f is called once per element with the partition index.
+func ForeachPartition[T any](r *RDD[T], f func(p int, v T) error) error {
+	return r.ctx.runStage(r.parts, func(p int) error {
+		return r.compute(p, func(v T) error { return f(p, v) })
+	})
+}
+
+// Sink receives one partition's elements during ForeachPartitionSink.
+type Sink[T any] struct {
+	Write func(T) error
+	Close func() error
+}
+
+// ForeachPartitionSink opens one sink per partition (on the executor), and
+// streams the partition's elements into it — the saveAsTextFile pattern:
+// output flows straight from the pipeline to storage without driver-side
+// materialization.
+func ForeachPartitionSink[T any](r *RDD[T], open func(p int) (Sink[T], error)) error {
+	return r.ctx.runStage(r.parts, func(p int) error {
+		sink, err := open(p)
+		if err != nil {
+			return err
+		}
+		if err := r.compute(p, sink.Write); err != nil {
+			sink.Close()
+			return err
+		}
+		return sink.Close()
+	})
+}

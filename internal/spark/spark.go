@@ -1,0 +1,182 @@
+// Package spark is a miniature Apache-Spark-like parallel dataflow engine:
+// lazy RDDs computed partition-by-partition on a bounded executor pool,
+// narrow transformations pipelined without materialization, wide
+// transformations (group, sort, zip-with-index) separated by shuffle
+// barriers, and a DataFrame layer with typed columns on top.
+//
+// It is the substrate Rumble's runtime iterators compile to, standing in
+// for Apache Spark 2.4 in the paper. The engine preserves Spark's cost
+// structure — per-partition pipelines, shuffle barriers, schema-less rows
+// (RDD) versus columnar typed rows (DataFrame) — which is what the paper's
+// experiments exercise.
+package spark
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Context. The zero value is usable: missing fields default
+// to 4 partitions and 4 executor slots.
+type Config struct {
+	// Parallelism is the default number of partitions for new RDDs.
+	Parallelism int
+	// Executors bounds how many partition tasks run concurrently,
+	// emulating the total executor cores of a cluster.
+	Executors int
+	// MaxResultItems caps Collect sizes; 0 means unlimited. Mirrors
+	// Rumble's configurable materialization cap.
+	MaxResultItems int
+	// IOLatency, if positive, simulates storage latency: readers sleep
+	// this long per simulated block read (see dfs integration). It lets
+	// scalability experiments show I/O overlap beyond the host's core
+	// count, as on the paper's EMR clusters.
+	IOLatency time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Parallelism <= 0 {
+		c.Parallelism = 4
+	}
+	if c.Executors <= 0 {
+		c.Executors = 4
+	}
+	return c
+}
+
+// Context owns the executor pool and metrics for one logical "cluster".
+// Contexts are safe for concurrent use.
+type Context struct {
+	conf    Config
+	metrics Metrics
+}
+
+// NewContext returns a Context with the given configuration.
+func NewContext(conf Config) *Context {
+	return &Context{conf: conf.withDefaults()}
+}
+
+// Conf returns the context configuration.
+func (c *Context) Conf() Config { return c.conf }
+
+// DefaultParallelism returns the default partition count.
+func (c *Context) DefaultParallelism() int { return c.conf.Parallelism }
+
+// Metrics is a snapshot of engine counters. Aggregated task time is the
+// "aggregated runtime over the cluster" series of the paper's Figure 14.
+type Metrics struct {
+	TasksRun       atomic.Int64
+	TaskNanos      atomic.Int64
+	RecordsRead    atomic.Int64
+	ShuffleRecords atomic.Int64
+	StagesRun      atomic.Int64
+}
+
+// MetricsSnapshot is a plain-value copy of Metrics.
+type MetricsSnapshot struct {
+	TasksRun       int64
+	TaskTime       time.Duration
+	RecordsRead    int64
+	ShuffleRecords int64
+	StagesRun      int64
+}
+
+// Metrics returns a snapshot of the counters.
+func (c *Context) Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		TasksRun:       c.metrics.TasksRun.Load(),
+		TaskTime:       time.Duration(c.metrics.TaskNanos.Load()),
+		RecordsRead:    c.metrics.RecordsRead.Load(),
+		ShuffleRecords: c.metrics.ShuffleRecords.Load(),
+		StagesRun:      c.metrics.StagesRun.Load(),
+	}
+}
+
+// ResetMetrics zeroes all counters.
+func (c *Context) ResetMetrics() {
+	c.metrics.TasksRun.Store(0)
+	c.metrics.TaskNanos.Store(0)
+	c.metrics.RecordsRead.Store(0)
+	c.metrics.ShuffleRecords.Store(0)
+	c.metrics.StagesRun.Store(0)
+}
+
+// AddRecordsRead is called by input sources when they produce records.
+func (c *Context) AddRecordsRead(n int64) { c.metrics.RecordsRead.Add(n) }
+
+// SimulateIO sleeps for blocks*IOLatency when latency simulation is
+// enabled. Input sources call it once per block read.
+func (c *Context) SimulateIO(blocks int) {
+	if c.conf.IOLatency > 0 && blocks > 0 {
+		time.Sleep(time.Duration(blocks) * c.conf.IOLatency)
+	}
+}
+
+// runStage executes task(p) for p in [0, parts) on at most conf.Executors
+// concurrent goroutines and returns the first error. Each call owns its own
+// worker group, so stages nested inside a running task (a shuffle evaluating
+// its parent) cannot deadlock the pool.
+func (c *Context) runStage(parts int, task func(p int) error) error {
+	c.metrics.StagesRun.Add(1)
+	if parts == 0 {
+		return nil
+	}
+	if parts == 1 {
+		return c.runTask(0, task)
+	}
+	workers := c.conf.Executors
+	if workers > parts {
+		workers = parts
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		err  error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(next.Add(1) - 1)
+				if p >= parts {
+					return
+				}
+				mu.Lock()
+				stop := err != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				if e := c.runTask(p, task); e != nil {
+					mu.Lock()
+					if err == nil {
+						err = e
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return err
+}
+
+func (c *Context) runTask(p int, task func(p int) error) (err error) {
+	start := time.Now()
+	defer func() {
+		c.metrics.TasksRun.Add(1)
+		c.metrics.TaskNanos.Add(int64(time.Since(start)))
+		if r := recover(); r != nil {
+			err = fmt.Errorf("task %d panicked: %v", p, r)
+		}
+	}()
+	return task(p)
+}
+
+// ErrResultTooLarge is returned by Collect when MaxResultItems is exceeded.
+var ErrResultTooLarge = fmt.Errorf("spark: result exceeds MaxResultItems")

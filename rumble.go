@@ -1,0 +1,269 @@
+// Package rumble is a JSONiq query engine for large, heterogeneous, nested
+// JSON datasets, reproducing the system described in "Rumble: Data
+// Independence for Large Messy Data Sets" (VLDB 2020) in pure Go.
+//
+// Queries are written in JSONiq and executed over an embedded Spark-like
+// parallel dataflow engine: expressions map to RDD transformations and
+// FLWOR clauses map to DataFrame operations, while the user only ever sees
+// sequences of items.
+//
+//	eng := rumble.New(rumble.Config{})
+//	res, err := eng.Query(`
+//	    for $o in json-file("data.jsonl")
+//	    where $o.guess eq $o.target
+//	    group by $lang := $o.target
+//	    return { "language": $lang, "correct": count($o) }`)
+package rumble
+
+import (
+	"fmt"
+	"time"
+
+	"rumble/internal/dfs"
+	"rumble/internal/item"
+	"rumble/internal/jparse"
+	"rumble/internal/parser"
+	"rumble/internal/runtime"
+	"rumble/internal/spark"
+)
+
+// Item is one JSONiq item: an atomic value, object or array. See the
+// aliased kinds (Object, Array, Str, Int, ...) for construction and
+// inspection.
+type Item = item.Item
+
+// Aliases of the JSONiq data model types, so applications can construct
+// and inspect items without reaching into internals.
+type (
+	// Object maps strings to items, preserving key order.
+	Object = item.Object
+	// Array is an ordered list of items.
+	Array = item.Array
+	// Str is a string item.
+	Str = item.Str
+	// Int is an integer item.
+	Int = item.Int
+	// Double is a floating-point item.
+	Double = item.Double
+	// Bool is a boolean item.
+	Bool = item.Bool
+	// Null is the JSON null item.
+	Null = item.Null
+)
+
+// Config tunes an Engine. The zero value gives a local engine with
+// defaults (4 partitions, 4 executor slots, unlimited result size).
+type Config struct {
+	// Parallelism is the default number of RDD/DataFrame partitions.
+	Parallelism int
+	// Executors bounds concurrently running partition tasks, emulating
+	// the total executor cores of a cluster.
+	Executors int
+	// MaxResultItems caps locally collected result sizes (0 = unlimited),
+	// like Rumble's shell materialization cap.
+	MaxResultItems int
+	// SplitSize overrides the storage split size in bytes (0 = 8 MiB).
+	SplitSize int64
+	// IOLatency, when positive, simulates storage latency per 64 KiB
+	// block read, for cluster-scalability experiments.
+	IOLatency time.Duration
+}
+
+// Engine compiles and runs JSONiq queries. Engines are safe for concurrent
+// use once configured; RegisterCollection calls must happen before queries
+// run.
+type Engine struct {
+	sc  *spark.Context
+	env *runtime.Env
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	sc := spark.NewContext(spark.Config{
+		Parallelism:    cfg.Parallelism,
+		Executors:      cfg.Executors,
+		MaxResultItems: cfg.MaxResultItems,
+		IOLatency:      cfg.IOLatency,
+	})
+	return &Engine{
+		sc: sc,
+		env: &runtime.Env{
+			Spark:       sc,
+			Collections: map[string]string{},
+			InMemory:    map[string][]item.Item{},
+			SplitSize:   cfg.SplitSize,
+		},
+	}
+}
+
+// RegisterCollection makes collection(name) resolve to a JSON-Lines file or
+// directory of part files at path.
+func (e *Engine) RegisterCollection(name, path string) {
+	e.env.Collections[name] = path
+}
+
+// RegisterItems makes collection(name) resolve to an in-memory sequence.
+func (e *Engine) RegisterItems(name string, items []Item) {
+	e.env.InMemory[name] = items
+}
+
+// RegisterJSON parses one JSON document per input string and registers the
+// resulting sequence as collection(name).
+func (e *Engine) RegisterJSON(name string, docs []string) error {
+	items := make([]Item, len(docs))
+	for i, d := range docs {
+		it, err := jparse.Parse([]byte(d))
+		if err != nil {
+			return fmt.Errorf("rumble: document %d: %w", i, err)
+		}
+		items[i] = it
+	}
+	e.RegisterItems(name, items)
+	return nil
+}
+
+// Metrics returns a snapshot of the engine's cluster counters.
+func (e *Engine) Metrics() spark.MetricsSnapshot { return e.sc.Metrics() }
+
+// ResetMetrics zeroes the engine's cluster counters.
+func (e *Engine) ResetMetrics() { e.sc.ResetMetrics() }
+
+// Statement is a compiled query, reusable across runs.
+type Statement struct {
+	eng  *Engine
+	prog *runtime.Program
+}
+
+// Compile parses, statically checks and compiles a JSONiq query.
+func (e *Engine) Compile(query string) (*Statement, error) {
+	m, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := runtime.Compile(m, e.env)
+	if err != nil {
+		return nil, err
+	}
+	return &Statement{eng: e, prog: prog}, nil
+}
+
+// Query compiles and runs a query, returning the materialized result
+// sequence. Execution is parallel whenever the query's root expression
+// supports RDD or DataFrame evaluation.
+func (e *Engine) Query(query string) ([]Item, error) {
+	st, err := e.Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	return st.Collect()
+}
+
+// QueryJSON runs a query and returns one canonical JSON string per result
+// item, the way the Rumble shell prints results.
+func (e *Engine) QueryJSON(query string) ([]string, error) {
+	items, err := e.Query(query)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = string(it.AppendJSON(nil))
+	}
+	return out, nil
+}
+
+// Collect runs the statement and materializes the whole result.
+func (s *Statement) Collect() ([]Item, error) {
+	return s.prog.Run()
+}
+
+// Stream runs the statement through the local streaming API, pushing items
+// to yield one at a time without materializing the result.
+func (s *Statement) Stream(yield func(Item) error) error {
+	return s.prog.Root.Stream(s.prog.GlobalContext(), yield)
+}
+
+// IsParallel reports whether the statement's root will execute on the
+// cluster (RDD/DataFrame) rather than locally.
+func (s *Statement) IsParallel() bool { return s.prog.Root.IsRDD() }
+
+// WriteTo executes the statement and writes the result to dir as a
+// directory of JSON-Lines part files. Parallel statements write one part
+// per partition directly from the executors, never materializing the
+// result on the driver; local statements write a single part.
+func (s *Statement) WriteTo(dir string) error {
+	w, err := dfs.NewWriter(dir)
+	if err != nil {
+		return err
+	}
+	if s.IsParallel() {
+		rdd, err := s.prog.Root.RDD(s.prog.GlobalContext())
+		if err != nil {
+			return err
+		}
+		lines := spark.Map(rdd, func(it item.Item) []byte { return it.AppendJSON(nil) })
+		if err := writeRDDParts(w, lines); err != nil {
+			return err
+		}
+		return w.Commit()
+	}
+	pw, err := w.Part(0)
+	if err != nil {
+		return err
+	}
+	if err := s.Stream(func(it Item) error {
+		return pw.WriteLine(it.AppendJSON(nil))
+	}); err != nil {
+		pw.Close()
+		return err
+	}
+	if err := pw.Close(); err != nil {
+		return err
+	}
+	return w.Commit()
+}
+
+// writeRDDParts writes one part file per RDD partition, in parallel on the
+// executor pool, streaming lines straight from each partition's pipeline.
+func writeRDDParts(w *dfs.Writer, lines *spark.RDD[[]byte]) error {
+	return spark.ForeachPartitionSink(lines, func(p int) (spark.Sink[[]byte], error) {
+		pw, err := w.Part(p)
+		if err != nil {
+			return spark.Sink[[]byte]{}, err
+		}
+		return spark.Sink[[]byte]{Write: pw.WriteLine, Close: pw.Close}, nil
+	})
+}
+
+// ToNative converts an item to plain Go values: nil, bool, int64, float64,
+// string, []any and map[string]any (decimals convert to float64).
+func ToNative(it Item) any {
+	switch v := it.(type) {
+	case item.Null:
+		return nil
+	case item.Bool:
+		return bool(v)
+	case item.Int:
+		return int64(v)
+	case item.Double:
+		return float64(v)
+	case item.Dec:
+		return v.Float64()
+	case item.Str:
+		return string(v)
+	case *item.Array:
+		out := make([]any, v.Len())
+		for i := 0; i < v.Len(); i++ {
+			out[i] = ToNative(v.Member(i))
+		}
+		return out
+	case *item.Object:
+		out := make(map[string]any, v.Len())
+		for i, k := range v.Keys() {
+			out[k] = ToNative(v.ValueAt(i))
+		}
+		return out
+	default:
+		return nil
+	}
+}
