@@ -27,6 +27,7 @@ func main() {
 		executors   = flag.Int("executors", 4, "concurrent executor slots")
 		maxResults  = flag.Int("max-results", 1000, "shell materialization cap (0 = unlimited)")
 		showTime    = flag.Bool("time", false, "print execution time")
+		explain     = flag.Bool("explain", false, "print the mode-annotated physical plan instead of executing")
 	)
 	flag.Parse()
 
@@ -44,6 +45,15 @@ func main() {
 		}
 		text = string(data)
 	}
+	if *explain {
+		if text == "" {
+			fatal(fmt.Errorf("--explain requires a query (-q or -f)"))
+		}
+		if err := explainQuery(os.Stdout, eng, text); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if text == "" {
 		shell(eng, *showTime)
 		return
@@ -51,6 +61,16 @@ func main() {
 	if err := runQuery(eng, text, *output, *showTime); err != nil {
 		fatal(err)
 	}
+}
+
+// explainQuery prints the statically annotated physical plan of one query.
+func explainQuery(out io.Writer, eng *rumble.Engine, text string) error {
+	plan, err := eng.Explain(text)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(out, plan)
+	return err
 }
 
 func runQuery(eng *rumble.Engine, text, output string, showTime bool) error {

@@ -54,6 +54,25 @@ func TestRunQueryReportsErrors(t *testing.T) {
 	}
 }
 
+func TestExplainQuery(t *testing.T) {
+	var out bytes.Buffer
+	err := explainQuery(&out, testEngine(),
+		`for $o in json-file("data.jsonl") where $o.guess eq $o.target return $o`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "flwor [DataFrame]") {
+		t.Errorf("plan missing DataFrame annotation: %q", s)
+	}
+	if !strings.Contains(s, "call json-file/1 [RDD]") {
+		t.Errorf("plan missing RDD source annotation: %q", s)
+	}
+	if err := explainQuery(&out, testEngine(), `for $x in`); err == nil {
+		t.Error("explain of a malformed query should error")
+	}
+}
+
 func TestShellSession(t *testing.T) {
 	in := strings.NewReader("1 + 1\n\nfor $x in (1,2)\nreturn $x\n\nbad syntax here(\n\nquit\n")
 	var out, errw bytes.Buffer

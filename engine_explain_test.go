@@ -1,0 +1,164 @@
+package rumble
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// explainGoldens pins the execution-mode assignment of representative
+// queries, including the paper's example shapes: the plans live in
+// testdata/explain/*.golden. Regenerate with UPDATE_GOLDEN=1 go test -run
+// TestExplainGolden .
+var explainGoldens = []struct {
+	name  string
+	query string
+}{
+	{"local-arith", `1 + 2 * 3`},
+	{"local-flwor", `for $x in (1, 2, 3) let $y := $x * $x return $y`},
+	{"rdd-source-paths", `json-file("reddit.jsonl").comments[].body`},
+	{"rdd-filter-predicate", `json-file("reddit.jsonl")[$$.score gt 1500]`},
+	{"rdd-union", `(json-file("a.jsonl"), json-file("b.jsonl"))`},
+	{"mixed-comma-degrades", `(1, json-file("a.jsonl"))`},
+	{"aggregate-pushdown", `count(for $c in json-file("reddit.jsonl")
+		where $c.score gt 1500 and contains($c.body, "data")
+		return $c)`},
+	{"df-groupby-count", `for $o in json-file("confusion.jsonl")
+		where $o.guess eq $o.target
+		group by $lang := $o.target
+		return { "language": $lang, "correct": count($o) }`},
+	{"df-orderby-count-clause", `for $x at $i in parallelize(1 to 1000, 8)
+		order by $x descending
+		count $c
+		return ($c, $x, $i)`},
+	{"leading-let-local", `let $min := 100 return
+		for $c in json-file("reddit.jsonl")
+		where $c.score ge $min
+		return $c.body`},
+	{"prolog-udf", `declare variable $threshold := 10;
+		declare function local:hot($c) { $c.score ge $threshold };
+		for $c in json-file("reddit.jsonl")
+		where local:hot($c)
+		return $c`},
+	{"distinct-if-switch", `if (exists(json-file("a.jsonl")))
+		then distinct-values(json-file("a.jsonl").lang)
+		else ()`},
+	{"switch-try-quantified", `try {
+		switch (1) case 1 case 2 return "low" default return "high"
+		} catch * { every $x in (1, 2) satisfies $x gt 0 }`},
+}
+
+func TestExplainGolden(t *testing.T) {
+	eng := New(Config{})
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+	for _, tc := range explainGoldens {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := eng.Explain(tc.query)
+			if err != nil {
+				t.Fatalf("Explain: %v", err)
+			}
+			path := filepath.Join("testdata", "explain", tc.name+".golden")
+			if update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("plan drifted from golden %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestExplainModesPinned asserts the headline mode of each golden query
+// directly in code, so a regenerated golden cannot silently flip a mode.
+func TestExplainModesPinned(t *testing.T) {
+	wantRootMode := map[string]string{
+		"local-arith":             "[Local]",
+		"local-flwor":             "[Local]",
+		"rdd-source-paths":        "[RDD]",
+		"rdd-filter-predicate":    "[RDD]",
+		"rdd-union":               "[RDD]",
+		"mixed-comma-degrades":    "[Local]",
+		"aggregate-pushdown":      "[Local]", // scalar result; pushdown marked
+		"df-groupby-count":        "[DataFrame]",
+		"df-orderby-count-clause": "[DataFrame]",
+		"leading-let-local":       "[Local]",
+		"prolog-udf":              "[DataFrame]",
+		"distinct-if-switch":      "[RDD]",
+		"switch-try-quantified":   "[Local]",
+	}
+	eng := New(Config{})
+	for _, tc := range explainGoldens {
+		plan, err := eng.Explain(tc.query)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		// The root expression is the last top-level (unindented) line.
+		var rootLine string
+		for _, line := range strings.Split(strings.TrimRight(plan, "\n"), "\n") {
+			if !strings.HasPrefix(line, " ") {
+				rootLine = line
+			}
+		}
+		if want := wantRootMode[tc.name]; !strings.HasSuffix(rootLine, want) {
+			t.Errorf("%s: root %q, want mode %s", tc.name, rootLine, want)
+		}
+	}
+	if !strings.Contains(mustExplain(t, eng, explainGoldens[6].query), "(cluster pushdown)") {
+		t.Error("aggregate pushdown not marked in plan")
+	}
+}
+
+func mustExplain(t *testing.T, eng *Engine, q string) string {
+	t.Helper()
+	plan, err := eng.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestExplainStatementModeAgree(t *testing.T) {
+	// The mode Explain prints for the root must match what the compiled
+	// statement actually carries.
+	eng := New(Config{})
+	for _, tc := range []struct {
+		query string
+		mode  string
+	}{
+		{`1 + 1`, "Local"},
+		{`parallelize(1 to 10)`, "RDD"},
+		{`for $x in parallelize(1 to 10) return $x`, "DataFrame"},
+	} {
+		st, err := eng.Compile(tc.query)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.query, err)
+		}
+		if st.Mode() != tc.mode {
+			t.Errorf("%s: Statement.Mode = %s, want %s", tc.query, st.Mode(), tc.mode)
+		}
+		if st.IsParallel() != (tc.mode != "Local") {
+			t.Errorf("%s: IsParallel = %v inconsistent with mode %s", tc.query, st.IsParallel(), tc.mode)
+		}
+	}
+}
+
+func TestExplainParseError(t *testing.T) {
+	eng := New(Config{})
+	if _, err := eng.Explain(`for $x in`); err == nil {
+		t.Error("Explain of a malformed query should error")
+	}
+	if _, err := eng.Explain(`$unbound`); err == nil {
+		t.Error("Explain of a statically invalid query should error")
+	}
+}

@@ -1,0 +1,3 @@
+module rumble
+
+go 1.22

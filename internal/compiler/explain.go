@@ -1,0 +1,252 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"rumble/internal/ast"
+)
+
+// Explain renders the analyzed module as a mode-annotated physical plan
+// tree: one line per expression node, indented by depth, each carrying the
+// execution mode the annotation phase assigned ([Local], [RDD] or
+// [DataFrame]). FLWOR clause and object-field lines structure the tree but
+// carry no mode of their own.
+func Explain(m *ast.Module, info *Info) string {
+	p := &explainPrinter{info: info}
+	for _, vd := range m.Vars {
+		p.line(0, "declare variable $"+vd.Name, nil)
+		p.expr(1, ":= ", vd.Init)
+	}
+	for _, fd := range m.Functions {
+		params := make([]string, len(fd.Params))
+		for i, prm := range fd.Params {
+			params[i] = "$" + prm
+		}
+		p.line(0, fmt.Sprintf("declare function %s(%s)", fd.Name, strings.Join(params, ", ")), nil)
+		p.expr(1, "", fd.Body)
+	}
+	p.expr(0, "", m.Body)
+	return p.b.String()
+}
+
+type explainPrinter struct {
+	b    strings.Builder
+	info *Info
+}
+
+// line emits one indented line; when e is non-nil its mode is appended.
+func (p *explainPrinter) line(depth int, label string, e ast.Expr) {
+	for i := 0; i < depth; i++ {
+		p.b.WriteString("  ")
+	}
+	p.b.WriteString(label)
+	if e != nil {
+		p.b.WriteString(" [")
+		p.b.WriteString(p.info.ModeOf(e).String())
+		p.b.WriteString("]")
+	}
+	p.b.WriteString("\n")
+}
+
+// expr renders the node label (prefixed by the structural role) and
+// recurses into children one level deeper.
+func (p *explainPrinter) expr(depth int, prefix string, e ast.Expr) {
+	switch n := e.(type) {
+	case nil:
+		p.line(depth, prefix+"()", nil)
+	case *ast.Literal:
+		p.line(depth, prefix+"literal "+string(n.Value.AppendJSON(nil)), n)
+	case *ast.VarRef:
+		p.line(depth, prefix+"$"+n.Name, n)
+	case *ast.ContextItem:
+		p.line(depth, prefix+"$$", n)
+	case *ast.CommaExpr:
+		p.line(depth, prefix+"sequence", n)
+		for _, ch := range n.Exprs {
+			p.expr(depth+1, "", ch)
+		}
+	case *ast.ObjectConstructor:
+		p.line(depth, prefix+"object", n)
+		for i := range n.Keys {
+			if lit, ok := n.Keys[i].(*ast.Literal); ok {
+				p.expr(depth+1, string(lit.Value.AppendJSON(nil))+": ", n.Values[i])
+				continue
+			}
+			p.line(depth+1, "dynamic field", nil)
+			p.expr(depth+2, "key: ", n.Keys[i])
+			p.expr(depth+2, "value: ", n.Values[i])
+		}
+	case *ast.ArrayConstructor:
+		p.line(depth, prefix+"array", n)
+		if n.Body != nil {
+			p.expr(depth+1, "", n.Body)
+		}
+	case *ast.Unary:
+		op := "+"
+		if n.Minus {
+			op = "-"
+		}
+		p.line(depth, prefix+"unary "+op, n)
+		p.expr(depth+1, "", n.Operand)
+	case *ast.Arith:
+		p.line(depth, prefix+"arith "+n.Op.String(), n)
+		p.expr(depth+1, "", n.L)
+		p.expr(depth+1, "", n.R)
+	case *ast.RangeExpr:
+		p.line(depth, prefix+"range", n)
+		p.expr(depth+1, "", n.L)
+		p.expr(depth+1, "", n.R)
+	case *ast.ConcatExpr:
+		p.line(depth, prefix+"concat", n)
+		p.expr(depth+1, "", n.L)
+		p.expr(depth+1, "", n.R)
+	case *ast.Comparison:
+		p.line(depth, prefix+"compare "+string(n.Op), n)
+		p.expr(depth+1, "", n.L)
+		p.expr(depth+1, "", n.R)
+	case *ast.Logic:
+		op := "or"
+		if n.IsAnd {
+			op = "and"
+		}
+		p.line(depth, prefix+op, n)
+		p.expr(depth+1, "", n.L)
+		p.expr(depth+1, "", n.R)
+	case *ast.Predicate:
+		p.line(depth, prefix+"predicate", n)
+		p.expr(depth+1, "", n.Input)
+		p.expr(depth+1, "filter: ", n.Pred)
+	case *ast.SimpleMap:
+		p.line(depth, prefix+"simple-map", n)
+		p.expr(depth+1, "", n.Input)
+		p.expr(depth+1, "map: ", n.Mapping)
+	case *ast.ObjectLookup:
+		if lit, ok := n.Key.(*ast.Literal); ok {
+			p.line(depth, prefix+"lookup ."+strings.Trim(string(lit.Value.AppendJSON(nil)), `"`), n)
+			p.expr(depth+1, "", n.Input)
+			return
+		}
+		p.line(depth, prefix+"lookup (dynamic)", n)
+		p.expr(depth+1, "", n.Input)
+		p.expr(depth+1, "key: ", n.Key)
+	case *ast.ArrayLookup:
+		p.line(depth, prefix+"array-lookup", n)
+		p.expr(depth+1, "", n.Input)
+		p.expr(depth+1, "index: ", n.Index)
+	case *ast.ArrayUnbox:
+		p.line(depth, prefix+"unbox", n)
+		p.expr(depth+1, "", n.Input)
+	case *ast.FunctionCall:
+		label := fmt.Sprintf("%scall %s/%d", prefix, n.Name, len(n.Args))
+		if p.info.Pushdown[n] {
+			label += " (cluster pushdown)"
+		}
+		p.line(depth, label, n)
+		for _, a := range n.Args {
+			p.expr(depth+1, "", a)
+		}
+	case *ast.IfExpr:
+		p.line(depth, prefix+"if", n)
+		p.expr(depth+1, "cond: ", n.Cond)
+		p.expr(depth+1, "then: ", n.Then)
+		p.expr(depth+1, "else: ", n.Else)
+	case *ast.SwitchExpr:
+		p.line(depth, prefix+"switch", n)
+		p.expr(depth+1, "input: ", n.Input)
+		for _, cs := range n.Cases {
+			for _, v := range cs.Values {
+				p.expr(depth+1, "case: ", v)
+			}
+			p.expr(depth+1, "result: ", cs.Result)
+		}
+		p.expr(depth+1, "default: ", n.Default)
+	case *ast.TryCatch:
+		p.line(depth, prefix+"try-catch", n)
+		p.expr(depth+1, "try: ", n.Try)
+		p.expr(depth+1, "catch: ", n.Catch)
+	case *ast.Quantified:
+		kind := "some"
+		if n.Every {
+			kind = "every"
+		}
+		p.line(depth, prefix+kind, n)
+		for _, b := range n.Bindings {
+			p.expr(depth+1, "$"+b.Var+" in ", b.In)
+		}
+		p.expr(depth+1, "satisfies: ", n.Satisfies)
+	case *ast.InstanceOf:
+		p.line(depth, prefix+"instance of "+fmtSeqType(n.Type), n)
+		p.expr(depth+1, "", n.Input)
+	case *ast.TreatAs:
+		p.line(depth, prefix+"treat as "+fmtSeqType(n.Type), n)
+		p.expr(depth+1, "", n.Input)
+	case *ast.CastableAs:
+		p.line(depth, prefix+"castable as "+n.TypeName, n)
+		p.expr(depth+1, "", n.Input)
+	case *ast.CastAs:
+		p.line(depth, prefix+"cast as "+n.TypeName, n)
+		p.expr(depth+1, "", n.Input)
+	case *ast.FLWOR:
+		p.line(depth, prefix+"flwor", n)
+		for _, cl := range n.Clauses {
+			p.clause(depth+1, cl)
+		}
+		p.line(depth+1, "return", nil)
+		p.expr(depth+2, "", n.Return)
+	default:
+		p.line(depth, fmt.Sprintf("%s<%T>", prefix, e), nil)
+	}
+}
+
+// clause renders one FLWOR clause header plus its key expressions.
+func (p *explainPrinter) clause(depth int, cl ast.Clause) {
+	switch n := cl.(type) {
+	case *ast.ForClause:
+		label := "for $" + n.Var
+		if n.PosVar != "" {
+			label += " at $" + n.PosVar
+		}
+		if n.AllowEmpty {
+			label += " allowing empty"
+		}
+		p.line(depth, label, nil)
+		p.expr(depth+1, "in: ", n.In)
+	case *ast.LetClause:
+		p.line(depth, "let $"+n.Var, nil)
+		p.expr(depth+1, ":= ", n.Value)
+	case *ast.WhereClause:
+		p.line(depth, "where", nil)
+		p.expr(depth+1, "", n.Cond)
+	case *ast.GroupByClause:
+		p.line(depth, "group by", nil)
+		for _, spec := range n.Specs {
+			if spec.Expr == nil {
+				p.line(depth+1, "key $"+spec.Var, nil)
+				continue
+			}
+			p.expr(depth+1, "$"+spec.Var+" := ", spec.Expr)
+		}
+	case *ast.OrderByClause:
+		p.line(depth, "order by", nil)
+		for _, spec := range n.Specs {
+			role := "key"
+			if spec.Descending {
+				role += " descending"
+			}
+			if spec.EmptyGreatest {
+				role += " empty greatest"
+			}
+			p.expr(depth+1, role+": ", spec.Expr)
+		}
+	case *ast.CountClause:
+		p.line(depth, "count $"+n.Var, nil)
+	}
+}
+
+func fmtSeqType(st ast.SequenceType) string {
+	if st.EmptySequence {
+		return "empty-sequence()"
+	}
+	return st.ItemType + st.Occurrence
+}

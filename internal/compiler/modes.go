@@ -1,0 +1,258 @@
+package compiler
+
+import (
+	"rumble/internal/ast"
+)
+
+// Mode is the physical execution mode the static compiler assigns to every
+// expression node, the §5–§6 design point of the paper: the decision whether
+// an expression is materialized locally, runs as an RDD pipeline, or runs
+// natively on DataFrames is made once at compile time, never probed at run
+// time.
+type Mode int
+
+// The three execution modes of the paper. Local is the zero value: every
+// expression degrades to local materialized execution unless the annotation
+// rules below prove cluster execution is available.
+const (
+	// ModeLocal executes by streaming materialized items on the driver.
+	ModeLocal Mode = iota
+	// ModeRDD executes as an RDD pipeline of items on the cluster.
+	ModeRDD
+	// ModeDataFrame executes FLWOR tuple streams natively as DataFrames
+	// with one column per variable (§4.3).
+	ModeDataFrame
+)
+
+// String renders the mode the way Explain prints it.
+func (m Mode) String() string {
+	switch m {
+	case ModeRDD:
+		return "RDD"
+	case ModeDataFrame:
+		return "DataFrame"
+	default:
+		return "Local"
+	}
+}
+
+// Parallel reports whether the mode executes on the cluster. A DataFrame
+// expression also exposes its output as an RDD of items, so both non-local
+// modes propagate parallelism to consuming expressions.
+func (m Mode) Parallel() bool { return m != ModeLocal }
+
+// AggregateFunctions are the builtin aggregations whose evaluation pushes
+// down to a cluster action when their argument is cluster-resident (§5.5:
+// "aggregating iterators invoke a Spark count action on the child RDD").
+var AggregateFunctions = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+	"exists": true, "empty": true,
+}
+
+// dataSourceFunctions seed RDD mode when a cluster is available (§5.7).
+var dataSourceFunctions = map[string]bool{
+	"json-file": true, "parallelize": true, "collection": true,
+}
+
+// annotateModule assigns execution modes to every expression of the module,
+// bottom-up. It runs after scope/arity checking and after the group-by
+// count rewrite, so it sees the final shape of the tree.
+func (c *checker) annotateModule(m *ast.Module) {
+	for _, vd := range m.Vars {
+		// Global variables are evaluated eagerly on the driver; their
+		// initializers may still read cluster data sources.
+		c.annotate(vd.Init)
+	}
+	for _, fd := range m.Functions {
+		// User-defined function calls materialize their result through the
+		// local API, so bodies are annotated independently.
+		c.annotate(fd.Body)
+	}
+	c.annotate(m.Body)
+}
+
+// annotate computes and records the mode of e, returning it. The rules
+// mirror §5.5–§5.7 of the paper:
+//
+//   - data sources (json-file, parallelize, collection) seed ModeRDD;
+//   - path steps, predicates, simple map and distinct-values preserve the
+//     parallelism of their input;
+//   - a comma expression is an RDD union when every member is parallel;
+//   - a conditional is parallel when either branch is;
+//   - a FLWOR whose initial clause is a for over a parallel expression
+//     (without "allowing empty") runs natively on DataFrames;
+//   - aggregates stay local but push the aggregation down to a cluster
+//     action when their argument is parallel (recorded in Info.Pushdown);
+//   - everything else degrades to ModeLocal.
+func (c *checker) annotate(e ast.Expr) Mode {
+	if e == nil {
+		return ModeLocal
+	}
+	mode := ModeLocal
+	switch n := e.(type) {
+	case *ast.Literal, *ast.VarRef, *ast.ContextItem:
+		// Local leaves.
+	case *ast.CommaExpr:
+		allParallel := len(n.Exprs) > 0
+		for _, ch := range n.Exprs {
+			if !c.annotate(ch).Parallel() {
+				allParallel = false
+			}
+		}
+		if allParallel {
+			mode = ModeRDD
+		}
+	case *ast.ObjectConstructor:
+		for i := range n.Keys {
+			c.annotate(n.Keys[i])
+			c.annotate(n.Values[i])
+		}
+	case *ast.ArrayConstructor:
+		c.annotate(n.Body)
+	case *ast.Unary:
+		c.annotate(n.Operand)
+	case *ast.Arith:
+		c.annotate(n.L)
+		c.annotate(n.R)
+	case *ast.RangeExpr:
+		c.annotate(n.L)
+		c.annotate(n.R)
+	case *ast.ConcatExpr:
+		c.annotate(n.L)
+		c.annotate(n.R)
+	case *ast.Comparison:
+		c.annotate(n.L)
+		c.annotate(n.R)
+	case *ast.Logic:
+		c.annotate(n.L)
+		c.annotate(n.R)
+	case *ast.Predicate:
+		in := c.annotate(n.Input)
+		c.annotate(n.Pred)
+		if in.Parallel() {
+			mode = ModeRDD
+		}
+	case *ast.SimpleMap:
+		in := c.annotate(n.Input)
+		c.annotate(n.Mapping)
+		if in.Parallel() {
+			mode = ModeRDD
+		}
+	case *ast.ObjectLookup:
+		in := c.annotate(n.Input)
+		c.annotate(n.Key)
+		if in.Parallel() {
+			mode = ModeRDD
+		}
+	case *ast.ArrayLookup:
+		in := c.annotate(n.Input)
+		c.annotate(n.Index)
+		if in.Parallel() {
+			mode = ModeRDD
+		}
+	case *ast.ArrayUnbox:
+		if c.annotate(n.Input).Parallel() {
+			mode = ModeRDD
+		}
+	case *ast.FunctionCall:
+		mode = c.annotateCall(n)
+	case *ast.IfExpr:
+		c.annotate(n.Cond)
+		thenMode := c.annotate(n.Then)
+		elseMode := c.annotate(n.Else)
+		// Either branch may be chosen at run time; when at least one is
+		// parallel the conditional executes as an RDD, parallelizing the
+		// other branch's local result if needed.
+		if thenMode.Parallel() || elseMode.Parallel() {
+			mode = ModeRDD
+		}
+	case *ast.SwitchExpr:
+		c.annotate(n.Input)
+		for _, cs := range n.Cases {
+			for _, v := range cs.Values {
+				c.annotate(v)
+			}
+			c.annotate(cs.Result)
+		}
+		c.annotate(n.Default)
+	case *ast.TryCatch:
+		// Snapshot semantics force materialization of the try branch.
+		c.annotate(n.Try)
+		c.annotate(n.Catch)
+	case *ast.Quantified:
+		for _, b := range n.Bindings {
+			c.annotate(b.In)
+		}
+		c.annotate(n.Satisfies)
+	case *ast.InstanceOf:
+		c.annotate(n.Input)
+	case *ast.TreatAs:
+		c.annotate(n.Input)
+	case *ast.CastableAs:
+		c.annotate(n.Input)
+	case *ast.CastAs:
+		c.annotate(n.Input)
+	case *ast.FLWOR:
+		mode = c.annotateFLWOR(n)
+	}
+	c.info.Modes[e] = mode
+	return mode
+}
+
+// annotateCall assigns the mode of a function call. User-declared functions
+// shadow builtins, matching the runtime's dispatch order.
+func (c *checker) annotateCall(n *ast.FunctionCall) Mode {
+	for _, a := range n.Args {
+		c.annotate(a)
+	}
+	if _, isUDF := c.functions[n.Name]; isUDF {
+		return ModeLocal
+	}
+	switch {
+	case dataSourceFunctions[n.Name]:
+		if c.cluster {
+			return ModeRDD
+		}
+	case n.Name == "distinct-values" && len(n.Args) == 1:
+		if c.info.ModeOf(n.Args[0]).Parallel() {
+			return ModeRDD
+		}
+	case AggregateFunctions[n.Name] && len(n.Args) >= 1:
+		if c.info.ModeOf(n.Args[0]).Parallel() {
+			c.info.Pushdown[n] = true
+		}
+	}
+	return ModeLocal
+}
+
+// annotateFLWOR assigns the FLWOR's mode: ModeDataFrame exactly when the
+// initial clause is a for (without "allowing empty") over a parallel
+// expression and a cluster is available — the static criterion of §4.4. A
+// leading let keeps execution local (§4.5), as does any local initial input.
+func (c *checker) annotateFLWOR(f *ast.FLWOR) Mode {
+	mode := ModeLocal
+	for i, cl := range f.Clauses {
+		switch n := cl.(type) {
+		case *ast.ForClause:
+			in := c.annotate(n.In)
+			if i == 0 && c.cluster && in.Parallel() && !n.AllowEmpty {
+				mode = ModeDataFrame
+			}
+		case *ast.LetClause:
+			c.annotate(n.Value)
+		case *ast.WhereClause:
+			c.annotate(n.Cond)
+		case *ast.GroupByClause:
+			for _, spec := range n.Specs {
+				c.annotate(spec.Expr)
+			}
+		case *ast.OrderByClause:
+			for _, spec := range n.Specs {
+				c.annotate(spec.Expr)
+			}
+		case *ast.CountClause:
+		}
+	}
+	c.annotate(f.Return)
+	return mode
+}

@@ -1,0 +1,134 @@
+package compiler
+
+import (
+	"testing"
+
+	"rumble/internal/ast"
+	"rumble/internal/parser"
+)
+
+// annotateSrc parses and analyzes src, returning the module and info.
+func annotateSrc(t *testing.T, src string, cluster bool) (*ast.Module, *Info) {
+	t.Helper()
+	m, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	info, err := Analyze(m, Options{Cluster: cluster})
+	if err != nil {
+		t.Fatalf("analyze %q: %v", src, err)
+	}
+	return m, info
+}
+
+func TestModeAnnotationTable(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want Mode
+	}{
+		{"local arithmetic", `1 + 2 * 3`, ModeLocal},
+		{"local sequence", `(1, 2, 3)`, ModeLocal},
+		{"local flwor", `for $x in (1, 2) return $x + 1`, ModeLocal},
+		{"json-file seeds RDD", `json-file("data.jsonl")`, ModeRDD},
+		{"parallelize seeds RDD", `parallelize(1 to 100)`, ModeRDD},
+		{"collection seeds RDD", `collection("c")`, ModeRDD},
+		{"lookup preserves RDD", `json-file("f").guess`, ModeRDD},
+		{"path chain preserves RDD", `json-file("f").nested.arr[].x`, ModeRDD},
+		{"predicate preserves RDD", `json-file("f")[$$.score gt 2]`, ModeRDD},
+		{"simple map preserves RDD", `json-file("f") ! $$.target`, ModeRDD},
+		{"distinct-values preserves RDD", `distinct-values(json-file("f").lang)`, ModeRDD},
+		{"distinct-values local input", `distinct-values((1, 2, 2))`, ModeLocal},
+		{"rdd comma union", `(json-file("a"), json-file("b"))`, ModeRDD},
+		{"mixed comma degrades", `(1, json-file("a"))`, ModeLocal},
+		{"rdd-backed flwor is DataFrame", `for $o in json-file("f") where $o.guess eq $o.target return $o`, ModeDataFrame},
+		{"group-by flwor is DataFrame", `for $o in json-file("f") group by $k := $o.target return { "k": $k, "n": count($o) }`, ModeDataFrame},
+		{"leading let keeps flwor local", `let $p := "f" return for $o in json-file($p) return $o`, ModeLocal},
+		{"allowing empty keeps flwor local", `for $o allowing empty in json-file("f") return $o`, ModeLocal},
+		{"aggregate stays local", `count(json-file("f"))`, ModeLocal},
+		{"if with parallel branch is RDD", `if (1 eq 1) then json-file("f") else ()`, ModeRDD},
+		{"if with local branches stays local", `if (1 eq 1) then 1 else 2`, ModeLocal},
+		{"udf call stays local", `declare function local:f($x) { json-file($x) }; local:f("f")`, ModeLocal},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, info := annotateSrc(t, tc.src, true)
+			if got := info.ModeOf(m.Body); got != tc.want {
+				t.Errorf("mode = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestModeAnnotationWithoutCluster(t *testing.T) {
+	// Without a cluster context every expression degrades to ModeLocal.
+	sources := []string{
+		`json-file("data.jsonl")`,
+		`for $o in json-file("f") return $o`,
+		`(json-file("a"), json-file("b"))`,
+	}
+	for _, src := range sources {
+		m, info := annotateSrc(t, src, false)
+		if got := info.ModeOf(m.Body); got != ModeLocal {
+			t.Errorf("mode of %q without cluster = %v, want Local", src, got)
+		}
+		for _, mode := range info.Modes {
+			if mode != ModeLocal {
+				t.Errorf("%q: node annotated %v without a cluster", src, mode)
+			}
+		}
+	}
+}
+
+func TestAggregatePushdownMarked(t *testing.T) {
+	m, info := annotateSrc(t, `count(json-file("f"))`, true)
+	call, ok := m.Body.(*ast.FunctionCall)
+	if !ok {
+		t.Fatalf("body is %T, want FunctionCall", m.Body)
+	}
+	if !info.Pushdown[call] {
+		t.Error("count over an RDD argument should be marked for pushdown")
+	}
+
+	m2, info2 := annotateSrc(t, `count((1, 2, 3))`, true)
+	call2 := m2.Body.(*ast.FunctionCall)
+	if info2.Pushdown[call2] {
+		t.Error("count over a local argument must not be marked for pushdown")
+	}
+}
+
+func TestAggregatePushdownOverDataFrameFLWOR(t *testing.T) {
+	// The paper's figure-14 query shape: count over a DataFrame FLWOR.
+	m, info := annotateSrc(t,
+		`count(for $c in json-file("f") where $c.score gt 1500 return $c)`, true)
+	call := m.Body.(*ast.FunctionCall)
+	if !info.Pushdown[call] {
+		t.Error("count over a DataFrame FLWOR should push down")
+	}
+	if got := info.ModeOf(call.Args[0]); got != ModeDataFrame {
+		t.Errorf("inner FLWOR mode = %v, want DataFrame", got)
+	}
+}
+
+func TestModeOfSubexpressions(t *testing.T) {
+	// Inside a DataFrame FLWOR the clause bodies are compiled for local
+	// per-tuple evaluation inside closures: their expressions are Local
+	// even though the FLWOR itself runs on DataFrames.
+	m, info := annotateSrc(t,
+		`for $o in json-file("f") where $o.guess eq $o.target return $o.lang`, true)
+	fl := m.Body.(*ast.FLWOR)
+	if got := info.ModeOf(fl); got != ModeDataFrame {
+		t.Fatalf("flwor mode = %v, want DataFrame", got)
+	}
+	forIn := fl.Clauses[0].(*ast.ForClause).In
+	if got := info.ModeOf(forIn); got != ModeRDD {
+		t.Errorf("for input mode = %v, want RDD", got)
+	}
+	cond := fl.Clauses[1].(*ast.WhereClause).Cond
+	if got := info.ModeOf(cond); got != ModeLocal {
+		t.Errorf("where condition mode = %v, want Local", got)
+	}
+	if got := info.ModeOf(fl.Return); got != ModeLocal {
+		t.Errorf("return expression mode = %v, want Local", got)
+	}
+}

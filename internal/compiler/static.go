@@ -57,6 +57,24 @@ type GroupPlan struct {
 type Info struct {
 	// GroupPlans is keyed by group-by clause node.
 	GroupPlans map[*ast.GroupByClause]*GroupPlan
+	// Modes records the execution mode annotation of every expression
+	// node, assigned bottom-up by the annotation phase.
+	Modes map[ast.Expr]Mode
+	// Pushdown marks aggregate calls (count, sum, ...) whose argument is
+	// cluster-resident, so the aggregation runs as a cluster action and
+	// only the scalar result travels back.
+	Pushdown map[*ast.FunctionCall]bool
+}
+
+// ModeOf returns the annotated execution mode of e. Unannotated nodes (and
+// nil) are ModeLocal, the degradation default.
+func (i *Info) ModeOf(e ast.Expr) Mode { return i.Modes[e] }
+
+// Options configures the static analysis.
+type Options struct {
+	// Cluster reports whether a cluster context is available to the
+	// runtime. Without it every expression is annotated ModeLocal.
+	Cluster bool
 }
 
 // specialFunctions are implemented by the runtime rather than the local
@@ -91,15 +109,22 @@ func (s *scope) lookup(name string) bool {
 type checker struct {
 	info      *Info
 	functions map[string][2]int // name -> [min,max] args (max -1 variadic)
+	cluster   bool
 }
 
 // Analyze checks the module statically and returns the analysis info. It
 // also rewrites count($v) calls over count-only grouped variables into
-// references to the synthetic pre-aggregated variable.
-func Analyze(m *ast.Module) (*Info, error) {
+// references to the synthetic pre-aggregated variable, then runs the
+// execution-mode annotation phase over the rewritten tree.
+func Analyze(m *ast.Module, opts Options) (*Info, error) {
 	c := &checker{
-		info:      &Info{GroupPlans: map[*ast.GroupByClause]*GroupPlan{}},
+		info: &Info{
+			GroupPlans: map[*ast.GroupByClause]*GroupPlan{},
+			Modes:      map[ast.Expr]Mode{},
+			Pushdown:   map[*ast.FunctionCall]bool{},
+		},
 		functions: map[string][2]int{},
+		cluster:   opts.Cluster,
 	}
 	for _, fd := range m.Functions {
 		if _, dup := c.functions[fd.Name]; dup {
@@ -126,6 +151,7 @@ func Analyze(m *ast.Module) (*Info, error) {
 	if err := c.checkExpr(m.Body, globals); err != nil {
 		return nil, err
 	}
+	c.annotateModule(m)
 	return c.info, nil
 }
 

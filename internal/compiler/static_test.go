@@ -14,7 +14,7 @@ func analyze(t *testing.T, src string) (*ast.Module, *Info) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	info, err := Analyze(m)
+	info, err := Analyze(m, Options{Cluster: true})
 	if err != nil {
 		t.Fatalf("analyze: %v", err)
 	}
@@ -27,7 +27,7 @@ func analyzeErr(t *testing.T, src string) error {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	_, err = Analyze(m)
+	_, err = Analyze(m, Options{Cluster: true})
 	return err
 }
 

@@ -88,8 +88,12 @@ func fileSplits(path string, size, splitSize int64) []Split {
 // handling follows Hadoop: skip a partial first line unless at offset 0,
 // and read past Length to finish the last line. blockObserver, when
 // non-nil, is called once per BlockSize of data consumed (used to simulate
-// storage latency).
-func ReadLines(split Split, blockObserver func(blocks int), yield func(line []byte) error) error {
+// storage latency); the trailing partial block is reported as one block
+// when the split finishes, so every non-empty read incurs at least one
+// simulated round trip — splits smaller than a block would otherwise never
+// report I/O at all, making latency simulation (and the cluster speedups
+// it demonstrates) silently disappear for fine-grained splits.
+func ReadLines(split Split, blockObserver func(blocks int), yield func(line []byte) error) (err error) {
 	f, err := os.Open(split.Path)
 	if err != nil {
 		return fmt.Errorf("dfs: %w", err)
@@ -103,6 +107,14 @@ func ReadLines(split Split, blockObserver func(blocks int), yield func(line []by
 	r := bufio.NewReaderSize(f, 256<<10)
 	var consumed int64
 	var sinceBlock int64
+	defer func() {
+		// Round the residual partial block up to one simulated block read
+		// on every exit path (EOF, boundary, yield abort): the bytes were
+		// fetched, so the round trip happened even if consumption stopped.
+		if blockObserver != nil && sinceBlock > 0 {
+			blockObserver(1)
+		}
+	}()
 	account := func(n int) error {
 		consumed += int64(n)
 		sinceBlock += int64(n)

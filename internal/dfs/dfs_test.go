@@ -164,6 +164,34 @@ func TestListSplitsMissingPath(t *testing.T) {
 	}
 }
 
+func TestBlockObserverSubBlockSplits(t *testing.T) {
+	// Splits smaller than BlockSize must still report one block each, so
+	// simulated storage latency applies to fine-grained parallel scans
+	// (the Figure 14 speedup depends on overlapping this latency).
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		sb.WriteString(strings.Repeat("z", 100))
+		sb.WriteByte('\n')
+	}
+	path := writeTempFile(t, sb.String())
+	splits, err := ListSplits(path, 4<<10) // 4 KiB splits, far below BlockSize
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) < 2 {
+		t.Fatalf("%d splits, want several", len(splits))
+	}
+	for i, s := range splits {
+		blocks := 0
+		if err := ReadLines(s, func(n int) { blocks += n }, func([]byte) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if blocks < 1 {
+			t.Errorf("split %d reported %d blocks, want at least 1", i, blocks)
+		}
+	}
+}
+
 func TestBlockObserverCalled(t *testing.T) {
 	var sb strings.Builder
 	for i := 0; i < 5000; i++ {

@@ -17,18 +17,24 @@ type Program struct {
 // GlobalContext returns the dynamic context with prolog variables bound.
 func (p *Program) GlobalContext() *DynamicContext { return p.globals }
 
+// Mode returns the statically assigned execution mode of the root plan
+// node: Local, RDD or DataFrame.
+func (p *Program) Mode() compiler.Mode { return p.Root.Mode() }
+
 // Run materializes the whole result locally (collecting through the
-// cluster when the root iterator is RDD-capable).
+// cluster when the root plan node was compiled to a parallel mode).
 func (p *Program) Run() ([]item.Item, error) {
-	if p.Root.IsRDD() {
+	if p.Root.Mode().Parallel() {
 		return CollectRDD(p.Root, p.globals)
 	}
 	return Materialize(p.Root, p.globals)
 }
 
 // Compile analyzes and compiles a parsed module against an environment.
+// The static phase assigns every expression its execution mode; the plan
+// nodes built here carry that annotation and never probe it dynamically.
 func Compile(m *ast.Module, env *Env) (*Program, error) {
-	info, err := compiler.Analyze(m)
+	info, err := compiler.Analyze(m, compiler.Options{Cluster: env.Spark != nil})
 	if err != nil {
 		return nil, err
 	}
@@ -75,10 +81,9 @@ type comp struct {
 	globals func() *DynamicContext
 }
 
-// aggregateNames are builtins with RDD pushdown in aggregateIter.
-var aggregateNames = map[string]bool{
-	"count": true, "sum": true, "avg": true, "min": true, "max": true,
-	"exists": true, "empty": true,
+// pn builds the planNode of e from the compiler's mode annotation.
+func (c *comp) pn(e ast.Expr) planNode {
+	return planNode{mode: c.info.ModeOf(e)}
 }
 
 func (c *comp) compile(e ast.Expr) (Iterator, error) {
@@ -98,7 +103,7 @@ func (c *comp) compile(e ast.Expr) (Iterator, error) {
 			}
 			children[i] = it
 		}
-		return newCommaIter(children), nil
+		return &commaIter{planNode: c.pn(n), children: children}, nil
 	case *ast.ObjectConstructor:
 		oc := &objectConstructorIter{}
 		for i := range n.Keys {
@@ -168,7 +173,7 @@ func (c *comp) compile(e ast.Expr) (Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &predicateIter{input: in, pred: pred}, nil
+		return &predicateIter{planNode: c.pn(n), input: in, pred: pred}, nil
 	case *ast.SimpleMap:
 		in, err := c.compile(n.Input)
 		if err != nil {
@@ -178,7 +183,7 @@ func (c *comp) compile(e ast.Expr) (Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &simpleMapIter{input: in, mapping: mapping}, nil
+		return &simpleMapIter{planNode: c.pn(n), input: in, mapping: mapping}, nil
 	case *ast.ObjectLookup:
 		in, err := c.compile(n.Input)
 		if err != nil {
@@ -188,7 +193,7 @@ func (c *comp) compile(e ast.Expr) (Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &objectLookupIter{input: in, key: key}, nil
+		return &objectLookupIter{planNode: c.pn(n), input: in, key: key}, nil
 	case *ast.ArrayLookup:
 		in, err := c.compile(n.Input)
 		if err != nil {
@@ -198,13 +203,13 @@ func (c *comp) compile(e ast.Expr) (Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &arrayLookupIter{input: in, index: idx}, nil
+		return &arrayLookupIter{planNode: c.pn(n), input: in, index: idx}, nil
 	case *ast.ArrayUnbox:
 		in, err := c.compile(n.Input)
 		if err != nil {
 			return nil, err
 		}
-		return &arrayUnboxIter{input: in}, nil
+		return &arrayUnboxIter{planNode: c.pn(n), input: in}, nil
 	case *ast.FunctionCall:
 		return c.compileCall(n)
 	case *ast.IfExpr:
@@ -220,7 +225,7 @@ func (c *comp) compile(e ast.Expr) (Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ifIter{cond: cond, then: then, els: els, sc: c.env.Spark}, nil
+		return &ifIter{planNode: c.pn(n), cond: cond, then: then, els: els, sc: c.env.Spark}, nil
 	case *ast.SwitchExpr:
 		in, err := c.compile(n.Input)
 		if err != nil {
@@ -335,24 +340,26 @@ func (c *comp) compileCall(n *ast.FunctionCall) (Iterator, error) {
 	}
 	switch n.Name {
 	case "json-file":
-		ji := &jsonFileIter{env: c.env, path: args[0]}
+		ji := &jsonFileIter{planNode: c.pn(n), env: c.env, path: args[0]}
 		if len(args) == 2 {
 			ji.min = args[1]
 		}
 		return ji, nil
 	case "parallelize":
-		pi := &parallelizeIter{env: c.env, child: args[0]}
+		pi := &parallelizeIter{planNode: c.pn(n), env: c.env, child: args[0]}
 		if len(args) == 2 {
 			pi.parts = args[1]
 		}
 		return pi, nil
 	case "collection":
-		return &collectionIter{env: c.env, name: args[0]}, nil
+		return &collectionIter{planNode: c.pn(n), env: c.env, name: args[0]}, nil
 	case "distinct-values":
-		return &distinctValuesIter{arg: args[0]}, nil
+		return &distinctValuesIter{planNode: c.pn(n), arg: args[0]}, nil
 	}
-	if aggregateNames[n.Name] {
-		ai := &aggregateIter{name: n.Name, arg: args[0]}
+	if compiler.AggregateFunctions[n.Name] {
+		// The compiler decided statically whether the aggregation pushes
+		// down to a cluster action or folds the materialized sequence.
+		ai := &aggregateIter{name: n.Name, arg: args[0], pushdown: c.info.Pushdown[n]}
 		if len(args) == 2 {
 			ai.dflt = args[1]
 		}
@@ -365,18 +372,21 @@ func (c *comp) compileCall(n *ast.FunctionCall) (Iterator, error) {
 	return &builtinCallIter{fn: fn, args: args}, nil
 }
 
-// compileFLWOR builds both the local tuple pipeline and, when the initial
-// clause is a for over an RDD-capable expression, the DataFrame plan.
+// compileFLWOR builds the local tuple pipeline and, when the compiler
+// annotated the expression ModeDataFrame, the DataFrame plan.
 func (c *comp) compileFLWOR(f *ast.FLWOR) (Iterator, error) {
 	ret, err := c.compile(f.Return)
 	if err != nil {
 		return nil, err
 	}
-	out := &flworIter{clauses: f.Clauses, ret: ret}
+	out := &flworIter{planNode: c.pn(f), clauses: f.Clauses, ret: ret}
 
 	var local clauseEval
 	var steps []dfStep
-	dfOK := false
+	// The mode decision was made statically (§4.4/§4.5): ModeDataFrame
+	// exactly when the initial clause is a for (without "allowing empty")
+	// over a parallel expression on an available cluster.
+	dfOK := c.info.ModeOf(f) == compiler.ModeDataFrame
 	var plan *dfPlan
 
 	for i, cl := range f.Clauses {
@@ -389,8 +399,7 @@ func (c *comp) compileFLWOR(f *ast.FLWOR) (Iterator, error) {
 			fe := &forEval{parent: local, varName: n.Var, posVar: n.PosVar, allowEmpty: n.AllowEmpty, in: in}
 			local = fe
 			if i == 0 {
-				if in.IsRDD() && !n.AllowEmpty && c.env.Spark != nil {
-					dfOK = true
+				if dfOK {
 					plan = &dfPlan{sc: c.env.Spark, initVar: n.Var, initPos: n.PosVar, initIn: in, ret: ret}
 				}
 			} else if dfOK {
@@ -402,9 +411,7 @@ func (c *comp) compileFLWOR(f *ast.FLWOR) (Iterator, error) {
 				return nil, err
 			}
 			local = &letEval{parent: local, varName: n.Var, value: val}
-			if i == 0 {
-				dfOK = false // a leading let keeps execution local (§4.5)
-			} else if dfOK {
+			if dfOK && i > 0 {
 				steps = append(steps, dfLetStep(n.Var, val))
 			}
 		case *ast.WhereClause:

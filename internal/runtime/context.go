@@ -14,6 +14,7 @@ package runtime
 import (
 	"fmt"
 
+	"rumble/internal/compiler"
 	"rumble/internal/item"
 	"rumble/internal/spark"
 )
@@ -87,25 +88,40 @@ func Errorf(format string, args ...any) error {
 	return &Error{Msg: fmt.Sprintf(format, args...)}
 }
 
-// Iterator is a compiled expression. Stream is always available; RDD is
-// available when IsRDD reports true, in which case the expression's output
-// physically lives on the cluster and is never materialized locally unless
-// a consumer demands it.
+// Iterator is a compiled expression — one node of the physical plan.
+// Stream is always available; RDD is available when the statically assigned
+// mode is parallel (RDD or DataFrame), in which case the expression's
+// output physically lives on the cluster and is never materialized locally
+// unless a consumer demands it.
 type Iterator interface {
 	// Stream evaluates the expression in dc and pushes every result item
 	// to yield, in order.
 	Stream(dc *DynamicContext, yield func(item.Item) error) error
-	// IsRDD reports whether RDD execution is available.
-	IsRDD() bool
-	// RDD returns the result as an RDD of items. Callers must check IsRDD.
+	// Mode returns the execution mode the compiler's static annotation
+	// phase assigned to this plan node. It is a compile-time constant:
+	// nothing is probed at run time.
+	Mode() compiler.Mode
+	// RDD returns the result as an RDD of items. Callers must check that
+	// Mode is parallel.
 	RDD(dc *DynamicContext) (*spark.RDD[item.Item], error)
 }
 
-// localOnly provides the RDD stubs for iterators that only run locally.
+// planNode carries the execution mode the compiler assigned to a plan node.
+// Iterators with cluster execution paths embed it; the runtime compiler
+// fills it from compiler.Info when it builds the node.
+type planNode struct {
+	mode compiler.Mode
+}
+
+// Mode implements Iterator.
+func (p planNode) Mode() compiler.Mode { return p.mode }
+
+// localOnly provides the mode and RDD stubs for iterators that only ever
+// run locally (the compiler annotates them ModeLocal unconditionally).
 type localOnly struct{}
 
-// IsRDD implements Iterator.
-func (localOnly) IsRDD() bool { return false }
+// Mode implements Iterator.
+func (localOnly) Mode() compiler.Mode { return compiler.ModeLocal }
 
 // RDD implements Iterator.
 func (localOnly) RDD(*DynamicContext) (*spark.RDD[item.Item], error) {

@@ -9,14 +9,14 @@ import (
 )
 
 // ifIter chooses a branch by the effective boolean value of the condition.
-// It supports RDD execution when either branch does: the chosen branch runs
-// as an RDD if it can, and is parallelized from its local result otherwise.
+// The compiler annotates it ModeRDD when either branch is parallel: the
+// chosen branch runs as an RDD if its own static mode allows, and is
+// parallelized from its local result otherwise.
 type ifIter struct {
+	planNode
 	cond, then, els Iterator
 	sc              *spark.Context
 }
-
-func (i *ifIter) IsRDD() bool { return i.then.IsRDD() || i.els.IsRDD() }
 
 func (i *ifIter) branch(dc *DynamicContext) (Iterator, error) {
 	b, err := ebvOf(i.cond, dc)
@@ -42,7 +42,7 @@ func (i *ifIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
 	if err != nil {
 		return nil, err
 	}
-	if br.IsRDD() {
+	if br.Mode().Parallel() {
 		return br.RDD(dc)
 	}
 	seq, err := Materialize(br, dc)

@@ -47,25 +47,13 @@ func (contextItemIter) Stream(dc *DynamicContext, yield func(item.Item) error) e
 	return yield(it)
 }
 
-// commaIter concatenates its children's sequences. It is RDD-capable when
-// every child is, in which case the physical plan is a union of RDDs.
+// commaIter concatenates its children's sequences. The compiler annotates
+// it ModeRDD when every child is parallel, in which case the physical plan
+// is a union of RDDs.
 type commaIter struct {
+	planNode
 	children []Iterator
-	rdd      bool
 }
-
-func newCommaIter(children []Iterator) *commaIter {
-	rdd := len(children) > 0
-	for _, c := range children {
-		if !c.IsRDD() {
-			rdd = false
-			break
-		}
-	}
-	return &commaIter{children: children, rdd: rdd}
-}
-
-func (c *commaIter) IsRDD() bool { return c.rdd }
 
 func (c *commaIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
 	for _, child := range c.children {
@@ -77,7 +65,7 @@ func (c *commaIter) Stream(dc *DynamicContext, yield func(item.Item) error) erro
 }
 
 func (c *commaIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
-	if !c.rdd {
+	if !c.Mode().Parallel() {
 		return nil, Errorf("comma expression does not support RDD execution")
 	}
 	out, err := c.children[0].RDD(dc)

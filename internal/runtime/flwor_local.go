@@ -346,16 +346,16 @@ func (c *countEval) streamTuples(dc *DynamicContext, yield func(tuple) error) er
 	})
 }
 
-// compile-time representation of a whole FLWOR expression; execution
-// chooses between the local tuple pipeline and the DataFrame pipeline.
+// compile-time representation of a whole FLWOR expression. The compiler
+// chose the execution mode statically: the DataFrame plan exists exactly
+// when the node was annotated ModeDataFrame.
 type flworIter struct {
+	planNode
 	clauses []ast.Clause // original clause list (for DataFrame planning)
 	local   clauseEval   // chained local evaluators
 	ret     Iterator
-	df      *dfPlan // non-nil when DataFrame execution is available
+	df      *dfPlan // non-nil when the static mode is ModeDataFrame
 }
-
-func (f *flworIter) IsRDD() bool { return f.df != nil }
 
 func (f *flworIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
 	return f.local.streamTuples(dc, func(t tuple) error {

@@ -55,18 +55,20 @@ func (b *builtinCallIter) Stream(dc *DynamicContext, yield func(item.Item) error
 }
 
 // aggregateIter evaluates count/sum/avg/min/max/exists/empty. When the
-// argument is physically an RDD, the aggregation is pushed down to a Spark
-// action and only the scalar result travels back (§5.5 of the paper:
-// "aggregating iterators invoke a Spark count action on the child RDD").
+// compiler marked the call for pushdown (the argument is cluster-resident),
+// the aggregation runs as a Spark action and only the scalar result travels
+// back (§5.5 of the paper: "aggregating iterators invoke a Spark count
+// action on the child RDD").
 type aggregateIter struct {
 	localOnly
-	name string
-	arg  Iterator
-	dflt Iterator // sum's optional zero value
+	name     string
+	arg      Iterator
+	dflt     Iterator // sum's optional zero value
+	pushdown bool     // decided statically by the compiler
 }
 
 func (a *aggregateIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
-	if a.arg.IsRDD() {
+	if a.pushdown {
 		return a.streamFromRDD(dc, yield)
 	}
 	seq, err := Materialize(a.arg, dc)
@@ -226,12 +228,12 @@ func reduceItems(rdd *spark.RDD[item.Item], f func(x, y item.Item) (item.Item, e
 }
 
 // distinctValuesIter pushes distinct-values down to a shuffle when the
-// argument is an RDD.
+// argument is cluster-resident (the compiler propagates the argument's
+// mode to this node).
 type distinctValuesIter struct {
+	planNode
 	arg Iterator
 }
-
-func (d *distinctValuesIter) IsRDD() bool { return d.arg.IsRDD() }
 
 func (d *distinctValuesIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
 	seq, err := Materialize(d.arg, dc)
@@ -260,12 +262,11 @@ func (d *distinctValuesIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], err
 // of items, one streaming parse per split (the json-file() function of
 // §5.7). The optional second argument is a minimum partition count.
 type jsonFileIter struct {
+	planNode
 	env  *Env
 	path Iterator
 	min  Iterator // optional minimum partitions
 }
-
-func (j *jsonFileIter) IsRDD() bool { return j.env.Spark != nil }
 
 func (j *jsonFileIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
 	splits, err := j.splits(dc)
@@ -349,12 +350,11 @@ func (j *jsonFileIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
 // parallelizeIter distributes a locally computed sequence over the cluster,
 // the JSONiq wrapper for Spark's parallelize() (§5.7).
 type parallelizeIter struct {
+	planNode
 	env   *Env
 	child Iterator
 	parts Iterator // optional partition count
 }
-
-func (p *parallelizeIter) IsRDD() bool { return p.env.Spark != nil }
 
 func (p *parallelizeIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
 	// Local mode: parallelize is the identity on the logical layer.
@@ -388,6 +388,7 @@ func (p *parallelizeIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error)
 // collectionIter resolves collection(name) against the environment's
 // registered collections: a storage path or an in-memory sequence.
 type collectionIter struct {
+	planNode
 	env  *Env
 	name Iterator
 }
@@ -405,16 +406,15 @@ func (c *collectionIter) resolve(dc *DynamicContext) (Iterator, error) {
 	if err != nil {
 		return nil, Errorf("%v", err)
 	}
+	// The resolved source inherits this node's statically assigned mode.
 	if path, ok := c.env.Collections[name]; ok {
-		return &jsonFileIter{env: c.env, path: &literalIter{value: item.Str(path)}}, nil
+		return &jsonFileIter{planNode: c.planNode, env: c.env, path: &literalIter{value: item.Str(path)}}, nil
 	}
 	if seq, ok := c.env.InMemory[name]; ok {
-		return &parallelizeIter{env: c.env, child: &constSeqIter{seq: seq}}, nil
+		return &parallelizeIter{planNode: c.planNode, env: c.env, child: &constSeqIter{seq: seq}}, nil
 	}
 	return nil, Errorf("collection %q is not registered", name)
 }
-
-func (c *collectionIter) IsRDD() bool { return c.env.Spark != nil }
 
 func (c *collectionIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
 	it, err := c.resolve(dc)

@@ -9,11 +9,10 @@ import (
 // input, yield the value bound to the key; non-objects and absent keys
 // contribute nothing. RDD execution is a flatMap, as §4.1.2 describes.
 type objectLookupIter struct {
+	planNode
 	input Iterator
 	key   Iterator
 }
-
-func (o *objectLookupIter) IsRDD() bool { return o.input.IsRDD() }
 
 // lookupKey evaluates the key expression to a string.
 func (o *objectLookupIter) lookupKey(dc *DynamicContext) (string, error) {
@@ -69,10 +68,9 @@ func (o *objectLookupIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error
 // arrayUnboxIter implements Input[]: stream the members of each array item;
 // non-arrays contribute nothing.
 type arrayUnboxIter struct {
+	planNode
 	input Iterator
 }
-
-func (a *arrayUnboxIter) IsRDD() bool { return a.input.IsRDD() }
 
 func (a *arrayUnboxIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
 	return a.input.Stream(dc, func(it item.Item) error {
@@ -102,11 +100,10 @@ func (a *arrayUnboxIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) 
 
 // arrayLookupIter implements Input[[Index]] (1-based member access).
 type arrayLookupIter struct {
+	planNode
 	input Iterator
 	index Iterator
 }
-
-func (a *arrayLookupIter) IsRDD() bool { return a.input.IsRDD() }
 
 func (a *arrayLookupIter) indexValue(dc *DynamicContext) (int64, bool, error) {
 	seq, err := Materialize(a.index, dc)
@@ -173,11 +170,10 @@ func (a *arrayLookupIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error)
 // On the cluster it is a flatMap whose closure carries the mapping
 // iterator, evaluated through its local API per item (§5.6).
 type simpleMapIter struct {
+	planNode
 	input   Iterator
 	mapping Iterator
 }
-
-func (s *simpleMapIter) IsRDD() bool { return s.input.IsRDD() }
 
 func (s *simpleMapIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
 	var pos int64
@@ -205,11 +201,10 @@ func (s *simpleMapIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
 // iterator travels inside the closure and runs through its local API on
 // each executor (§5.6).
 type predicateIter struct {
+	planNode
 	input Iterator
 	pred  Iterator
 }
-
-func (p *predicateIter) IsRDD() bool { return p.input.IsRDD() }
 
 // keep decides whether the item at position pos (1-based) passes.
 func (p *predicateIter) keep(dc *DynamicContext, it item.Item, pos int64) (bool, error) {

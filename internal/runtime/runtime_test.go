@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"rumble/internal/compiler"
 	"rumble/internal/item"
 	"rumble/internal/parser"
 	"rumble/internal/spark"
@@ -94,22 +95,22 @@ func TestTupleShadowing(t *testing.T) {
 // nothing.
 func TestClauseMappingFigure9(t *testing.T) {
 	cases := []struct {
-		name         string
-		query        string
-		wantShuffle  bool
-		wantParallel bool
+		name        string
+		query       string
+		wantShuffle bool
+		wantMode    compiler.Mode
 	}{
-		{"for-where pipeline", `for $x in parallelize(1 to 100) where $x gt 50 return $x`, false, true},
-		{"group-by shuffles", `for $x in parallelize(1 to 100) group by $k := $x mod 3 return $k`, true, true},
-		{"order-by shuffles", `for $x in parallelize(1 to 100) order by $x descending return $x`, true, true},
-		{"let extends only", `for $x in parallelize(1 to 10) let $y := $x * 2 return $y`, false, true},
+		{"for-where pipeline", `for $x in parallelize(1 to 100) where $x gt 50 return $x`, false, compiler.ModeDataFrame},
+		{"group-by shuffles", `for $x in parallelize(1 to 100) group by $k := $x mod 3 return $k`, true, compiler.ModeDataFrame},
+		{"order-by shuffles", `for $x in parallelize(1 to 100) order by $x descending return $x`, true, compiler.ModeDataFrame},
+		{"let extends only", `for $x in parallelize(1 to 10) let $y := $x * 2 return $y`, false, compiler.ModeDataFrame},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			sc := spark.NewContext(spark.Config{Parallelism: 4, Executors: 4})
 			prog := compileQuery(t, testEnv(sc), c.query)
-			if prog.Root.IsRDD() != c.wantParallel {
-				t.Fatalf("IsRDD = %v, want %v", prog.Root.IsRDD(), c.wantParallel)
+			if prog.Mode() != c.wantMode {
+				t.Fatalf("mode = %v, want %v", prog.Mode(), c.wantMode)
 			}
 			if _, err := prog.Run(); err != nil {
 				t.Fatal(err)
@@ -187,8 +188,8 @@ func TestJSONFileStreamAndRDDAgree(t *testing.T) {
 	env := testEnv(sc)
 	env.SplitSize = 256
 	prog := compileQuery(t, env, fmt.Sprintf(`json-file(%q).i`, path))
-	if !prog.Root.IsRDD() {
-		t.Fatal("json-file lookup chain should be RDD-capable")
+	if prog.Mode() != compiler.ModeRDD {
+		t.Fatalf("json-file lookup chain mode = %v, want RDD", prog.Mode())
 	}
 	viaRDD, err := prog.Run()
 	if err != nil {
@@ -238,7 +239,7 @@ func TestGroupByCountSyntheticVarHiddenLocally(t *testing.T) {
 		group by $k := $x mod 2
 		order by $k
 		return count($x)`)
-	if prog.Root.IsRDD() {
+	if prog.Mode() != compiler.ModeLocal {
 		t.Fatal("no spark context: must be local")
 	}
 	out, err := prog.Run()
@@ -254,8 +255,8 @@ func TestIfBranchRDDCapability(t *testing.T) {
 	sc := spark.NewContext(spark.Config{Parallelism: 2, Executors: 2})
 	prog := compileQuery(t, testEnv(sc),
 		`if (1 eq 1) then parallelize(1 to 10) else ()`)
-	if !prog.Root.IsRDD() {
-		t.Fatal("if with an RDD branch should be RDD-capable")
+	if prog.Mode() != compiler.ModeRDD {
+		t.Fatalf("if with an RDD branch mode = %v, want RDD", prog.Mode())
 	}
 	out, err := prog.Run()
 	if err != nil {
@@ -280,8 +281,8 @@ func TestCommaRDDUnion(t *testing.T) {
 	sc := spark.NewContext(spark.Config{Parallelism: 2, Executors: 2})
 	prog := compileQuery(t, testEnv(sc),
 		`(parallelize(1 to 3), parallelize(7 to 9))`)
-	if !prog.Root.IsRDD() {
-		t.Fatal("comma of RDDs should be RDD-capable")
+	if prog.Mode() != compiler.ModeRDD {
+		t.Fatalf("comma of RDDs mode = %v, want RDD", prog.Mode())
 	}
 	out, err := prog.Run()
 	if err != nil {
@@ -330,7 +331,7 @@ func TestAllowingEmptyDFFallsBackLocal(t *testing.T) {
 	sc := spark.NewContext(spark.Config{Parallelism: 2, Executors: 2})
 	prog := compileQuery(t, testEnv(sc),
 		`for $x allowing empty in parallelize(()) return "kept"`)
-	if prog.Root.IsRDD() {
+	if prog.Mode() != compiler.ModeLocal {
 		t.Error("initial for with allowing empty must fall back to local execution")
 	}
 	out, err := prog.Run()
@@ -346,7 +347,7 @@ func TestLeadingLetKeepsLocalExecution(t *testing.T) {
 	sc := spark.NewContext(spark.Config{Parallelism: 2, Executors: 2})
 	prog := compileQuery(t, testEnv(sc),
 		`let $n := 3 for $x in parallelize(1 to 10) where $x le $n return $x`)
-	if prog.Root.IsRDD() {
+	if prog.Mode() != compiler.ModeLocal {
 		t.Error("a leading let keeps FLWOR execution local (§4.5)")
 	}
 	out, err := prog.Run()

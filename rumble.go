@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"rumble/internal/compiler"
 	"rumble/internal/dfs"
 	"rumble/internal/item"
 	"rumble/internal/jparse"
@@ -147,6 +148,28 @@ func (e *Engine) Compile(query string) (*Statement, error) {
 	return &Statement{eng: e, prog: prog}, nil
 }
 
+// Explain parses and statically analyzes a query, returning its physical
+// plan as a mode-annotated tree: every expression node carries the
+// execution mode ([Local], [RDD] or [DataFrame]) the compiler assigned,
+// and pushed-down aggregations are marked. The query is not executed.
+//
+//	plan, _ := eng.Explain(`count(json-file("data.jsonl"))`)
+//	fmt.Print(plan)
+//	// call count/1 (cluster pushdown) [Local]
+//	//   call json-file/1 [RDD]
+//	//     literal "data.jsonl" [Local]
+func (e *Engine) Explain(query string) (string, error) {
+	m, err := parser.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	info, err := compiler.Analyze(m, compiler.Options{Cluster: e.env.Spark != nil})
+	if err != nil {
+		return "", err
+	}
+	return compiler.Explain(m, info), nil
+}
+
 // Query compiles and runs a query, returning the materialized result
 // sequence. Execution is parallel whenever the query's root expression
 // supports RDD or DataFrame evaluation.
@@ -183,9 +206,14 @@ func (s *Statement) Stream(yield func(Item) error) error {
 	return s.prog.Root.Stream(s.prog.GlobalContext(), yield)
 }
 
-// IsParallel reports whether the statement's root will execute on the
-// cluster (RDD/DataFrame) rather than locally.
-func (s *Statement) IsParallel() bool { return s.prog.Root.IsRDD() }
+// Mode returns the execution mode the compiler statically assigned to the
+// statement's root expression: "Local", "RDD" or "DataFrame".
+func (s *Statement) Mode() string { return s.prog.Mode().String() }
+
+// IsParallel reports whether the statement's root was compiled to execute
+// on the cluster (RDD/DataFrame) rather than locally. The decision is
+// static: it was made during compilation, not probed at run time.
+func (s *Statement) IsParallel() bool { return s.prog.Mode().Parallel() }
 
 // WriteTo executes the statement and writes the result to dir as a
 // directory of JSON-Lines part files. Parallel statements write one part
