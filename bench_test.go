@@ -259,6 +259,40 @@ func BenchmarkAblation_DataFrameVsLocal(b *testing.B) {
 	})
 }
 
+// BenchmarkAblation_JoinVsNestedLoop measures the statically detected
+// hash join against the nested-loop fallback across sizes. The nested
+// loop's time grows quadratically with n while the join's grows linearly,
+// so the speedup widens superlinearly — compare the per-size sub-benchmark
+// ratios.
+func BenchmarkAblation_JoinVsNestedLoop(b *testing.B) {
+	for _, n := range []int{1_000, 2_000, 4_000} {
+		orders, customers, err := bench.JoinDataset(benchBase, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		query := bench.JoinQuery(orders, customers)
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"hash-join", false}, {"nested-loop", true}} {
+			b.Run(fmt.Sprintf("n%d/%s", n, mode.name), func(b *testing.B) {
+				eng := rumble.New(rumble.Config{Parallelism: 8, Executors: 4,
+					SplitSize: benchSplit, DisableJoin: mode.disable})
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := eng.Query(query)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res) != 1 || int(res[0].(rumble.Int)) != n {
+						b.Fatalf("join returned %v, want count %d", res, n)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkQueryCompilation isolates the frontend: lexing, parsing, static
 // analysis and iterator construction of a realistic query.
 func BenchmarkQueryCompilation(b *testing.B) {

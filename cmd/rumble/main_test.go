@@ -73,6 +73,33 @@ func TestExplainQuery(t *testing.T) {
 	}
 }
 
+func TestExplainQueryShowsJoinStrategy(t *testing.T) {
+	var out bytes.Buffer
+	err := explainQuery(&out, testEngine(), `
+		for $a in json-file("a.jsonl")
+		for $b in json-file("b.jsonl")
+		where $a.k eq $b.k
+		return { "a": $a, "b": $b }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := out.String(); !strings.Contains(s, "Join[hash]") {
+		t.Errorf("--explain missing the join node: %q", s)
+	}
+	out.Reset()
+	err = explainQuery(&out, testEngine(), `
+		for $a in json-file("a.jsonl")
+		for $b in parallelize(({"k": 1}))
+		where $a.k eq $b.k
+		return $a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := out.String(); !strings.Contains(s, "Join[broadcast]") {
+		t.Errorf("--explain missing the broadcast join node: %q", s)
+	}
+}
+
 func TestShellSession(t *testing.T) {
 	in := strings.NewReader("1 + 1\n\nfor $x in (1,2)\nreturn $x\n\nbad syntax here(\n\nquit\n")
 	var out, errw bytes.Buffer

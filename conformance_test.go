@@ -98,6 +98,40 @@ func TestConformance(t *testing.T) {
 		"positional at starts at one":     {query: `for $x at $i in ("z") return $i`, want: "1"},
 		"nested flwor independent":        {query: `for $x in (1, 2) return count(for $y in (1 to $x) return $y)`, want: "1\n2"},
 
+		// --- statically detected equi-joins (broadcast: both sides are
+		// parallelize literals; output keeps the nested loop's left-major
+		// order because the big side streams in place) ---
+		"equi-join matches keys": {
+			query: `for $a in parallelize(({"k": 1, "v": "x"}, {"k": 2, "v": "y"}, {"k": 3, "v": "z"}))
+			        for $b in parallelize(({"k": 2, "w": "p"}, {"k": 3, "w": "q"}))
+			        where $a.k eq $b.k
+			        return $a.v || $b.w`,
+			want: "\"yp\"\n\"zq\""},
+		"equi-join null keys match": {
+			query: `for $a in parallelize(({"k": null, "v": 1}, {"k": 9, "v": 2}))
+			        for $b in parallelize(({"k": null, "w": 10}))
+			        where $a.k eq $b.k
+			        return $a.v + $b.w`,
+			want: "11"},
+		"equi-join absent key joins nothing": {
+			query: `count(for $a in parallelize(({"v": 1}, {"k": 2, "v": 2}))
+			        for $b in parallelize(({"k": 2}))
+			        where $a.k eq $b.k
+			        return $a)`,
+			want: "1"},
+		"equi-join cross-numeric keys": {
+			query: `for $a in parallelize(({"k": 2, "v": "int"}))
+			        for $b in parallelize(({"k": 2.0e0, "w": "dbl"}))
+			        where $a.k eq $b.k
+			        return $a.v || $b.w`,
+			want: `"intdbl"`},
+		"equi-join mixed key types error": {
+			query: `for $a in parallelize(({"k": 1}, {"k": "s"}))
+			        for $b in parallelize(({"k": 1}))
+			        where $a.k eq $b.k
+			        return $a`,
+			wantErr: true},
+
 		// --- quantifiers ---
 		"some over empty false": {query: `some $x in () satisfies true`, want: "false"},
 		"every over empty true": {query: `every $x in () satisfies false`, want: "true"},

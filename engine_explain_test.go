@@ -47,6 +47,19 @@ var explainGoldens = []struct {
 	{"switch-try-quantified", `try {
 		switch (1) case 1 case 2 return "low" default return "high"
 		} catch * { every $x in (1, 2) satisfies $x gt 0 }`},
+	{"join-hash", `for $o in json-file("orders.jsonl")
+		for $c in json-file("customers.jsonl")
+		where $o.cust eq $c.cid
+		return { "oid": $o.oid, "name": $c.name }`},
+	{"join-broadcast-residual", `for $o in json-file("orders.jsonl")
+		for $c in parallelize(({"cid": 10, "name": "ada"}, {"cid": 11, "name": "bob"}))
+		where $o.cust eq $c.cid and $o.amount gt 5
+		order by $o.oid
+		return { "oid": $o.oid, "name": $c.name }`},
+	{"join-fallback-nested-loop", `for $o in json-file("orders.jsonl")
+		for $c in json-file("customers.jsonl")
+		where $o.cust eq $c.cid or $o.oid eq $c.cid
+		return $o`},
 }
 
 func TestExplainGolden(t *testing.T) {
@@ -83,19 +96,22 @@ func TestExplainGolden(t *testing.T) {
 // directly in code, so a regenerated golden cannot silently flip a mode.
 func TestExplainModesPinned(t *testing.T) {
 	wantRootMode := map[string]string{
-		"local-arith":             "[Local]",
-		"local-flwor":             "[Local]",
-		"rdd-source-paths":        "[RDD]",
-		"rdd-filter-predicate":    "[RDD]",
-		"rdd-union":               "[RDD]",
-		"mixed-comma-degrades":    "[Local]",
-		"aggregate-pushdown":      "[Local]", // scalar result; pushdown marked
-		"df-groupby-count":        "[DataFrame]",
-		"df-orderby-count-clause": "[DataFrame]",
-		"leading-let-local":       "[Local]",
-		"prolog-udf":              "[DataFrame]",
-		"distinct-if-switch":      "[RDD]",
-		"switch-try-quantified":   "[Local]",
+		"local-arith":               "[Local]",
+		"local-flwor":               "[Local]",
+		"rdd-source-paths":          "[RDD]",
+		"rdd-filter-predicate":      "[RDD]",
+		"rdd-union":                 "[RDD]",
+		"mixed-comma-degrades":      "[Local]",
+		"aggregate-pushdown":        "[Local]", // scalar result; pushdown marked
+		"df-groupby-count":          "[DataFrame]",
+		"df-orderby-count-clause":   "[DataFrame]",
+		"leading-let-local":         "[Local]",
+		"prolog-udf":                "[DataFrame]",
+		"distinct-if-switch":        "[RDD]",
+		"switch-try-quantified":     "[Local]",
+		"join-hash":                 "[DataFrame]",
+		"join-broadcast-residual":   "[DataFrame]",
+		"join-fallback-nested-loop": "[DataFrame]",
 	}
 	eng := New(Config{})
 	for _, tc := range explainGoldens {
@@ -116,6 +132,35 @@ func TestExplainModesPinned(t *testing.T) {
 	}
 	if !strings.Contains(mustExplain(t, eng, explainGoldens[6].query), "(cluster pushdown)") {
 		t.Error("aggregate pushdown not marked in plan")
+	}
+}
+
+// TestExplainJoinStrategyPinned asserts the join strategy choice of the
+// join goldens in code, so a regenerated golden cannot silently change the
+// physical join operator.
+func TestExplainJoinStrategyPinned(t *testing.T) {
+	eng := New(Config{})
+	wantContains := map[string]string{
+		"join-hash":               "Join[hash] for $o, for $c",
+		"join-broadcast-residual": "Join[broadcast] for $o, for $c (build: right)",
+	}
+	for _, tc := range explainGoldens {
+		want, pinned := wantContains[tc.name]
+		if !pinned {
+			continue
+		}
+		if plan := mustExplain(t, eng, tc.query); !strings.Contains(plan, want) {
+			t.Errorf("%s: plan lacks %q:\n%s", tc.name, want, plan)
+		}
+	}
+	// The fallback query must keep its nested-loop shape.
+	for _, tc := range explainGoldens {
+		if tc.name != "join-fallback-nested-loop" {
+			continue
+		}
+		if plan := mustExplain(t, eng, tc.query); strings.Contains(plan, "Join[") {
+			t.Errorf("fallback query unexpectedly joined:\n%s", plan)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -166,5 +167,32 @@ func TestTableAndCSVOutput(t *testing.T) {
 	}
 	if !strings.Contains(cb.String(), "11,Rumble,filter,10,0,0.5000") {
 		t.Errorf("CSV row malformed: %s", cb.String())
+	}
+}
+
+func TestRunJoinBeatsNestedLoop(t *testing.T) {
+	o := tinyOptions(t)
+	o.Sizes = []int{400, 1_200}
+	rows, err := RunJoin(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllOK(t, rows, "join")
+	if len(rows) != 4 { // 2 sizes x {Join, NestedLoop}
+		t.Fatalf("%d rows, want 4", len(rows))
+	}
+	secs := map[string]float64{}
+	for _, r := range rows {
+		secs[fmt.Sprintf("%s-%d", r.Engine, r.Size)] = r.Seconds
+	}
+	// At the largest size the nested loop does ~1200*120 key comparisons
+	// against the hash join's ~1320 probes; even with all shuffle overhead
+	// the join must win clearly. The margin is deliberately loose so the
+	// assertion never flakes on slow CI hosts.
+	big := o.Sizes[len(o.Sizes)-1]
+	join, nested := secs[fmt.Sprintf("Join-%d", big)], secs[fmt.Sprintf("NestedLoop-%d", big)]
+	if nested < 2*join {
+		t.Errorf("hash join (%.4fs) not clearly faster than nested loop (%.4fs) at n=%d",
+			join, nested, big)
 	}
 }

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"time"
+
+	"rumble"
+	"rumble/internal/datagen"
+)
+
+// ordersGenerator emits order objects whose "cust" key is uniform over the
+// customer id space, so a join fan-out is predictable (~n/customers orders
+// per customer).
+type ordersGenerator struct {
+	rng       *rand.Rand
+	customers int
+	oid       int64
+}
+
+func (g *ordersGenerator) Next() []byte {
+	g.oid++
+	return []byte(fmt.Sprintf(`{"oid": %d, "cust": %d, "amount": %d}`,
+		g.oid, g.rng.Intn(g.customers), g.rng.Intn(1000)))
+}
+
+// customersGenerator emits one customer object per sequential id.
+type customersGenerator struct{ cid int64 }
+
+func (g *customersGenerator) Next() []byte {
+	g.cid++
+	return []byte(fmt.Sprintf(`{"cid": %d, "name": "customer-%d"}`, g.cid-1, g.cid-1))
+}
+
+// JoinDataset generates (or reuses) an orders/customers dataset pair for
+// the join benchmark: n orders referencing n/10 customers.
+func JoinDataset(baseDir string, n int) (orders, customers string, err error) {
+	c := n / 10
+	if c < 1 {
+		c = 1
+	}
+	orders = filepath.Join(baseDir, fmt.Sprintf("orders-%d", n))
+	if !ready(orders) {
+		gen := &ordersGenerator{rng: rand.New(rand.NewSource(2024)), customers: c}
+		if err := datagen.WriteDataset(orders, gen, n, parts(n)); err != nil {
+			return "", "", err
+		}
+	}
+	customers = filepath.Join(baseDir, fmt.Sprintf("customers-%d", c))
+	if !ready(customers) {
+		if err := datagen.WriteDataset(customers, &customersGenerator{}, c, parts(c)); err != nil {
+			return "", "", err
+		}
+	}
+	return orders, customers, nil
+}
+
+// JoinQuery is the two-source equality-predicate FLWOR of the join
+// benchmark: every order is matched with its customer and aggregated, so
+// the result is a single count and timing measures the join itself rather
+// than result materialization.
+func JoinQuery(orders, customers string) string {
+	return fmt.Sprintf(`count(
+		for $o in json-file(%q)
+		for $c in json-file(%q)
+		where $o.cust eq $c.cid
+		return $c.name)`, orders, customers)
+}
+
+// RunJoin measures the statically detected hash join against the
+// nested-loop fallback (DisableJoin) across dataset sizes. The nested loop
+// is O(n^2/10) comparisons while the hash join is O(n) plus a shuffle, so
+// the gap must widen superlinearly with n — the asymptotic win the figure
+// demonstrates.
+func RunJoin(o Options) ([]Row, error) {
+	o = o.withDefaults()
+	var rows []Row
+	for _, n := range o.Sizes {
+		orders, customers, err := JoinDataset(o.BaseDir, n)
+		if err != nil {
+			return nil, err
+		}
+		q := JoinQuery(orders, customers)
+		for _, mode := range []struct {
+			name    string
+			disable bool
+		}{{"Join", false}, {"NestedLoop", true}} {
+			eng := rumble.New(rumble.Config{Parallelism: o.Parallelism, Executors: o.ExecutorCores,
+				SplitSize: o.SplitSize, DisableJoin: mode.disable})
+			start := time.Now()
+			res, err := eng.Query(q)
+			secs := time.Since(start).Seconds()
+			status := "ok"
+			switch {
+			case err != nil:
+				status = "error: " + err.Error()
+			case len(res) != 1 || int(res[0].(rumble.Int)) != n:
+				status = fmt.Sprintf("error: joined %v of %d orders", res, n)
+			}
+			rows = append(rows, Row{Figure: "join", Engine: mode.name, Query: "join-count",
+				Size: n, Seconds: secs, Status: status})
+		}
+	}
+	return rows, nil
+}

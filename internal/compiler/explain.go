@@ -189,13 +189,42 @@ func (p *explainPrinter) expr(depth int, prefix string, e ast.Expr) {
 		p.expr(depth+1, "", n.Input)
 	case *ast.FLWOR:
 		p.line(depth, prefix+"flwor", n)
-		for _, cl := range n.Clauses {
+		clauses := n.Clauses
+		if jp := p.info.Joins[n]; jp != nil {
+			p.join(depth+1, jp)
+			clauses = clauses[3:] // for, for, where consumed by the join
+		}
+		for _, cl := range clauses {
 			p.clause(depth+1, cl)
 		}
 		p.line(depth+1, "return", nil)
 		p.expr(depth+2, "", n.Return)
 	default:
 		p.line(depth, fmt.Sprintf("%s<%T>", prefix, e), nil)
+	}
+}
+
+// join renders a statically detected equi-join node: the strategy, both
+// inputs, the key expression pairs and the residual filter.
+func (p *explainPrinter) join(depth int, jp *JoinPlan) {
+	label := fmt.Sprintf("Join[%s] for $%s, for $%s", jp.Strategy, jp.Left.Var, jp.Right.Var)
+	if jp.Strategy == JoinBroadcast {
+		side := "right"
+		if jp.BuildLeft {
+			side = "left"
+		}
+		label += " (build: " + side + ")"
+	}
+	p.line(depth, label, nil)
+	p.expr(depth+1, "left in: ", jp.Left.In)
+	p.expr(depth+1, "right in: ", jp.Right.In)
+	for i := range jp.LeftKeys {
+		p.line(depth+1, fmt.Sprintf("key %d", i+1), nil)
+		p.expr(depth+2, "left: ", jp.LeftKeys[i])
+		p.expr(depth+2, "right: ", jp.RightKeys[i])
+	}
+	for _, res := range jp.Residual {
+		p.expr(depth+1, "residual where: ", res)
 	}
 }
 

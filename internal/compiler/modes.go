@@ -254,5 +254,10 @@ func (c *checker) annotateFLWOR(f *ast.FLWOR) Mode {
 		}
 	}
 	c.annotate(f.Return)
+	if mode == ModeDataFrame {
+		if plan := c.detectJoin(f); plan != nil {
+			c.info.Joins[f] = plan
+		}
+	}
 	return mode
 }

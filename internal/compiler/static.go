@@ -64,6 +64,9 @@ type Info struct {
 	// cluster-resident, so the aggregation runs as a cluster action and
 	// only the scalar result travels back.
 	Pushdown map[*ast.FunctionCall]bool
+	// Joins records, per FLWOR whose leading clauses form a statically
+	// detected equi-join, the plan replacing its nested-loop evaluation.
+	Joins map[*ast.FLWOR]*JoinPlan
 }
 
 // ModeOf returns the annotated execution mode of e. Unannotated nodes (and
@@ -75,6 +78,9 @@ type Options struct {
 	// Cluster reports whether a cluster context is available to the
 	// runtime. Without it every expression is annotated ModeLocal.
 	Cluster bool
+	// NoJoin disables equi-join detection, forcing nested-loop evaluation
+	// of nested for clauses — the escape hatch for comparison benchmarks.
+	NoJoin bool
 }
 
 // specialFunctions are implemented by the runtime rather than the local
@@ -110,6 +116,7 @@ type checker struct {
 	info      *Info
 	functions map[string][2]int // name -> [min,max] args (max -1 variadic)
 	cluster   bool
+	noJoin    bool
 }
 
 // Analyze checks the module statically and returns the analysis info. It
@@ -122,9 +129,11 @@ func Analyze(m *ast.Module, opts Options) (*Info, error) {
 			GroupPlans: map[*ast.GroupByClause]*GroupPlan{},
 			Modes:      map[ast.Expr]Mode{},
 			Pushdown:   map[*ast.FunctionCall]bool{},
+			Joins:      map[*ast.FLWOR]*JoinPlan{},
 		},
 		functions: map[string][2]int{},
 		cluster:   opts.Cluster,
+		noJoin:    opts.NoJoin,
 	}
 	for _, fd := range m.Functions {
 		if _, dup := c.functions[fd.Name]; dup {

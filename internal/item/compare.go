@@ -1,6 +1,7 @@
 package item
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/big"
@@ -58,10 +59,19 @@ func CompareValues(a, b Item) (int, error) {
 }
 
 func compareNumeric(a, b Item) int {
-	// Promote to the widest representation present. Integer/decimal pairs
-	// compare exactly through big.Rat; any double forces float comparison.
+	// Promote to the widest representation present. Pairs without a double
+	// compare exactly through big.Rat. A finite double also compares
+	// exactly against an integer or decimal (SetFloat64 is lossless), so
+	// Int(2^53) and Int(2^53+1) stay distinguishable from Double(2^53);
+	// only double-double pairs and non-finite doubles use float ordering.
 	if a.Kind() == KindDouble || b.Kind() == KindDouble {
 		fa, fb := Float64Value(a), Float64Value(b)
+		bothDouble := a.Kind() == KindDouble && b.Kind() == KindDouble
+		finite := !math.IsNaN(fa) && !math.IsInf(fa, 0) &&
+			!math.IsNaN(fb) && !math.IsInf(fb, 0)
+		if !bothDouble && finite {
+			return ratValue(a).Cmp(ratValue(b))
+		}
 		switch {
 		case fa < fb:
 			return -1
@@ -161,27 +171,50 @@ func ratValue(it Item) *big.Rat {
 	}
 }
 
-// Type tags used by the three-column group/sort key encoding of §4.7 of the
-// paper: an integer column carrying the tag, a string column and a double
-// column carrying the value when applicable.
+// Type tags used by the typed group/sort key encoding of §4.7 of the
+// paper: an integer column carrying the tag, a string column, a double
+// column and an exact-integer column carrying the value when applicable.
+// false sorts before true, agreeing with CompareValues.
 const (
 	TagEmptyLeast    = 1 // empty sequence, ordered lowest (default)
 	TagNull          = 2
-	TagTrue          = 3
-	TagFalse         = 4
+	TagFalse         = 3
+	TagTrue          = 4
 	TagString        = 5
 	TagNumber        = 6
 	TagEmptyGreatest = 7 // empty sequence when "empty greatest" is in force
 )
 
+// NaNStr is the string-column sentinel EncodeSortKey gives NaN keys. Real
+// numbers encode an empty string column, so the lexicographic (Tag, Str,
+// Num, Int) comparison deterministically orders NaN greatest among numbers
+// (and equal to itself) without ever comparing a raw NaN double.
+const NaNStr = "NaN"
+
 // SortKey is the typed encoding of one grouping/ordering variable, matching
-// the DataFrame columns the paper creates (type tag, string value, double
-// value). Rows group and order correctly by comparing (Tag, Str, Num)
-// lexicographically.
+// the native DataFrame columns the paper creates (type tag, string value,
+// double value) plus an exact-integer column that keeps integers outside
+// the float64-exact range (|v| > 2^53) distinguishable. Rows group and
+// order correctly by comparing (Tag, Str, Num, Int) lexicographically.
 type SortKey struct {
 	Tag int
 	Str string
 	Num float64
+	// Int is the exact integer value when the key is an integral number
+	// representable in int64 (it then equals the key's mathematical value,
+	// breaking float64 ties such as 2^53 vs 2^53+1), and 0 otherwise.
+	Int int64
+}
+
+// exactInt returns the int64 tie-breaker for a numeric key whose double
+// column is f: the exact integer value when f is integral and inside the
+// int64 range, else 0. Every value collapsing to the same float64 bucket
+// gets its true integer here, so the (Num, Int) pair orders exactly.
+func exactInt(f float64) int64 {
+	if f == math.Trunc(f) && f >= -9.223372036854775808e18 && f < 9.223372036854775808e18 {
+		return int64(f)
+	}
+	return 0
 }
 
 // EncodeSortKey encodes the sequence bound to a grouping/ordering variable.
@@ -209,14 +242,46 @@ func EncodeSortKey(seq []Item, emptyGreatest bool) (SortKey, error) {
 		return SortKey{Tag: TagFalse}, nil
 	case KindString:
 		return SortKey{Tag: TagString, Str: string(it.(Str))}, nil
-	case KindInteger, KindDecimal, KindDouble:
-		return SortKey{Tag: TagNumber, Num: Float64Value(it)}, nil
+	case KindInteger:
+		v := int64(it.(Int))
+		return SortKey{Tag: TagNumber, Num: float64(v), Int: v}, nil
+	case KindDecimal:
+		r := it.(Dec).Rat()
+		num := canonFloat(it.(Dec).Float64())
+		if r.IsInt() && r.Num().IsInt64() {
+			return SortKey{Tag: TagNumber, Num: num, Int: r.Num().Int64()}, nil
+		}
+		// Non-integral (or beyond-int64) decimals leave Int at 0: even when
+		// their float64 image lands in an integral bucket (|v| >= 2^52),
+		// they must not falsely equal an exact integer carried in the Int
+		// column. Their sub-ulp ordering collapses like the seed's float64
+		// encoding — a narrower corner than a wrong join match.
+		return SortKey{Tag: TagNumber, Num: num}, nil
+	case KindDouble:
+		f := float64(it.(Double))
+		if math.IsNaN(f) {
+			return SortKey{Tag: TagNumber, Str: NaNStr, Num: math.Inf(1)}, nil
+		}
+		f = canonFloat(f)
+		return SortKey{Tag: TagNumber, Num: f, Int: exactInt(f)}, nil
 	default:
 		return SortKey{}, fmt.Errorf("key binds a non-atomic %s item", it.Kind())
 	}
 }
 
-// Compare orders two sort keys lexicographically over (Tag, Str, Num).
+// canonFloat maps -0.0 to +0.0 so equal keys share one encoding.
+func canonFloat(f float64) float64 {
+	if f == 0 {
+		return 0
+	}
+	return f
+}
+
+// Compare orders two sort keys lexicographically over (Tag, Str, Num, Int).
+// The ordering is total: NaN keys carry the NaNStr sentinel in the string
+// column (greatest among numbers), and integers beyond the float64-exact
+// range break their Num ties on the exact Int column. Raw NaN doubles in
+// hand-built keys still order deterministically (greatest).
 func (k SortKey) Compare(o SortKey) int {
 	if k.Tag != o.Tag {
 		if k.Tag < o.Tag {
@@ -235,9 +300,38 @@ func (k SortKey) Compare(o SortKey) int {
 		return -1
 	case k.Num > o.Num:
 		return 1
+	}
+	if nk, no := math.IsNaN(k.Num), math.IsNaN(o.Num); nk != no {
+		if nk {
+			return 1
+		}
+		return -1
+	}
+	switch {
+	case k.Int < o.Int:
+		return -1
+	case k.Int > o.Int:
+		return 1
 	default:
 		return 0
 	}
+}
+
+// AppendSortKey appends a canonical byte encoding of the key to dst, for
+// use as a hash-join or group-by bucket key: two keys encode to the same
+// bytes exactly when Compare orders them equal. The layout is tag byte,
+// uvarint string length, string bytes, 8-byte Num bits, 8-byte Int.
+func AppendSortKey(dst []byte, k SortKey) []byte {
+	dst = append(dst, byte(k.Tag))
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(k.Str)))
+	dst = append(dst, lenBuf[:n]...)
+	dst = append(dst, k.Str...)
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(canonFloat(k.Num)))
+	dst = append(dst, b[:]...)
+	binary.BigEndian.PutUint64(b[:], uint64(k.Int))
+	return append(dst, b[:]...)
 }
 
 // DecodeSortKey reconstructs the original grouping key item from its typed
@@ -256,8 +350,13 @@ func DecodeSortKey(k SortKey) (Item, bool) {
 	case TagString:
 		return Str(k.Str), true
 	case TagNumber:
-		if k.Num == math.Trunc(k.Num) && math.Abs(k.Num) < 1e15 {
-			return Int(int64(k.Num)), true
+		if k.Str == NaNStr {
+			return Double(math.NaN()), true
+		}
+		if k.Num == math.Trunc(k.Num) && k.Num >= -9.223372036854775808e18 && k.Num < 9.223372036854775808e18 {
+			// Integral keys round-trip through the exact Int column, so
+			// Int(2^53+1) comes back unchanged.
+			return Int(k.Int), true
 		}
 		return Double(k.Num), true
 	default:

@@ -2,6 +2,7 @@ package item
 
 import (
 	"errors"
+	"math"
 	"math/big"
 	"testing"
 	"testing/quick"
@@ -137,13 +138,13 @@ func TestEncodeSortKeyErrors(t *testing.T) {
 }
 
 func TestSortKeyOrderMatchesPaperSemantics(t *testing.T) {
-	// empty < null < true < false(?) — per the paper's tag table, true=3 and
-	// false=4, so true sorts before false; strings before numbers.
+	// empty < null < false < true < strings < numbers; the boolean order
+	// agrees with CompareValues (false < true).
 	seqs := [][]Item{
 		nil,
 		{Null{}},
-		{Bool(true)},
 		{Bool(false)},
+		{Bool(true)},
 		{Str("a")},
 		{Str("b")},
 		{Int(1)},
@@ -263,5 +264,239 @@ func TestEffectiveBoolean(t *testing.T) {
 	}
 	if _, err := EffectiveBoolean([]Item{Int(1), Int(2)}); err == nil {
 		t.Error("EBV of multi-atomic sequence should error")
+	}
+}
+
+// sortKeyDomain is a cross-kind set of atomic items covering every tag,
+// boundary integers around the float64-exact range, and NaN.
+func sortKeyDomain() [][]Item {
+	const maxExact = int64(1) << 53 // 9007199254740992
+	return [][]Item{
+		nil,
+		{Null{}},
+		{Bool(false)},
+		{Bool(true)},
+		{Str("")},
+		{Str("NaN")}, // must not collide with the NaN number sentinel
+		{Str("a")},
+		{Str("b")},
+		{Int(-maxExact - 1)},
+		{Int(-3)},
+		{Int(0)},
+		{Int(2)},
+		{Int(maxExact - 1)},
+		{Int(maxExact)},
+		{Int(maxExact + 1)},
+		{Int(maxExact + 2)},
+		{Int(1<<62 + 1)},
+		{Double(math.Inf(-1))},
+		{Double(-2.5)},
+		{Double(-0.0)},
+		{Double(0.0)},
+		{Double(2.0)},
+		{Double(2.5)},
+		{Double(float64(maxExact))},
+		{Double(1e300)},
+		{Double(math.Inf(1))},
+		{Double(math.NaN())},
+		{NewDecimal(big.NewRat(5, 2))},
+		{NewDecimal(new(big.Rat).SetInt64(maxExact + 1))},
+	}
+}
+
+func sign(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Property (§4.7 correctness): for every pair of comparable atomic items,
+// the SortKey ordering agrees with CompareValues. NaN pairs are excluded:
+// CompareValues inherits IEEE unordered semantics while sort keys place
+// NaN deterministically greatest among numbers (tested separately below).
+func TestSortKeyAgreesWithCompareValues(t *testing.T) {
+	domain := sortKeyDomain()
+	isNaN := func(s []Item) bool {
+		d, ok := s[0].(Double)
+		return ok && math.IsNaN(float64(d))
+	}
+	for _, sa := range domain {
+		for _, sb := range domain {
+			if len(sa) == 0 || len(sb) == 0 || isNaN(sa) || isNaN(sb) {
+				continue
+			}
+			cv, err := CompareValues(sa[0], sb[0])
+			if err != nil {
+				continue // non-comparable pair: no agreement required
+			}
+			ka, err := EncodeSortKey(sa, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			kb, err := EncodeSortKey(sb, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sign(ka.Compare(kb)) != sign(cv) {
+				t.Errorf("SortKey order of (%v, %v) = %d disagrees with CompareValues = %d",
+					sa[0], sb[0], ka.Compare(kb), cv)
+			}
+		}
+	}
+}
+
+// Property: SortKey.Compare is a total order over the whole domain
+// (antisymmetric and transitive), including NaN and the empty sequence.
+func TestSortKeyTotalOrder(t *testing.T) {
+	var keys []SortKey
+	for _, s := range sortKeyDomain() {
+		k, err := EncodeSortKey(s, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	for _, a := range keys {
+		for _, b := range keys {
+			if sign(a.Compare(b)) != -sign(b.Compare(a)) {
+				t.Errorf("not antisymmetric: %+v vs %+v", a, b)
+			}
+			for _, c := range keys {
+				if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+					t.Errorf("not transitive: %+v <= %+v <= %+v but a > c", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSortKeyBooleanOrder(t *testing.T) {
+	kf, _ := EncodeSortKey([]Item{Bool(false)}, false)
+	kt, _ := EncodeSortKey([]Item{Bool(true)}, false)
+	if kf.Compare(kt) != -1 {
+		t.Error("false must sort before true, like CompareValues")
+	}
+	if cv, _ := CompareValues(Bool(false), Bool(true)); cv != -1 {
+		t.Error("CompareValues(false, true) should be -1")
+	}
+}
+
+func TestSortKeyNaNGreatestAndSelfEqual(t *testing.T) {
+	nan, _ := EncodeSortKey([]Item{Double(math.NaN())}, false)
+	nan2, _ := EncodeSortKey([]Item{Double(math.NaN())}, false)
+	if nan.Compare(nan2) != 0 {
+		t.Error("NaN key must equal itself (stable group-by bucket)")
+	}
+	for _, other := range []Item{Int(0), Double(math.Inf(1)), Double(-1e300), Int(1 << 62)} {
+		k, err := EncodeSortKey([]Item{other}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nan.Compare(k) != 1 || k.Compare(nan) != -1 {
+			t.Errorf("NaN must order greater than %v", other)
+		}
+	}
+	// NaN stays below non-number tags and is distinct from the string "NaN".
+	s, _ := EncodeSortKey([]Item{Str("NaN")}, false)
+	if nan.Compare(s) == 0 {
+		t.Error("number NaN collides with string \"NaN\"")
+	}
+	// Raw hand-built NaN keys (no sentinel) still order deterministically.
+	raw := SortKey{Tag: TagNumber, Num: math.NaN()}
+	five := SortKey{Tag: TagNumber, Num: 5}
+	if raw.Compare(five) != 1 || five.Compare(raw) != -1 || raw.Compare(raw) != 0 {
+		t.Error("raw NaN keys must order greatest deterministically")
+	}
+}
+
+func TestSortKeyLargeIntegersExact(t *testing.T) {
+	const maxExact = int64(1) << 53
+	a, _ := EncodeSortKey([]Item{Int(maxExact)}, false)
+	b, _ := EncodeSortKey([]Item{Int(maxExact + 1)}, false)
+	if a.Compare(b) != -1 {
+		t.Errorf("Int(2^53) vs Int(2^53+1): Compare = %d, want -1", a.Compare(b))
+	}
+	if string(AppendSortKey(nil, a)) == string(AppendSortKey(nil, b)) {
+		t.Error("Int(2^53) and Int(2^53+1) encode to the same bucket key")
+	}
+	// Round trip preserves the exact value.
+	for _, v := range []int64{maxExact, maxExact + 1, -maxExact - 1, 1<<62 + 1} {
+		k, _ := EncodeSortKey([]Item{Int(v)}, false)
+		got, ok := DecodeSortKey(k)
+		if !ok || !DeepEqual(got, Int(v)) {
+			t.Errorf("Int(%d) round-tripped to %v", v, got)
+		}
+	}
+	// A double that is mathematically equal still lands in the same bucket.
+	d, _ := EncodeSortKey([]Item{Double(float64(maxExact))}, false)
+	if a.Compare(d) != 0 || string(AppendSortKey(nil, a)) != string(AppendSortKey(nil, d)) {
+		t.Error("Int(2^53) and Double(2^53) must share a bucket")
+	}
+}
+
+func TestAppendSortKeyCanonical(t *testing.T) {
+	// Encodings are equal exactly when Compare says equal, across the domain.
+	domain := sortKeyDomain()
+	for _, sa := range domain {
+		for _, sb := range domain {
+			ka, _ := EncodeSortKey(sa, false)
+			kb, _ := EncodeSortKey(sb, false)
+			sameBytes := string(AppendSortKey(nil, ka)) == string(AppendSortKey(nil, kb))
+			if sameBytes != (ka.Compare(kb) == 0) {
+				t.Errorf("byte encoding of %v vs %v: sameBytes=%v but Compare=%d",
+					sa, sb, sameBytes, ka.Compare(kb))
+			}
+		}
+	}
+	// -0.0 and +0.0 must share one canonical encoding.
+	kn, _ := EncodeSortKey([]Item{Double(math.Copysign(0, -1))}, false)
+	kp, _ := EncodeSortKey([]Item{Double(0)}, false)
+	if string(AppendSortKey(nil, kn)) != string(AppendSortKey(nil, kp)) {
+		t.Error("-0.0 and +0.0 encode differently")
+	}
+}
+
+func TestCompareNumericExactAtFloatBoundary(t *testing.T) {
+	const maxExact = int64(1) << 53
+	// Mixed int/double comparisons are mathematically exact now.
+	if c := mustCompare(Int(maxExact+1), Double(float64(maxExact))); c != 1 {
+		t.Errorf("Int(2^53+1) vs Double(2^53) = %d, want 1", c)
+	}
+	if c := mustCompare(Int(maxExact), Double(float64(maxExact))); c != 0 {
+		t.Errorf("Int(2^53) vs Double(2^53) = %d, want 0", c)
+	}
+	// Infinities still compare correctly against integers.
+	if c := mustCompare(Int(1<<62), Double(math.Inf(1))); c != -1 {
+		t.Error("int must compare below +Inf")
+	}
+	if c := mustCompare(Int(1<<62), Double(math.Inf(-1))); c != 1 {
+		t.Error("int must compare above -Inf")
+	}
+}
+
+func TestSortKeyNonIntegerDecimalDoesNotEqualInteger(t *testing.T) {
+	// Dec(2^53 + 1/2) rounds to the float 2^53; it must not land in the
+	// same join/group bucket as the genuinely equal-to-float Int(2^53).
+	const maxExact = int64(1) << 53
+	half := new(big.Rat).Add(new(big.Rat).SetInt64(maxExact), big.NewRat(1, 2))
+	kd, err := EncodeSortKey([]Item{NewDecimal(half)}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ki, _ := EncodeSortKey([]Item{Int(maxExact)}, false)
+	if kd.Compare(ki) == 0 {
+		t.Error("Dec(2^53+1/2) compares equal to Int(2^53)")
+	}
+	if string(AppendSortKey(nil, kd)) == string(AppendSortKey(nil, ki)) {
+		t.Error("Dec(2^53+1/2) shares a bucket key with Int(2^53)")
+	}
+	// CompareValues agrees they differ (exact big.Rat comparison).
+	if c := mustCompare(NewDecimal(half), Int(maxExact)); c == 0 {
+		t.Error("CompareValues thinks the values are equal")
 	}
 }

@@ -34,7 +34,7 @@ func (p *Program) Run() ([]item.Item, error) {
 // The static phase assigns every expression its execution mode; the plan
 // nodes built here carry that annotation and never probe it dynamically.
 func Compile(m *ast.Module, env *Env) (*Program, error) {
-	info, err := compiler.Analyze(m, compiler.Options{Cluster: env.Spark != nil})
+	info, err := compiler.Analyze(m, compiler.Options{Cluster: env.Spark != nil, NoJoin: env.NoJoin})
 	if err != nil {
 		return nil, err
 	}
@@ -389,7 +389,30 @@ func (c *comp) compileFLWOR(f *ast.FLWOR) (Iterator, error) {
 	dfOK := c.info.ModeOf(f) == compiler.ModeDataFrame
 	var plan *dfPlan
 
-	for i, cl := range f.Clauses {
+	clauses := f.Clauses
+	if jp := c.info.Joins[f]; jp != nil {
+		// The compiler replaced the leading for/for/where with an equi-join:
+		// the join heads both the local tuple pipeline and the DataFrame
+		// plan, and residual conjuncts become ordinary where steps.
+		cj, err := c.compileJoin(jp)
+		if err != nil {
+			return nil, err
+		}
+		local = &joinEval{j: cj}
+		if dfOK {
+			plan = &dfPlan{sc: c.env.Spark, join: cj, ret: ret}
+		}
+		for _, res := range cj.residual {
+			local = &whereEval{parent: local, cond: res}
+			if dfOK {
+				steps = append(steps, dfWhereStep(res))
+			}
+		}
+		clauses = clauses[3:]
+	}
+
+	headDone := plan != nil
+	for i, cl := range clauses {
 		switch n := cl.(type) {
 		case *ast.ForClause:
 			in, err := c.compile(n.In)
@@ -398,7 +421,7 @@ func (c *comp) compileFLWOR(f *ast.FLWOR) (Iterator, error) {
 			}
 			fe := &forEval{parent: local, varName: n.Var, posVar: n.PosVar, allowEmpty: n.AllowEmpty, in: in}
 			local = fe
-			if i == 0 {
+			if i == 0 && !headDone {
 				if dfOK {
 					plan = &dfPlan{sc: c.env.Spark, initVar: n.Var, initPos: n.PosVar, initIn: in, ret: ret}
 				}
@@ -411,7 +434,7 @@ func (c *comp) compileFLWOR(f *ast.FLWOR) (Iterator, error) {
 				return nil, err
 			}
 			local = &letEval{parent: local, varName: n.Var, value: val}
-			if dfOK && i > 0 {
+			if dfOK && (i > 0 || headDone) {
 				steps = append(steps, dfLetStep(n.Var, val))
 			}
 		case *ast.WhereClause:

@@ -15,6 +15,7 @@ import (
 // incoming DataFrame to the outgoing one with the §4.4-§4.9 mappings.
 type dfPlan struct {
 	sc      *spark.Context
+	join    *compiledJoin // non-nil when the head is a detected equi-join
 	initVar string
 	initPos string // "" when the initial for has no positional variable
 	initIn  Iterator
@@ -83,6 +84,15 @@ func (f *flworIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
 		return nil, Errorf("FLWOR expression does not support RDD execution")
 	}
 	p := f.df
+	if p.join != nil {
+		// The head of the FLWOR is a statically detected equi-join: the
+		// initial two-column DataFrame comes from the join operator.
+		st, err := p.joinInit(dc)
+		if err != nil {
+			return nil, err
+		}
+		return p.applySteps(st, dc)
+	}
 	in, err := p.initIn.RDD(dc)
 	if err != nil {
 		return nil, err
@@ -110,13 +120,17 @@ func (f *flworIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
 			{Name: vcol, Type: spark.ColSeq}, {Name: pcol, Type: spark.ColSeq},
 		}}, rows)
 	}
+	return p.applySteps(st, dc)
+}
+
+// applySteps runs the clause steps over the initial DataFrame state and
+// flat-maps the return clause (§4.10) into the output RDD of items.
+func (p *dfPlan) applySteps(st *dfState, dc *DynamicContext) (*spark.RDD[item.Item], error) {
 	for _, step := range p.steps {
 		if err := step(st, dc); err != nil {
 			return nil, err
 		}
 	}
-	// Return clause (§4.10): flatMap each tuple to the return expression's
-	// sequence, producing a single flattened RDD of items.
 	binder := st.rowBinder(dc)
 	ret := p.ret
 	return spark.FlatMapE(st.df.RDD(), func(r spark.Row) ([]item.Item, error) {
@@ -202,11 +216,12 @@ func dfGroupStep(specs []dfGroupSpec, usage map[string]compiler.VarUsage) dfStep
 				return Errorf("group by: variable $%s is not bound", spec.varName)
 			}
 			idx := schema.IndexOf(col)
-			tagCol, strCol, numCol := st.freshCol(), st.freshCol(), st.freshCol()
+			tagCol, strCol, numCol, intCol := st.freshCol(), st.freshCol(), st.freshCol(), st.freshCol()
 			cols := []spark.Column{
 				{Name: tagCol, Type: spark.ColInt},
 				{Name: strCol, Type: spark.ColString},
 				{Name: numCol, Type: spark.ColDouble},
+				{Name: intCol, Type: spark.ColInt},
 			}
 			st.df = st.df.WithColumns(cols, func(r spark.Row) ([]any, error) {
 				seq := r.Seq(idx)
@@ -217,10 +232,10 @@ func dfGroupStep(specs []dfGroupSpec, usage map[string]compiler.VarUsage) dfStep
 				if err != nil {
 					return nil, Errorf("group by: %v", err)
 				}
-				return []any{int64(sk.Tag), sk.Str, sk.Num}, nil
+				return []any{int64(sk.Tag), sk.Str, sk.Num, sk.Int}, nil
 			})
 			schema = st.df.Schema()
-			keyNative = append(keyNative, tagCol, strCol, numCol)
+			keyNative = append(keyNative, tagCol, strCol, numCol, intCol)
 		}
 		// Aggregations: keys keep their first (identical) value; the
 		// others follow the usage plan.
@@ -319,11 +334,12 @@ func dfOrderStep(specs []dfOrderSpec) dfStep {
 		var keyCols []string
 		for _, spec := range specs {
 			spec := spec
-			tagCol, strCol, numCol := st.freshCol(), st.freshCol(), st.freshCol()
+			tagCol, strCol, numCol, intCol := st.freshCol(), st.freshCol(), st.freshCol(), st.freshCol()
 			cols := []spark.Column{
 				{Name: tagCol, Type: spark.ColInt},
 				{Name: strCol, Type: spark.ColString},
 				{Name: numCol, Type: spark.ColDouble},
+				{Name: intCol, Type: spark.ColInt},
 			}
 			st.df = st.df.WithColumns(cols, func(r spark.Row) ([]any, error) {
 				seq, err := Materialize(spec.expr, binder(r))
@@ -340,12 +356,13 @@ func dfOrderStep(specs []dfOrderSpec) dfStep {
 				if err != nil {
 					return nil, Errorf("order by: %v", err)
 				}
-				return []any{int64(sk.Tag), sk.Str, sk.Num}, nil
+				return []any{int64(sk.Tag), sk.Str, sk.Num, sk.Int}, nil
 			})
 			sortSpecs = append(sortSpecs,
 				spark.SortSpec{Col: tagCol, Descending: spec.descending},
 				spark.SortSpec{Col: strCol, Descending: spec.descending},
 				spark.SortSpec{Col: numCol, Descending: spec.descending},
+				spark.SortSpec{Col: intCol, Descending: spec.descending},
 			)
 			keyCols = append(keyCols, tagCol)
 		}

@@ -2,7 +2,6 @@ package runtime
 
 import (
 	"sort"
-	"strconv"
 
 	"rumble/internal/ast"
 	"rumble/internal/compiler"
@@ -188,12 +187,7 @@ func (g *groupByEval) streamTuples(dc *DynamicContext, yield func(tuple) error) 
 			if err != nil {
 				return Errorf("group by: %v", err)
 			}
-			keyBuf = strconv.AppendInt(keyBuf, int64(sk.Tag), 10)
-			keyBuf = append(keyBuf, 0x1f)
-			keyBuf = strconv.AppendQuote(keyBuf, sk.Str)
-			keyBuf = append(keyBuf, 0x1f)
-			keyBuf = strconv.AppendFloat(keyBuf, sk.Num, 'g', -1, 64)
-			keyBuf = append(keyBuf, 0x1e)
+			keyBuf = item.AppendSortKey(keyBuf, sk)
 		}
 		k := string(keyBuf)
 		grp, ok := groups[k]

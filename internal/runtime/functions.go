@@ -23,6 +23,9 @@ type Env struct {
 	InMemory map[string][]item.Item
 	// SplitSize overrides the storage split size (0 = default).
 	SplitSize int64
+	// NoJoin disables the compiler's static equi-join detection, forcing
+	// nested-loop evaluation (for comparison benchmarks).
+	NoJoin bool
 }
 
 // builtinCallIter dispatches a call to the local builtin library,

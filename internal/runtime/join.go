@@ -1,0 +1,284 @@
+package runtime
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"rumble/internal/compiler"
+	"rumble/internal/item"
+	"rumble/internal/spark"
+)
+
+// compiledJoin is the runtime form of a compiler.JoinPlan: the two join
+// inputs, the compiled key expression pairs, and the statically chosen
+// strategy. It replaces the FLWOR's leading for/for/where clauses on both
+// the local tuple path (joinEval) and the DataFrame path (dfPlan.join);
+// residual conjuncts are applied as ordinary where steps by the compiler.
+type compiledJoin struct {
+	leftVar, rightVar   string
+	leftIn, rightIn     Iterator
+	leftKeys, rightKeys []Iterator
+	residual            []Iterator
+	strategy            compiler.JoinStrategy
+	buildLeft           bool
+}
+
+// compileJoin compiles the plan's expressions into iterators.
+func (c *comp) compileJoin(jp *compiler.JoinPlan) (*compiledJoin, error) {
+	j := &compiledJoin{
+		leftVar:   jp.Left.Var,
+		rightVar:  jp.Right.Var,
+		strategy:  jp.Strategy,
+		buildLeft: jp.BuildLeft,
+	}
+	var err error
+	if j.leftIn, err = c.compile(jp.Left.In); err != nil {
+		return nil, err
+	}
+	if j.rightIn, err = c.compile(jp.Right.In); err != nil {
+		return nil, err
+	}
+	for i := range jp.LeftKeys {
+		lk, err := c.compile(jp.LeftKeys[i])
+		if err != nil {
+			return nil, err
+		}
+		rk, err := c.compile(jp.RightKeys[i])
+		if err != nil {
+			return nil, err
+		}
+		j.leftKeys = append(j.leftKeys, lk)
+		j.rightKeys = append(j.rightKeys, rk)
+	}
+	for _, res := range jp.Residual {
+		ri, err := c.compile(res)
+		if err != nil {
+			return nil, err
+		}
+		j.residual = append(j.residual, ri)
+	}
+	return j, nil
+}
+
+// encodeJoinKeys evaluates one side's key expressions for one item and
+// returns the canonical composite key bytes (via item.AppendSortKey, so
+// keys match exactly when every SortKey pair compares equal, the same
+// equivalence "eq" implements), the observed type-tag mask (8 bits per
+// key, as in the order-by type check), and ok=false when some key is the
+// empty sequence — "eq" over an empty operand is the empty sequence, whose
+// effective boolean value is false, so the row joins nothing. Encoding
+// stops at the first empty key, mirroring the short-circuit of "and".
+func encodeJoinKeys(keys []Iterator, varName string, it item.Item, dc *DynamicContext) (string, uint64, bool, error) {
+	bdc := dc.BindVar(varName, []item.Item{it})
+	var buf []byte
+	var mask uint64
+	for i, k := range keys {
+		seq, err := Materialize(k, bdc)
+		if err != nil {
+			return "", 0, false, err
+		}
+		if len(seq) > 1 {
+			return "", 0, false, Errorf("join key %d binds a sequence of %d items; eq requires a single item", i+1, len(seq))
+		}
+		sk, err := item.EncodeSortKey(seq, false)
+		if err != nil {
+			return "", 0, false, Errorf("join key %d: %v", i+1, err)
+		}
+		if len(seq) == 0 {
+			return "", mask, false, nil
+		}
+		mask |= (1 << uint(sk.Tag)) << (8 * uint(i))
+		buf = item.AppendSortKey(buf, sk)
+	}
+	return string(buf), mask, true, nil
+}
+
+// keyCats folds one key's tag bits into comparable categories: booleans,
+// strings and numbers are mutually non-comparable under "eq" (null
+// compares with everything and the empty sequence never reaches a
+// comparison).
+func keyCats(tagBits byte) byte {
+	var c byte
+	if tagBits&(1<<item.TagFalse|1<<item.TagTrue) != 0 {
+		c |= 1
+	}
+	if tagBits&(1<<item.TagString) != 0 {
+		c |= 2
+	}
+	if tagBits&(1<<item.TagNumber) != 0 {
+		c |= 4
+	}
+	return c
+}
+
+// joinKeyTypeConflict replays the nested loop's type errors: a pair of
+// items from the two sides with non-comparable kinds exists exactly when
+// both sides observed a comparable category for some key and their union
+// holds more than one category — "eq" would have raised on that pair.
+func joinKeyTypeConflict(lmask, rmask uint64, numKeys int) error {
+	for i := 0; i < numKeys; i++ {
+		lc := keyCats(byte(lmask >> (8 * uint(i))))
+		rc := keyCats(byte(rmask >> (8 * uint(i))))
+		if lc != 0 && rc != 0 && bits.OnesCount8(lc|rc) > 1 {
+			return Errorf("join key %d mixes non-comparable types across the two sides: %v", i+1, item.ErrNonComparable)
+		}
+	}
+	return nil
+}
+
+// atomicMask accumulates tag masks from concurrent executor tasks.
+type atomicMask struct{ v atomic.Uint64 }
+
+func (m *atomicMask) or(bits uint64) {
+	for {
+		old := m.v.Load()
+		if old&bits == bits || m.v.CompareAndSwap(old, old|bits) {
+			return
+		}
+	}
+}
+
+// --- local path ---
+
+// joinEval is the local hash-join head of a FLWOR's tuple pipeline: it
+// builds a hash table over the right input keyed by encoded join keys,
+// then probes it while streaming the left input. Output order is exactly
+// the nested loop's (left-major, right input order within a key), so local
+// results are bit-identical to the fallback.
+type joinEval struct {
+	j *compiledJoin
+}
+
+func (e *joinEval) streamTuples(dc *DynamicContext, yield func(tuple) error) error {
+	j := e.j
+	var build map[string][]item.Item
+	var rmask uint64
+	// The hash table is built lazily on the first left row: a nested loop
+	// over an empty left input never evaluates the right side's keys, so
+	// neither may the join (a malformed right-side key must not abort a
+	// query whose probe side is empty).
+	buildRight := func() error {
+		build = map[string][]item.Item{}
+		return j.rightIn.Stream(dc, func(it item.Item) error {
+			key, mask, ok, err := encodeJoinKeys(j.rightKeys, j.rightVar, it, dc)
+			if err != nil {
+				return err
+			}
+			rmask |= mask
+			if ok {
+				build[key] = append(build[key], it)
+			}
+			return nil
+		})
+	}
+	return j.leftIn.Stream(dc, func(it item.Item) error {
+		if build == nil {
+			if err := buildRight(); err != nil {
+				return err
+			}
+		}
+		key, mask, ok, err := encodeJoinKeys(j.leftKeys, j.leftVar, it, dc)
+		if err != nil {
+			return err
+		}
+		// This left row meets every right row in the nested loop; raise the
+		// type error the loop's "eq" would have raised.
+		if err := joinKeyTypeConflict(mask, rmask, len(j.leftKeys)); err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		base := tuple{}.extend(j.leftVar, []item.Item{it})
+		for _, r := range build[key] {
+			if err := yield(base.extend(j.rightVar, []item.Item{r})); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// --- DataFrame path ---
+
+// joinInit runs the join on the cluster and returns the initial DataFrame
+// state: one ColSeq column per join variable, one row per matched pair.
+func (p *dfPlan) joinInit(dc *DynamicContext) (*dfState, error) {
+	j := p.join
+	leftRDD, err := j.leftIn.RDD(dc)
+	if err != nil {
+		return nil, err
+	}
+	rightRDD, err := j.rightIn.RDD(dc)
+	if err != nil {
+		return nil, err
+	}
+	numKeys := len(j.leftKeys)
+	var lmask, rmask atomicMask
+	// encodePairs keys one side's items; perRow, when set, validates each
+	// row's types eagerly against the already-complete other-side mask.
+	encodePairs := func(r *spark.RDD[item.Item], keys []Iterator, varName string, acc *atomicMask, perRow func(mask uint64) error) *spark.RDD[spark.Pair[string, item.Item]] {
+		return spark.FlatMapE(r, func(it item.Item) ([]spark.Pair[string, item.Item], error) {
+			key, mask, ok, err := encodeJoinKeys(keys, varName, it, dc)
+			if err != nil {
+				return nil, err
+			}
+			acc.or(mask)
+			if perRow != nil {
+				if err := perRow(mask); err != nil {
+					return nil, err
+				}
+			}
+			if !ok {
+				return nil, nil
+			}
+			return []spark.Pair[string, item.Item]{{Key: key, Value: it}}, nil
+		})
+	}
+	var joined *spark.RDD[spark.Pair[string, spark.Joined[item.Item, item.Item]]]
+	switch {
+	case j.strategy == compiler.JoinHash:
+		// Shuffle hash join: both sides exchange; the type check runs once
+		// both sides are fully materialized, before any pair is emitted.
+		lp := encodePairs(leftRDD, j.leftKeys, j.leftVar, &lmask, nil)
+		rp := encodePairs(rightRDD, j.rightKeys, j.rightVar, &rmask, nil)
+		joined = spark.JoinByKey(lp, rp, func() error {
+			return joinKeyTypeConflict(lmask.v.Load(), rmask.v.Load(), numKeys)
+		})
+	case j.buildLeft:
+		// Broadcast the small left side; stream the big right side over it.
+		small, err := spark.Collect(encodePairs(leftRDD, j.leftKeys, j.leftVar, &lmask, nil))
+		if err != nil {
+			return nil, err
+		}
+		big := encodePairs(rightRDD, j.rightKeys, j.rightVar, &rmask, func(mask uint64) error {
+			return joinKeyTypeConflict(lmask.v.Load(), mask, numKeys)
+		})
+		bj := spark.BroadcastHashJoin(big, small)
+		joined = spark.Map(bj, func(kv spark.Pair[string, spark.Joined[item.Item, item.Item]]) spark.Pair[string, spark.Joined[item.Item, item.Item]] {
+			kv.Value.Left, kv.Value.Right = kv.Value.Right, kv.Value.Left
+			return kv
+		})
+	default:
+		// Broadcast the small right side; stream the big left side over it.
+		small, err := spark.Collect(encodePairs(rightRDD, j.rightKeys, j.rightVar, &rmask, nil))
+		if err != nil {
+			return nil, err
+		}
+		big := encodePairs(leftRDD, j.leftKeys, j.leftVar, &lmask, func(mask uint64) error {
+			return joinKeyTypeConflict(mask, rmask.v.Load(), numKeys)
+		})
+		joined = spark.BroadcastHashJoin(big, small)
+	}
+	st := &dfState{varCol: map[string]string{}}
+	lcol, rcol := st.freshCol(), st.freshCol()
+	rows := spark.Map(joined, func(kv spark.Pair[string, spark.Joined[item.Item, item.Item]]) spark.Row {
+		return spark.Row{[]item.Item{kv.Value.Left}, []item.Item{kv.Value.Right}}
+	})
+	st.varCol[j.leftVar] = lcol
+	st.varCol[j.rightVar] = rcol
+	st.df = spark.NewDataFrame(spark.Schema{Cols: []spark.Column{
+		{Name: lcol, Type: spark.ColSeq}, {Name: rcol, Type: spark.ColSeq},
+	}}, rows)
+	return st, nil
+}

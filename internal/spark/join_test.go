@@ -1,0 +1,138 @@
+package spark
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func pairsOf(keys []string) []Pair[string, int] {
+	out := make([]Pair[string, int], len(keys))
+	for i, k := range keys {
+		out[i] = Pair[string, int]{Key: k, Value: i}
+	}
+	return out
+}
+
+func sortedJoinStrings[K comparable, V, W any](t *testing.T, r *RDD[Pair[K, Joined[V, W]]]) []string {
+	t.Helper()
+	got, err := Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(got))
+	for i, kv := range got {
+		out[i] = fmt.Sprintf("%v:%v-%v", kv.Key, kv.Value.Left, kv.Value.Right)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestJoinByKeyMatchesAndMultiplies(t *testing.T) {
+	ctx := testCtx()
+	left := Parallelize(ctx, pairsOf([]string{"a", "b", "a", "d"}), 3)
+	right := Parallelize(ctx, pairsOf([]string{"b", "a", "a", "c"}), 2)
+	got := sortedJoinStrings(t, JoinByKey(left, right, nil))
+	// "a" appears 2x on the left and 2x on the right: 4 pairs; "b" 1x1;
+	// "c" and "d" are unmatched.
+	want := []string{"a:0-1", "a:0-2", "a:2-1", "a:2-2", "b:1-0"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("join pairs:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+func TestJoinByKeyEmptySides(t *testing.T) {
+	ctx := testCtx()
+	left := Parallelize(ctx, pairsOf([]string{"a", "b"}), 2)
+	empty := Parallelize(ctx, pairsOf(nil), 1)
+	if got := sortedJoinStrings(t, JoinByKey(left, empty, nil)); len(got) != 0 {
+		t.Errorf("join with empty right produced %v", got)
+	}
+	if got := sortedJoinStrings(t, JoinByKey(empty, left, nil)); len(got) != 0 {
+		t.Errorf("join with empty left produced %v", got)
+	}
+}
+
+func TestJoinByKeyCountsShuffleRecords(t *testing.T) {
+	ctx := testCtx()
+	left := Parallelize(ctx, pairsOf([]string{"a", "b", "c"}), 2)
+	right := Parallelize(ctx, pairsOf([]string{"a", "b"}), 2)
+	ctx.ResetMetrics()
+	if _, err := Collect(JoinByKey(left, right, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if n := ctx.Metrics().ShuffleRecords; n != 5 {
+		t.Errorf("ShuffleRecords = %d, want 5 (both sides shuffled)", n)
+	}
+}
+
+func TestJoinByKeyCheckRunsBeforeOutput(t *testing.T) {
+	ctx := testCtx()
+	left := Parallelize(ctx, pairsOf([]string{"a"}), 1)
+	right := Parallelize(ctx, pairsOf([]string{"a"}), 1)
+	wantErr := fmt.Errorf("incompatible key types")
+	joined := JoinByKey(left, right, func() error { return wantErr })
+	if _, err := Collect(joined); err != wantErr {
+		t.Errorf("check error not propagated: %v", err)
+	}
+}
+
+func TestJoinByKeyDeterministic(t *testing.T) {
+	ctx := testCtx()
+	var keys []string
+	for i := 0; i < 200; i++ {
+		keys = append(keys, fmt.Sprintf("k%d", i%17))
+	}
+	left := Parallelize(ctx, pairsOf(keys), 5)
+	right := Parallelize(ctx, pairsOf(keys[:50]), 3)
+	first, err := Collect(JoinByKey(left, right, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		again, err := Collect(JoinByKey(left, right, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(first) != fmt.Sprint(again) {
+			t.Fatal("join output order is not deterministic across runs")
+		}
+	}
+}
+
+func TestBroadcastHashJoinPreservesBigSideOrder(t *testing.T) {
+	ctx := testCtx()
+	big := Parallelize(ctx, pairsOf([]string{"a", "b", "a", "c"}), 2)
+	small := []Pair[string, string]{{Key: "a", Value: "x"}, {Key: "b", Value: "y"}, {Key: "a", Value: "z"}}
+	got, err := Collect(BroadcastHashJoin(big, small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat []string
+	for _, kv := range got {
+		flat = append(flat, fmt.Sprintf("%s:%d-%s", kv.Key, kv.Value.Left, kv.Value.Right))
+	}
+	// Big-side order with per-key small-side order: a(0) matches x then z,
+	// b(1) matches y, a(2) matches x then z, c unmatched.
+	want := []string{"a:0-x", "a:0-z", "b:1-y", "a:2-x", "a:2-z"}
+	if fmt.Sprint(flat) != fmt.Sprint(want) {
+		t.Errorf("broadcast join:\ngot  %v\nwant %v", flat, want)
+	}
+}
+
+func TestBroadcastHashJoinCountsBroadcastRecords(t *testing.T) {
+	ctx := testCtx()
+	big := Parallelize(ctx, pairsOf([]string{"a", "b"}), 2)
+	small := []Pair[string, string]{{Key: "a", Value: "x"}, {Key: "q", Value: "y"}}
+	ctx.ResetMetrics()
+	if _, err := Collect(BroadcastHashJoin(big, small)); err != nil {
+		t.Fatal(err)
+	}
+	m := ctx.Metrics()
+	if m.BroadcastRecords != 2 {
+		t.Errorf("BroadcastRecords = %d, want 2", m.BroadcastRecords)
+	}
+	if m.ShuffleRecords != 0 {
+		t.Errorf("broadcast join shuffled %d records, want 0", m.ShuffleRecords)
+	}
+}

@@ -67,11 +67,12 @@ func (c *Context) DefaultParallelism() int { return c.conf.Parallelism }
 // Metrics is a snapshot of engine counters. Aggregated task time is the
 // "aggregated runtime over the cluster" series of the paper's Figure 14.
 type Metrics struct {
-	TasksRun       atomic.Int64
-	TaskNanos      atomic.Int64
-	RecordsRead    atomic.Int64
-	ShuffleRecords atomic.Int64
-	StagesRun      atomic.Int64
+	TasksRun         atomic.Int64
+	TaskNanos        atomic.Int64
+	RecordsRead      atomic.Int64
+	ShuffleRecords   atomic.Int64
+	BroadcastRecords atomic.Int64
+	StagesRun        atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics.
@@ -80,17 +81,21 @@ type MetricsSnapshot struct {
 	TaskTime       time.Duration
 	RecordsRead    int64
 	ShuffleRecords int64
-	StagesRun      int64
+	// BroadcastRecords counts build-side records shipped to executors by
+	// broadcast hash joins.
+	BroadcastRecords int64
+	StagesRun        int64
 }
 
 // Metrics returns a snapshot of the counters.
 func (c *Context) Metrics() MetricsSnapshot {
 	return MetricsSnapshot{
-		TasksRun:       c.metrics.TasksRun.Load(),
-		TaskTime:       time.Duration(c.metrics.TaskNanos.Load()),
-		RecordsRead:    c.metrics.RecordsRead.Load(),
-		ShuffleRecords: c.metrics.ShuffleRecords.Load(),
-		StagesRun:      c.metrics.StagesRun.Load(),
+		TasksRun:         c.metrics.TasksRun.Load(),
+		TaskTime:         time.Duration(c.metrics.TaskNanos.Load()),
+		RecordsRead:      c.metrics.RecordsRead.Load(),
+		ShuffleRecords:   c.metrics.ShuffleRecords.Load(),
+		BroadcastRecords: c.metrics.BroadcastRecords.Load(),
+		StagesRun:        c.metrics.StagesRun.Load(),
 	}
 }
 
@@ -100,6 +105,7 @@ func (c *Context) ResetMetrics() {
 	c.metrics.TaskNanos.Store(0)
 	c.metrics.RecordsRead.Store(0)
 	c.metrics.ShuffleRecords.Store(0)
+	c.metrics.BroadcastRecords.Store(0)
 	c.metrics.StagesRun.Store(0)
 }
 

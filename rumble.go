@@ -68,6 +68,10 @@ type Config struct {
 	// IOLatency, when positive, simulates storage latency per 64 KiB
 	// block read, for cluster-scalability experiments.
 	IOLatency time.Duration
+	// DisableJoin turns off the compiler's static equi-join detection so
+	// nested "for ... for ... where" queries keep their nested-loop
+	// evaluation — the escape hatch for comparison benchmarks.
+	DisableJoin bool
 }
 
 // Engine compiles and runs JSONiq queries. Engines are safe for concurrent
@@ -93,6 +97,7 @@ func New(cfg Config) *Engine {
 			Collections: map[string]string{},
 			InMemory:    map[string][]item.Item{},
 			SplitSize:   cfg.SplitSize,
+			NoJoin:      cfg.DisableJoin,
 		},
 	}
 }
@@ -163,7 +168,7 @@ func (e *Engine) Explain(query string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	info, err := compiler.Analyze(m, compiler.Options{Cluster: e.env.Spark != nil})
+	info, err := compiler.Analyze(m, compiler.Options{Cluster: e.env.Spark != nil, NoJoin: e.env.NoJoin})
 	if err != nil {
 		return "", err
 	}
