@@ -1,24 +1,33 @@
-// Command rumble executes JSONiq queries from the command line or an
-// interactive shell, the way the Rumble jar does:
+// Command rumble executes JSONiq queries from the command line, an
+// interactive shell, or a long-lived HTTP server, the way the Rumble jar
+// does:
 //
 //	rumble -q 'for $x in parallelize(1 to 5) return $x * $x'
 //	rumble -f query.jq --output out-dir
 //	rumble                # starts the shell
+//	rumble serve --listen :8090 --collection data=/data/part-files
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"rumble"
+	"rumble/internal/server"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	var (
 		query       = flag.String("q", "", "JSONiq query text")
 		file        = flag.String("f", "", "file containing the JSONiq query")
@@ -55,12 +64,66 @@ func main() {
 		return
 	}
 	if text == "" {
-		shell(eng, *showTime)
+		shell(eng, *showTime, *maxResults)
 		return
 	}
-	if err := runQuery(eng, text, *output, *showTime); err != nil {
+	if err := runQuery(eng, text, *output, *showTime, *maxResults); err != nil {
 		fatal(err)
 	}
+}
+
+// collectionFlags collects repeated --collection name=path registrations.
+type collectionFlags []string
+
+func (c *collectionFlags) String() string { return strings.Join(*c, ",") }
+
+func (c *collectionFlags) Set(v string) error {
+	if _, _, ok := strings.Cut(v, "="); !ok {
+		return fmt.Errorf("expected name=path, got %q", v)
+	}
+	*c = append(*c, v)
+	return nil
+}
+
+// serveMain runs the long-lived HTTP query server: POST /query with a plan
+// cache and admission control, GET /explain, /metrics and /healthz.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("rumble serve", flag.ExitOnError)
+	var (
+		listen        = fs.String("listen", ":8090", "address to serve HTTP on")
+		parallelism   = fs.Int("parallelism", 8, "default number of partitions")
+		executors     = fs.Int("executors", 4, "concurrent executor slots")
+		maxConcurrent = fs.Int("max-concurrent", 0, "concurrent query evaluations (0 = executor count)")
+		queueDepth    = fs.Int("queue-depth", 0, "requests allowed to queue beyond max-concurrent before 429 (0 = 2x max-concurrent)")
+		cacheSize     = fs.Int("plan-cache", 64, "compiled-plan LRU cache capacity")
+		timeout       = fs.Duration("timeout", 30*time.Second, "default per-request evaluation deadline (0 = none)")
+		maxResult     = fs.Int("max-result-items", 1_000_000, "reject unlimited results larger than this (0 = unbounded)")
+	)
+	var colls collectionFlags
+	fs.Var(&colls, "collection", "register a name=path JSON-Lines collection (repeatable)")
+	fs.Parse(args)
+
+	eng := rumble.New(rumble.Config{Parallelism: *parallelism, Executors: *executors})
+	for _, c := range colls {
+		name, path, _ := strings.Cut(c, "=")
+		eng.RegisterCollection(name, path)
+	}
+	opt := server.Options{
+		MaxConcurrent:  *maxConcurrent,
+		QueueDepth:     *queueDepth,
+		PlanCacheSize:  *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxResultItems: *maxResult,
+	}
+	if *timeout == 0 {
+		opt.DefaultTimeout = -1 // explicit 0 means "no default deadline"
+	}
+	if *maxResult == 0 {
+		opt.MaxResultItems = -1 // explicit 0 means "unbounded"
+	}
+	srv := server.New(eng, opt)
+	fmt.Fprintf(os.Stderr, "rumble: serving JSONiq on %s (POST /query, GET /explain, /metrics, /healthz)\n", *listen)
+	fatal(http.ListenAndServe(*listen, srv.Handler()))
 }
 
 // explainQuery prints the statically annotated physical plan of one query.
@@ -73,13 +136,18 @@ func explainQuery(out io.Writer, eng *rumble.Engine, text string) error {
 	return err
 }
 
-func runQuery(eng *rumble.Engine, text, output string, showTime bool) error {
-	return runQueryTo(os.Stdout, os.Stderr, eng, text, output, showTime)
+func runQuery(eng *rumble.Engine, text, output string, showTime bool, maxResults int) error {
+	return runQueryTo(os.Stdout, os.Stderr, eng, text, output, showTime, maxResults)
 }
 
+// errCapped aborts streaming once the shell materialization cap is hit.
+var errCapped = errors.New("result capped")
+
 // runQueryTo compiles and runs one query, streaming results to out; status
-// messages (timings) go to errw.
-func runQueryTo(out, errw io.Writer, eng *rumble.Engine, text, output string, showTime bool) error {
+// messages (timings) go to errw. When maxResults > 0 the printed result is
+// capped at that many items and the truncation is announced on out, so a
+// cap never silently swallows results.
+func runQueryTo(out, errw io.Writer, eng *rumble.Engine, text, output string, showTime bool, maxResults int) error {
 	start := time.Now()
 	st, err := eng.Compile(text)
 	if err != nil {
@@ -97,11 +165,18 @@ func runQueryTo(out, errw io.Writer, eng *rumble.Engine, text, output string, sh
 	w := bufio.NewWriter(out)
 	defer w.Flush()
 	n := 0
-	if err := st.Stream(func(it rumble.Item) error {
+	err = st.Stream(func(it rumble.Item) error {
+		if maxResults > 0 && n >= maxResults {
+			return errCapped
+		}
 		n++
 		w.Write(it.AppendJSON(nil))
 		return w.WriteByte('\n')
-	}); err != nil {
+	})
+	switch {
+	case errors.Is(err, errCapped):
+		fmt.Fprintf(w, "... (capped at %d items; rerun with --max-results 0 for the full result)\n", maxResults)
+	case err != nil:
 		return err
 	}
 	if showTime {
@@ -113,15 +188,17 @@ func runQueryTo(out, errw io.Writer, eng *rumble.Engine, text, output string, sh
 
 // shell runs the interactive REPL. Like the Rumble shell, the cluster
 // context is set up once at launch and queries run against it; a trailing
-// blank line (or a complete single line) submits the query.
-func shell(eng *rumble.Engine, showTime bool) {
-	shellOn(os.Stdin, os.Stdout, os.Stderr, eng, showTime)
+// blank line submits the query.
+func shell(eng *rumble.Engine, showTime bool, maxResults int) {
+	shellOn(os.Stdin, os.Stdout, os.Stderr, eng, showTime, maxResults)
 }
 
-// shellOn runs the REPL over explicit streams.
-func shellOn(in io.Reader, out, errw io.Writer, eng *rumble.Engine, showTime bool) {
+// shellOn runs the REPL over explicit streams. A submission starting with
+// the word "explain" prints the query's mode-annotated physical plan
+// instead of executing it, mirroring rumble --explain.
+func shellOn(in io.Reader, out, errw io.Writer, eng *rumble.Engine, showTime bool, maxResults int) {
 	fmt.Fprintln(out, "Rumble-Go shell — JSONiq on a Spark-like engine")
-	fmt.Fprintln(out, `Type a query and finish with an empty line. "quit" exits.`)
+	fmt.Fprintln(out, `Type a query and finish with an empty line. "explain <query>" prints its plan. "quit" exits.`)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf []string
@@ -149,10 +226,26 @@ func shellOn(in io.Reader, out, errw io.Writer, eng *rumble.Engine, showTime boo
 		}
 		text := strings.Join(buf, "\n")
 		buf = nil
-		if err := runQueryTo(out, errw, eng, text, "", showTime); err != nil {
+		if q, ok := explainCommand(text); ok {
+			if err := explainQuery(out, eng, q); err != nil {
+				fmt.Fprintln(errw, "error:", err)
+			}
+			continue
+		}
+		if err := runQueryTo(out, errw, eng, text, "", showTime, maxResults); err != nil {
 			fmt.Fprintln(errw, "error:", err)
 		}
 	}
+}
+
+// explainCommand recognizes an "explain <query>" shell submission and
+// returns the query text.
+func explainCommand(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(text), "explain")
+	if !ok || rest == "" || (rest[0] != ' ' && rest[0] != '\t' && rest[0] != '\n') {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
 }
 
 func fatal(err error) {

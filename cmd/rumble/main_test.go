@@ -16,7 +16,7 @@ func testEngine() *rumble.Engine {
 
 func TestRunQueryToStdout(t *testing.T) {
 	var out, errw bytes.Buffer
-	err := runQueryTo(&out, &errw, testEngine(), `1 to 3`, "", true)
+	err := runQueryTo(&out, &errw, testEngine(), `1 to 3`, "", true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func TestRunQueryToOutputDir(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "out")
 	var out, errw bytes.Buffer
 	err := runQueryTo(&out, &errw, testEngine(),
-		`for $x in parallelize(1 to 20) return { "x": $x }`, dir, false)
+		`for $x in parallelize(1 to 20) return { "x": $x }`, dir, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,10 +46,10 @@ func TestRunQueryToOutputDir(t *testing.T) {
 
 func TestRunQueryReportsErrors(t *testing.T) {
 	var out, errw bytes.Buffer
-	if err := runQueryTo(&out, &errw, testEngine(), `$unbound`, "", false); err == nil {
+	if err := runQueryTo(&out, &errw, testEngine(), `$unbound`, "", false, 0); err == nil {
 		t.Error("static error should propagate")
 	}
-	if err := runQueryTo(&out, &errw, testEngine(), `1 div 0`, "", false); err == nil {
+	if err := runQueryTo(&out, &errw, testEngine(), `1 div 0`, "", false, 0); err == nil {
 		t.Error("dynamic error should propagate")
 	}
 }
@@ -103,7 +103,7 @@ func TestExplainQueryShowsJoinStrategy(t *testing.T) {
 func TestShellSession(t *testing.T) {
 	in := strings.NewReader("1 + 1\n\nfor $x in (1,2)\nreturn $x\n\nbad syntax here(\n\nquit\n")
 	var out, errw bytes.Buffer
-	shellOn(in, &out, &errw, testEngine(), false)
+	shellOn(in, &out, &errw, testEngine(), false, 0)
 	s := out.String()
 	if !strings.Contains(s, "2\n") {
 		t.Errorf("shell did not evaluate 1+1: %q", s)
@@ -119,8 +119,76 @@ func TestShellSession(t *testing.T) {
 func TestShellEOFExits(t *testing.T) {
 	in := strings.NewReader("") // immediate EOF
 	var out, errw bytes.Buffer
-	shellOn(in, &out, &errw, testEngine(), false) // must return, not loop
+	shellOn(in, &out, &errw, testEngine(), false, 0) // must return, not loop
 	if !strings.Contains(out.String(), "jsoniq$") {
 		t.Errorf("prompt missing: %q", out.String())
+	}
+}
+
+func TestShellExplainCommand(t *testing.T) {
+	in := strings.NewReader("explain count(json-file(\"data.jsonl\"))\n\nquit\n")
+	var out, errw bytes.Buffer
+	shellOn(in, &out, &errw, testEngine(), false, 0)
+	s := out.String()
+	if !strings.Contains(s, "(cluster pushdown)") || !strings.Contains(s, "call json-file/1 [RDD]") {
+		t.Errorf("explain command did not print the annotated plan: %q", s)
+	}
+	if errw.Len() != 0 {
+		t.Errorf("explain command reported an error: %q", errw.String())
+	}
+}
+
+func TestShellExplainCommandMultiline(t *testing.T) {
+	in := strings.NewReader("explain\nfor $x in parallelize(1 to 3)\nreturn $x\n\nquit\n")
+	var out, errw bytes.Buffer
+	shellOn(in, &out, &errw, testEngine(), false, 0)
+	if s := out.String(); !strings.Contains(s, "flwor [DataFrame]") {
+		t.Errorf("multi-line explain did not print the plan: %q", s)
+	}
+}
+
+func TestShellCapAnnounced(t *testing.T) {
+	// The shell caps materialization; the truncation must be announced,
+	// never silent.
+	var out, errw bytes.Buffer
+	if err := runQueryTo(&out, &errw, testEngine(), `1 to 10`, "", false, 4); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.HasPrefix(s, "1\n2\n3\n4\n") {
+		t.Errorf("capped output wrong prefix: %q", s)
+	}
+	if strings.Contains(s, "\n5\n") {
+		t.Errorf("cap did not stop the stream: %q", s)
+	}
+	if !strings.Contains(s, "... (capped at 4 items") {
+		t.Errorf("cap not announced: %q", s)
+	}
+	// Under the cap, no announcement.
+	out.Reset()
+	if err := runQueryTo(&out, &errw, testEngine(), `1 to 3`, "", false, 4); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "capped") {
+		t.Errorf("uncapped result announced a cap: %q", out.String())
+	}
+}
+
+func TestExplainCommandParsing(t *testing.T) {
+	for _, tc := range []struct {
+		in string
+		q  string
+		ok bool
+	}{
+		{"explain 1 + 1", "1 + 1", true},
+		{"explain\n1 + 1", "1 + 1", true},
+		{"explained($x)", "", false},
+		{"explain", "", false},
+		{"  explain \t count(1)", "count(1)", true},
+	} {
+		q, ok := explainCommand(tc.in)
+		if ok != tc.ok || q != tc.q {
+			t.Errorf("explainCommand(%q) = (%q, %v), want (%q, %v)", tc.in, q, ok, tc.q, tc.ok)
+		}
 	}
 }

@@ -1,0 +1,107 @@
+package rumble
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestQueryContextDeadline pins that a deadline aborts a long evaluation
+// promptly with context.DeadlineExceeded instead of running to completion.
+func TestQueryContextDeadline(t *testing.T) {
+	eng := New(Config{Parallelism: 4, Executors: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := eng.QueryContext(ctx, `sum(parallelize(1 to 200000000))`)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancellation took %v, checkpoints are not firing", d)
+	}
+}
+
+// TestQueryContextCancelLocalPath covers the local tuple pipeline: the
+// for clause's cancellation checkpoint must abort a pre-cancelled run.
+func TestQueryContextCancelLocalPath(t *testing.T) {
+	eng := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := eng.QueryContext(ctx, `
+		let $n := 100000
+		for $x in 1 to $n
+		where $x mod 7 eq 0
+		return $x`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+}
+
+// TestCollectContextNilAndDone: a nil context must behave exactly like
+// Collect, and a live context must not change results.
+func TestCollectContextNilAndDone(t *testing.T) {
+	eng := New(Config{Parallelism: 2, Executors: 2})
+	st, err := eng.Compile(`for $x in parallelize(1 to 10) return $x * $x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := st.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nilCtx, err := st.CollectContext(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := st.CollectContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 10 || len(nilCtx) != 10 || len(live) != 10 {
+		t.Fatalf("lengths: %d %d %d", len(plain), len(nilCtx), len(live))
+	}
+	for i := range plain {
+		if plain[i] != nilCtx[i] || plain[i] != live[i] {
+			t.Fatalf("results diverge at %d", i)
+		}
+	}
+}
+
+// TestStreamContextCancel pins cancellation on the streaming API.
+func TestStreamContextCancel(t *testing.T) {
+	eng := New(Config{})
+	st, err := eng.Compile(`for $x in 1 to 100000000 return $x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	err = st.StreamContext(ctx, func(Item) error {
+		if n++; n == 100 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if n > 100000 {
+		t.Errorf("streamed %d items after cancellation", n)
+	}
+}
+
+// TestContextErrorNotCatchable: a cancellation must unwind through
+// try/catch — it is a control-flow error, not a JSONiq dynamic error.
+func TestContextErrorNotCatchable(t *testing.T) {
+	eng := New(Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := eng.QueryContext(ctx, fmt.Sprintf(`
+		try { for $x in 1 to %d return $x } catch * { "swallowed" }`, 1000000))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("try/catch swallowed the cancellation: %v", err)
+	}
+}

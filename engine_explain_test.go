@@ -36,6 +36,12 @@ var explainGoldens = []struct {
 		for $c in json-file("reddit.jsonl")
 		where $c.score ge $min
 		return $c.body`},
+	{"let-rdd-cached", `let $c := json-file("confusion.jsonl")
+		return { "total": count($c), "exact": count($c[$$.guess eq $$.target]) }`},
+	{"let-rdd-df-head", `let $d := json-file("reddit.jsonl")
+		for $x in $d
+		where $x.score ge 100
+		return $x.body`},
 	{"prolog-udf", `declare variable $threshold := 10;
 		declare function local:hot($c) { $c.score ge $threshold };
 		for $c in json-file("reddit.jsonl")
@@ -106,6 +112,8 @@ func TestExplainModesPinned(t *testing.T) {
 		"df-groupby-count":          "[DataFrame]",
 		"df-orderby-count-clause":   "[DataFrame]",
 		"leading-let-local":         "[Local]",
+		"let-rdd-cached":            "[Local]", // scalar envelope; the let binds an RDD
+		"let-rdd-df-head":           "[DataFrame]",
 		"prolog-udf":                "[DataFrame]",
 		"distinct-if-switch":        "[RDD]",
 		"switch-try-quantified":     "[Local]",

@@ -1,0 +1,217 @@
+package rumble
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// writeRowsJSONL writes n rows {"v": i, "k": i mod 3} and returns the path.
+func writeRowsJSONL(t *testing.T, n int) string {
+	t.Helper()
+	var sb strings.Builder
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&sb, `{"v": %d, "k": %d}`+"\n", i, i%3)
+	}
+	path := filepath.Join(t.TempDir(), "rows.jsonl")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLetRDDCachedComputedOnce pins the caching satellite with metrics: a
+// leading let over json-file consumed by two pushed-down aggregates must
+// read the file exactly once — the bound RDD is spark-cached, so the
+// second action replays from memory instead of re-scanning.
+func TestLetRDDCachedComputedOnce(t *testing.T) {
+	const n = 500
+	path := writeRowsJSONL(t, n)
+	eng := New(Config{Parallelism: 4, Executors: 4})
+	query := fmt.Sprintf(`
+		let $d := json-file(%q)
+		return { "n": count($d), "s": sum($d.v) }`, path)
+	st, err := eng.Compile(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.ResetMetrics()
+	res, err := st.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("got %d items", len(res))
+	}
+	obj := res[0].(*Object)
+	if cnt, _ := obj.Get("n"); int64(cnt.(Int)) != n {
+		t.Errorf("count = %v", cnt)
+	}
+	if sum, _ := obj.Get("s"); int64(sum.(Int)) != n*(n+1)/2 {
+		t.Errorf("sum = %v", sum)
+	}
+	if got := eng.Metrics().RecordsRead; got != n {
+		t.Errorf("RecordsRead = %d, want %d (pipeline must compute exactly once)", got, n)
+	}
+	// Re-executing the same compiled statement re-reads the input: caches
+	// are per-evaluation, not baked into the plan.
+	if _, err := st.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Metrics().RecordsRead; got != 2*n {
+		t.Errorf("RecordsRead after rerun = %d, want %d", got, 2*n)
+	}
+}
+
+// TestLetRDDAggregatePushdown checks that references to a cluster-bound
+// let push aggregation down to cluster actions (visible as plan pushdown
+// markers and a cluster-bound let in the explain output).
+func TestLetRDDAggregatePushdown(t *testing.T) {
+	eng := New(Config{})
+	plan, err := eng.Explain(`
+		let $d := json-file("rows.jsonl")
+		return (count($d), sum($d.v))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "let $d [cluster-bound, cached]") {
+		t.Errorf("plan lacks the cluster-bound cached let:\n%s", plan)
+	}
+	if strings.Count(plan, "(cluster pushdown)") != 2 {
+		t.Errorf("both aggregates should push down:\n%s", plan)
+	}
+	if !strings.Contains(plan, "$d [RDD]") {
+		t.Errorf("references to $d should be RDD-mode:\n%s", plan)
+	}
+	// A single consumer binds the RDD without the cache.
+	plan, err = eng.Explain(`let $d := json-file("rows.jsonl") return count($d)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "let $d [cluster-bound]") || strings.Contains(plan, "cached") {
+		t.Errorf("single-use let should bind uncached:\n%s", plan)
+	}
+}
+
+// TestLetRDDDataFrameHead checks that a for clause directly over a
+// cluster-bound let heads a DataFrame plan.
+func TestLetRDDDataFrameHead(t *testing.T) {
+	path := writeRowsJSONL(t, 20)
+	eng := New(Config{Parallelism: 2, Executors: 2})
+	query := fmt.Sprintf(`
+		let $d := json-file(%q)
+		for $x in $d
+		where $x.v ge 18
+		return $x.v`, path)
+	st, err := eng.Compile(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mode() != "DataFrame" {
+		t.Errorf("mode = %s, want DataFrame", st.Mode())
+	}
+	res, err := st.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int64, len(res))
+	for i, it := range res {
+		got[i] = int64(it.(Int))
+	}
+	if len(got) != 3 || got[0] != 18 || got[1] != 19 || got[2] != 20 {
+		t.Errorf("result = %v", got)
+	}
+}
+
+// TestLetRDDGroupByExcluded pins the semantic guard: with a group-by in
+// the FLWOR, a leading parallel let must NOT hoist, because grouping
+// re-binds non-grouping variables to their per-group concatenation.
+func TestLetRDDGroupByExcluded(t *testing.T) {
+	eng := New(Config{Parallelism: 2, Executors: 2})
+	plan, err := eng.Explain(`
+		let $d := parallelize(1 to 3)
+		for $o in parallelize((1, 1, 2))
+		group by $k := $o
+		return count($d)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "cluster-bound") {
+		t.Errorf("let before group-by must not hoist:\n%s", plan)
+	}
+	res, err := eng.QueryJSON(`
+		let $d := parallelize(1 to 3)
+		for $o in parallelize((1, 1, 2))
+		group by $k := $o
+		return count($d)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// JSONiq group-by semantics: $d concatenates across each group's
+	// tuples — 2 tuples × 3 items, then 1 × 3.
+	if len(res) != 2 || res[0] != "6" || res[1] != "3" {
+		t.Errorf("group-by over let = %v", res)
+	}
+}
+
+// TestLetRDDShadowing checks mode tracking under shadowing: a local
+// re-binding of the same name must win over the outer cluster binding.
+func TestLetRDDShadowing(t *testing.T) {
+	eng := New(Config{Parallelism: 2, Executors: 2})
+	res, err := eng.QueryJSON(`
+		let $x := parallelize(1 to 10)
+		let $x := count($x)
+		return $x + 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] != "11" {
+		t.Errorf("shadowed let = %v", res)
+	}
+}
+
+// TestLetRDDStatementConcurrent runs one compiled statement with a cached
+// cluster-bound let from many goroutines at once (meaningful under -race):
+// evaluations must not share cache state or corrupt results.
+func TestLetRDDStatementConcurrent(t *testing.T) {
+	const n = 200
+	path := writeRowsJSONL(t, n)
+	eng := New(Config{Parallelism: 4, Executors: 4})
+	st, err := eng.Compile(fmt.Sprintf(`
+		let $d := json-file(%q)
+		return count($d) + sum($d.k)`, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := st.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 3; r++ {
+				got, err := st.Collect()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got) != 1 || got[0] != want[0] {
+					errs <- fmt.Errorf("concurrent run got %v, want %v", got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -242,7 +242,15 @@ func (p *explainPrinter) clause(depth int, cl ast.Clause) {
 		p.line(depth, label, nil)
 		p.expr(depth+1, "in: ", n.In)
 	case *ast.LetClause:
-		p.line(depth, "let $"+n.Var, nil)
+		label := "let $" + n.Var
+		if lp := p.info.RDDLets[n]; lp != nil {
+			label += " [cluster-bound"
+			if lp.Cache {
+				label += ", cached"
+			}
+			label += "]"
+		}
+		p.line(depth, label, nil)
 		p.expr(depth+1, ":= ", n.Value)
 	case *ast.WhereClause:
 		p.line(depth, "where", nil)

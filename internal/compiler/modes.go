@@ -54,19 +54,52 @@ var dataSourceFunctions = map[string]bool{
 	"json-file": true, "parallelize": true, "collection": true,
 }
 
+// modeScope chains variable→mode bindings during the annotation phase, so
+// a VarRef inherits the statically known mode of its binding: ModeRDD for
+// cluster-bound lets, ModeLocal for everything else. Lookup of an unbound
+// name degrades to ModeLocal.
+type modeScope struct {
+	parent *modeScope
+	vars   map[string]Mode
+}
+
+func (s *modeScope) child() *modeScope {
+	return &modeScope{parent: s, vars: map[string]Mode{}}
+}
+
+func (s *modeScope) bind(name string, m Mode) { s.vars[name] = m }
+
+func (s *modeScope) lookup(name string) Mode {
+	for c := s; c != nil; c = c.parent {
+		if m, ok := c.vars[name]; ok {
+			return m
+		}
+	}
+	return ModeLocal
+}
+
 // annotateModule assigns execution modes to every expression of the module,
 // bottom-up. It runs after scope/arity checking and after the group-by
 // count rewrite, so it sees the final shape of the tree.
 func (c *checker) annotateModule(m *ast.Module) {
+	c.modeEnv = &modeScope{vars: map[string]Mode{}}
 	for _, vd := range m.Vars {
 		// Global variables are evaluated eagerly on the driver; their
 		// initializers may still read cluster data sources.
 		c.annotate(vd.Init)
+		c.modeEnv.bind(vd.Name, ModeLocal)
 	}
 	for _, fd := range m.Functions {
 		// User-defined function calls materialize their result through the
-		// local API, so bodies are annotated independently.
+		// local API, so bodies are annotated independently with their
+		// parameters bound local.
+		saved := c.modeEnv
+		c.modeEnv = saved.child()
+		for _, p := range fd.Params {
+			c.modeEnv.bind(p, ModeLocal)
+		}
 		c.annotate(fd.Body)
+		c.modeEnv = saved
 	}
 	c.annotate(m.Body)
 }
@@ -90,8 +123,12 @@ func (c *checker) annotate(e ast.Expr) Mode {
 	}
 	mode := ModeLocal
 	switch n := e.(type) {
-	case *ast.Literal, *ast.VarRef, *ast.ContextItem:
+	case *ast.Literal, *ast.ContextItem:
 		// Local leaves.
+	case *ast.VarRef:
+		// A variable inherits the mode of its binding: references to
+		// cluster-bound lets are RDDs themselves.
+		mode = c.modeEnv.lookup(n.Name)
 	case *ast.CommaExpr:
 		allParallel := len(n.Exprs) > 0
 		for _, ch := range n.Exprs {
@@ -178,12 +215,20 @@ func (c *checker) annotate(e ast.Expr) Mode {
 	case *ast.TryCatch:
 		// Snapshot semantics force materialization of the try branch.
 		c.annotate(n.Try)
+		saved := c.modeEnv
+		c.modeEnv = saved.child()
+		c.modeEnv.bind("err:description", ModeLocal)
 		c.annotate(n.Catch)
+		c.modeEnv = saved
 	case *ast.Quantified:
+		saved := c.modeEnv
+		c.modeEnv = saved.child()
 		for _, b := range n.Bindings {
 			c.annotate(b.In)
+			c.modeEnv.bind(b.Var, ModeLocal)
 		}
 		c.annotate(n.Satisfies)
+		c.modeEnv = saved
 	case *ast.InstanceOf:
 		c.annotate(n.Input)
 	case *ast.TreatAs:
@@ -226,31 +271,73 @@ func (c *checker) annotateCall(n *ast.FunctionCall) Mode {
 }
 
 // annotateFLWOR assigns the FLWOR's mode: ModeDataFrame exactly when the
-// initial clause is a for (without "allowing empty") over a parallel
-// expression and a cluster is available — the static criterion of §4.4. A
-// leading let keeps execution local (§4.5), as does any local initial input.
+// initial clause — after an unbroken prefix of cluster-bound lets — is a
+// for (without "allowing empty") over a parallel expression and a cluster
+// is available, the static criterion of §4.4. A local-valued leading let
+// keeps execution local (§4.5), as does any local initial input.
+//
+// A leading let whose value is parallel becomes a cluster-bound let
+// (Info.RDDLets): its variable binds to the value's RDD once per
+// evaluation, cached when consumed more than once. The hoist is skipped
+// when the FLWOR has a group-by clause, because grouping re-binds
+// non-grouping variables to their per-group concatenation — a let variable
+// must then travel in the tuples.
 func (c *checker) annotateFLWOR(f *ast.FLWOR) Mode {
 	mode := ModeLocal
+	hasGroup := false
+	for _, cl := range f.Clauses {
+		if _, ok := cl.(*ast.GroupByClause); ok {
+			hasGroup = true
+			break
+		}
+	}
+	saved := c.modeEnv
+	c.modeEnv = saved.child()
+	defer func() { c.modeEnv = saved }()
+	// leading is true while every clause seen so far is a cluster-bound
+	// let, i.e. the prefix the runtime hoists out of the tuple chain.
+	leading := true
 	for i, cl := range f.Clauses {
 		switch n := cl.(type) {
 		case *ast.ForClause:
 			in := c.annotate(n.In)
-			if i == 0 && c.cluster && in.Parallel() && !n.AllowEmpty {
+			if leading && c.cluster && in.Parallel() && !n.AllowEmpty {
 				mode = ModeDataFrame
 			}
+			leading = false
+			c.modeEnv.bind(n.Var, ModeLocal)
+			if n.PosVar != "" {
+				c.modeEnv.bind(n.PosVar, ModeLocal)
+			}
 		case *ast.LetClause:
-			c.annotate(n.Value)
+			vm := c.annotate(n.Value)
+			if leading && c.cluster && vm.Parallel() && !hasGroup {
+				uses := countVarUses(n.Var, f.Clauses[i+1:], f.Return)
+				c.info.RDDLets[n] = &RDDLetPlan{Uses: uses, Cache: uses > 1}
+				c.modeEnv.bind(n.Var, ModeRDD)
+			} else {
+				leading = false
+				c.modeEnv.bind(n.Var, ModeLocal)
+			}
 		case *ast.WhereClause:
 			c.annotate(n.Cond)
+			leading = false
 		case *ast.GroupByClause:
 			for _, spec := range n.Specs {
 				c.annotate(spec.Expr)
+				if spec.Expr != nil {
+					c.modeEnv.bind(spec.Var, ModeLocal)
+				}
 			}
+			leading = false
 		case *ast.OrderByClause:
 			for _, spec := range n.Specs {
 				c.annotate(spec.Expr)
 			}
+			leading = false
 		case *ast.CountClause:
+			c.modeEnv.bind(n.Var, ModeLocal)
+			leading = false
 		}
 	}
 	c.annotate(f.Return)

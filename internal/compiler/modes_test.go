@@ -132,3 +132,65 @@ func TestModeOfSubexpressions(t *testing.T) {
 		t.Errorf("return expression mode = %v, want Local", got)
 	}
 }
+
+func TestRDDLetAnnotation(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		wantLets  int  // cluster-bound lets detected
+		wantCache bool // ... of which the first is cached
+		wantMode  Mode // mode of the whole FLWOR
+	}{
+		{"single use binds uncached", `let $d := json-file("f") return count($d)`, 1, false, ModeLocal},
+		{"multi use binds cached", `let $d := json-file("f") return (count($d), sum($d))`, 1, true, ModeLocal},
+		{"for over let heads DataFrame", `let $d := json-file("f") for $x in $d return $x`, 1, false, ModeDataFrame},
+		{"local let not hoisted", `let $p := 1 return $p`, 0, false, ModeLocal},
+		{"let after for not hoisted", `for $x in json-file("f") let $y := json-file("g") return $y`, 0, false, ModeDataFrame},
+		{"group-by excludes hoist", `let $d := json-file("f") for $x in json-file("g") group by $k := $x.k return count($d)`, 0, false, ModeLocal},
+		{"two leading lets both hoist", `let $a := json-file("f") let $b := json-file("g") return (count($a), count($b))`, 2, false, ModeLocal},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, info := annotateSrc(t, tc.src, true)
+			if got := len(info.RDDLets); got != tc.wantLets {
+				t.Fatalf("RDDLets = %d, want %d", got, tc.wantLets)
+			}
+			fl := m.Body.(*ast.FLWOR)
+			if got := info.ModeOf(fl); got != tc.wantMode {
+				t.Errorf("flwor mode = %v, want %v", got, tc.wantMode)
+			}
+			if tc.wantLets > 0 {
+				first := fl.Clauses[0].(*ast.LetClause)
+				lp := info.RDDLets[first]
+				if lp == nil {
+					t.Fatal("leading let not marked")
+				}
+				if lp.Cache != tc.wantCache {
+					t.Errorf("cache = %v (uses %d), want %v", lp.Cache, lp.Uses, tc.wantCache)
+				}
+			}
+		})
+	}
+}
+
+func TestRDDLetVarRefMode(t *testing.T) {
+	// References to a cluster-bound let are RDD; a shadowing local
+	// re-binding flips later references back to Local.
+	m, info := annotateSrc(t, `
+		let $x := json-file("f")
+		let $x := count($x)
+		return $x`, true)
+	fl := m.Body.(*ast.FLWOR)
+	inner := fl.Clauses[1].(*ast.LetClause).Value.(*ast.FunctionCall).Args[0]
+	if got := info.ModeOf(inner); got != ModeRDD {
+		t.Errorf("reference to cluster-bound let = %v, want RDD", got)
+	}
+	if got := info.ModeOf(fl.Return); got != ModeLocal {
+		t.Errorf("reference to shadowing local let = %v, want Local", got)
+	}
+	// Without a cluster nothing hoists and the reference stays local.
+	_, noCluster := annotateSrc(t, `let $x := json-file("f") return count($x)`, false)
+	if len(noCluster.RDDLets) != 0 {
+		t.Error("RDD let detected without a cluster")
+	}
+}

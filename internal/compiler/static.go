@@ -53,6 +53,21 @@ type GroupPlan struct {
 	Usage map[string]VarUsage
 }
 
+// RDDLetPlan records a leading let clause whose value the annotation phase
+// proved cluster-resident: the runtime binds the variable to the value's
+// RDD once per FLWOR evaluation instead of materializing it per tuple, and
+// references to the variable are annotated ModeRDD (enabling aggregate
+// pushdown and DataFrame heads over the binding).
+type RDDLetPlan struct {
+	// Uses counts downstream references to the variable (clauses after
+	// the let plus the return expression).
+	Uses int
+	// Cache wraps the bound RDD in a spark-level cache because the
+	// variable is consumed more than once: the pipeline computes once and
+	// every further consumer replays it from memory.
+	Cache bool
+}
+
 // Info is the static analysis result consumed by the runtime compiler.
 type Info struct {
 	// GroupPlans is keyed by group-by clause node.
@@ -67,6 +82,8 @@ type Info struct {
 	// Joins records, per FLWOR whose leading clauses form a statically
 	// detected equi-join, the plan replacing its nested-loop evaluation.
 	Joins map[*ast.FLWOR]*JoinPlan
+	// RDDLets marks leading let clauses whose variables bind to RDDs.
+	RDDLets map[*ast.LetClause]*RDDLetPlan
 }
 
 // ModeOf returns the annotated execution mode of e. Unannotated nodes (and
@@ -117,6 +134,7 @@ type checker struct {
 	functions map[string][2]int // name -> [min,max] args (max -1 variadic)
 	cluster   bool
 	noJoin    bool
+	modeEnv   *modeScope // variable→mode bindings of the annotation phase
 }
 
 // Analyze checks the module statically and returns the analysis info. It
@@ -130,6 +148,7 @@ func Analyze(m *ast.Module, opts Options) (*Info, error) {
 			Modes:      map[ast.Expr]Mode{},
 			Pushdown:   map[*ast.FunctionCall]bool{},
 			Joins:      map[*ast.FLWOR]*JoinPlan{},
+			RDDLets:    map[*ast.LetClause]*RDDLetPlan{},
 		},
 		functions: map[string][2]int{},
 		cluster:   opts.Cluster,
@@ -423,6 +442,20 @@ func (c *checker) checkFLWOR(f *ast.FLWOR, outer *scope) error {
 type useInfo struct {
 	plainUses  int
 	countCalls []*ast.FunctionCall
+}
+
+// countVarUses counts downstream references to name across the given
+// clauses and the return expression; plain references and count($v) calls
+// each count as one consumption. Shadowed references may overcount, which
+// at worst caches an RDD that is consumed once.
+func countVarUses(name string, clauses []ast.Clause, ret ast.Expr) int {
+	uses := map[string]*useInfo{name: {}}
+	for _, cl := range clauses {
+		collectClauseUses(cl, uses)
+	}
+	collectUses(ret, uses)
+	u := uses[name]
+	return u.plainUses + len(u.countCalls)
 }
 
 // collectClauseUses gathers variable references in one clause.

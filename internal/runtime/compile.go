@@ -1,10 +1,13 @@
 package runtime
 
 import (
+	"context"
+
 	"rumble/internal/ast"
 	"rumble/internal/compiler"
 	"rumble/internal/functions"
 	"rumble/internal/item"
+	"rumble/internal/spark"
 )
 
 // Program is a fully compiled query: a root iterator plus the global
@@ -23,11 +26,44 @@ func (p *Program) Mode() compiler.Mode { return p.Root.Mode() }
 
 // Run materializes the whole result locally (collecting through the
 // cluster when the root plan node was compiled to a parallel mode).
-func (p *Program) Run() ([]item.Item, error) {
-	if p.Root.Mode().Parallel() {
-		return CollectRDD(p.Root, p.globals)
+func (p *Program) Run() ([]item.Item, error) { return p.RunContext(nil) }
+
+// RunContext is Run under a Go context: cancellation or deadline expiry
+// aborts evaluation cooperatively — loop iterators and cluster task loops
+// poll the context and unwind with its error. A nil ctx disables the
+// checkpoints entirely (no per-iteration overhead).
+func (p *Program) RunContext(ctx context.Context) ([]item.Item, error) {
+	dc := p.globals
+	if ctx != nil {
+		dc = dc.WithGoContext(ctx)
 	}
-	return Materialize(p.Root, p.globals)
+	if p.Root.Mode().Parallel() {
+		return CollectRDD(p.Root, dc)
+	}
+	return Materialize(p.Root, dc)
+}
+
+// RunContextLimit is RunContext bounded to at most max result items: local
+// evaluation stops streaming once max items are held, and cluster
+// evaluation runs a take action (sequential partition scans with early
+// stop) instead of a full collect — so a limited request never
+// materializes an unbounded result on the driver. max <= 0 means no limit.
+func (p *Program) RunContextLimit(ctx context.Context, max int) ([]item.Item, error) {
+	if max <= 0 {
+		return p.RunContext(ctx)
+	}
+	dc := p.globals
+	if ctx != nil {
+		dc = dc.WithGoContext(ctx)
+	}
+	if p.Root.Mode().Parallel() {
+		rdd, err := p.Root.RDD(dc)
+		if err != nil {
+			return nil, err
+		}
+		return spark.Take(spark.WithCancel(rdd, cancelOf(dc)), max)
+	}
+	return MaterializeN(p.Root, dc, max)
 }
 
 // Compile analyzes and compiles a parsed module against an environment.
@@ -91,7 +127,7 @@ func (c *comp) compile(e ast.Expr) (Iterator, error) {
 	case *ast.Literal:
 		return &literalIter{value: n.Value}, nil
 	case *ast.VarRef:
-		return &varRefIter{name: n.Name}, nil
+		return &varRefIter{planNode: c.pn(n), name: n.Name}, nil
 	case *ast.ContextItem:
 		return contextItemIter{}, nil
 	case *ast.CommaExpr:
@@ -373,7 +409,10 @@ func (c *comp) compileCall(n *ast.FunctionCall) (Iterator, error) {
 }
 
 // compileFLWOR builds the local tuple pipeline and, when the compiler
-// annotated the expression ModeDataFrame, the DataFrame plan.
+// annotated the expression ModeDataFrame, the DataFrame plan. Leading let
+// clauses the compiler marked as cluster-bound (Info.RDDLets) are peeled
+// off first: their variables bind to the value's RDD once per evaluation —
+// cached when consumed more than once — instead of materializing per tuple.
 func (c *comp) compileFLWOR(f *ast.FLWOR) (Iterator, error) {
 	ret, err := c.compile(f.Return)
 	if err != nil {
@@ -384,12 +423,35 @@ func (c *comp) compileFLWOR(f *ast.FLWOR) (Iterator, error) {
 	var local clauseEval
 	var steps []dfStep
 	// The mode decision was made statically (§4.4/§4.5): ModeDataFrame
-	// exactly when the initial clause is a for (without "allowing empty")
-	// over a parallel expression on an available cluster.
+	// exactly when the initial clause (after any cluster-bound lets) is a
+	// for (without "allowing empty") over a parallel expression on an
+	// available cluster.
 	dfOK := c.info.ModeOf(f) == compiler.ModeDataFrame
 	var plan *dfPlan
 
 	clauses := f.Clauses
+	var rlets []*rddLetBinding
+	for len(clauses) > 0 {
+		lc, ok := clauses[0].(*ast.LetClause)
+		if !ok {
+			break
+		}
+		lp := c.info.RDDLets[lc]
+		if lp == nil {
+			break
+		}
+		val, err := c.compile(lc.Value)
+		if err != nil {
+			return nil, err
+		}
+		rlets = append(rlets, &rddLetBinding{name: lc.Var, value: val, cache: lp.Cache})
+		clauses = clauses[1:]
+	}
+	if len(rlets) > 0 {
+		// The hoisted lets produce exactly one incoming tuple; the
+		// remaining chain (possibly empty) evaluates under their bindings.
+		local = unitEval{}
+	}
 	if jp := c.info.Joins[f]; jp != nil {
 		// The compiler replaced the leading for/for/where with an equi-join:
 		// the join heads both the local tuple pipeline and the DataFrame
@@ -498,6 +560,9 @@ func (c *comp) compileFLWOR(f *ast.FLWOR) (Iterator, error) {
 	if dfOK {
 		plan.steps = steps
 		out.df = plan
+	}
+	if len(rlets) > 0 {
+		return &rddLetIter{planNode: c.pn(f), lets: rlets, inner: out}, nil
 	}
 	return out, nil
 }

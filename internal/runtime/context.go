@@ -12,6 +12,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 
 	"rumble/internal/compiler"
@@ -26,6 +27,8 @@ import (
 type DynamicContext struct {
 	parent     *DynamicContext
 	vars       map[string][]item.Item
+	rdds       map[string]*spark.RDD[item.Item] // cluster-resident bindings
+	goCtx      context.Context                  // cancellation/deadline, set once at the root
 	ctxItem    item.Item
 	ctxPos     int64 // 1-based position for positional predicates
 	hasCtxItem bool
@@ -47,6 +50,42 @@ func (dc *DynamicContext) BindVar(name string, seq []item.Item) *DynamicContext 
 	return dc.BindVars(map[string][]item.Item{name: seq})
 }
 
+// BindRDDVar returns a child context binding name to a cluster-resident
+// sequence. The compiler only emits references that consume such a binding
+// through Resolve, so ordinary Lookup never observes it.
+func (dc *DynamicContext) BindRDDVar(name string, r *spark.RDD[item.Item]) *DynamicContext {
+	return &DynamicContext{parent: dc, rdds: map[string]*spark.RDD[item.Item]{name: r}}
+}
+
+// WithGoContext returns a child context carrying a Go context. Evaluation
+// honors its cancellation and deadline at cooperative checkpoints: loop
+// iterators check it periodically and cluster actions poll it inside
+// partition tasks.
+func (dc *DynamicContext) WithGoContext(ctx context.Context) *DynamicContext {
+	return &DynamicContext{parent: dc, goCtx: ctx}
+}
+
+// GoContext resolves the nearest Go context in the chain; nil means the
+// evaluation is not cancellable.
+func (dc *DynamicContext) GoContext() context.Context {
+	for c := dc; c != nil; c = c.parent {
+		if c.goCtx != nil {
+			return c.goCtx
+		}
+	}
+	return nil
+}
+
+// cancelOf adapts the context's Go context into the polling function
+// spark.WithCancel expects, or nil when evaluation is not cancellable.
+func cancelOf(dc *DynamicContext) func() error {
+	ctx := dc.GoContext()
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err
+}
+
 // WithContextItem returns a child context whose context item ($$) is it,
 // with 1-based position pos.
 func (dc *DynamicContext) WithContextItem(it item.Item, pos int64) *DynamicContext {
@@ -63,6 +102,25 @@ func (dc *DynamicContext) Lookup(name string) ([]item.Item, bool) {
 		}
 	}
 	return nil, false
+}
+
+// Resolve resolves a variable to either a materialized sequence or a
+// cluster-resident RDD, whichever binding is nearest in the chain. Exactly
+// one of seq/rdd is meaningful when found.
+func (dc *DynamicContext) Resolve(name string) (seq []item.Item, rdd *spark.RDD[item.Item], found bool) {
+	for c := dc; c != nil; c = c.parent {
+		if c.vars != nil {
+			if s, ok := c.vars[name]; ok {
+				return s, nil, true
+			}
+		}
+		if c.rdds != nil {
+			if r, ok := c.rdds[name]; ok {
+				return nil, r, true
+			}
+		}
+	}
+	return nil, nil, false
 }
 
 // ContextItem resolves $$ through the chain.
@@ -142,17 +200,40 @@ func Materialize(it Iterator, dc *DynamicContext) ([]item.Item, error) {
 	return out, nil
 }
 
+// errLimitReached aborts a limited materialization once max items are
+// held. It is deliberately not a *Error: try/catch must not observe it.
+var errLimitReached = fmt.Errorf("runtime: result limit reached")
+
+// MaterializeN evaluates like Materialize but stops the evaluation as soon
+// as max items are held, so a limited consumer never pays for (or buffers)
+// the rest of the result. max must be positive.
+func MaterializeN(it Iterator, dc *DynamicContext, max int) ([]item.Item, error) {
+	out := make([]item.Item, 0, min(max, 1024))
+	err := it.Stream(dc, func(i item.Item) error {
+		out = append(out, i)
+		if len(out) >= max {
+			return errLimitReached
+		}
+		return nil
+	})
+	if err != nil && err != errLimitReached {
+		return nil, err
+	}
+	return out, nil
+}
+
 // CollectRDD materializes an RDD-capable iterator through the cluster,
 // subject to the context's MaxResultItems cap — the "collect and replay
 // locally" path of §5.5. Consumers that hold a whole query result (the
 // engine root, the shell) use it; nested evaluation inside closures always
-// streams through the local API instead.
+// streams through the local API instead. When dc carries a Go context, the
+// collect polls it cooperatively inside the partition tasks.
 func CollectRDD(it Iterator, dc *DynamicContext) ([]item.Item, error) {
 	rdd, err := it.RDD(dc)
 	if err != nil {
 		return nil, err
 	}
-	return spark.Collect(rdd)
+	return spark.Collect(spark.WithCancel(rdd, cancelOf(dc)))
 }
 
 // exactlyOneAtomic enforces that a sequence holds exactly one atomic item,

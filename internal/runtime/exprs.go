@@ -15,16 +15,24 @@ func (l *literalIter) Stream(_ *DynamicContext, yield func(item.Item) error) err
 	return yield(l.value)
 }
 
-// varRefIter resolves a variable binding.
+// varRefIter resolves a variable binding. The compiler annotates it with
+// the statically known mode of its binding: ModeRDD when the binding is a
+// cluster-bound let (the value lives as an RDD), ModeLocal otherwise. An
+// RDD-bound variable streams through the driver-side Scan for local
+// consumers and hands its RDD to cluster consumers (aggregate pushdown,
+// DataFrame heads).
 type varRefIter struct {
-	localOnly
+	planNode
 	name string
 }
 
 func (v *varRefIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
-	seq, ok := dc.Lookup(v.name)
+	seq, rdd, ok := dc.Resolve(v.name)
 	if !ok {
 		return Errorf("variable $%s is not bound", v.name)
+	}
+	if rdd != nil {
+		return rdd.Scan(yield)
 	}
 	for _, it := range seq {
 		if err := yield(it); err != nil {
@@ -32,6 +40,17 @@ func (v *varRefIter) Stream(dc *DynamicContext, yield func(item.Item) error) err
 		}
 	}
 	return nil
+}
+
+func (v *varRefIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
+	_, rdd, ok := dc.Resolve(v.name)
+	if !ok {
+		return nil, Errorf("variable $%s is not bound", v.name)
+	}
+	if rdd == nil {
+		return nil, Errorf("variable $%s is not cluster-resident", v.name)
+	}
+	return rdd, nil
 }
 
 // contextItemIter yields $$.
@@ -183,7 +202,13 @@ func (r *rangeIter) Stream(dc *DynamicContext, yield func(item.Item) error) erro
 	if err != nil {
 		return Errorf("range bounds must be integers: %v", err)
 	}
+	ctx := dc.GoContext()
 	for i := int64(lo.(item.Int)); i <= int64(hi.(item.Int)); i++ {
+		if ctx != nil && i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if err := yield(item.Int(i)); err != nil {
 			return err
 		}

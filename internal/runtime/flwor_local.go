@@ -62,10 +62,21 @@ type forEval struct {
 }
 
 func (f *forEval) streamTuples(dc *DynamicContext, yield func(tuple) error) error {
+	// Cooperative cancellation: the for clause is the driving loop of
+	// local FLWOR evaluation, so it checks the Go context periodically.
+	ctx := dc.GoContext()
+	var seen int
 	emit := func(base tuple) error {
 		bdc := base.context(dc)
 		var pos int64
 		err := f.in.Stream(bdc, func(it item.Item) error {
+			if ctx != nil {
+				if seen++; seen&63 == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
+			}
 			pos++
 			out := base.extend(f.varName, []item.Item{it})
 			if f.posVar != "" {

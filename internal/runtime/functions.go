@@ -104,6 +104,9 @@ func (a *aggregateIter) streamFromRDD(dc *DynamicContext, yield func(item.Item) 
 	if err != nil {
 		return err
 	}
+	// Cluster actions below poll the caller's Go context inside their
+	// partition tasks, so a cancelled request stops the aggregation.
+	rdd = spark.WithCancel(rdd, cancelOf(dc))
 	switch a.name {
 	case "count":
 		n, err := spark.Count(rdd)
@@ -276,8 +279,17 @@ func (j *jsonFileIter) Stream(dc *DynamicContext, yield func(item.Item) error) e
 	if err != nil {
 		return err
 	}
+	ctx := dc.GoContext()
+	var n int
 	for _, s := range splits {
 		if err := dfs.ReadLines(s, nil, func(line []byte) error {
+			if ctx != nil {
+				if n++; n&255 == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
+			}
 			it, perr := jparse.Parse(line)
 			if perr != nil {
 				return Errorf("json-file: %v", perr)
@@ -336,10 +348,18 @@ func (j *jsonFileIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
 		return nil, err
 	}
 	sc := j.env.Spark
+	ctx := dc.GoContext()
 	return spark.NewRDD(sc, len(splits), "json-file", func(p int, yield func(item.Item) error) error {
 		var n int64
 		defer func() { sc.AddRecordsRead(n) }()
 		return dfs.ReadLines(splits[p], func(blocks int) { sc.SimulateIO(blocks) }, func(line []byte) error {
+			// Scans dominate task time, so the cancellation checkpoint
+			// lives in the parse loop itself, not just at stage edges.
+			if ctx != nil && n&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			it, perr := jparse.Parse(line)
 			if perr != nil {
 				return Errorf("json-file: %v", perr)

@@ -1,0 +1,69 @@
+package runtime
+
+import (
+	"rumble/internal/item"
+	"rumble/internal/spark"
+)
+
+// rddLetBinding is one leading let clause whose value the compiler
+// annotated with a parallel mode: the variable binds to the value's RDD
+// rather than a materialized sequence.
+type rddLetBinding struct {
+	name  string
+	value Iterator
+	cache bool // consumed more than once downstream → spark-level cache
+}
+
+// rddLetIter wraps a FLWOR whose leading let clauses bind cluster-resident
+// values. The bindings are established once per evaluation — not once per
+// tuple — so a pipeline consumed N times downstream computes once
+// (spark.Cache), aggregates over the variable push down to cluster
+// actions, and a following for clause can head a DataFrame plan directly
+// on the bound RDD.
+type rddLetIter struct {
+	planNode
+	lets  []*rddLetBinding
+	inner Iterator
+}
+
+// bind builds the RDDs of every hoisted let, in clause order, each seeing
+// the bindings before it. The RDD graphs are constructed fresh per
+// evaluation, so a reused Statement re-reads its inputs and concurrent
+// evaluations share no mutable state.
+func (r *rddLetIter) bind(dc *DynamicContext) (*DynamicContext, error) {
+	for _, b := range r.lets {
+		rdd, err := b.value.RDD(dc)
+		if err != nil {
+			return nil, err
+		}
+		if b.cache {
+			rdd = spark.Cache(rdd)
+		}
+		dc = dc.BindRDDVar(b.name, rdd)
+	}
+	return dc, nil
+}
+
+func (r *rddLetIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
+	bdc, err := r.bind(dc)
+	if err != nil {
+		return err
+	}
+	return r.inner.Stream(bdc, yield)
+}
+
+func (r *rddLetIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
+	bdc, err := r.bind(dc)
+	if err != nil {
+		return nil, err
+	}
+	return r.inner.RDD(bdc)
+}
+
+// unitEval yields exactly one empty tuple: the incoming tuple stream of a
+// FLWOR whose leading clauses were all hoisted out of the tuple chain.
+type unitEval struct{}
+
+func (unitEval) streamTuples(dc *DynamicContext, yield func(tuple) error) error {
+	return yield(tuple{})
+}

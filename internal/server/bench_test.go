@@ -1,0 +1,70 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"rumble"
+)
+
+// compileHeavyQuery builds a query whose compilation cost dwarfs its
+// evaluation cost: a large arithmetic expression hidden in a dead if
+// branch, so the parser and static analyzer walk ~terms nodes while the
+// evaluator only ever touches the condition and the else branch. salt
+// makes the text (and therefore the cache key) unique without changing
+// the result.
+func compileHeavyQuery(terms, salt int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "if (1 eq 2) then (%d", salt)
+	for i := 0; i < terms; i++ {
+		fmt.Fprintf(&b, " + %d", i)
+	}
+	b.WriteString(") else 0")
+	return b.String()
+}
+
+// BenchmarkServer_HotQueryPlanCache contrasts serving a hot query from the
+// compiled-plan cache against cold-compiling it on every request. The two
+// sub-benchmarks run the identical handler path; only the cache key
+// differs, so the per-op gap is the parse+analyze+compile cost the cache
+// removes.
+func BenchmarkServer_HotQueryPlanCache(b *testing.B) {
+	serve := func(b *testing.B, srv *Server, query string) {
+		b.Helper()
+		body, _ := json.Marshal(queryRequest{Query: query})
+		req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	const terms = 4000
+	b.Run("cache-hit", func(b *testing.B) {
+		srv := New(rumble.New(rumble.Config{}), Options{})
+		query := compileHeavyQuery(terms, 0)
+		serve(b, srv, query) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serve(b, srv, query)
+		}
+		if srv.Metrics().CacheHits != int64(b.N) {
+			b.Fatalf("hits = %d, want %d", srv.Metrics().CacheHits, b.N)
+		}
+	})
+	b.Run("cache-miss", func(b *testing.B) {
+		srv := New(rumble.New(rumble.Config{}), Options{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serve(b, srv, compileHeavyQuery(terms, i+1))
+		}
+		if srv.Metrics().CacheMisses != int64(b.N) {
+			b.Fatalf("misses = %d, want %d", srv.Metrics().CacheMisses, b.N)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"rumble"
+)
+
+// planCache is a thread-safe LRU of compiled statements keyed by exact
+// query text. A hot query served twice skips parse, static analysis and
+// join detection entirely — the compiled Statement is immutable and safe
+// to execute concurrently, so one plan serves any number of clients.
+//
+// Each entry compiles at most once (sync.Once): N concurrent clients
+// issuing the same cold query share a single compilation instead of
+// racing N of them.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type planEntry struct {
+	key  string
+	once sync.Once
+	st   *rumble.Statement
+	err  error
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &planCache{cap: capacity, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+// get returns the compiled statement for query, compiling through eng on a
+// miss. hit reports whether an entry already existed (it may still be
+// compiling; the caller then waits on the shared compilation). Compile
+// errors are cached too: static errors are deterministic, so retrying the
+// same text would only burn CPU.
+func (c *planCache) get(eng *rumble.Engine, query string) (st *rumble.Statement, hit bool, err error) {
+	c.mu.Lock()
+	el, ok := c.entries[query]
+	if ok {
+		c.order.MoveToFront(el)
+	} else {
+		el = c.order.PushFront(&planEntry{key: query})
+		c.entries[query] = el
+		if c.order.Len() > c.cap {
+			lru := c.order.Back()
+			c.order.Remove(lru)
+			delete(c.entries, lru.Value.(*planEntry).key)
+		}
+	}
+	e := el.Value.(*planEntry)
+	c.mu.Unlock()
+	e.once.Do(func() { e.st, e.err = eng.Compile(query) })
+	return e.st, ok, e.err
+}
+
+// len returns the number of cached plans.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

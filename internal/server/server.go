@@ -1,0 +1,411 @@
+// Package server exposes a rumble Engine as a long-lived concurrent HTTP
+// query service — the mode in which the paper's Rumble backs Jupyter
+// notebooks. It adds three things on top of the library API:
+//
+//   - a compiled-plan LRU cache keyed by query text, so hot queries skip
+//     parse / static analysis / join detection entirely;
+//   - admission control: a semaphore sized against the engine's executor
+//     slots plus a bounded wait queue, so N concurrent clients degrade
+//     gracefully (429) instead of oversubscribing the executor pool;
+//   - per-request deadlines and cancellation threaded through evaluation
+//     via context.Context — a client that disconnects or times out frees
+//     its executor slots promptly.
+//
+// Endpoints: POST /query, GET /explain, GET /metrics, GET /healthz.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"rumble"
+	"rumble/internal/spark"
+)
+
+// Options tunes a Server. The zero value gives sensible defaults sized
+// against the engine.
+type Options struct {
+	// MaxConcurrent bounds query evaluations running at once. Each
+	// evaluation may spawn up to Executors worker goroutines per stage, so
+	// this is the knob that keeps N clients from oversubscribing the pool.
+	// 0 defaults to the engine's executor count.
+	MaxConcurrent int
+	// QueueDepth bounds requests allowed to wait for an evaluation slot
+	// beyond MaxConcurrent; anything past that is rejected with 429.
+	// 0 defaults to 2×MaxConcurrent.
+	QueueDepth int
+	// PlanCacheSize is the compiled-plan LRU capacity. 0 defaults to 64.
+	PlanCacheSize int
+	// DefaultTimeout is the evaluation deadline applied when a request
+	// carries no timeout_ms. 0 defaults to 30s; negative disables the
+	// default deadline.
+	DefaultTimeout time.Duration
+	// MaxResultItems bounds how many result items any single request may
+	// materialize on the driver; requests whose result would exceed it are
+	// rejected (422) and told to set a limit. The bound is enforced inside
+	// the evaluation (early stop), so an oversized result never occupies
+	// memory first. 0 defaults to 1,000,000; negative disables the bound.
+	MaxResultItems int
+	// MaxBodyBytes caps the request body. 0 defaults to 1 MiB.
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults(eng *rumble.Engine) Options {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = eng.Executors()
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 2 * o.MaxConcurrent
+	}
+	if o.PlanCacheSize <= 0 {
+		o.PlanCacheSize = 64
+	}
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxResultItems == 0 {
+		o.MaxResultItems = 1_000_000
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	return o
+}
+
+// Metrics is a snapshot of the server's own counters, served by /metrics
+// next to the engine's cluster counters.
+type Metrics struct {
+	// Queries counts evaluations started (admitted past the queue).
+	Queries int64 `json:"queries"`
+	// Errors counts evaluations that failed with a query error.
+	Errors int64 `json:"errors"`
+	// Rejected counts requests turned away with 429 (queue full).
+	Rejected int64 `json:"rejected"`
+	// Timeouts counts requests that exceeded their deadline.
+	Timeouts int64 `json:"timeouts"`
+	// Cancelled counts requests whose client went away mid-flight.
+	Cancelled int64 `json:"cancelled"`
+	// CacheHits / CacheMisses count compiled-plan cache outcomes.
+	CacheHits   int64 `json:"plan_cache_hits"`
+	CacheMisses int64 `json:"plan_cache_misses"`
+	// CachedPlans is the current number of cached statements.
+	CachedPlans int `json:"plan_cache_size"`
+	// Active is the number of evaluations running right now; Queued the
+	// number waiting for a slot.
+	Active int64 `json:"active"`
+	Queued int64 `json:"queued"`
+}
+
+// Server is a concurrent JSONiq query service over one engine. Create it
+// with New and mount Handler on an http.Server.
+type Server struct {
+	eng   *rumble.Engine
+	opt   Options
+	cache *planCache
+	sem   chan struct{}
+	mux   *http.ServeMux
+
+	inFlight  atomic.Int64 // running + queued
+	active    atomic.Int64
+	queries   atomic.Int64
+	errors    atomic.Int64
+	rejected  atomic.Int64
+	timeouts  atomic.Int64
+	cancelled atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+}
+
+// New builds a server around eng. The engine must already have its
+// collections registered; the server never mutates it.
+func New(eng *rumble.Engine, opt Options) *Server {
+	opt = opt.withDefaults(eng)
+	s := &Server{
+		eng:   eng,
+		opt:   opt,
+		cache: newPlanCache(opt.PlanCacheSize),
+		sem:   make(chan struct{}, opt.MaxConcurrent),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler serving the query API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics snapshots the server counters.
+func (s *Server) Metrics() Metrics {
+	active := s.active.Load()
+	return Metrics{
+		Queries:     s.queries.Load(),
+		Errors:      s.errors.Load(),
+		Rejected:    s.rejected.Load(),
+		Timeouts:    s.timeouts.Load(),
+		Cancelled:   s.cancelled.Load(),
+		CacheHits:   s.hits.Load(),
+		CacheMisses: s.misses.Load(),
+		CachedPlans: s.cache.len(),
+		Active:      active,
+		Queued:      s.inFlight.Load() - active,
+	}
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	// Query is the JSONiq query text (required).
+	Query string `json:"query"`
+	// Limit truncates the result to at most this many items (0 = all).
+	Limit int `json:"limit"`
+	// Format is "json" (envelope, the default) or "ndjson" (one item per
+	// line, streamed).
+	Format string `json:"format"`
+	// TimeoutMS overrides the server's default evaluation deadline.
+	TimeoutMS int `json:"timeout_ms"`
+}
+
+// queryResponse is the JSON envelope of POST /query.
+type queryResponse struct {
+	Items     []json.RawMessage `json:"items"`
+	Count     int               `json:"count"`
+	Truncated bool              `json:"truncated"`
+	Cached    bool              `json:"cached"`
+	Mode      string            `json:"mode"`
+	ElapsedMS float64           `json:"elapsed_ms"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body to /query")
+		return
+	}
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		writeError(w, http.StatusBadRequest, "missing query text")
+		return
+	}
+
+	// The request deadline covers queue wait and evaluation both.
+	ctx := r.Context()
+	timeout := s.opt.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	release, admitted := s.admit(w, ctx)
+	if !admitted {
+		return
+	}
+	defer release()
+
+	// Compile (or fetch) the plan, then evaluate under the deadline.
+	st, hit, err := s.cache.get(s.eng, req.Query)
+	if hit {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.queries.Add(1)
+	start := time.Now()
+	// The request is bounded inside the evaluation itself: fetch one item
+	// past the client's limit (to detect truncation) or past the server's
+	// result bound (to detect overflow) without materializing the rest.
+	bound := s.opt.MaxResultItems
+	fetch := 0
+	switch {
+	case req.Limit > 0 && (bound <= 0 || req.Limit <= bound):
+		fetch = req.Limit + 1
+	case bound > 0:
+		fetch = bound + 1
+	}
+	items, err := st.CollectContextLimit(ctx, fetch)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.timeouts.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "query exceeded its deadline")
+		case errors.Is(err, context.Canceled):
+			s.cancelled.Add(1) // client went away; nobody reads the response
+		case errors.Is(err, spark.ErrResultTooLarge):
+			s.errors.Add(1)
+			writeError(w, http.StatusUnprocessableEntity,
+				"result exceeds the server's max result size; request a limit")
+		default:
+			s.errors.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		}
+		return
+	}
+	elapsed := time.Since(start)
+
+	// Truncate to the client's limit first: a result truncated to a limit
+	// within the bound is always servable, whatever the untruncated size.
+	truncated := false
+	if req.Limit > 0 && len(items) > req.Limit {
+		items = items[:req.Limit]
+		truncated = true
+	}
+	if bound > 0 && len(items) > bound {
+		s.errors.Add(1)
+		writeError(w, http.StatusUnprocessableEntity,
+			"result exceeds the server bound of %d items; request a limit", bound)
+		return
+	}
+
+	w.Header().Set("X-Rumble-Plan-Cache", cacheHeader(hit))
+	w.Header().Set("X-Rumble-Mode", st.Mode())
+	if req.Format == "ndjson" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for i, it := range items {
+			// A client that disconnects (or a deadline expiring)
+			// mid-stream stops the writes.
+			if i&255 == 0 && ctx.Err() != nil {
+				if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+					s.timeouts.Add(1)
+				} else {
+					s.cancelled.Add(1)
+				}
+				return
+			}
+			w.Write(it.AppendJSON(nil))
+			w.Write([]byte("\n"))
+		}
+		return
+	}
+	resp := queryResponse{
+		Items:     make([]json.RawMessage, len(items)),
+		Count:     len(items),
+		Truncated: truncated,
+		Cached:    hit,
+		Mode:      st.Mode(),
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}
+	for i, it := range items {
+		resp.Items[i] = it.AppendJSON(nil)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func cacheHeader(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// admit applies the two-stage admission control: first bound the total of
+// running plus queued requests (reject with 429 beyond the queue), then
+// wait for an evaluation slot under ctx. When admitted is true the caller
+// owns a slot and must call release; otherwise the response has already
+// been written (or the client is gone).
+func (s *Server) admit(w http.ResponseWriter, ctx context.Context) (release func(), admitted bool) {
+	if s.inFlight.Add(1) > int64(s.opt.MaxConcurrent+s.opt.QueueDepth) {
+		s.inFlight.Add(-1)
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server at capacity (%d running, %d queued)",
+			s.opt.MaxConcurrent, s.opt.QueueDepth)
+		return nil, false
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.inFlight.Add(-1)
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.timeouts.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "timed out waiting for an executor slot")
+		} else {
+			s.cancelled.Add(1)
+		}
+		return nil, false
+	}
+	s.active.Add(1)
+	return func() {
+		s.active.Add(-1)
+		<-s.sem
+		s.inFlight.Add(-1)
+	}, true
+}
+
+// handleExplain serves the mode-annotated physical plan of ?q=<query>
+// (alias ?query=) as text/plain, without executing it. Compilation is CPU
+// work too, so explain requests pass through the same admission control as
+// queries — a flood of compile-heavy explains cannot starve the pool.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET /explain?q=<query>")
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		q = r.URL.Query().Get("query")
+	}
+	if strings.TrimSpace(q) == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	ctx := r.Context()
+	if s.opt.DefaultTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opt.DefaultTimeout)
+		defer cancel()
+	}
+	release, admitted := s.admit(w, ctx)
+	if !admitted {
+		return
+	}
+	defer release()
+	plan, err := s.eng.Explain(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, plan)
+}
+
+// handleMetrics serves server counters next to the engine's cluster
+// counters as one JSON document.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := struct {
+		Server Metrics               `json:"server"`
+		Engine spark.MetricsSnapshot `json:"engine"`
+	}{Server: s.Metrics(), Engine: s.eng.Metrics()}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(snap)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}

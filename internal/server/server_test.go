@@ -1,0 +1,416 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rumble"
+)
+
+// post sends a query request to ts and returns status plus body.
+func post(t *testing.T, ts *httptest.Server, req queryRequest) (int, []byte) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /query: %v", err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, out
+}
+
+func decodeEnvelope(t *testing.T, body []byte) queryResponse {
+	t.Helper()
+	var resp queryResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("bad envelope %q: %v", body, err)
+	}
+	return resp
+}
+
+// waitUntil polls cond for up to timeout.
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// slowFixture writes a JSON-Lines file and returns a server whose engine
+// reads it with simulated storage latency: the query
+// count(json-file(path)) takes roughly blocks×latency to evaluate and is
+// cancellable between parsed lines.
+func slowFixture(t *testing.T, blocks int, latency time.Duration, opt Options) (*Server, *httptest.Server, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "slow.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bytes.Buffer{}
+	line := []byte(`{"v": 1, "pad": "` + strings.Repeat("x", 100) + `"}` + "\n")
+	for w.Len() < blocks*64*1024 {
+		w.Write(line)
+	}
+	if _, err := f.Write(w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	eng := rumble.New(rumble.Config{Parallelism: 2, Executors: 1, IOLatency: latency})
+	srv := New(eng, opt)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, path
+}
+
+func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	eng := rumble.New(rumble.Config{Parallelism: 4, Executors: 4})
+	srv := New(eng, opt)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestServerQueryEnvelope(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	code, body := post(t, ts, queryRequest{Query: `for $x in parallelize(1 to 5) return $x * $x`})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	resp := decodeEnvelope(t, body)
+	if resp.Count != 5 || string(resp.Items[4]) != "25" {
+		t.Errorf("envelope = %+v", resp)
+	}
+	if resp.Cached {
+		t.Error("first request claimed a cache hit")
+	}
+	if resp.Mode != "DataFrame" {
+		t.Errorf("mode = %q, want DataFrame", resp.Mode)
+	}
+	// Second time around: same plan, served from the cache — observable in
+	// both the envelope and the server metrics.
+	code, body = post(t, ts, queryRequest{Query: `for $x in parallelize(1 to 5) return $x * $x`})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if resp := decodeEnvelope(t, body); !resp.Cached {
+		t.Error("hot query did not hit the plan cache")
+	}
+	m := srv.Metrics()
+	if m.CacheHits != 1 || m.CacheMisses != 1 || m.CachedPlans != 1 {
+		t.Errorf("cache metrics = %+v", m)
+	}
+}
+
+func TestServerQueryNDJSON(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body, _ := json.Marshal(queryRequest{Query: `parallelize((1, 2, 3))`, Format: "ndjson"})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if got := string(out); got != "1\n2\n3\n" {
+		t.Errorf("ndjson body = %q", got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q", ct)
+	}
+	if h := resp.Header.Get("X-Rumble-Plan-Cache"); h != "miss" {
+		t.Errorf("plan cache header = %q", h)
+	}
+}
+
+func TestServerQueryLimit(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, body := post(t, ts, queryRequest{Query: `1 to 100`, Limit: 3})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	resp := decodeEnvelope(t, body)
+	if resp.Count != 3 || !resp.Truncated {
+		t.Errorf("limit not applied: %+v", resp)
+	}
+	// An under-limit result is not marked truncated.
+	code, body = post(t, ts, queryRequest{Query: `1 to 2`, Limit: 3})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if resp := decodeEnvelope(t, body); resp.Count != 2 || resp.Truncated {
+		t.Errorf("under-limit result: %+v", resp)
+	}
+}
+
+// TestServerLimitBoundsEvaluation pins that the limit is pushed into the
+// evaluation: a limited request over an astronomically large sequence must
+// answer fast via early stop, not materialize the result first.
+func TestServerLimitBoundsEvaluation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	start := time.Now()
+	code, body := post(t, ts, queryRequest{Query: `1 to 10000000000`, Limit: 5})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	resp := decodeEnvelope(t, body)
+	if resp.Count != 5 || !resp.Truncated || string(resp.Items[4]) != "5" {
+		t.Errorf("limited result = %+v", resp)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("limited request took %v — limit not pushed into evaluation", d)
+	}
+}
+
+// TestServerMaxResultItems pins the server-wide result bound: an
+// unlimited oversized result is rejected with 422 without being
+// materialized, and a limited request within the bound still works.
+func TestServerMaxResultItems(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxResultItems: 100})
+	code, body := post(t, ts, queryRequest{Query: `1 to 10000000000`})
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("oversized result status = %d: %s", code, body)
+	}
+	if !bytes.Contains(body, []byte("request a limit")) {
+		t.Errorf("unhelpful bound error: %s", body)
+	}
+	if code, _ := post(t, ts, queryRequest{Query: `1 to 10000000000`, Limit: 10}); code != http.StatusOK {
+		t.Errorf("limited request within bound status = %d", code)
+	}
+	// A limit above the bound cannot smuggle an oversized result through.
+	if code, _ := post(t, ts, queryRequest{Query: `1 to 10000000000`, Limit: 500}); code != http.StatusUnprocessableEntity {
+		t.Errorf("limit above bound status = %d", code)
+	}
+	// A limit exactly at the bound is valid: 200 with bound items.
+	code, body = post(t, ts, queryRequest{Query: `1 to 10000000000`, Limit: 100})
+	if code != http.StatusOK {
+		t.Fatalf("limit == bound status = %d: %s", code, body)
+	}
+	if resp := decodeEnvelope(t, body); resp.Count != 100 || !resp.Truncated {
+		t.Errorf("limit == bound result: count %d truncated %v", resp.Count, resp.Truncated)
+	}
+}
+
+func TestServerQueryErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	if code, _ := post(t, ts, queryRequest{Query: `for $x in`}); code != http.StatusBadRequest {
+		t.Errorf("parse error status = %d", code)
+	}
+	if code, _ := post(t, ts, queryRequest{Query: `$unbound`}); code != http.StatusBadRequest {
+		t.Errorf("static error status = %d", code)
+	}
+	if code, _ := post(t, ts, queryRequest{Query: `1 div 0`}); code != http.StatusUnprocessableEntity {
+		t.Errorf("runtime error status = %d", code)
+	}
+	if code, _ := post(t, ts, queryRequest{}); code != http.StatusBadRequest {
+		t.Errorf("empty query status = %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query status = %d", resp.StatusCode)
+	}
+}
+
+func TestServerExplainMetricsHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/explain?q=" + url.QueryEscape("count(parallelize(1 to 9))"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(plan), "(cluster pushdown)") {
+		t.Errorf("explain plan = %q", plan)
+	}
+
+	post(t, ts, queryRequest{Query: `1 + 1`})
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Server Metrics `json:"server"`
+		Engine struct {
+			StagesRun int64
+		} `json:"engine"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.Server.Queries != 1 {
+		t.Errorf("metrics queries = %d", m.Server.Queries)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Errorf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestServerHotQueryConcurrent exercises the plan-cache path under -race:
+// many clients hammer the same query; exactly one compilation happens and
+// every client gets the full, correct result from the shared Statement.
+func TestServerHotQueryConcurrent(t *testing.T) {
+	srv, ts := newTestServer(t, Options{MaxConcurrent: 8, QueueDepth: 64})
+	const clients, rounds = 8, 5
+	query := `for $x in parallelize(1 to 50) where $x mod 2 eq 0 return $x`
+	var wg sync.WaitGroup
+	errs := make(chan string, clients*rounds)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				code, body := post(t, ts, queryRequest{Query: query})
+				if code != http.StatusOK {
+					errs <- fmt.Sprintf("status %d: %s", code, body)
+					return
+				}
+				if resp := decodeEnvelope(t, body); resp.Count != 25 {
+					errs <- fmt.Sprintf("count = %d", resp.Count)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	m := srv.Metrics()
+	if m.CacheMisses != 1 {
+		t.Errorf("misses = %d, want exactly one compilation", m.CacheMisses)
+	}
+	if m.CacheHits != clients*rounds-1 {
+		t.Errorf("hits = %d, want %d", m.CacheHits, clients*rounds-1)
+	}
+	if m.Active != 0 || m.Queued != 0 {
+		t.Errorf("leaked slots: %+v", m)
+	}
+}
+
+// TestServerQueueFull pins the 429 behavior: with one evaluation slot and
+// a one-deep queue, a third concurrent request is rejected immediately.
+func TestServerQueueFull(t *testing.T) {
+	srv, ts, path := slowFixture(t, 12, 50*time.Millisecond, Options{MaxConcurrent: 1, QueueDepth: 1})
+	slow := queryRequest{Query: fmt.Sprintf(`count(json-file(%q))`, path), TimeoutMS: 30000}
+
+	results := make(chan int, 2)
+	go func() { code, _ := post(t, ts, slow); results <- code }()
+	waitUntil(t, 5*time.Second, "first query running", func() bool { return srv.Metrics().Active == 1 })
+	go func() { code, _ := post(t, ts, slow); results <- code }()
+	waitUntil(t, 5*time.Second, "second query queued", func() bool { return srv.Metrics().Queued >= 1 })
+
+	// Slot busy, queue full: the server must say 429 now, not block.
+	start := time.Now()
+	code, body := post(t, ts, queryRequest{Query: `1 + 1`})
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overload status = %d: %s", code, body)
+	}
+	// Explain shares the admission control: compile work cannot bypass it.
+	eresp, err := http.Get(ts.URL + "/explain?q=" + url.QueryEscape("1 + 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eresp.Body.Close()
+	if eresp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("explain under overload status = %d", eresp.StatusCode)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("429 took %v, should be immediate", d)
+	}
+	if srv.Metrics().Rejected == 0 {
+		t.Error("rejected counter not bumped")
+	}
+	// The queued requests drain and succeed.
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Errorf("slow query %d status = %d", i, code)
+		}
+	}
+	if code, _ := post(t, ts, queryRequest{Query: `1 + 1`}); code != http.StatusOK {
+		t.Errorf("server did not recover after drain: %d", code)
+	}
+}
+
+// TestServerDeadline pins that a request exceeding its deadline returns
+// promptly with 504 and frees its executor slot.
+func TestServerDeadline(t *testing.T) {
+	srv, ts, path := slowFixture(t, 24, 100*time.Millisecond, Options{MaxConcurrent: 1})
+	slow := queryRequest{Query: fmt.Sprintf(`count(json-file(%q))`, path), TimeoutMS: 200}
+	start := time.Now()
+	code, body := post(t, ts, slow)
+	elapsed := time.Since(start)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d: %s", code, body)
+	}
+	// Full evaluation would take ~2.4s of simulated I/O; the deadline must
+	// cut it well short of that.
+	if elapsed > 1500*time.Millisecond {
+		t.Errorf("deadline response took %v", elapsed)
+	}
+	if m := srv.Metrics(); m.Timeouts == 0 || m.Active != 0 {
+		t.Errorf("metrics after timeout = %+v", m)
+	}
+	// The slot is free again: a quick query runs immediately.
+	if code, body := post(t, ts, queryRequest{Query: `sum(1 to 10)`}); code != http.StatusOK {
+		t.Errorf("follow-up query status = %d: %s", code, body)
+	}
+}
+
+// TestServerClientCancelMidFlight pins that a client disconnect cancels
+// the running evaluation and frees its slot.
+func TestServerClientCancelMidFlight(t *testing.T) {
+	srv, ts, path := slowFixture(t, 24, 100*time.Millisecond, Options{MaxConcurrent: 1})
+	body, _ := json.Marshal(queryRequest{Query: fmt.Sprintf(`count(json-file(%q))`, path), TimeoutMS: 30000})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query", bytes.NewReader(body))
+	done := make(chan struct{})
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(done)
+	}()
+	waitUntil(t, 5*time.Second, "query running", func() bool { return srv.Metrics().Active == 1 })
+	cancel()
+	<-done
+	// The evaluation notices the cancellation and releases its slot long
+	// before the ~2.4s the full scan would take.
+	waitUntil(t, 1500*time.Millisecond, "slot released after cancel", func() bool {
+		return srv.Metrics().Active == 0
+	})
+	if code, _ := post(t, ts, queryRequest{Query: `1 + 1`}); code != http.StatusOK {
+		t.Error("server did not recover after client cancel")
+	}
+}

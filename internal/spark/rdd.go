@@ -235,6 +235,50 @@ func Cache[T any](r *RDD[T]) *RDD[T] {
 	})
 }
 
+// Scan streams every element to yield on the calling goroutine, partitions
+// in order, without materializing and without using the executor pool. It
+// is the driver-side local iterator API over a cluster-resident dataset
+// (e.g. a variable bound to an RDD consumed by a local expression).
+func (r *RDD[T]) Scan(yield func(T) error) error {
+	for p := 0; p < r.parts; p++ {
+		if err := r.compute(p, yield); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cancelCheckStride bounds how many elements flow between two cooperative
+// cancellation checks inside a partition task.
+const cancelCheckStride = 64
+
+// WithCancel returns an RDD that polls check cooperatively while partition
+// tasks run: once before each partition starts and every cancelCheckStride
+// elements after that. A non-nil result from check aborts the job with that
+// error, so a caller's deadline or cancellation propagates into running
+// task loops instead of waiting for the stage to drain. A nil check returns
+// r unchanged.
+func WithCancel[T any](r *RDD[T], check func() error) *RDD[T] {
+	if check == nil {
+		return r
+	}
+	return NewRDD(r.ctx, r.parts, "cancellable("+r.name+")", func(p int, yield func(T) error) error {
+		if err := check(); err != nil {
+			return err
+		}
+		n := 0
+		return r.compute(p, func(v T) error {
+			n++
+			if n%cancelCheckStride == 0 {
+				if err := check(); err != nil {
+					return err
+				}
+			}
+			return yield(v)
+		})
+	})
+}
+
 // Collect materializes every element on the driver, partition order
 // preserved. It fails with ErrResultTooLarge when MaxResultItems is set and
 // exceeded.

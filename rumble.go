@@ -16,6 +16,7 @@
 package rumble
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -128,13 +129,21 @@ func (e *Engine) RegisterJSON(name string, docs []string) error {
 	return nil
 }
 
+// Executors returns the number of executor slots the engine was configured
+// with (after defaulting). Servers size their admission control against it.
+func (e *Engine) Executors() int { return e.sc.Conf().Executors }
+
 // Metrics returns a snapshot of the engine's cluster counters.
 func (e *Engine) Metrics() spark.MetricsSnapshot { return e.sc.Metrics() }
 
 // ResetMetrics zeroes the engine's cluster counters.
 func (e *Engine) ResetMetrics() { e.sc.ResetMetrics() }
 
-// Statement is a compiled query, reusable across runs.
+// Statement is a compiled query. Statements are safely re-executable and
+// safe for concurrent use: the compiled iterator tree is immutable, every
+// evaluation builds its cluster pipelines (including caches) fresh, and all
+// per-run state lives on the stack of the run — so a server can compile a
+// hot query once and serve it to many clients at once.
 type Statement struct {
 	eng  *Engine
 	prog *runtime.Program
@@ -186,6 +195,16 @@ func (e *Engine) Query(query string) ([]Item, error) {
 	return st.Collect()
 }
 
+// QueryContext is Query under a Go context: cancellation or deadline
+// expiry aborts evaluation cooperatively and returns the context's error.
+func (e *Engine) QueryContext(ctx context.Context, query string) ([]Item, error) {
+	st, err := e.Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	return st.CollectContext(ctx)
+}
+
 // QueryJSON runs a query and returns one canonical JSON string per result
 // item, the way the Rumble shell prints results.
 func (e *Engine) QueryJSON(query string) ([]string, error) {
@@ -205,10 +224,36 @@ func (s *Statement) Collect() ([]Item, error) {
 	return s.prog.Run()
 }
 
+// CollectContext is Collect under a Go context: loop iterators and cluster
+// task loops poll ctx at cooperative checkpoints, so a cancelled or
+// expired request stops evaluating promptly and returns ctx's error.
+func (s *Statement) CollectContext(ctx context.Context) ([]Item, error) {
+	return s.prog.RunContext(ctx)
+}
+
+// CollectContextLimit is CollectContext bounded to at most max items: the
+// evaluation itself stops early (local streaming cap, or a cluster take
+// action with sequential early-stopping partition scans), so a limited
+// request never materializes an unbounded result on the driver. max <= 0
+// means no limit.
+func (s *Statement) CollectContextLimit(ctx context.Context, max int) ([]Item, error) {
+	return s.prog.RunContextLimit(ctx, max)
+}
+
 // Stream runs the statement through the local streaming API, pushing items
 // to yield one at a time without materializing the result.
 func (s *Statement) Stream(yield func(Item) error) error {
 	return s.prog.Root.Stream(s.prog.GlobalContext(), yield)
+}
+
+// StreamContext is Stream under a Go context with the same cooperative
+// cancellation semantics as CollectContext.
+func (s *Statement) StreamContext(ctx context.Context, yield func(Item) error) error {
+	dc := s.prog.GlobalContext()
+	if ctx != nil {
+		dc = dc.WithGoContext(ctx)
+	}
+	return s.prog.Root.Stream(dc, yield)
 }
 
 // Mode returns the execution mode the compiler statically assigned to the
