@@ -293,6 +293,56 @@ func BenchmarkAblation_JoinVsNestedLoop(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_VectorVsLocal measures the columnar local backend
+// (Mode=Vector, --vectorize) against the tuple-at-a-time local pipeline on
+// the figure-style grouped-aggregation and filter workloads. Both variants
+// run through the streaming API, which always executes the statically
+// chosen local backend, so the comparison isolates tuple interpretation
+// overhead (per-tuple slice copies, per-tuple contexts, iterator dispatch)
+// against batch-at-a-time execution over typed columns.
+func BenchmarkAblation_VectorVsLocal(b *testing.B) {
+	path := confusionPath(b, fig11Objects)
+	queries := map[string]string{
+		"group-agg": fmt.Sprintf(`
+			for $o in json-file(%q)
+			where $o.guess eq $o.target
+			group by $t := $o.target
+			return { "t": $t, "n": count($o) }`, path),
+		"filter-project": fmt.Sprintf(`
+			for $o in json-file(%q)
+			where $o.guess eq $o.target
+			return { "t": $o.target, "c": $o.country }`, path),
+	}
+	for qname, query := range queries {
+		for _, mode := range []struct {
+			name      string
+			vectorize bool
+		}{{"vector", true}, {"local-tuple", false}} {
+			b.Run(fmt.Sprintf("%s/%s", qname, mode.name), func(b *testing.B) {
+				eng := rumble.New(rumble.Config{Parallelism: 8, Executors: 4,
+					SplitSize: benchSplit, Vectorize: mode.vectorize})
+				st, err := eng.Compile(query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode.vectorize && st.Mode() != "Vector" {
+					b.Fatalf("mode = %s, want Vector", st.Mode())
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					n := 0
+					if err := st.Stream(func(rumble.Item) error { n++; return nil }); err != nil {
+						b.Fatal(err)
+					}
+					if n == 0 {
+						b.Fatal("empty result")
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkQueryCompilation isolates the frontend: lexing, parsing, static
 // analysis and iterator construction of a realistic query.
 func BenchmarkQueryCompilation(b *testing.B) {

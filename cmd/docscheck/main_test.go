@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestCookbookFresh runs the freshness check against the committed
+// cookbook, so a compiler change that alters plans fails `go test` until
+// the docs are regenerated (go run ./cmd/docscheck -update).
+func TestCookbookFresh(t *testing.T) {
+	data, err := os.ReadFile("../../docs/query-cookbook.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, drift, err := Process(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drift) > 0 {
+		for _, d := range drift {
+			t.Errorf("stale explain block for query:\n%s\n--- documented ---\n%s--- regenerated ---\n%s",
+				d.Query, d.Old, d.New)
+		}
+		t.Error("run `go run ./cmd/docscheck -update` to refresh docs/query-cookbook.md")
+	}
+}
+
+// TestProcessDetectsDrift pins the checker itself: a stale plan is
+// reported and rewritten, a fresh one passes untouched.
+func TestProcessDetectsDrift(t *testing.T) {
+	doc := "# t\n\n```jsoniq\n1 + 2\n```\n```explain\nstale\n```\n"
+	out, drift, err := Process(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drift) != 1 {
+		t.Fatalf("drift = %d, want 1", len(drift))
+	}
+	// The rewritten document must be fresh.
+	out2, drift2, err := Process(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drift2) != 0 || out2 != out {
+		t.Fatalf("rewritten doc still drifts: %v", drift2)
+	}
+}
+
+// TestProcessVectorizeFence pins that the vectorize fence actually flips
+// the engine: the same pipeline explains to Vector under it and to
+// DataFrame without it.
+func TestProcessVectorizeFence(t *testing.T) {
+	q := "for $o in json-file(\"d.jsonl\")\nwhere $o.v gt 1\nreturn $o.v"
+	doc := "```jsoniq\n" + q + "\n```\n```explain vectorize\n```\n" +
+		"```jsoniq\n" + q + "\n```\n```explain\n```\n"
+	out, _, err := Process(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "flwor [Vector]") {
+		t.Errorf("vectorize fence produced no Vector plan:\n%s", out)
+	}
+	if !strings.Contains(out, "flwor [DataFrame]") {
+		t.Errorf("plain fence produced no DataFrame plan:\n%s", out)
+	}
+}

@@ -37,6 +37,7 @@ func main() {
 		maxResults  = flag.Int("max-results", 1000, "shell materialization cap (0 = unlimited)")
 		showTime    = flag.Bool("time", false, "print execution time")
 		explain     = flag.Bool("explain", false, "print the mode-annotated physical plan instead of executing")
+		vectorize   = flag.Bool("vectorize", false, "compile eligible pipelines to the columnar local backend (Mode=Vector)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 		Parallelism:    *parallelism,
 		Executors:      *executors,
 		MaxResultItems: *maxResults,
+		Vectorize:      *vectorize,
 	})
 
 	text := *query
@@ -98,12 +100,13 @@ func serveMain(args []string) {
 		cacheSize     = fs.Int("plan-cache", 64, "compiled-plan LRU cache capacity")
 		timeout       = fs.Duration("timeout", 30*time.Second, "default per-request evaluation deadline (0 = none)")
 		maxResult     = fs.Int("max-result-items", 1_000_000, "reject unlimited results larger than this (0 = unbounded)")
+		vectorize     = fs.Bool("vectorize", false, "compile eligible pipelines to the columnar local backend (Mode=Vector)")
 	)
 	var colls collectionFlags
 	fs.Var(&colls, "collection", "register a name=path JSON-Lines collection (repeatable)")
 	fs.Parse(args)
 
-	eng := rumble.New(rumble.Config{Parallelism: *parallelism, Executors: *executors})
+	eng := rumble.New(rumble.Config{Parallelism: *parallelism, Executors: *executors, Vectorize: *vectorize})
 	for _, c := range colls {
 		name, path, _ := strings.Cut(c, "=")
 		eng.RegisterCollection(name, path)

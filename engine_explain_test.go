@@ -70,31 +70,99 @@ var explainGoldens = []struct {
 
 func TestExplainGolden(t *testing.T) {
 	eng := New(Config{})
-	update := os.Getenv("UPDATE_GOLDEN") != ""
 	for _, tc := range explainGoldens {
 		t.Run(tc.name, func(t *testing.T) {
-			got, err := eng.Explain(tc.query)
-			if err != nil {
-				t.Fatalf("Explain: %v", err)
-			}
-			path := filepath.Join("testdata", "explain", tc.name+".golden")
-			if update {
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to create): %v", err)
-			}
-			if got != string(want) {
-				t.Errorf("plan drifted from golden %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
-			}
+			checkExplainGolden(t, eng, tc.name, tc.query)
 		})
+	}
+}
+
+// checkExplainGolden compares (or with UPDATE_GOLDEN=1 rewrites) one
+// query's plan against testdata/explain/<name>.golden.
+func checkExplainGolden(t *testing.T, eng *Engine, name, query string) {
+	t.Helper()
+	got, err := eng.Explain(query)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	path := filepath.Join("testdata", "explain", name+".golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("plan drifted from golden %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// vectorExplainGoldens pin backend selection under Config{Vectorize: true}:
+// eligible pipelines flip to Mode=Vector (overriding both Local and
+// DataFrame), ineligible shapes keep their old modes.
+var vectorExplainGoldens = []struct {
+	name  string
+	query string
+}{
+	{"vector-groupby-agg", `for $o in json-file("confusion.jsonl")
+		where $o.guess eq $o.target
+		group by $lang := $o.target
+		return { "language": $lang, "correct": count($o), "score": sum($o.score) }`},
+	{"vector-filter-project", `for $c in json-file("reddit.jsonl")
+		let $boost := $c.score * 2
+		where $boost gt 3000 and contains($c.body, "data")
+		return { "id": $c.id, "boost": $boost }`},
+	{"vector-let-rdd-head", `let $d := json-file("reddit.jsonl")
+		for $x in $d
+		where $x.score ge 100
+		return $x.body`},
+	{"vector-ineligible-orderby", `for $o in json-file("confusion.jsonl")
+		order by $o.target
+		return $o.target`},
+}
+
+func TestExplainVectorGolden(t *testing.T) {
+	eng := New(Config{Vectorize: true})
+	for _, tc := range vectorExplainGoldens {
+		t.Run(tc.name, func(t *testing.T) {
+			checkExplainGolden(t, eng, tc.name, tc.query)
+		})
+	}
+}
+
+// TestExplainVectorModesPinned asserts the vectorized mode choices in code
+// so regenerated goldens cannot silently flip a backend decision.
+func TestExplainVectorModesPinned(t *testing.T) {
+	eng := New(Config{Vectorize: true})
+	wantRootMode := map[string]string{
+		"vector-groupby-agg":        "[Vector]",
+		"vector-filter-project":     "[Vector]",
+		"vector-let-rdd-head":       "[Vector]",
+		"vector-ineligible-orderby": "[DataFrame]",
+	}
+	for _, tc := range vectorExplainGoldens {
+		plan := mustExplain(t, eng, tc.query)
+		var rootLine string
+		for _, line := range strings.Split(strings.TrimRight(plan, "\n"), "\n") {
+			if !strings.HasPrefix(line, " ") {
+				rootLine = line
+			}
+		}
+		if want := wantRootMode[tc.name]; !strings.HasSuffix(rootLine, want) {
+			t.Errorf("%s: root %q, want mode %s", tc.name, rootLine, want)
+		}
+	}
+	// Without the option, the same aggregation query stays a DataFrame.
+	plain := New(Config{})
+	if plan := mustExplain(t, plain, vectorExplainGoldens[0].query); !strings.Contains(plan, "flwor [DataFrame]") {
+		t.Errorf("vectorize off: aggregation query not a DataFrame plan:\n%s", plan)
 	}
 }
 

@@ -1,0 +1,309 @@
+package rumble
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"rumble/internal/item"
+)
+
+// vectorConformanceData builds the shared test collections, including
+// values JSON text cannot express (NaN, -0.0, integers beyond 2^53).
+func vectorConformanceData(t *testing.T, eng *Engine) {
+	t.Helper()
+	if err := eng.RegisterJSON("games", []string{
+		`{"guess":"fr","target":"fr","score":3,"country":"CH"}`,
+		`{"guess":"de","target":"fr","score":5,"country":"CH"}`,
+		`{"guess":"fr","target":"fr","score":7,"country":"FR"}`,
+		`{"guess":"en","target":"en","score":1,"country":"US"}`,
+		`{"guess":"en","target":"en","score":2,"country":"US"}`,
+		`{"guess":"it","target":"es","score":9,"country":"IT"}`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterJSON("messy", []string{
+		`{"k":1,"v":10}`,
+		`{"k":1.0,"v":20}`,
+		`{"k":null,"v":30}`,
+		`{"v":40}`,
+		`{"k":"1","v":50}`,
+		`{"k":true,"v":60}`,
+		`{"k":2,"v":{"nested":1}}`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Values JSON text can't carry: NaN keys, -0.0, integers beyond 2^53.
+	mk := func(k item.Item, w int64) Item {
+		return item.NewObject([]string{"k", "w"}, []item.Item{k, item.Int(w)})
+	}
+	eng.RegisterItems("edge", []Item{
+		mk(item.Double(math.NaN()), 1),
+		mk(item.Double(math.NaN()), 2),
+		mk(item.Double(math.Copysign(0, -1)), 3),
+		mk(item.Double(0), 4),
+		mk(item.Int(1<<53), 5),
+		mk(item.Int(1<<53+1), 6),
+		mk(item.Double(1<<53), 7),
+	})
+	if err := eng.RegisterJSON("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterJSON("strnum", []string{
+		`{"n":1,"s":5}`,
+		`{"n":2,"s":"a"}`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVectorLocalConformance asserts that every vector-eligible query
+// shape produces identical results with --vectorize on and off. The
+// streamed (local) results must match exactly — the vector backend mirrors
+// the tuple pipeline's order — while collected results (which may run as
+// DataFrames when vectorization is off) must match as multisets, since
+// group output order across the shuffle is implementation-defined.
+func TestVectorLocalConformance(t *testing.T) {
+	cases := []struct {
+		name     string
+		query    string
+		wantMode string // mode pinned on the vectorizing engine ("" = skip)
+		wantErr  bool
+	}{
+		{
+			name: "filter project object",
+			query: `for $o in collection("games")
+				where $o.score ge 3 and $o.guess eq $o.target
+				return { "lang": $o.target, "score": $o.score }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "group count rewrite",
+			query: `for $o in collection("games")
+				group by $t := $o.target
+				return { "t": $t, "n": count($o) }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "group count sum avg min max",
+			query: `for $o in collection("games")
+				where $o.guess eq $o.target
+				group by $t := $o.target
+				return { "t": $t, "n": count($o), "sum": sum($o.score),
+					"avg": avg($o.score), "min": min($o.score), "max": max($o.score) }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "group by two keys",
+			query: `for $o in collection("games")
+				group by $c := $o.country, $t := $o.target
+				return { "c": $c, "t": $t, "n": count($o) }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "let and arithmetic",
+			query: `for $o in collection("games")
+				let $boost := $o.score * 2 + 1
+				where $boost gt 5
+				return $boost`,
+			wantMode: "Vector",
+		},
+		{
+			name: "contains filter",
+			query: `for $o in collection("games")
+				where contains($o.country, "S")
+				return $o.target`,
+			wantMode: "Vector",
+		},
+		{
+			name: "mixed numeric null and absent group keys",
+			query: `for $o in collection("messy")
+				group by $k := $o.k
+				return { "k": $k, "n": count($o) }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "nan and exact-int group keys",
+			query: `for $o in collection("edge")
+				group by $k := $o.k
+				return { "k": $k, "n": count($o), "w": sum($o.w) }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "count of possibly-absent path",
+			query: `for $o in collection("messy")
+				group by $g := true
+				return { "present": count($o.k), "rows": count($o) }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "min max over absent fields",
+			query: `for $o in collection("games")
+				group by $t := $o.target
+				return { "t": $t, "m": min($o.missing) }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "decimal literal filter",
+			query: `for $o in collection("games")
+				where $o.score gt 2.5
+				return $o.score`,
+			wantMode: "Vector",
+		},
+		{
+			name: "array constructor return",
+			query: `for $o in collection("games")
+				where $o.score lt 4
+				return [ $o.target ]`,
+			wantMode: "Vector",
+		},
+		{
+			name: "unary minus projection",
+			query: `for $o in collection("games")
+				return -$o.score`,
+			wantMode: "Vector",
+		},
+		{
+			name: "or short-circuit avoids right error",
+			query: `for $o in collection("strnum")
+				where $o.n eq 1 or $o.s eq "a"
+				return $o.n`,
+			wantMode: "Vector",
+		},
+		{
+			name: "string number compare errors",
+			query: `for $o in collection("strnum")
+				where $o.s eq "a"
+				return $o.n`,
+			wantMode: "Vector",
+			wantErr:  true,
+		},
+		{
+			name: "sum over non-numeric errors",
+			query: `for $o in collection("messy")
+				group by $g := true
+				return sum($o.v)`,
+			wantMode: "Vector",
+			wantErr:  true,
+		},
+		{
+			name: "arithmetic on object errors",
+			query: `for $o in collection("messy")
+				where $o.k eq 2
+				return $o.v + 1`,
+			wantMode: "Vector",
+			wantErr:  true,
+		},
+		{
+			name: "empty input",
+			query: `for $o in collection("empty")
+				group by $t := $o.x
+				return { "t": $t, "n": count($o) }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "external scalar variable",
+			query: `declare variable $threshold := 4;
+				for $o in collection("games")
+				where $o.score ge $threshold
+				return $o.score`,
+			wantMode: "Vector",
+		},
+		{
+			name: "external sequence variable falls back",
+			query: `declare variable $tags := ("a", "b");
+				for $o in collection("games")
+				where $o.score gt 8
+				return $tags`,
+			wantMode: "Vector",
+		},
+		{
+			name: "nested eligible pipeline per outer tuple",
+			query: `for $min in (2, 6)
+				return count(for $o in collection("games")
+					where $o.score ge $min
+					return $o)`,
+		},
+		// Ineligible shapes keep their non-vector mode but must still agree.
+		{
+			name: "order by stays non-vector",
+			query: `for $o in collection("games")
+				order by $o.score descending
+				return $o.score`,
+			wantMode: "DataFrame",
+		},
+		{
+			name: "positional variable stays non-vector",
+			query: `for $o at $i in collection("games")
+				return $i * $o.score`,
+			wantMode: "DataFrame",
+		},
+	}
+
+	plain := New(Config{Parallelism: 2, Executors: 2})
+	vectorized := New(Config{Parallelism: 2, Executors: 2, Vectorize: true})
+	vectorConformanceData(t, plain)
+	vectorConformanceData(t, vectorized)
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ps, perr := plain.Compile(tc.query)
+			vs, verr := vectorized.Compile(tc.query)
+			if perr != nil || verr != nil {
+				t.Fatalf("compile: plain=%v vectorized=%v", perr, verr)
+			}
+			if tc.wantMode != "" && vs.Mode() != tc.wantMode {
+				t.Fatalf("vectorized mode = %s, want %s", vs.Mode(), tc.wantMode)
+			}
+
+			// Streamed evaluation compares the two local backends directly:
+			// tuple pipeline vs columnar pipeline, order and all.
+			pItems, pErr := streamAll(ps)
+			vItems, vErr := streamAll(vs)
+			if tc.wantErr {
+				if pErr == nil || vErr == nil {
+					t.Fatalf("want error from both backends, got plain=%v vectorized=%v", pErr, vErr)
+				}
+				return
+			}
+			if pErr != nil || vErr != nil {
+				t.Fatalf("stream: plain=%v vectorized=%v", pErr, vErr)
+			}
+			if got, want := item.SerializeSequence(vItems), item.SerializeSequence(pItems); got != want {
+				t.Fatalf("streamed results differ\nvector:\n%s\ntuple:\n%s", got, want)
+			}
+
+			// Collected evaluation may route the plain engine through the
+			// DataFrame backend; compare as multisets.
+			pc, pErr := ps.Collect()
+			vc, vErr := vs.Collect()
+			if pErr != nil || vErr != nil {
+				t.Fatalf("collect: plain=%v vectorized=%v", pErr, vErr)
+			}
+			if got, want := sortedLines(vc), sortedLines(pc); got != want {
+				t.Fatalf("collected results differ\nvector:\n%s\nplain:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// streamAll materializes a statement through the streaming API, which
+// always runs the local backend (tuple or vector) of the root plan.
+func streamAll(st *Statement) ([]Item, error) {
+	var out []Item
+	err := st.Stream(func(it Item) error {
+		out = append(out, it)
+		return nil
+	})
+	return out, err
+}
+
+func sortedLines(items []Item) string {
+	lines := make([]string, len(items))
+	for i, it := range items {
+		lines[i] = string(it.AppendJSON(nil))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -11,9 +11,11 @@ import (
 // time.
 type Mode int
 
-// The three execution modes of the paper. Local is the zero value: every
-// expression degrades to local materialized execution unless the annotation
-// rules below prove cluster execution is available.
+// The execution modes. Local is the zero value: every expression degrades
+// to local materialized execution unless the annotation rules below prove a
+// better backend is available. The first three are the paper's modes;
+// Vector is the columnar local backend selected when Options.Vectorize is
+// on and the plan shape is eligible.
 const (
 	// ModeLocal executes by streaming materialized items on the driver.
 	ModeLocal Mode = iota
@@ -22,6 +24,11 @@ const (
 	// ModeDataFrame executes FLWOR tuple streams natively as DataFrames
 	// with one column per variable (§4.3).
 	ModeDataFrame
+	// ModeVector executes FLWOR pipelines locally over typed column
+	// batches (scan → filter → project → group/aggregate) instead of
+	// tuple-at-a-time interpretation. Selected statically when
+	// Options.Vectorize is on and the plan is vector-eligible.
+	ModeVector
 )
 
 // String renders the mode the way Explain prints it.
@@ -31,15 +38,18 @@ func (m Mode) String() string {
 		return "RDD"
 	case ModeDataFrame:
 		return "DataFrame"
+	case ModeVector:
+		return "Vector"
 	default:
 		return "Local"
 	}
 }
 
 // Parallel reports whether the mode executes on the cluster. A DataFrame
-// expression also exposes its output as an RDD of items, so both non-local
-// modes propagate parallelism to consuming expressions.
-func (m Mode) Parallel() bool { return m != ModeLocal }
+// expression also exposes its output as an RDD of items, so both cluster
+// modes propagate parallelism to consuming expressions. Vector is a local
+// mode: it executes on the driver, batch-at-a-time.
+func (m Mode) Parallel() bool { return m == ModeRDD || m == ModeDataFrame }
 
 // AggregateFunctions are the builtin aggregations whose evaluation pushes
 // down to a cluster action when their argument is cluster-resident (§5.5:
@@ -341,6 +351,18 @@ func (c *checker) annotateFLWOR(f *ast.FLWOR) Mode {
 		}
 	}
 	c.annotate(f.Return)
+	// The columnar local backend takes precedence over both Local and
+	// DataFrame execution when enabled and the pipeline shape is eligible:
+	// a hot scan→filter→project→group pipeline runs faster batch-at-a-time
+	// on the driver than tuple-at-a-time (Local) or through the exchange
+	// machinery (DataFrame). Join-shaped FLWORs are never vector-eligible
+	// (they need two for clauses), so join detection is unaffected.
+	if c.vectorize {
+		if vp := c.detectVector(f); vp != nil {
+			mode = ModeVector
+			c.info.VectorPlans[f] = vp
+		}
+	}
 	if mode == ModeDataFrame {
 		if plan := c.detectJoin(f); plan != nil {
 			c.info.Joins[f] = plan

@@ -4,6 +4,14 @@
 // with a legal arity, and computes the group-by usage analysis that powers
 // the paper's §4.7 optimizations (COUNT() pushdown for count-only
 // non-grouping variables, dropped columns for unused ones).
+//
+// After checking, the annotation phase (modes.go) assigns every expression
+// one of four execution modes — Local, RDD, DataFrame or Vector — the
+// single static decision the runtime backends hang off. It also detects
+// equi-joins (join.go), cluster-bound let clauses, aggregate pushdown
+// opportunities, and — when Options.Vectorize is on — FLWOR pipelines
+// eligible for the columnar local backend (vector.go). Explain (explain.go)
+// renders the annotated plan for `rumble --explain` and GET /explain.
 package compiler
 
 import (
@@ -84,6 +92,9 @@ type Info struct {
 	Joins map[*ast.FLWOR]*JoinPlan
 	// RDDLets marks leading let clauses whose variables bind to RDDs.
 	RDDLets map[*ast.LetClause]*RDDLetPlan
+	// VectorPlans marks FLWORs annotated ModeVector: pipelines the
+	// columnar local backend executes batch-at-a-time.
+	VectorPlans map[*ast.FLWOR]*VectorPlan
 }
 
 // ModeOf returns the annotated execution mode of e. Unannotated nodes (and
@@ -98,6 +109,10 @@ type Options struct {
 	// NoJoin disables equi-join detection, forcing nested-loop evaluation
 	// of nested for clauses — the escape hatch for comparison benchmarks.
 	NoJoin bool
+	// Vectorize enables the columnar local backend: eligible FLWOR
+	// pipelines (scan → filter → project → group/aggregate) are annotated
+	// ModeVector instead of Local or DataFrame.
+	Vectorize bool
 }
 
 // specialFunctions are implemented by the runtime rather than the local
@@ -134,6 +149,7 @@ type checker struct {
 	functions map[string][2]int // name -> [min,max] args (max -1 variadic)
 	cluster   bool
 	noJoin    bool
+	vectorize bool
 	modeEnv   *modeScope // variable→mode bindings of the annotation phase
 }
 
@@ -144,15 +160,17 @@ type checker struct {
 func Analyze(m *ast.Module, opts Options) (*Info, error) {
 	c := &checker{
 		info: &Info{
-			GroupPlans: map[*ast.GroupByClause]*GroupPlan{},
-			Modes:      map[ast.Expr]Mode{},
-			Pushdown:   map[*ast.FunctionCall]bool{},
-			Joins:      map[*ast.FLWOR]*JoinPlan{},
-			RDDLets:    map[*ast.LetClause]*RDDLetPlan{},
+			GroupPlans:  map[*ast.GroupByClause]*GroupPlan{},
+			Modes:       map[ast.Expr]Mode{},
+			Pushdown:    map[*ast.FunctionCall]bool{},
+			Joins:       map[*ast.FLWOR]*JoinPlan{},
+			RDDLets:     map[*ast.LetClause]*RDDLetPlan{},
+			VectorPlans: map[*ast.FLWOR]*VectorPlan{},
 		},
 		functions: map[string][2]int{},
 		cluster:   opts.Cluster,
 		noJoin:    opts.NoJoin,
+		vectorize: opts.Vectorize,
 	}
 	for _, fd := range m.Functions {
 		if _, dup := c.functions[fd.Name]; dup {

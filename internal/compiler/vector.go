@@ -1,0 +1,245 @@
+package compiler
+
+import (
+	"strings"
+
+	"rumble/internal/ast"
+	"rumble/internal/item"
+)
+
+// VectorPlan marks a FLWOR the annotation phase proved eligible for the
+// columnar local backend (ModeVector). Eligibility is a pure shape check;
+// the runtime compiles the same clauses into batch operators and falls back
+// to the tuple pipeline if anything unexpected surfaces at run time, so the
+// plan carries no state beyond what Explain wants to show.
+type VectorPlan struct {
+	// Grouped reports whether the pipeline ends in a group-by, i.e. the
+	// vector run aggregates instead of projecting row-by-row.
+	Grouped bool
+}
+
+// VectorAggregates are the aggregation builtins the vector backend folds
+// with columnar accumulators after a group-by.
+var VectorAggregates = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+// VectorScalarFunctions are the scalar builtins the vector backend
+// evaluates per row inside filters and projections. All are single-valued
+// over single-valued (or empty) arguments.
+var VectorScalarFunctions = map[string]bool{
+	"contains": true, "starts-with": true, "ends-with": true,
+	"upper-case": true, "lower-case": true, "string": true,
+	"string-length": true,
+}
+
+// detectVector decides whether f runs on the columnar local backend: an
+// unbroken pipeline of
+//
+//	[cluster-bound lets] for $x in <src> (let|where)* [group by] return <e>
+//
+// where every let value, where condition, group key and the return
+// expression are vector-compilable scalars (literals, variable references,
+// object-field lookups, arithmetic, value comparisons, and/or logic, object
+// and array constructors, and a whitelist of scalar builtins), and — after
+// a group-by — non-key variables are consumed only through aggregates.
+//
+// Cluster-bound lets stay hoisted exactly as in the tuple plan: the vector
+// scan begins after them, streaming the bound RDD through the driver. A
+// positional variable, "allowing empty", order-by, count clause, nested
+// for, or any non-vectorizable expression declines eligibility and the
+// FLWOR keeps its Local or DataFrame mode.
+func (c *checker) detectVector(f *ast.FLWOR) *VectorPlan {
+	clauses := f.Clauses
+	for len(clauses) > 0 {
+		lc, ok := clauses[0].(*ast.LetClause)
+		if !ok || c.info.RDDLets[lc] == nil {
+			break
+		}
+		clauses = clauses[1:]
+	}
+	if len(clauses) == 0 {
+		return nil
+	}
+	head, ok := clauses[0].(*ast.ForClause)
+	if !ok || head.AllowEmpty || head.PosVar != "" {
+		return nil
+	}
+	bound := map[string]bool{head.Var: true}
+	var group *ast.GroupByClause
+	rest := clauses[1:]
+	for i, cl := range rest {
+		switch n := cl.(type) {
+		case *ast.LetClause:
+			if !c.vectorizableExpr(n.Value) {
+				return nil
+			}
+			bound[n.Var] = true
+		case *ast.WhereClause:
+			if !c.vectorizableExpr(n.Cond) {
+				return nil
+			}
+		case *ast.GroupByClause:
+			if i != len(rest)-1 {
+				return nil // group-by must be the last clause
+			}
+			group = n
+		default:
+			return nil
+		}
+	}
+	if group == nil {
+		if !c.vectorizableExpr(f.Return) {
+			return nil
+		}
+		return &VectorPlan{}
+	}
+	// Group keys evaluate left to right, each binding its variable for the
+	// specs after it (mirroring the tuple path's progressive extension).
+	keys := map[string]bool{}
+	for _, spec := range group.Specs {
+		if spec.Expr != nil {
+			if !c.vectorizableExpr(spec.Expr) {
+				return nil
+			}
+		} else if !bound[spec.Var] {
+			return nil
+		}
+		keys[spec.Var] = true
+		bound[spec.Var] = true
+	}
+	if !c.vectorizableGroupReturn(f.Return, keys, bound) {
+		return nil
+	}
+	return &VectorPlan{Grouped: true}
+}
+
+// vectorizableExpr reports whether e compiles to a single-valued column
+// expression. Every variable reference is acceptable here: pipeline
+// bindings become columns, and free variables (globals, outer FLWOR
+// bindings) become per-evaluation constants — the runtime falls back to
+// the tuple pipeline if such a binding turns out to be a multi-item
+// sequence.
+func (c *checker) vectorizableExpr(e ast.Expr) bool {
+	return c.vectorizable(e, func(string) bool { return true }, nil)
+}
+
+// vectorizableGroupReturn checks the return expression of a grouped
+// pipeline: key variables and free variables behave as in
+// vectorizableExpr, while non-key pipeline variables may be consumed only
+// through aggregates the backend can fold — agg($v), agg($v.path...), or
+// the #count-of($v#count) call the count rewrite produced.
+func (c *checker) vectorizableGroupReturn(e ast.Expr, keys, bound map[string]bool) bool {
+	varOK := func(name string) bool {
+		// A bound non-key variable holds the per-group concatenation; the
+		// backend only materializes it through aggregates.
+		return keys[name] || !bound[name]
+	}
+	aggOK := func(n *ast.FunctionCall) (handled, ok bool) {
+		if base, found := CountOfVar(n); found {
+			return true, bound[base] && !keys[base]
+		}
+		if _, isUDF := c.functions[n.Name]; !isUDF && VectorAggregates[n.Name] && len(n.Args) == 1 {
+			base, found := aggArgRoot(n.Args[0])
+			return true, found && bound[base] && !keys[base]
+		}
+		return false, false
+	}
+	return c.vectorizable(e, varOK, aggOK)
+}
+
+// vectorizable is the shared walker behind both checks above: the scalar
+// expression grammar is identical, only the treatment of variable
+// references (varOK) and — after a group-by — aggregate calls (aggCall,
+// consulted before the scalar-builtin whitelist; nil outside groups)
+// differs between the pipeline body and a grouped return.
+func (c *checker) vectorizable(e ast.Expr, varOK func(string) bool, aggCall func(*ast.FunctionCall) (handled, ok bool)) bool {
+	rec := func(ch ast.Expr) bool { return c.vectorizable(ch, varOK, aggCall) }
+	switch n := e.(type) {
+	case *ast.Literal:
+		return true
+	case *ast.VarRef:
+		return varOK(n.Name)
+	case *ast.ObjectLookup:
+		lit, ok := n.Key.(*ast.Literal)
+		if !ok || lit.Value.Kind() != item.KindString {
+			return false
+		}
+		return rec(n.Input)
+	case *ast.Comparison:
+		return !n.General && rec(n.L) && rec(n.R)
+	case *ast.Arith:
+		return rec(n.L) && rec(n.R)
+	case *ast.Logic:
+		return rec(n.L) && rec(n.R)
+	case *ast.Unary:
+		return rec(n.Operand)
+	case *ast.ObjectConstructor:
+		for i := range n.Keys {
+			lit, ok := n.Keys[i].(*ast.Literal)
+			if !ok || lit.Value.Kind() != item.KindString {
+				return false
+			}
+			if !rec(n.Values[i]) {
+				return false
+			}
+		}
+		return true
+	case *ast.ArrayConstructor:
+		return n.Body == nil || rec(n.Body)
+	case *ast.FunctionCall:
+		if aggCall != nil {
+			if handled, ok := aggCall(n); handled {
+				return ok
+			}
+		}
+		if _, isUDF := c.functions[n.Name]; isUDF {
+			return false
+		}
+		if !VectorScalarFunctions[n.Name] {
+			return false
+		}
+		for _, a := range n.Args {
+			if !rec(a) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// CountOfVar recognizes the #count-of($v#count) call the group-by count
+// rewrite produces and returns the base variable name. The runtime's
+// vector compiler resolves the same shape to a count accumulator, so the
+// recognizer is shared rather than duplicated.
+func CountOfVar(n *ast.FunctionCall) (string, bool) {
+	if n.Name != "#count-of" || len(n.Args) != 1 {
+		return "", false
+	}
+	vr, ok := n.Args[0].(*ast.VarRef)
+	if !ok || !strings.HasSuffix(vr.Name, CountMarkerSuffix) {
+		return "", false
+	}
+	return strings.TrimSuffix(vr.Name, CountMarkerSuffix), true
+}
+
+// aggArgRoot accepts an aggregate argument of the form $v or a chain of
+// literal-key object lookups rooted at $v, returning the root variable.
+func aggArgRoot(e ast.Expr) (string, bool) {
+	for {
+		switch n := e.(type) {
+		case *ast.VarRef:
+			return n.Name, true
+		case *ast.ObjectLookup:
+			lit, ok := n.Key.(*ast.Literal)
+			if !ok || lit.Value.Kind() != item.KindString {
+				return "", false
+			}
+			e = n.Input
+		default:
+			return "", false
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package compiler
+
+import (
+	"testing"
+
+	"rumble/internal/parser"
+)
+
+// analyzeVector parses and analyzes q with vectorization on, returning the
+// mode of the module body.
+func analyzeVector(t *testing.T, q string, cluster bool) Mode {
+	t.Helper()
+	m, err := parser.Parse(q)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := Analyze(m, Options{Cluster: cluster, Vectorize: true})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return info.ModeOf(m.Body)
+}
+
+func TestVectorEligibility(t *testing.T) {
+	eligible := map[string]string{
+		"filter project": `for $o in json-file("d.jsonl")
+			where $o.score gt 3 return { "s": $o.score }`,
+		"group count": `for $o in json-file("d.jsonl")
+			group by $t := $o.target return { "t": $t, "n": count($o) }`,
+		"group mixed aggregates": `for $o in json-file("d.jsonl")
+			group by $t := $o.target
+			return { "t": $t, "n": count($o), "s": sum($o.score) }`,
+		"lets and logic": `for $o in json-file("d.jsonl")
+			let $b := $o.score * 2
+			where $b gt 3 and $o.lang eq "fr"
+			return $b`,
+		"scalar builtin": `for $o in json-file("d.jsonl")
+			where contains($o.body, "data") return $o.id`,
+		"free variable": `declare variable $min := 3;
+			for $o in json-file("d.jsonl") where $o.score ge $min return $o.score`,
+		"group by existing variable": `for $o in json-file("d.jsonl")
+			let $t := $o.target
+			group by $t
+			return { "t": $t, "n": count($o) }`,
+		"cluster-bound let head": `let $d := json-file("d.jsonl")
+			for $x in $d where $x.score ge 100 return $x.body`,
+	}
+	for name, q := range eligible {
+		t.Run("eligible/"+name, func(t *testing.T) {
+			if got := analyzeVector(t, q, true); got != ModeVector {
+				t.Fatalf("mode = %s, want Vector", got)
+			}
+		})
+	}
+
+	ineligible := map[string]string{
+		"order by": `for $o in json-file("d.jsonl")
+			order by $o.score return $o.score`,
+		"positional variable": `for $o at $i in json-file("d.jsonl") return $i`,
+		"allowing empty":      `for $o allowing empty in json-file("d.jsonl") return $o`,
+		"nested for": `for $o in json-file("a.jsonl")
+			for $c in json-file("b.jsonl")
+			where $o.k eq $c.k return $o`,
+		"count clause": `for $o in json-file("d.jsonl") count $c return $c`,
+		"general comparison": `for $o in json-file("d.jsonl")
+			where $o.tags = "x" return $o`,
+		"dynamic lookup key": `for $o in json-file("d.jsonl")
+			return $o.($o.key)`,
+		"non-whitelisted function": `for $o in json-file("d.jsonl")
+			where matches($o.body, "x.*y") return $o`,
+		"group var materialized outside aggregate": `for $o in json-file("d.jsonl")
+			group by $t := $o.target
+			return { "t": $t, "all": [ $o ] }`,
+		"clause after group": `for $o in json-file("d.jsonl")
+			group by $t := $o.target
+			order by $t
+			return $t`,
+		"udf call": `declare function hot($c) { $c.score ge 3 };
+			for $o in json-file("d.jsonl") where hot($o) return $o`,
+	}
+	for name, q := range ineligible {
+		t.Run("ineligible/"+name, func(t *testing.T) {
+			if got := analyzeVector(t, q, true); got == ModeVector {
+				t.Fatalf("mode = Vector, want non-vector")
+			}
+		})
+	}
+}
+
+// TestVectorWithoutCluster pins that vector eligibility does not depend on
+// a cluster: a purely local pipeline still upgrades from Local to Vector.
+func TestVectorWithoutCluster(t *testing.T) {
+	q := `for $o in json-file("d.jsonl") where $o.score gt 3 return $o.score`
+	if got := analyzeVector(t, q, false); got != ModeVector {
+		t.Fatalf("mode without cluster = %s, want Vector", got)
+	}
+	// And without the option, nothing changes.
+	m, err := parser.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Analyze(m, Options{Cluster: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := info.ModeOf(m.Body); got != ModeDataFrame {
+		t.Fatalf("mode with vectorize off = %s, want DataFrame", got)
+	}
+}
+
+// TestVectorParallel pins that ModeVector is a local mode: the runtime
+// must materialize it through Stream, never through an RDD.
+func TestVectorParallel(t *testing.T) {
+	if ModeVector.Parallel() {
+		t.Fatal("ModeVector.Parallel() = true, want false")
+	}
+	if ModeVector.String() != "Vector" {
+		t.Fatalf("ModeVector.String() = %q", ModeVector.String())
+	}
+}

@@ -243,8 +243,7 @@ func EncodeSortKey(seq []Item, emptyGreatest bool) (SortKey, error) {
 	case KindString:
 		return SortKey{Tag: TagString, Str: string(it.(Str))}, nil
 	case KindInteger:
-		v := int64(it.(Int))
-		return SortKey{Tag: TagNumber, Num: float64(v), Int: v}, nil
+		return IntKey(int64(it.(Int))), nil
 	case KindDecimal:
 		r := it.(Dec).Rat()
 		num := canonFloat(it.(Dec).Float64())
@@ -258,15 +257,29 @@ func EncodeSortKey(seq []Item, emptyGreatest bool) (SortKey, error) {
 		// encoding — a narrower corner than a wrong join match.
 		return SortKey{Tag: TagNumber, Num: num}, nil
 	case KindDouble:
-		f := float64(it.(Double))
-		if math.IsNaN(f) {
-			return SortKey{Tag: TagNumber, Str: NaNStr, Num: math.Inf(1)}, nil
-		}
-		f = canonFloat(f)
-		return SortKey{Tag: TagNumber, Num: f, Int: exactInt(f)}, nil
+		return NumberKey(float64(it.(Double))), nil
 	default:
 		return SortKey{}, fmt.Errorf("key binds a non-atomic %s item", it.Kind())
 	}
+}
+
+// NumberKey encodes a double value as a sort key, the shared number-column
+// encoding: NaN carries the NaNStr sentinel (greatest among numbers), -0.0
+// canonicalizes to +0.0, and integral values in range carry their exact
+// int64 in the Int column. EncodeSortKey and the vector backend's typed
+// columns both build their number keys through it.
+func NumberKey(f float64) SortKey {
+	if math.IsNaN(f) {
+		return SortKey{Tag: TagNumber, Str: NaNStr, Num: math.Inf(1)}
+	}
+	f = canonFloat(f)
+	return SortKey{Tag: TagNumber, Num: f, Int: exactInt(f)}
+}
+
+// IntKey encodes an int64 value as a sort key, matching EncodeSortKey's
+// integer-item encoding exactly.
+func IntKey(v int64) SortKey {
+	return SortKey{Tag: TagNumber, Num: float64(v), Int: v}
 }
 
 // canonFloat maps -0.0 to +0.0 so equal keys share one encoding.

@@ -70,7 +70,7 @@ func (p *Program) RunContextLimit(ctx context.Context, max int) ([]item.Item, er
 // The static phase assigns every expression its execution mode; the plan
 // nodes built here carry that annotation and never probe it dynamically.
 func Compile(m *ast.Module, env *Env) (*Program, error) {
-	info, err := compiler.Analyze(m, compiler.Options{Cluster: env.Spark != nil, NoJoin: env.NoJoin})
+	info, err := compiler.Analyze(m, compiler.Options{Cluster: env.Spark != nil, NoJoin: env.NoJoin, Vectorize: env.Vectorize})
 	if err != nil {
 		return nil, err
 	}
@@ -561,8 +561,19 @@ func (c *comp) compileFLWOR(f *ast.FLWOR) (Iterator, error) {
 		plan.steps = steps
 		out.df = plan
 	}
-	if len(rlets) > 0 {
-		return &rddLetIter{planNode: c.pn(f), lets: rlets, inner: out}, nil
+	var result Iterator = out
+	if c.info.VectorPlans[f] != nil {
+		// The compiler chose the columnar backend. The tuple pipeline just
+		// built stays attached as the fallback (multi-item free variables);
+		// if the vector compile itself declines — a shape the eligibility
+		// analysis admitted but the backend cannot build — the tuple
+		// pipeline runs alone, preserving results over raw speed.
+		if vit, err := c.compileVector(f, clauses, out); err == nil {
+			result = vit
+		}
 	}
-	return out, nil
+	if len(rlets) > 0 {
+		return &rddLetIter{planNode: c.pn(f), lets: rlets, inner: result}, nil
+	}
+	return result, nil
 }

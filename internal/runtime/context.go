@@ -1,14 +1,19 @@
 // Package runtime implements Rumble's runtime iterators: each compiled
 // JSONiq expression becomes an iterator that can evaluate (i) locally by
-// streaming items, (ii) on the cluster as an RDD of items, and — for FLWOR
-// clauses — (iii) as DataFrames of tuples, switching seamlessly between the
-// three exactly as §5 of the paper describes.
+// streaming items, (ii) on the cluster as an RDD of items, (iii) — for
+// FLWOR clauses — as DataFrames of tuples, and (iv) — for vector-eligible
+// FLWOR pipelines under Options.Vectorize — batch-at-a-time over the typed
+// column kernels of internal/vector. The backend choice is the compiler's
+// static mode annotation (compiler.Mode); plan nodes carry it and never
+// probe it at run time, exactly as §5 of the paper describes.
 //
 // Local evaluation is push-based: an iterator streams its items through a
 // yield callback. All evaluation state lives on the stack of the call, so a
 // compiled iterator tree is immutable and can be shared freely by
 // concurrent executor tasks — this replaces the closure-serialization
-// machinery Spark uses to ship Java iterators to executors.
+// machinery Spark uses to ship Java iterators to executors. Evaluation is
+// cancellable: a Go context threaded through the DynamicContext is polled
+// at loop checkpoints and inside cluster task loops.
 package runtime
 
 import (

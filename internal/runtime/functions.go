@@ -26,6 +26,10 @@ type Env struct {
 	// NoJoin disables the compiler's static equi-join detection, forcing
 	// nested-loop evaluation (for comparison benchmarks).
 	NoJoin bool
+	// Vectorize enables the columnar local backend: the compiler annotates
+	// eligible FLWOR pipelines ModeVector and they execute batch-at-a-time
+	// (internal/vector) instead of tuple-at-a-time.
+	Vectorize bool
 }
 
 // builtinCallIter dispatches a call to the local builtin library,

@@ -1,0 +1,807 @@
+package runtime
+
+import (
+	"context"
+
+	"rumble/internal/ast"
+	"rumble/internal/compiler"
+	"rumble/internal/functions"
+	"rumble/internal/item"
+	"rumble/internal/spark"
+	"rumble/internal/vector"
+)
+
+// This file bridges the columnar backend (internal/vector) into the
+// iterator plan: compileVector turns a FLWOR the compiler annotated
+// ModeVector into a vectorIter that scans its input into typed column
+// batches and pushes them through filter / project / group kernels,
+// instead of streaming tuple-at-a-time through the clause chain.
+//
+// The tuple pipeline is always compiled alongside and kept as a fallback:
+// a free variable that resolves to a multi-item sequence at run time (a
+// value no single-valued column can carry) re-routes that evaluation
+// through the tuple path, so results are identical either way.
+
+// vbatch is one batch of rows: the pipeline's variable columns by slot.
+// Unbound slots are nil until a let (or the scan) fills them.
+type vbatch struct {
+	n    int
+	cols []*vector.Col
+}
+
+// compact restricts every bound column to the kept rows.
+func (b *vbatch) compact(keep []bool, kept int) *vbatch {
+	nb := &vbatch{n: kept, cols: make([]*vector.Col, len(b.cols))}
+	for i, c := range b.cols {
+		if c != nil {
+			nb.cols[i] = c.Compact(keep, kept)
+		}
+	}
+	return nb
+}
+
+// vstate is per-evaluation state: free variables resolved once against the
+// dynamic context and broadcast as constant columns.
+type vstate struct {
+	ext []*vector.Col
+}
+
+// vexpr is a compiled vector scalar expression: one column per batch.
+type vexpr interface {
+	eval(vs *vstate, b *vbatch) (*vector.Col, error)
+}
+
+// vlitExpr broadcasts a literal; the constant column is immutable and
+// shared across evaluations.
+type vlitExpr struct{ col *vector.Col }
+
+func (v *vlitExpr) eval(*vstate, *vbatch) (*vector.Col, error) { return v.col, nil }
+
+// vcolExpr reads a batch slot.
+type vcolExpr struct{ slot int }
+
+func (v *vcolExpr) eval(_ *vstate, b *vbatch) (*vector.Col, error) { return b.cols[v.slot], nil }
+
+// vextExpr reads a resolved free-variable constant.
+type vextExpr struct{ idx int }
+
+func (v *vextExpr) eval(vs *vstate, _ *vbatch) (*vector.Col, error) { return vs.ext[v.idx], nil }
+
+// vlookupExpr is a literal-key object lookup.
+type vlookupExpr struct {
+	in  vexpr
+	key string
+}
+
+func (v *vlookupExpr) eval(vs *vstate, b *vbatch) (*vector.Col, error) {
+	in, err := v.in.eval(vs, b)
+	if err != nil {
+		return nil, err
+	}
+	return vector.Lookup(in, v.key, b.n), nil
+}
+
+// vcmpExpr is a value comparison.
+type vcmpExpr struct {
+	op   vector.CmpOp
+	l, r vexpr
+}
+
+func (v *vcmpExpr) eval(vs *vstate, b *vbatch) (*vector.Col, error) {
+	l, err := v.l.eval(vs, b)
+	if err != nil {
+		return nil, err
+	}
+	r, err := v.r.eval(vs, b)
+	if err != nil {
+		return nil, err
+	}
+	out, err := vector.Compare(l, r, b.n, v.op)
+	if err != nil {
+		return nil, Errorf("%v", err)
+	}
+	return out, nil
+}
+
+// varithExpr is binary arithmetic.
+type varithExpr struct {
+	op   item.ArithOp
+	l, r vexpr
+}
+
+func (v *varithExpr) eval(vs *vstate, b *vbatch) (*vector.Col, error) {
+	l, err := v.l.eval(vs, b)
+	if err != nil {
+		return nil, err
+	}
+	r, err := v.r.eval(vs, b)
+	if err != nil {
+		return nil, err
+	}
+	out, err := vector.Arith(l, r, b.n, v.op)
+	if err != nil {
+		return nil, Errorf("%v", err)
+	}
+	return out, nil
+}
+
+// vunaryExpr is unary plus/minus.
+type vunaryExpr struct {
+	minus bool
+	in    vexpr
+}
+
+func (v *vunaryExpr) eval(vs *vstate, b *vbatch) (*vector.Col, error) {
+	in, err := v.in.eval(vs, b)
+	if err != nil {
+		return nil, err
+	}
+	out, err := vector.Unary(in, b.n, v.minus)
+	if err != nil {
+		return nil, Errorf("%v", err)
+	}
+	return out, nil
+}
+
+// vlogicExpr is and/or over effective boolean values. The right operand
+// only runs on the rows the left operand leaves undecided — evaluated on a
+// compacted sub-batch — so its errors surface exactly where the tuple
+// backend's short-circuiting would evaluate it.
+type vlogicExpr struct {
+	isAnd bool
+	l, r  vexpr
+}
+
+func (v *vlogicExpr) eval(vs *vstate, b *vbatch) (*vector.Col, error) {
+	lc, err := v.l.eval(vs, b)
+	if err != nil {
+		return nil, err
+	}
+	lb := make([]bool, b.n)
+	keep := make([]bool, b.n)
+	kept := 0
+	for i := 0; i < b.n; i++ {
+		lb[i] = lc.EBV(i)
+		// and: a false left decides false; or: a true left decides true.
+		if lb[i] != v.isAnd {
+			continue
+		}
+		keep[i] = true
+		kept++
+	}
+	out := vector.NewCol(b.n)
+	if kept == 0 {
+		for i := 0; i < b.n; i++ {
+			out.AppendBool(lb[i])
+		}
+		return out, nil
+	}
+	rc, err := v.r.eval(vs, b.compact(keep, kept))
+	if err != nil {
+		return nil, err
+	}
+	j := 0
+	for i := 0; i < b.n; i++ {
+		if !keep[i] {
+			out.AppendBool(lb[i])
+			continue
+		}
+		out.AppendBool(rc.EBV(j))
+		j++
+	}
+	return out, nil
+}
+
+// vobjExpr is an object constructor with literal keys.
+type vobjExpr struct {
+	keys []string
+	vals []vexpr
+}
+
+func (v *vobjExpr) eval(vs *vstate, b *vbatch) (*vector.Col, error) {
+	cols := make([]*vector.Col, len(v.vals))
+	for i, e := range v.vals {
+		c, err := e.eval(vs, b)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	return vector.MakeObjects(v.keys, cols, b.n), nil
+}
+
+// varrExpr is a square-bracket array constructor (nil body = empty array).
+type varrExpr struct{ body vexpr }
+
+func (v *varrExpr) eval(vs *vstate, b *vbatch) (*vector.Col, error) {
+	if v.body == nil {
+		return vector.MakeArrays(nil, b.n), nil
+	}
+	c, err := v.body.eval(vs, b)
+	if err != nil {
+		return nil, err
+	}
+	return vector.MakeArrays(c, b.n), nil
+}
+
+// vcallExpr is a whitelisted scalar builtin.
+type vcallExpr struct {
+	fn   functions.Func
+	args []vexpr
+}
+
+func (v *vcallExpr) eval(vs *vstate, b *vbatch) (*vector.Col, error) {
+	cols := make([]*vector.Col, len(v.args))
+	for i, e := range v.args {
+		c, err := e.eval(vs, b)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+	}
+	out, err := vector.Call(v.fn, cols, b.n)
+	if err != nil {
+		return nil, Errorf("%v", err)
+	}
+	return out, nil
+}
+
+// vop is one pipeline step after the scan: a let binding its column slot,
+// or a filter (slot < 0) compacting the batch by its condition column.
+type vop struct {
+	slot int
+	expr vexpr
+}
+
+// vgroupExec is the grouped tail of a vector pipeline.
+type vgroupExec struct {
+	keyExprs []vexpr
+	keySlots []int // main-batch slots the key variables rebind to
+	kinds    []vector.AggKind
+	aggArgs  []vexpr // evaluated on the main batch, aligned with kinds
+	gslots   int     // group-batch width: len(keyExprs) + len(kinds)
+	project  vexpr   // return projection over the group batch
+}
+
+// vectorIter is a FLWOR compiled to the columnar backend. Stream packs the
+// scan input into batches and pushes them through the ops; RDD is never
+// available (ModeVector is a local mode).
+type vectorIter struct {
+	planNode
+	fallback  Iterator // tuple pipeline, for multi-item free variables
+	in        Iterator
+	nslots    int
+	externals []string
+	ops       []vop
+	group     *vgroupExec
+	project   vexpr // non-group row projection
+}
+
+func (v *vectorIter) RDD(*DynamicContext) (*spark.RDD[item.Item], error) {
+	return nil, Errorf("vector plans execute locally")
+}
+
+func (v *vectorIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
+	vs := &vstate{ext: make([]*vector.Col, len(v.externals))}
+	for i, name := range v.externals {
+		seq, rdd, ok := dc.Resolve(name)
+		if !ok {
+			return Errorf("variable $%s is not bound", name)
+		}
+		if rdd != nil {
+			// A cluster-resident binding would materialize through the
+			// driver-side scan, as the tuple path's reference does — but a
+			// column only carries it when it is empty or a singleton, so
+			// stop after two items: that already decides the fallback.
+			var items []item.Item
+			err := rdd.Scan(func(it item.Item) error {
+				items = append(items, it)
+				if len(items) > 1 {
+					return errLimitReached
+				}
+				return nil
+			})
+			if err != nil && err != errLimitReached {
+				return err
+			}
+			seq = items
+		}
+		if len(seq) > 1 {
+			// Columns are single-valued; a sequence-valued free variable
+			// re-routes this evaluation through the tuple pipeline.
+			return v.fallback.Stream(dc, yield)
+		}
+		if len(seq) == 1 {
+			vs.ext[i] = vector.ConstCol(seq[0])
+		} else {
+			vs.ext[i] = vector.ConstCol(nil)
+		}
+	}
+
+	ctx := dc.GoContext()
+	var groups *vector.Groups
+	if v.group != nil {
+		groups = vector.NewGroups(len(v.group.keyExprs), v.group.kinds)
+	}
+	scan := vector.NewCol(vector.BatchSize)
+
+	flush := func() error {
+		n := scan.Len()
+		if n == 0 {
+			return nil
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		b := &vbatch{n: n, cols: make([]*vector.Col, v.nslots)}
+		b.cols[0] = scan
+		for _, op := range v.ops {
+			col, err := op.expr.eval(vs, b)
+			if err != nil {
+				return err
+			}
+			if op.slot >= 0 {
+				b.cols[op.slot] = col
+				continue
+			}
+			keep := make([]bool, b.n)
+			kept := 0
+			for i := 0; i < b.n; i++ {
+				if col.EBV(i) {
+					keep[i] = true
+					kept++
+				}
+			}
+			if kept < b.n {
+				b = b.compact(keep, kept)
+			}
+			if b.n == 0 {
+				break
+			}
+		}
+		if b.n > 0 {
+			if v.group != nil {
+				if err := v.updateGroups(vs, b, groups); err != nil {
+					return err
+				}
+			} else {
+				col, err := v.project.eval(vs, b)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < b.n; i++ {
+					if it := col.Item(i); it != nil {
+						if err := yield(it); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+		scan.Reset()
+		return nil
+	}
+
+	if err := v.in.Stream(dc, func(it item.Item) error {
+		scan.AppendItem(it)
+		if scan.Len() >= vector.BatchSize {
+			return flush()
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if v.group != nil {
+		return v.emitGroups(vs, groups, ctx, yield)
+	}
+	return nil
+}
+
+// updateGroups binds the grouping keys (left to right, each visible to the
+// specs after it), evaluates the aggregate arguments, and folds the batch
+// into the hash table.
+func (v *vectorIter) updateGroups(vs *vstate, b *vbatch, groups *vector.Groups) error {
+	g := v.group
+	keyCols := make([]*vector.Col, len(g.keyExprs))
+	for i, ke := range g.keyExprs {
+		col, err := ke.eval(vs, b)
+		if err != nil {
+			return err
+		}
+		keyCols[i] = col
+		b.cols[g.keySlots[i]] = col
+	}
+	aggCols := make([]*vector.Col, len(g.aggArgs))
+	for i, ae := range g.aggArgs {
+		col, err := ae.eval(vs, b)
+		if err != nil {
+			return err
+		}
+		aggCols[i] = col
+	}
+	if err := groups.Update(keyCols, aggCols, b.n); err != nil {
+		return Errorf("%v", err)
+	}
+	return nil
+}
+
+// emitGroups builds group batches (keys plus finalized aggregates) in
+// first-seen order and projects the return expression over them.
+func (v *vectorIter) emitGroups(vs *vstate, groups *vector.Groups, ctx context.Context, yield func(item.Item) error) error {
+	g := v.group
+	nk := len(g.keyExprs)
+	for start := 0; start < groups.Len(); start += vector.BatchSize {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		end := start + vector.BatchSize
+		if end > groups.Len() {
+			end = groups.Len()
+		}
+		gb := &vbatch{n: end - start, cols: make([]*vector.Col, g.gslots)}
+		for ki := 0; ki < nk; ki++ {
+			col := vector.NewCol(gb.n)
+			for gi := start; gi < end; gi++ {
+				col.AppendItem(groups.Key(gi, ki))
+			}
+			gb.cols[ki] = col
+		}
+		for j := range g.kinds {
+			col := vector.NewCol(gb.n)
+			for gi := start; gi < end; gi++ {
+				res, err := groups.Agg(gi, j)
+				if err != nil {
+					return Errorf("%v", err)
+				}
+				col.AppendItem(res)
+			}
+			gb.cols[nk+j] = col
+		}
+		pc, err := g.project.eval(vs, gb)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < gb.n; i++ {
+			if it := pc.Item(i); it != nil {
+				if err := yield(it); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// vectorAggKinds maps aggregate builtin names to their fold kinds.
+var vectorAggKinds = map[string]vector.AggKind{
+	"count": vector.AggCount,
+	"sum":   vector.AggSum,
+	"avg":   vector.AggAvg,
+	"min":   vector.AggMin,
+	"max":   vector.AggMax,
+}
+
+// vcomp compiles vector expressions against a slot environment. The main
+// environment covers the scan variable and let bindings; a grouped
+// pipeline compiles its return against a second environment of key-
+// variable and aggregate-result slots.
+type vcomp struct {
+	c      *comp
+	slots  map[string]int
+	nslots int
+	extIdx map[string]int
+	ext    []string
+}
+
+func (vc *vcomp) bind(name string) int {
+	slot := vc.nslots
+	vc.nslots++
+	vc.slots[name] = slot
+	return slot
+}
+
+func (vc *vcomp) external(name string) *vextExpr {
+	if idx, ok := vc.extIdx[name]; ok {
+		return &vextExpr{idx: idx}
+	}
+	idx := len(vc.ext)
+	vc.ext = append(vc.ext, name)
+	vc.extIdx[name] = idx
+	return &vextExpr{idx: idx}
+}
+
+// compileVector builds the columnar plan for a FLWOR the compiler
+// annotated ModeVector. clauses is the clause list after cluster-bound
+// lets were peeled; fallback is the tuple pipeline compiled for the same
+// clauses. Any unexpected shape returns an error and the caller keeps the
+// tuple pipeline.
+func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterator) (Iterator, error) {
+	if len(clauses) == 0 {
+		return nil, Errorf("vector: empty clause list")
+	}
+	head, ok := clauses[0].(*ast.ForClause)
+	if !ok {
+		return nil, Errorf("vector: pipeline must start with a for clause")
+	}
+	in, err := c.compile(head.In)
+	if err != nil {
+		return nil, err
+	}
+	vc := &vcomp{c: c, slots: map[string]int{}, extIdx: map[string]int{}}
+	vc.bind(head.Var) // slot 0: the scan column
+	it := &vectorIter{planNode: c.pn(f), fallback: fallback, in: in}
+
+	var group *ast.GroupByClause
+	for _, cl := range clauses[1:] {
+		switch n := cl.(type) {
+		case *ast.LetClause:
+			e, err := vc.compileExpr(n.Value)
+			if err != nil {
+				return nil, err
+			}
+			it.ops = append(it.ops, vop{slot: vc.bind(n.Var), expr: e})
+		case *ast.WhereClause:
+			e, err := vc.compileExpr(n.Cond)
+			if err != nil {
+				return nil, err
+			}
+			it.ops = append(it.ops, vop{slot: -1, expr: e})
+		case *ast.GroupByClause:
+			group = n
+		default:
+			return nil, Errorf("vector: unsupported clause %T", cl)
+		}
+	}
+	if group == nil {
+		proj, err := vc.compileExpr(f.Return)
+		if err != nil {
+			return nil, err
+		}
+		it.project = proj
+		it.nslots = vc.nslots
+		it.externals = vc.ext
+		return it, nil
+	}
+	ge := &vgroupExec{}
+	for _, spec := range group.Specs {
+		var ke vexpr
+		if spec.Expr != nil {
+			e, err := vc.compileExpr(spec.Expr)
+			if err != nil {
+				return nil, err
+			}
+			ke = e
+		} else {
+			slot, ok := vc.slots[spec.Var]
+			if !ok {
+				return nil, Errorf("vector: group key $%s is not a pipeline column", spec.Var)
+			}
+			ke = &vcolExpr{slot: slot}
+		}
+		ge.keyExprs = append(ge.keyExprs, ke)
+		ge.keySlots = append(ge.keySlots, vc.bind(spec.Var))
+	}
+	gc := &vgroupComp{main: vc, ge: ge, keys: map[string]int{}}
+	for i, spec := range group.Specs {
+		gc.keys[spec.Var] = i
+	}
+	proj, err := gc.compileExpr(f.Return)
+	if err != nil {
+		return nil, err
+	}
+	ge.project = proj
+	ge.gslots = len(ge.keyExprs) + len(ge.kinds)
+	it.group = ge
+	it.nslots = vc.nslots
+	it.externals = vc.ext
+	return it, nil
+}
+
+// vexprEnv resolves the two environment-dependent leaves of the shared
+// scalar grammar: variable references and special function calls. The
+// main environment (vcomp) and the grouped-return environment (vgroupComp)
+// differ only here; everything else compiles through compileVExpr.
+type vexprEnv interface {
+	compileVarRef(n *ast.VarRef) (vexpr, error)
+	// compileSpecialCall intercepts calls before the scalar-builtin
+	// whitelist; handled=false defers to the shared path.
+	compileSpecialCall(n *ast.FunctionCall) (ve vexpr, handled bool, err error)
+}
+
+// compileVExpr compiles the shared scalar expression grammar against env.
+func compileVExpr(env vexprEnv, e ast.Expr) (vexpr, error) {
+	switch n := e.(type) {
+	case *ast.Literal:
+		return &vlitExpr{col: vector.ConstCol(n.Value)}, nil
+	case *ast.VarRef:
+		return env.compileVarRef(n)
+	case *ast.ObjectLookup:
+		key, ok := literalStringKey(n.Key)
+		if !ok {
+			return nil, Errorf("vector: dynamic object lookup key")
+		}
+		in, err := compileVExpr(env, n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &vlookupExpr{in: in, key: key}, nil
+	case *ast.Comparison:
+		op, ok := vector.ParseCmpOp(string(n.Op))
+		if !ok || n.General {
+			return nil, Errorf("vector: unsupported comparison %s", n.Op)
+		}
+		l, err := compileVExpr(env, n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileVExpr(env, n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &vcmpExpr{op: op, l: l, r: r}, nil
+	case *ast.Arith:
+		l, err := compileVExpr(env, n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileVExpr(env, n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &varithExpr{op: n.Op, l: l, r: r}, nil
+	case *ast.Logic:
+		l, err := compileVExpr(env, n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileVExpr(env, n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &vlogicExpr{isAnd: n.IsAnd, l: l, r: r}, nil
+	case *ast.Unary:
+		in, err := compileVExpr(env, n.Operand)
+		if err != nil {
+			return nil, err
+		}
+		return &vunaryExpr{minus: n.Minus, in: in}, nil
+	case *ast.ObjectConstructor:
+		oe := &vobjExpr{}
+		for i := range n.Keys {
+			key, ok := literalStringKey(n.Keys[i])
+			if !ok {
+				return nil, Errorf("vector: dynamic object constructor key")
+			}
+			v, err := compileVExpr(env, n.Values[i])
+			if err != nil {
+				return nil, err
+			}
+			oe.keys = append(oe.keys, key)
+			oe.vals = append(oe.vals, v)
+		}
+		return oe, nil
+	case *ast.ArrayConstructor:
+		if n.Body == nil {
+			return &varrExpr{}, nil
+		}
+		body, err := compileVExpr(env, n.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &varrExpr{body: body}, nil
+	case *ast.FunctionCall:
+		if ve, handled, err := env.compileSpecialCall(n); handled || err != nil {
+			return ve, err
+		}
+		if !compiler.VectorScalarFunctions[n.Name] {
+			return nil, Errorf("vector: unsupported function %s", n.Name)
+		}
+		fn, ok := functions.Lookup(n.Name)
+		if !ok {
+			return nil, Errorf("vector: unknown function %s", n.Name)
+		}
+		ce := &vcallExpr{fn: fn}
+		for _, a := range n.Args {
+			ae, err := compileVExpr(env, a)
+			if err != nil {
+				return nil, err
+			}
+			ce.args = append(ce.args, ae)
+		}
+		return ce, nil
+	default:
+		return nil, Errorf("vector: unsupported expression %T", e)
+	}
+}
+
+// compileExpr compiles a scalar expression against the main environment.
+func (vc *vcomp) compileExpr(e ast.Expr) (vexpr, error) { return compileVExpr(vc, e) }
+
+// compileVarRef implements vexprEnv: pipeline bindings are columns, free
+// variables per-evaluation constants.
+func (vc *vcomp) compileVarRef(n *ast.VarRef) (vexpr, error) {
+	if slot, ok := vc.slots[n.Name]; ok {
+		return &vcolExpr{slot: slot}, nil
+	}
+	return vc.external(n.Name), nil
+}
+
+// compileSpecialCall implements vexprEnv: the pipeline body has no
+// special calls.
+func (vc *vcomp) compileSpecialCall(*ast.FunctionCall) (vexpr, bool, error) {
+	return nil, false, nil
+}
+
+// vgroupComp compiles the return expression of a grouped pipeline against
+// the group-batch environment: key variables map to the leading group
+// slots, aggregate calls allocate accumulator slots (their arguments
+// compile against the main environment), and free variables stay external.
+type vgroupComp struct {
+	main *vcomp
+	ge   *vgroupExec
+	keys map[string]int // key var → group slot
+}
+
+func (gc *vgroupComp) compileExpr(e ast.Expr) (vexpr, error) { return compileVExpr(gc, e) }
+
+// compileVarRef implements vexprEnv for the grouped return: only key
+// variables and free variables are readable; non-key pipeline variables
+// reach their values exclusively through aggregates.
+func (gc *vgroupComp) compileVarRef(n *ast.VarRef) (vexpr, error) {
+	if slot, ok := gc.keys[n.Name]; ok {
+		return &vcolExpr{slot: slot}, nil
+	}
+	if _, bound := gc.main.slots[n.Name]; bound {
+		return nil, Errorf("vector: non-key variable $%s outside an aggregate", n.Name)
+	}
+	return gc.main.external(n.Name), nil
+}
+
+// compileSpecialCall implements vexprEnv for the grouped return:
+// #count-of and the aggregate builtins become accumulator slots.
+func (gc *vgroupComp) compileSpecialCall(n *ast.FunctionCall) (vexpr, bool, error) {
+	if base, ok := compiler.CountOfVar(n); ok {
+		slot, bound := gc.main.slots[base]
+		if !bound {
+			return nil, true, Errorf("vector: #count-of over unbound $%s", base)
+		}
+		return gc.aggSlot(vector.AggCount, &vcolExpr{slot: slot}), true, nil
+	}
+	if kind, isAgg := vectorAggKinds[n.Name]; isAgg && len(n.Args) == 1 {
+		arg, err := gc.main.compileExpr(n.Args[0])
+		if err != nil {
+			return nil, true, err
+		}
+		return gc.aggSlot(kind, arg), true, nil
+	}
+	return nil, false, nil
+}
+
+// aggSlot allocates one accumulator and returns the group-batch column
+// reading its finalized value.
+func (gc *vgroupComp) aggSlot(kind vector.AggKind, arg vexpr) vexpr {
+	idx := len(gc.ge.kinds)
+	gc.ge.kinds = append(gc.ge.kinds, kind)
+	gc.ge.aggArgs = append(gc.ge.aggArgs, arg)
+	return &vcolExpr{slot: len(gc.keys) + idx}
+}
+
+// literalStringKey extracts a compile-time string key.
+func literalStringKey(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.Literal)
+	if !ok {
+		return "", false
+	}
+	s, ok := lit.Value.(item.Str)
+	if !ok {
+		return "", false
+	}
+	return string(s), true
+}

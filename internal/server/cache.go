@@ -2,15 +2,20 @@ package server
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 
 	"rumble"
 )
 
-// planCache is a thread-safe LRU of compiled statements keyed by exact
-// query text. A hot query served twice skips parse, static analysis and
-// join detection entirely — the compiled Statement is immutable and safe
-// to execute concurrently, so one plan serves any number of clients.
+// planCache is a thread-safe LRU of compiled statements keyed by the
+// normalized query text: comments are stripped and whitespace runs outside
+// string literals collapse to a single space, so a hot query that arrives
+// trivially reformatted (re-indented, commented, minified) still hits the
+// plan compiled for its first spelling. A hot query served twice skips
+// parse, static analysis and join detection entirely — the compiled
+// Statement is immutable and safe to execute concurrently, so one plan
+// serves any number of clients.
 //
 // Each entry compiles at most once (sync.Once): N concurrent clients
 // issuing the same cold query share a single compilation instead of
@@ -42,13 +47,14 @@ func newPlanCache(capacity int) *planCache {
 // errors are cached too: static errors are deterministic, so retrying the
 // same text would only burn CPU.
 func (c *planCache) get(eng *rumble.Engine, query string) (st *rumble.Statement, hit bool, err error) {
+	key := normalizeQuery(query)
 	c.mu.Lock()
-	el, ok := c.entries[query]
+	el, ok := c.entries[key]
 	if ok {
 		c.order.MoveToFront(el)
 	} else {
-		el = c.order.PushFront(&planEntry{key: query})
-		c.entries[query] = el
+		el = c.order.PushFront(&planEntry{key: key})
+		c.entries[key] = el
 		if c.order.Len() > c.cap {
 			lru := c.order.Back()
 			c.order.Remove(lru)
@@ -66,4 +72,71 @@ func (c *planCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// normalizeQuery canonicalizes query text for cache keying: JSONiq
+// comments "(: ... :)" (which nest) are replaced by a single space and
+// runs of whitespace collapse to one space — but only outside string
+// literals, whose contents (including escapes) are preserved verbatim.
+// Normalization only ever inserts or shrinks separators between tokens,
+// never removes one entirely, so two queries share a key only when they
+// tokenize identically.
+func normalizeQuery(q string) string {
+	var b strings.Builder
+	b.Grow(len(q))
+	pendingSpace := false
+	sep := func() {
+		if pendingSpace && b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		pendingSpace = false
+	}
+	for i := 0; i < len(q); {
+		c := q[i]
+		switch {
+		case c == '"':
+			// Copy the string literal verbatim, honoring escapes. An
+			// unterminated literal copies through to the end; the parser
+			// will reject it identically for every spelling.
+			start := i
+			i++
+			for i < len(q) {
+				if q[i] == '\\' && i+1 < len(q) {
+					i += 2
+					continue
+				}
+				if q[i] == '"' {
+					i++
+					break
+				}
+				i++
+			}
+			sep()
+			b.WriteString(q[start:i])
+		case c == '(' && i+1 < len(q) && q[i+1] == ':':
+			depth := 1
+			i += 2
+			for i < len(q) && depth > 0 {
+				switch {
+				case q[i] == '(' && i+1 < len(q) && q[i+1] == ':':
+					depth++
+					i += 2
+				case q[i] == ':' && i+1 < len(q) && q[i+1] == ')':
+					depth--
+					i += 2
+				default:
+					i++
+				}
+			}
+			pendingSpace = true // a comment separates tokens like whitespace
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			pendingSpace = true
+			i++
+		default:
+			sep()
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return b.String()
 }

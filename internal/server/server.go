@@ -2,8 +2,10 @@
 // query service — the mode in which the paper's Rumble backs Jupyter
 // notebooks. It adds three things on top of the library API:
 //
-//   - a compiled-plan LRU cache keyed by query text, so hot queries skip
-//     parse / static analysis / join detection entirely;
+//   - a compiled-plan LRU cache keyed by normalized query text (comments
+//     stripped, whitespace collapsed outside string literals), so hot
+//     queries — even trivially reformatted ones — skip parse / static
+//     analysis / join detection / vector compilation entirely;
 //   - admission control: a semaphore sized against the engine's executor
 //     slots plus a bounded wait queue, so N concurrent clients degrade
 //     gracefully (429) instead of oversubscribing the executor pool;
@@ -11,7 +13,11 @@
 //     via context.Context — a client that disconnects or times out frees
 //     its executor slots promptly.
 //
-// Endpoints: POST /query, GET /explain, GET /metrics, GET /healthz.
+// Endpoints: POST /query, GET /explain, GET /metrics, GET /healthz. Every
+// query response reports the execution mode the compiler chose (envelope
+// "mode" field and X-Rumble-Mode header: Local, RDD, DataFrame or
+// Vector), and /metrics counts evaluations per mode. See docs/server.md
+// for the full API reference.
 package server
 
 import (
@@ -94,6 +100,13 @@ type Metrics struct {
 	// CacheHits / CacheMisses count compiled-plan cache outcomes.
 	CacheHits   int64 `json:"plan_cache_hits"`
 	CacheMisses int64 `json:"plan_cache_misses"`
+	// ModeLocal..ModeVector count evaluations by the execution mode the
+	// compiler statically assigned to the query's root (the same value the
+	// envelope's "mode" field and X-Rumble-Mode header report).
+	ModeLocal     int64 `json:"queries_mode_local"`
+	ModeRDD       int64 `json:"queries_mode_rdd"`
+	ModeDataFrame int64 `json:"queries_mode_dataframe"`
+	ModeVector    int64 `json:"queries_mode_vector"`
 	// CachedPlans is the current number of cached statements.
 	CachedPlans int `json:"plan_cache_size"`
 	// Active is the number of evaluations running right now; Queued the
@@ -120,6 +133,25 @@ type Server struct {
 	cancelled atomic.Int64
 	hits      atomic.Int64
 	misses    atomic.Int64
+
+	modeLocal  atomic.Int64
+	modeRDD    atomic.Int64
+	modeDF     atomic.Int64
+	modeVector atomic.Int64
+}
+
+// countMode bumps the per-execution-mode query counter.
+func (s *Server) countMode(mode string) {
+	switch mode {
+	case "RDD":
+		s.modeRDD.Add(1)
+	case "DataFrame":
+		s.modeDF.Add(1)
+	case "Vector":
+		s.modeVector.Add(1)
+	default:
+		s.modeLocal.Add(1)
+	}
 }
 
 // New builds a server around eng. The engine must already have its
@@ -147,16 +179,20 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Metrics() Metrics {
 	active := s.active.Load()
 	return Metrics{
-		Queries:     s.queries.Load(),
-		Errors:      s.errors.Load(),
-		Rejected:    s.rejected.Load(),
-		Timeouts:    s.timeouts.Load(),
-		Cancelled:   s.cancelled.Load(),
-		CacheHits:   s.hits.Load(),
-		CacheMisses: s.misses.Load(),
-		CachedPlans: s.cache.len(),
-		Active:      active,
-		Queued:      s.inFlight.Load() - active,
+		Queries:       s.queries.Load(),
+		Errors:        s.errors.Load(),
+		Rejected:      s.rejected.Load(),
+		Timeouts:      s.timeouts.Load(),
+		Cancelled:     s.cancelled.Load(),
+		CacheHits:     s.hits.Load(),
+		CacheMisses:   s.misses.Load(),
+		ModeLocal:     s.modeLocal.Load(),
+		ModeRDD:       s.modeRDD.Load(),
+		ModeDataFrame: s.modeDF.Load(),
+		ModeVector:    s.modeVector.Load(),
+		CachedPlans:   s.cache.len(),
+		Active:        active,
+		Queued:        s.inFlight.Load() - active,
 	}
 }
 
@@ -235,6 +271,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
+	s.countMode(st.Mode())
 	start := time.Now()
 	// The request is bounded inside the evaluation itself: fetch one item
 	// past the client's limit (to detect truncation) or past the server's

@@ -414,3 +414,91 @@ func TestServerClientCancelMidFlight(t *testing.T) {
 		t.Error("server did not recover after client cancel")
 	}
 }
+
+// TestServerPlanCacheNormalization pins the cache-key normalization: a hot
+// query that arrives reformatted — re-indented, minified or annotated with
+// comments — hits the plan compiled for its first spelling, while queries
+// that differ inside string literals stay distinct.
+func TestServerPlanCacheNormalization(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	variants := []string{
+		"for $x in parallelize(1 to 3)\n\treturn $x * $x",
+		"for $x in parallelize(1 to 3) return $x * $x",
+		"  for   $x   in parallelize(1 to 3)\r\n return $x * $x  ",
+		"for $x in (: hot path (: nested :) :) parallelize(1 to 3) return $x * $x",
+	}
+	for i, q := range variants {
+		code, body := post(t, ts, queryRequest{Query: q})
+		if code != http.StatusOK {
+			t.Fatalf("variant %d: status %d: %s", i, code, body)
+		}
+		if resp := decodeEnvelope(t, body); resp.Cached != (i > 0) {
+			t.Errorf("variant %d: cached = %v, want %v", i, resp.Cached, i > 0)
+		}
+	}
+	m := srv.Metrics()
+	if m.CacheMisses != 1 || m.CacheHits != int64(len(variants)-1) || m.CachedPlans != 1 {
+		t.Errorf("cache metrics after reformatted variants = %+v", m)
+	}
+	// Whitespace inside a string literal is semantic: no false sharing.
+	code, body := post(t, ts, queryRequest{Query: `concat("a b", "c")`})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	code, body = post(t, ts, queryRequest{Query: `concat("a  b", "c")`})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if resp := decodeEnvelope(t, body); resp.Cached {
+		t.Error("queries differing inside a string literal shared a plan")
+	}
+	if got := srv.Metrics().CachedPlans; got != 3 {
+		t.Errorf("cached plans = %d, want 3", got)
+	}
+}
+
+// TestServerVectorMode pins that a vectorizing engine reports Mode=Vector
+// through the envelope, the X-Rumble-Mode header and the per-mode metrics.
+func TestServerVectorMode(t *testing.T) {
+	eng := rumble.New(rumble.Config{Parallelism: 2, Executors: 2, Vectorize: true})
+	if err := eng.RegisterJSON("games", []string{
+		`{"t":"fr","ok":true}`, `{"t":"fr","ok":false}`, `{"t":"en","ok":true}`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	q := `for $o in collection("games") group by $t := $o.t return { "t": $t, "n": count($o) }`
+	body, _ := json.Marshal(queryRequest{Query: q})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("X-Rumble-Mode"); got != "Vector" {
+		t.Errorf("X-Rumble-Mode = %q, want Vector", got)
+	}
+	if env := decodeEnvelope(t, out); env.Mode != "Vector" || env.Count != 2 {
+		t.Errorf("envelope = %+v", env)
+	}
+	m := srv.Metrics()
+	if m.ModeVector != 1 || m.ModeDataFrame != 0 {
+		t.Errorf("mode metrics = %+v", m)
+	}
+	// The counters serve through /metrics next to the engine's.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mbody, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(mbody), `"queries_mode_vector":1`) {
+		t.Errorf("/metrics lacks vector mode counter: %s", mbody)
+	}
+}

@@ -1,0 +1,216 @@
+package vector
+
+import (
+	"fmt"
+
+	"rumble/internal/item"
+)
+
+// AggKind names an aggregate the grouped pipeline folds columnar-ly.
+type AggKind int
+
+// The aggregates the backend folds without materializing groups.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// aggState is one running accumulator: n counts present values; sums run
+// in a fast int64 lane while every value is an integer and the running sum
+// fits, then spill into cur via item.Arithmetic (preserving the tuple
+// backend's left-to-right fold, including its overflow promotion).
+type aggState struct {
+	n       int64
+	intSum  int64
+	fastInt bool
+	cur     item.Item
+}
+
+// groupState is one group: the first-seen key values (nil = absent) and
+// the per-aggregate accumulators.
+type groupState struct {
+	keys []item.Item
+	aggs []aggState
+}
+
+// Groups is the grouped-aggregation hash table: rows bucket by the
+// canonical sort-key encoding of their key columns (item.AppendSortKey),
+// so two rows group together exactly when the tuple backend's group-by
+// would bucket them. Groups emit in first-seen order, matching the tuple
+// backend's output order.
+type Groups struct {
+	isMin  []bool // per aggregate, for AggMin/AggMax
+	kinds  []AggKind
+	m      map[string]*groupState
+	order  []*groupState
+	keyBuf []byte
+}
+
+// NewGroups creates a table for nKeys grouping keys and the given
+// aggregate kinds.
+func NewGroups(nKeys int, kinds []AggKind) *Groups {
+	g := &Groups{kinds: kinds, m: map[string]*groupState{}}
+	g.isMin = make([]bool, len(kinds))
+	for i, k := range kinds {
+		g.isMin[i] = k == AggMin
+	}
+	return g
+}
+
+// Update folds one batch of n rows into the table: keyCols are the
+// grouping key columns (already in spec order), aggCols the per-aggregate
+// argument columns (aligned with the kinds passed to NewGroups).
+func (g *Groups) Update(keyCols, aggCols []*Col, n int) error {
+	for i := 0; i < n; i++ {
+		g.keyBuf = g.keyBuf[:0]
+		for _, kc := range keyCols {
+			sk, err := kc.SortKey(i)
+			if err != nil {
+				// Same wording as the tuple backend's group-by encoding.
+				return fmt.Errorf("group by: %v", err)
+			}
+			g.keyBuf = item.AppendSortKey(g.keyBuf, sk)
+		}
+		st, ok := g.m[string(g.keyBuf)]
+		if !ok {
+			st = &groupState{
+				keys: make([]item.Item, len(keyCols)),
+				aggs: make([]aggState, len(g.kinds)),
+			}
+			for k, kc := range keyCols {
+				st.keys[k] = kc.Item(i)
+			}
+			g.m[string(g.keyBuf)] = st
+			g.order = append(g.order, st)
+		}
+		for j := range g.kinds {
+			if err := g.updateAgg(&st.aggs[j], g.kinds[j], g.isMin[j], aggCols[j], i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// updateAgg folds row i of col into one accumulator. Absent rows
+// contribute nothing to any aggregate, exactly as they are missing from
+// the materialized sequence the tuple backend would fold.
+func (g *Groups) updateAgg(a *aggState, kind AggKind, isMin bool, col *Col, i int) error {
+	j := col.idx(i)
+	tag := col.Tags[j]
+	if tag == TagAbsent {
+		return nil
+	}
+	switch kind {
+	case AggCount:
+		a.n++
+		return nil
+	case AggSum, AggAvg:
+		if !numericTag(col, i) {
+			return fmt.Errorf("sum: non-numeric item of type %s", col.Kind(i))
+		}
+		switch {
+		case a.n == 0 && tag == TagInt:
+			a.intSum = col.Ints[j]
+			a.fastInt = true
+		case a.n == 0:
+			a.cur = col.Item(i)
+		case a.fastInt && tag == TagInt:
+			v := col.Ints[j]
+			r := a.intSum + v
+			if (v > 0 && r < a.intSum) || (v < 0 && r > a.intSum) {
+				res, err := item.Arithmetic(item.OpAdd, item.Int(a.intSum), item.Int(v))
+				if err != nil {
+					return err
+				}
+				a.cur = res
+				a.fastInt = false
+			} else {
+				a.intSum = r
+			}
+		default:
+			if a.fastInt {
+				a.cur = item.Int(a.intSum)
+				a.fastInt = false
+			}
+			res, err := item.Arithmetic(item.OpAdd, a.cur, col.Item(i))
+			if err != nil {
+				return err
+			}
+			a.cur = res
+		}
+		a.n++
+		return nil
+	default: // AggMin, AggMax
+		it := col.Item(i)
+		if a.n == 0 {
+			a.cur = it
+		} else {
+			c, err := item.CompareValues(it, a.cur)
+			if err != nil {
+				return fmt.Errorf("min/max: %v", err)
+			}
+			if (isMin && c < 0) || (!isMin && c > 0) {
+				a.cur = it
+			}
+		}
+		a.n++
+		return nil
+	}
+}
+
+// numericTag reports whether present row i of col is numeric.
+func numericTag(col *Col, i int) bool {
+	j := col.idx(i)
+	switch col.Tags[j] {
+	case TagInt, TagDouble:
+		return true
+	case TagItem:
+		return item.IsNumeric(col.Items[j])
+	default:
+		return false
+	}
+}
+
+// Len returns the number of groups, in first-seen order.
+func (g *Groups) Len() int { return len(g.order) }
+
+// Key returns grouping key ki of group gi (nil = absent), the first-seen
+// key value exactly as the tuple backend binds it.
+func (g *Groups) Key(gi, ki int) item.Item { return g.order[gi].keys[ki] }
+
+// Agg finalizes aggregate j of group gi. A nil result is the empty
+// sequence (avg/min/max over no present values); sum over no present
+// values is integer zero, count is always present.
+func (g *Groups) Agg(gi, j int) (item.Item, error) {
+	a := &g.order[gi].aggs[j]
+	switch g.kinds[j] {
+	case AggCount:
+		return item.Int(a.n), nil
+	case AggSum:
+		if a.n == 0 {
+			return item.Int(0), nil
+		}
+		return g.sumItem(a), nil
+	case AggAvg:
+		if a.n == 0 {
+			return nil, nil
+		}
+		return item.Arithmetic(item.OpDiv, g.sumItem(a), item.Int(a.n))
+	default: // AggMin, AggMax
+		if a.n == 0 {
+			return nil, nil
+		}
+		return a.cur, nil
+	}
+}
+
+func (g *Groups) sumItem(a *aggState) item.Item {
+	if a.fastInt {
+		return item.Int(a.intSum)
+	}
+	return a.cur
+}

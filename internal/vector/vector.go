@@ -1,0 +1,308 @@
+// Package vector implements the columnar local execution backend behind
+// Mode=Vector: typed column batches and the batch-at-a-time kernels
+// (field lookup, comparison, arithmetic, effective-boolean filters,
+// grouped aggregation) the runtime compiles eligible FLWOR pipelines to.
+//
+// A Col holds one value per pipeline row, discriminated by a per-row Tag:
+// absent (the empty sequence), null, booleans, int64s, float64s and
+// strings live in flat typed arrays, while decimals, arrays and objects —
+// the values a typed column cannot carry — ride in an item overflow lane
+// (TagItem) and are processed row-at-a-time through the same scalar
+// functions the tuple backend uses. That per-row fallback is spill-free:
+// heterogeneous data never forces the batch (or the query) off the
+// columnar path, it just pays scalar cost for the odd row.
+//
+// Grouping reuses the typed sort-key column encodings of package item
+// (item.SortKey / item.AppendSortKey): two column rows land in the same
+// group exactly when the tuple backend's group-by would have bucketed
+// them together, so results are identical across backends — including
+// NaN keys, -0.0, and integers beyond the float64-exact range.
+package vector
+
+import (
+	"fmt"
+	"math"
+
+	"rumble/internal/item"
+)
+
+// BatchSize is the number of rows the runtime packs into one batch before
+// pushing it through the kernels: large enough to amortize dispatch, small
+// enough to stay cache-resident.
+const BatchSize = 1024
+
+// Tag discriminates the per-row representation of a column value.
+type Tag uint8
+
+// The column value tags. TagAbsent is the zero value: a freshly extended
+// column row is the empty sequence until written.
+const (
+	// TagAbsent marks the empty sequence: a missing object field, an
+	// absorbed arithmetic operand, a filtered-out aggregate input.
+	TagAbsent Tag = iota
+	// TagNull is JSON null.
+	TagNull
+	// TagFalse and TagTrue are the booleans, kept as tags so boolean
+	// columns need no value array at all.
+	TagFalse
+	TagTrue
+	// TagInt values live in Ints.
+	TagInt
+	// TagDouble values live in Nums.
+	TagDouble
+	// TagString values live in Strs.
+	TagString
+	// TagItem is the overflow lane: decimals, arrays and objects live in
+	// Items and are processed row-at-a-time (the spill-free fallback).
+	TagItem
+)
+
+// Col is a typed column: one value per row, represented by parallel arrays
+// indexed by row. A Const column holds a single logical value broadcast
+// over the whole batch (row 0 is the value); kernels index it through idx.
+type Col struct {
+	Const bool
+	Tags  []Tag
+	Ints  []int64
+	Nums  []float64
+	Strs  []string
+	Items []item.Item
+}
+
+// NewCol returns an empty column with capacity for cap rows.
+func NewCol(cap int) *Col {
+	return &Col{
+		Tags: make([]Tag, 0, cap),
+		Ints: make([]int64, 0, cap),
+		Nums: make([]float64, 0, cap),
+		Strs: make([]string, 0, cap),
+	}
+}
+
+// ConstCol returns a broadcast column holding it in every row; a nil item
+// broadcasts the empty sequence.
+func ConstCol(it item.Item) *Col {
+	c := NewCol(1)
+	if it == nil {
+		c.AppendAbsent()
+	} else {
+		c.AppendItem(it)
+	}
+	c.Const = true
+	return c
+}
+
+// Len returns the physical row count (1 for Const columns).
+func (c *Col) Len() int { return len(c.Tags) }
+
+// Reset truncates the column to zero rows, keeping capacity.
+func (c *Col) Reset() {
+	c.Tags = c.Tags[:0]
+	c.Ints = c.Ints[:0]
+	c.Nums = c.Nums[:0]
+	c.Strs = c.Strs[:0]
+	c.Items = c.Items[:0]
+}
+
+// idx maps a logical row to a physical row (0 for Const columns).
+func (c *Col) idx(i int) int {
+	if c.Const {
+		return 0
+	}
+	return i
+}
+
+// grow appends one zeroed row to the typed lanes. The item overflow lane
+// stays lazy: most columns never see a TagItem row, so Items is only
+// padded (by putItem) when one actually lands — a TagItem row is always
+// covered by Items, later typed rows may leave Items short.
+func (c *Col) grow() int {
+	c.Tags = append(c.Tags, TagAbsent)
+	c.Ints = append(c.Ints, 0)
+	c.Nums = append(c.Nums, 0)
+	c.Strs = append(c.Strs, "")
+	return len(c.Tags) - 1
+}
+
+// putItem stores an overflow value at row i, padding the lazy lane.
+func (c *Col) putItem(i int, it item.Item) {
+	for len(c.Items) <= i {
+		c.Items = append(c.Items, nil)
+	}
+	c.Items[i] = it
+}
+
+// AppendAbsent appends an empty-sequence row.
+func (c *Col) AppendAbsent() { c.grow() }
+
+// AppendItem appends one item, routing it to its typed lane. A nil item
+// appends the empty sequence.
+func (c *Col) AppendItem(it item.Item) {
+	i := c.grow()
+	if it == nil {
+		return
+	}
+	switch v := it.(type) {
+	case item.Null:
+		c.Tags[i] = TagNull
+	case item.Bool:
+		if v {
+			c.Tags[i] = TagTrue
+		} else {
+			c.Tags[i] = TagFalse
+		}
+	case item.Int:
+		c.Tags[i] = TagInt
+		c.Ints[i] = int64(v)
+	case item.Double:
+		c.Tags[i] = TagDouble
+		c.Nums[i] = float64(v)
+	case item.Str:
+		c.Tags[i] = TagString
+		c.Strs[i] = string(v)
+	default:
+		c.Tags[i] = TagItem
+		c.putItem(i, it)
+	}
+}
+
+// AppendBool appends a present boolean row.
+func (c *Col) AppendBool(b bool) {
+	i := c.grow()
+	if b {
+		c.Tags[i] = TagTrue
+	} else {
+		c.Tags[i] = TagFalse
+	}
+}
+
+// Item decodes row i back into an item; nil means the row is absent (the
+// empty sequence). Decoding boxes scalar lanes, so kernels avoid it on hot
+// paths and reserve it for yields and the overflow lane.
+func (c *Col) Item(i int) item.Item {
+	i = c.idx(i)
+	switch c.Tags[i] {
+	case TagAbsent:
+		return nil
+	case TagNull:
+		return item.Null{}
+	case TagFalse:
+		return item.Bool(false)
+	case TagTrue:
+		return item.Bool(true)
+	case TagInt:
+		return item.Int(c.Ints[i])
+	case TagDouble:
+		return item.Double(c.Nums[i])
+	case TagString:
+		return item.Str(c.Strs[i])
+	default:
+		return c.Items[i]
+	}
+}
+
+// SortKey encodes row i with the shared typed key encoding, exactly as
+// item.EncodeSortKey would encode the row's item; non-atomic overflow rows
+// return EncodeSortKey's error.
+func (c *Col) SortKey(i int) (item.SortKey, error) {
+	i = c.idx(i)
+	switch c.Tags[i] {
+	case TagAbsent:
+		return item.SortKey{Tag: item.TagEmptyLeast}, nil
+	case TagNull:
+		return item.SortKey{Tag: item.TagNull}, nil
+	case TagFalse:
+		return item.SortKey{Tag: item.TagFalse}, nil
+	case TagTrue:
+		return item.SortKey{Tag: item.TagTrue}, nil
+	case TagInt:
+		return item.IntKey(c.Ints[i]), nil
+	case TagDouble:
+		return item.NumberKey(c.Nums[i]), nil
+	case TagString:
+		return item.SortKey{Tag: item.TagString, Str: c.Strs[i]}, nil
+	default:
+		return item.EncodeSortKey([]item.Item{c.Items[i]}, false)
+	}
+}
+
+// Kind returns the JSONiq kind name of row i, for error messages matching
+// the tuple backend's wording. The row must be present.
+func (c *Col) Kind(i int) item.Kind {
+	i = c.idx(i)
+	switch c.Tags[i] {
+	case TagNull:
+		return item.KindNull
+	case TagFalse, TagTrue:
+		return item.KindBoolean
+	case TagInt:
+		return item.KindInteger
+	case TagDouble:
+		return item.KindDouble
+	case TagString:
+		return item.KindString
+	default:
+		return c.Items[i].Kind()
+	}
+}
+
+// atomic reports whether present row i is an atomic item.
+func (c *Col) atomic(i int) bool {
+	i = c.idx(i)
+	if c.Tags[i] != TagItem {
+		return true
+	}
+	return item.IsAtomic(c.Items[i])
+}
+
+// EBV computes the effective boolean value of row i under single-item EBV
+// rules (absent is false); it mirrors item.EffectiveBoolean, which never
+// errors on a single item.
+func (c *Col) EBV(i int) bool {
+	i = c.idx(i)
+	switch c.Tags[i] {
+	case TagAbsent, TagNull, TagFalse:
+		return false
+	case TagTrue:
+		return true
+	case TagInt:
+		return c.Ints[i] != 0
+	case TagDouble:
+		return c.Nums[i] != 0 && !math.IsNaN(c.Nums[i])
+	case TagString:
+		return c.Strs[i] != ""
+	default:
+		b, _ := item.EffectiveBoolean([]item.Item{c.Items[i]})
+		return b
+	}
+}
+
+// Compact returns the column restricted to rows where keep is true (kept
+// rows, in order). Const columns pass through unchanged: they broadcast
+// over whatever batch length remains.
+func (c *Col) Compact(keep []bool, kept int) *Col {
+	if c.Const {
+		return c
+	}
+	out := NewCol(kept)
+	for i, k := range keep {
+		if !k {
+			continue
+		}
+		j := out.grow()
+		out.Tags[j] = c.Tags[i]
+		out.Ints[j] = c.Ints[i]
+		out.Nums[j] = c.Nums[i]
+		out.Strs[j] = c.Strs[i]
+		if c.Tags[i] == TagItem {
+			out.putItem(j, c.Items[i])
+		}
+	}
+	return out
+}
+
+// errNonAtomic builds the "<context> requires an atomic item" error with
+// the tuple backend's wording.
+func errNonAtomic(what string, k item.Kind) error {
+	return fmt.Errorf("%s requires an atomic item, got %s", what, k)
+}

@@ -73,6 +73,11 @@ type Config struct {
 	// nested "for ... for ... where" queries keep their nested-loop
 	// evaluation — the escape hatch for comparison benchmarks.
 	DisableJoin bool
+	// Vectorize enables the columnar local backend: eligible FLWOR
+	// pipelines (scan → filter → project → group/aggregate) are compiled
+	// to Mode=Vector and execute batch-at-a-time over typed columns
+	// instead of tuple-at-a-time or through the DataFrame machinery.
+	Vectorize bool
 }
 
 // Engine compiles and runs JSONiq queries. Engines are safe for concurrent
@@ -99,6 +104,7 @@ func New(cfg Config) *Engine {
 			InMemory:    map[string][]item.Item{},
 			SplitSize:   cfg.SplitSize,
 			NoJoin:      cfg.DisableJoin,
+			Vectorize:   cfg.Vectorize,
 		},
 	}
 }
@@ -164,8 +170,9 @@ func (e *Engine) Compile(query string) (*Statement, error) {
 
 // Explain parses and statically analyzes a query, returning its physical
 // plan as a mode-annotated tree: every expression node carries the
-// execution mode ([Local], [RDD] or [DataFrame]) the compiler assigned,
-// and pushed-down aggregations are marked. The query is not executed.
+// execution mode ([Local], [RDD], [DataFrame] or [Vector]) the compiler
+// assigned, and pushed-down aggregations are marked. The query is not
+// executed.
 //
 //	plan, _ := eng.Explain(`count(json-file("data.jsonl"))`)
 //	fmt.Print(plan)
@@ -177,7 +184,7 @@ func (e *Engine) Explain(query string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	info, err := compiler.Analyze(m, compiler.Options{Cluster: e.env.Spark != nil, NoJoin: e.env.NoJoin})
+	info, err := compiler.Analyze(m, compiler.Options{Cluster: e.env.Spark != nil, NoJoin: e.env.NoJoin, Vectorize: e.env.Vectorize})
 	if err != nil {
 		return "", err
 	}
@@ -257,7 +264,7 @@ func (s *Statement) StreamContext(ctx context.Context, yield func(Item) error) e
 }
 
 // Mode returns the execution mode the compiler statically assigned to the
-// statement's root expression: "Local", "RDD" or "DataFrame".
+// statement's root expression: "Local", "RDD", "DataFrame" or "Vector".
 func (s *Statement) Mode() string { return s.prog.Mode().String() }
 
 // IsParallel reports whether the statement's root was compiled to execute
