@@ -343,6 +343,55 @@ func BenchmarkAblation_VectorVsLocal(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_ParallelVectorVsVector measures morsel-driven parallel
+// vector execution against the single-worker columnar path, sweeping the
+// worker pool (Config.Executors) over 1/2/4/8 on the grouped-aggregation
+// and filter-project workloads. As in Figure 14, simulated storage latency
+// stands in for the cluster's I/O cost: the morsel workers own the scan's
+// decode and its simulated round trips, so their overlap — not host core
+// count — is what the sweep demonstrates, exactly the regime the paper's
+// EMR measurements ran in. Recorded numbers live in
+// BENCH_vector_parallel.json.
+func BenchmarkAblation_ParallelVectorVsVector(b *testing.B) {
+	path := confusionPath(b, fig11Objects)
+	queries := map[string]string{
+		"group-agg": fmt.Sprintf(`
+			for $o in json-file(%q)
+			where $o.guess eq $o.target
+			group by $t := $o.target
+			return { "t": $t, "n": count($o), "s": sum($o.score) }`, path),
+		"filter-project": fmt.Sprintf(`
+			for $o in json-file(%q)
+			where $o.guess eq $o.target
+			return { "t": $o.target, "c": $o.country, "s": $o.score * 2 }`, path),
+	}
+	for _, qname := range []string{"group-agg", "filter-project"} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers-%d", qname, workers), func(b *testing.B) {
+				eng := rumble.New(rumble.Config{Parallelism: 8, Executors: workers,
+					SplitSize: benchSplit, IOLatency: 2 * time.Millisecond, Vectorize: true})
+				st, err := eng.Compile(queries[qname])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Mode() != "Vector" {
+					b.Fatalf("mode = %s, want Vector", st.Mode())
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					n := 0
+					if err := st.Stream(func(rumble.Item) error { n++; return nil }); err != nil {
+						b.Fatal(err)
+					}
+					if n == 0 {
+						b.Fatal("empty result")
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkQueryCompilation isolates the frontend: lexing, parsing, static
 // analysis and iterator construction of a realistic query.
 func BenchmarkQueryCompilation(b *testing.B) {

@@ -59,7 +59,7 @@ func TestProcessVectorizeFence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "flwor [Vector]") {
+	if !strings.Contains(out, "flwor [Vector x4]") {
 		t.Errorf("vectorize fence produced no Vector plan:\n%s", out)
 	}
 	if !strings.Contains(out, "flwor [DataFrame]") {

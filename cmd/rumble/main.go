@@ -97,7 +97,7 @@ func serveMain(args []string) {
 		executors     = fs.Int("executors", 4, "concurrent executor slots")
 		maxConcurrent = fs.Int("max-concurrent", 0, "concurrent query evaluations (0 = executor count)")
 		queueDepth    = fs.Int("queue-depth", 0, "requests allowed to queue beyond max-concurrent before 429 (0 = 2x max-concurrent)")
-		cacheSize     = fs.Int("plan-cache", 64, "compiled-plan LRU cache capacity")
+		cacheBytes    = fs.Int64("plan-cache-bytes", 8<<20, "compiled-plan LRU cache budget in approximate resident bytes")
 		timeout       = fs.Duration("timeout", 30*time.Second, "default per-request evaluation deadline (0 = none)")
 		maxResult     = fs.Int("max-result-items", 1_000_000, "reject unlimited results larger than this (0 = unbounded)")
 		vectorize     = fs.Bool("vectorize", false, "compile eligible pipelines to the columnar local backend (Mode=Vector)")
@@ -114,7 +114,7 @@ func serveMain(args []string) {
 	opt := server.Options{
 		MaxConcurrent:  *maxConcurrent,
 		QueueDepth:     *queueDepth,
-		PlanCacheSize:  *cacheSize,
+		PlanCacheBytes: *cacheBytes,
 		DefaultTimeout: *timeout,
 		MaxResultItems: *maxResult,
 	}

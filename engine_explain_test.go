@@ -123,6 +123,9 @@ var vectorExplainGoldens = []struct {
 		for $x in $d
 		where $x.score ge 100
 		return $x.body`},
+	{"vector-grand-agg", `sum(for $o in json-file("confusion.jsonl")
+		where $o.guess eq $o.target
+		return $o.score)`},
 	{"vector-ineligible-orderby", `for $o in json-file("confusion.jsonl")
 		order by $o.target
 		return $o.target`},
@@ -138,13 +141,16 @@ func TestExplainVectorGolden(t *testing.T) {
 }
 
 // TestExplainVectorModesPinned asserts the vectorized mode choices in code
-// so regenerated goldens cannot silently flip a backend decision.
+// so regenerated goldens cannot silently flip a backend decision. Vector
+// roots carry the morsel worker-pool size (the default engine holds 4
+// executor slots).
 func TestExplainVectorModesPinned(t *testing.T) {
 	eng := New(Config{Vectorize: true})
 	wantRootMode := map[string]string{
-		"vector-groupby-agg":        "[Vector]",
-		"vector-filter-project":     "[Vector]",
-		"vector-let-rdd-head":       "[Vector]",
+		"vector-groupby-agg":        "[Vector x4]",
+		"vector-filter-project":     "[Vector x4]",
+		"vector-let-rdd-head":       "[Vector x4]",
+		"vector-grand-agg":          "[Vector x4]",
 		"vector-ineligible-orderby": "[DataFrame]",
 	}
 	for _, tc := range vectorExplainGoldens {

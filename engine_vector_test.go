@@ -1,6 +1,7 @@
 package rumble
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"strings"
@@ -56,20 +57,63 @@ func vectorConformanceData(t *testing.T, eng *Engine) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	// Multi-morsel collections (5000 rows > 4 × vector.BatchSize), so the
+	// parallel backend actually splits the scan: "wide" is clean, "widebad"
+	// plants differently-typed poison rows in different morsels — the
+	// error of the earliest scan position must win at every worker count.
+	wide := make([]string, 5000)
+	widebad := make([]string, 5000)
+	for i := range wide {
+		wide[i] = fmt.Sprintf(`{"g":%d,"v":%d}`, i%7, i)
+		switch i {
+		case 1500:
+			widebad[i] = fmt.Sprintf(`{"g":%d,"v":"poison"}`, i%7)
+		case 3500:
+			widebad[i] = fmt.Sprintf(`{"g":%d,"v":{"nested":1}}`, i%7)
+		default:
+			widebad[i] = wide[i]
+		}
+	}
+	if err := eng.RegisterJSON("wide", wide); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterJSON("widebad", widebad); err != nil {
+		t.Fatal(err)
+	}
+	// Doubles whose sum is rounding-sensitive: a large head followed by
+	// thousands of small addends spanning several morsels.
+	floats := make([]string, 3000)
+	floats[0] = `{"g":0,"v":1e16}`
+	for i := 1; i < len(floats); i++ {
+		floats[i] = fmt.Sprintf(`{"g":%d,"v":0.1}`, i%3)
+	}
+	if err := eng.RegisterJSON("floats", floats); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestVectorLocalConformance asserts that every vector-eligible query
-// shape produces identical results with --vectorize on and off. The
-// streamed (local) results must match exactly — the vector backend mirrors
-// the tuple pipeline's order — while collected results (which may run as
-// DataFrames when vectorization is off) must match as multisets, since
-// group output order across the shuffle is implementation-defined.
+// shape produces identical results with --vectorize on and off, and that
+// the vectorized results — emit order, values, and which error surfaces —
+// are identical at every morsel worker-pool size (Executors 1, 2 and 8).
+// The streamed (local) results must match the tuple pipeline exactly — the
+// vector backend mirrors its order — while collected results (which may
+// run as DataFrames when vectorization is off) must match as multisets,
+// since group output order across the shuffle is implementation-defined.
 func TestVectorLocalConformance(t *testing.T) {
 	cases := []struct {
 		name     string
 		query    string
-		wantMode string // mode pinned on the vectorizing engine ("" = skip)
+		wantMode string // mode pinned on the vectorizing engines ("" = skip)
 		wantErr  bool
+		// wantErrIn pins a substring of the deterministic first error
+		// (e.g. the type of the lowest-scan-position poison row).
+		wantErrIn string
+		// floatSum marks double-valued sums: per-morsel partials merged in
+		// scan order may differ from the tuple fold in the last units of
+		// precision (float addition is not associative), so the tuple
+		// comparison is skipped — cross-worker-count identity still holds.
+		floatSum bool
 	}{
 		{
 			name: "filter project object",
@@ -225,6 +269,128 @@ func TestVectorLocalConformance(t *testing.T) {
 					where $o.score ge $min
 					return $o)`,
 		},
+		// Grand aggregates: count/sum/avg/min/max over a filtered scan fold
+		// inside the columnar backend with mergeable accumulators.
+		{
+			name: "grand count over filtered scan",
+			query: `count(for $o in collection("games")
+				where $o.score ge 3 return $o)`,
+			wantMode: "Vector",
+		},
+		{
+			name: "grand sum over path",
+			query: `sum(for $o in collection("games")
+				where $o.guess eq $o.target return $o.score)`,
+			wantMode: "Vector",
+		},
+		{
+			name:     "grand avg",
+			query:    `avg(for $o in collection("games") return $o.score)`,
+			wantMode: "Vector",
+		},
+		{
+			name:     "grand min over absent field is empty",
+			query:    `min(for $o in collection("games") return $o.missing)`,
+			wantMode: "Vector",
+		},
+		{
+			name:     "grand max",
+			query:    `max(for $o in collection("games") return $o.score)`,
+			wantMode: "Vector",
+		},
+		{
+			name:     "grand sum over empty scan is zero",
+			query:    `sum(for $o in collection("empty") return $o.x)`,
+			wantMode: "Vector",
+		},
+		{
+			name:     "grand avg over empty scan is empty",
+			query:    `avg(for $o in collection("empty") return $o.x)`,
+			wantMode: "Vector",
+		},
+		{
+			name:     "grand sum exact beyond 2^53",
+			query:    `sum(for $o in collection("edge") return $o.k)`,
+			wantMode: "Vector",
+			wantErr:  false,
+		},
+		{
+			name:      "grand sum over non-numeric errors",
+			query:     `sum(for $o in collection("messy") return $o.v)`,
+			wantMode:  "Vector",
+			wantErr:   true,
+			wantErrIn: "object",
+		},
+		{
+			name: "grand count over cluster-bound let head",
+			query: `count(let $d := collection("games")
+				for $x in $d where $x.score ge 3 return $x)`,
+			wantMode: "Vector",
+		},
+		{
+			name: "grand count with multi-item external falls back",
+			query: `declare variable $tags := ("a", "b");
+				count(for $o in collection("games")
+					where $o.score gt 0 return $tags)`,
+			wantMode: "Vector",
+		},
+		// Multi-morsel shapes: >4 BatchSize-sized morsels, so parallel
+		// workers genuinely race and the in-order merge must hide it.
+		{
+			name: "multi-morsel filter order",
+			query: `for $o in collection("wide")
+				where $o.v ge 2500 return $o.v`,
+			wantMode: "Vector",
+		},
+		{
+			name: "multi-morsel grouped aggregates",
+			query: `for $o in collection("wide")
+				group by $g := $o.g
+				return { "g": $g, "n": count($o), "s": sum($o.v),
+					"lo": min($o.v), "hi": max($o.v) }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "multi-morsel grand aggregate",
+			query: `sum(for $o in collection("wide")
+				where $o.v ge 10 return $o.v)`,
+			wantMode: "Vector",
+		},
+		{
+			name: "multi-morsel first error wins grand",
+			query: `sum(for $o in collection("widebad")
+				return $o.v)`,
+			wantMode: "Vector",
+			wantErr:  true,
+			// Row 1500 (a string) precedes row 3500 (an object): the
+			// earliest scan position's error must surface at every worker
+			// count, never the object one a faster worker found first.
+			wantErrIn: "string",
+		},
+		{
+			name: "multi-morsel first error wins grouped",
+			query: `for $o in collection("widebad")
+				group by $g := $o.g
+				return { "g": $g, "s": sum($o.v) }`,
+			wantMode:  "Vector",
+			wantErr:   true,
+			wantErrIn: "string",
+		},
+		{
+			name: "float sum stable across worker counts",
+			query: `sum(for $o in collection("floats")
+				return $o.v)`,
+			wantMode: "Vector",
+			floatSum: true,
+		},
+		{
+			name: "grouped float sum stable across worker counts",
+			query: `for $o in collection("floats")
+				group by $g := $o.g
+				return { "g": $g, "s": sum($o.v), "a": avg($o.v) }`,
+			wantMode: "Vector",
+			floatSum: true,
+		},
 		// Ineligible shapes keep their non-vector mode but must still agree.
 		{
 			name: "order by stays non-vector",
@@ -242,47 +408,93 @@ func TestVectorLocalConformance(t *testing.T) {
 	}
 
 	plain := New(Config{Parallelism: 2, Executors: 2})
-	vectorized := New(Config{Parallelism: 2, Executors: 2, Vectorize: true})
 	vectorConformanceData(t, plain)
-	vectorConformanceData(t, vectorized)
+	workerCounts := []int{1, 2, 8}
+	vecs := make([]*Engine, len(workerCounts))
+	for i, w := range workerCounts {
+		vecs[i] = New(Config{Parallelism: 2, Executors: w, Vectorize: true})
+		vectorConformanceData(t, vecs[i])
+	}
 
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			ps, perr := plain.Compile(tc.query)
-			vs, verr := vectorized.Compile(tc.query)
-			if perr != nil || verr != nil {
-				t.Fatalf("compile: plain=%v vectorized=%v", perr, verr)
+			if perr != nil {
+				t.Fatalf("compile (plain): %v", perr)
 			}
-			if tc.wantMode != "" && vs.Mode() != tc.wantMode {
-				t.Fatalf("vectorized mode = %s, want %s", vs.Mode(), tc.wantMode)
-			}
-
-			// Streamed evaluation compares the two local backends directly:
-			// tuple pipeline vs columnar pipeline, order and all.
 			pItems, pErr := streamAll(ps)
-			vItems, vErr := streamAll(vs)
-			if tc.wantErr {
-				if pErr == nil || vErr == nil {
-					t.Fatalf("want error from both backends, got plain=%v vectorized=%v", pErr, vErr)
+			var pCollected []Item
+			if !tc.wantErr {
+				if pErr != nil {
+					t.Fatalf("stream (plain): %v", pErr)
 				}
-				return
-			}
-			if pErr != nil || vErr != nil {
-				t.Fatalf("stream: plain=%v vectorized=%v", pErr, vErr)
-			}
-			if got, want := item.SerializeSequence(vItems), item.SerializeSequence(pItems); got != want {
-				t.Fatalf("streamed results differ\nvector:\n%s\ntuple:\n%s", got, want)
+				var cerr error
+				pCollected, cerr = ps.Collect()
+				if cerr != nil {
+					t.Fatalf("collect (plain): %v", cerr)
+				}
+			} else if pErr == nil {
+				t.Fatal("want error from the tuple backend, got none")
 			}
 
-			// Collected evaluation may route the plain engine through the
-			// DataFrame backend; compare as multisets.
-			pc, pErr := ps.Collect()
-			vc, vErr := vs.Collect()
-			if pErr != nil || vErr != nil {
-				t.Fatalf("collect: plain=%v vectorized=%v", pErr, vErr)
-			}
-			if got, want := sortedLines(vc), sortedLines(pc); got != want {
-				t.Fatalf("collected results differ\nvector:\n%s\nplain:\n%s", got, want)
+			// ref is the first worker count's output (or error message);
+			// later counts must reproduce it exactly.
+			var ref string
+			for i, w := range workerCounts {
+				vs, verr := vecs[i].Compile(tc.query)
+				if verr != nil {
+					t.Fatalf("compile (workers=%d): %v", w, verr)
+				}
+				if tc.wantMode != "" && vs.Mode() != tc.wantMode {
+					t.Fatalf("workers=%d: mode = %s, want %s", w, vs.Mode(), tc.wantMode)
+				}
+
+				// Streamed evaluation compares the local backends directly:
+				// tuple pipeline vs columnar pipeline, order and all.
+				vItems, vErr := streamAll(vs)
+				if tc.wantErr {
+					if vErr == nil {
+						t.Fatalf("workers=%d: want error, got none", w)
+					}
+					if tc.wantErrIn != "" && !strings.Contains(vErr.Error(), tc.wantErrIn) {
+						t.Fatalf("workers=%d: error %q does not name %q — a later morsel's error won", w, vErr, tc.wantErrIn)
+					}
+					if i == 0 {
+						ref = vErr.Error()
+					} else if vErr.Error() != ref {
+						t.Fatalf("error differs across worker counts:\nworkers=%d: %s\nworkers=%d: %s",
+							workerCounts[0], ref, w, vErr)
+					}
+					continue
+				}
+				if vErr != nil {
+					t.Fatalf("workers=%d: stream: %v", w, vErr)
+				}
+				got := item.SerializeSequence(vItems)
+				if tc.floatSum {
+					// Rounding may differ from the tuple fold; identity
+					// across worker counts is the contract instead.
+					if i == 0 {
+						ref = got
+					} else if got != ref {
+						t.Fatalf("float sum differs across worker counts:\nworkers=%d:\n%s\nworkers=%d:\n%s",
+							workerCounts[0], ref, w, got)
+					}
+					continue
+				}
+				if want := item.SerializeSequence(pItems); got != want {
+					t.Fatalf("workers=%d: streamed results differ\nvector:\n%s\ntuple:\n%s", w, got, want)
+				}
+
+				// Collected evaluation may route the plain engine through
+				// the DataFrame backend; compare as multisets.
+				vc, vErr := vs.Collect()
+				if vErr != nil {
+					t.Fatalf("workers=%d: collect: %v", w, vErr)
+				}
+				if got, want := sortedLines(vc), sortedLines(pCollected); got != want {
+					t.Fatalf("workers=%d: collected results differ\nvector:\n%s\nplain:\n%s", w, got, want)
+				}
 			}
 		})
 	}

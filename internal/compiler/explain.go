@@ -36,14 +36,20 @@ type explainPrinter struct {
 }
 
 // line emits one indented line; when e is non-nil its mode is appended.
+// Vector nodes carry the morsel worker-pool size ("[Vector x4]") when the
+// executor pool holds more than one slot.
 func (p *explainPrinter) line(depth int, label string, e ast.Expr) {
 	for i := 0; i < depth; i++ {
 		p.b.WriteString("  ")
 	}
 	p.b.WriteString(label)
 	if e != nil {
+		m := p.info.ModeOf(e)
 		p.b.WriteString(" [")
-		p.b.WriteString(p.info.ModeOf(e).String())
+		p.b.WriteString(m.String())
+		if m == ModeVector && p.info.VectorWorkers > 1 {
+			fmt.Fprintf(&p.b, " x%d", p.info.VectorWorkers)
+		}
 		p.b.WriteString("]")
 	}
 	p.b.WriteString("\n")

@@ -275,6 +275,19 @@ func (c *checker) annotateCall(n *ast.FunctionCall) Mode {
 	case AggregateFunctions[n.Name] && len(n.Args) >= 1:
 		if c.info.ModeOf(n.Args[0]).Parallel() {
 			c.info.Pushdown[n] = true
+			break
+		}
+		// A grand aggregate over a vector-eligible non-grouped pipeline
+		// folds inside the columnar backend: the scan, filters and the
+		// accumulator all run morsel-driven, nothing materializes between
+		// the FLWOR and the aggregate.
+		if c.vectorize && VectorAggregates[n.Name] && len(n.Args) == 1 {
+			if f, isFLWOR := n.Args[0].(*ast.FLWOR); isFLWOR {
+				if vp := c.info.VectorPlans[f]; vp != nil && !vp.Grouped {
+					c.info.VectorAggs[n] = true
+					return ModeVector
+				}
+			}
 		}
 	}
 	return ModeLocal

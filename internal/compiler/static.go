@@ -95,6 +95,15 @@ type Info struct {
 	// VectorPlans marks FLWORs annotated ModeVector: pipelines the
 	// columnar local backend executes batch-at-a-time.
 	VectorPlans map[*ast.FLWOR]*VectorPlan
+	// VectorAggs marks aggregate calls (count/sum/avg/min/max) whose
+	// single argument is a vector-eligible non-grouped FLWOR: the whole
+	// aggregation folds inside the columnar backend as a grand (no
+	// group-by) aggregate with mergeable accumulators.
+	VectorAggs map[*ast.FunctionCall]bool
+	// VectorWorkers is the executor-pool size morsel-driven vector
+	// execution will use; Explain renders it next to the mode
+	// ("[Vector x4]") when greater than one.
+	VectorWorkers int
 }
 
 // ModeOf returns the annotated execution mode of e. Unannotated nodes (and
@@ -113,6 +122,9 @@ type Options struct {
 	// pipelines (scan → filter → project → group/aggregate) are annotated
 	// ModeVector instead of Local or DataFrame.
 	Vectorize bool
+	// Executors is the engine's executor-pool size; vector plans execute
+	// morsel-driven on that many workers and Explain renders the count.
+	Executors int
 }
 
 // specialFunctions are implemented by the runtime rather than the local
@@ -160,12 +172,14 @@ type checker struct {
 func Analyze(m *ast.Module, opts Options) (*Info, error) {
 	c := &checker{
 		info: &Info{
-			GroupPlans:  map[*ast.GroupByClause]*GroupPlan{},
-			Modes:       map[ast.Expr]Mode{},
-			Pushdown:    map[*ast.FunctionCall]bool{},
-			Joins:       map[*ast.FLWOR]*JoinPlan{},
-			RDDLets:     map[*ast.LetClause]*RDDLetPlan{},
-			VectorPlans: map[*ast.FLWOR]*VectorPlan{},
+			GroupPlans:    map[*ast.GroupByClause]*GroupPlan{},
+			Modes:         map[ast.Expr]Mode{},
+			Pushdown:      map[*ast.FunctionCall]bool{},
+			Joins:         map[*ast.FLWOR]*JoinPlan{},
+			RDDLets:       map[*ast.LetClause]*RDDLetPlan{},
+			VectorPlans:   map[*ast.FLWOR]*VectorPlan{},
+			VectorAggs:    map[*ast.FunctionCall]bool{},
+			VectorWorkers: opts.Executors,
 		},
 		functions: map[string][2]int{},
 		cluster:   opts.Cluster,

@@ -70,7 +70,12 @@ func (p *Program) RunContextLimit(ctx context.Context, max int) ([]item.Item, er
 // The static phase assigns every expression its execution mode; the plan
 // nodes built here carry that annotation and never probe it dynamically.
 func Compile(m *ast.Module, env *Env) (*Program, error) {
-	info, err := compiler.Analyze(m, compiler.Options{Cluster: env.Spark != nil, NoJoin: env.NoJoin, Vectorize: env.Vectorize})
+	executors := 0
+	if env.Spark != nil {
+		executors = env.Spark.Conf().Executors
+	}
+	info, err := compiler.Analyze(m, compiler.Options{Cluster: env.Spark != nil, NoJoin: env.NoJoin,
+		Vectorize: env.Vectorize, Executors: executors})
 	if err != nil {
 		return nil, err
 	}
@@ -358,6 +363,16 @@ func (c *comp) compileTwo(l, r ast.Expr) (Iterator, Iterator, error) {
 }
 
 func (c *comp) compileCall(n *ast.FunctionCall) (Iterator, error) {
+	if c.info.VectorAggs[n] {
+		// The compiler proved the argument a vector-eligible scan: the
+		// whole aggregation folds inside the columnar backend. Tried
+		// before the generic argument compilation below, which would
+		// build (and discard) the same pipelines a second time. A decline
+		// falls through to the ordinary local fold.
+		if vit, err := c.compileVectorAgg(n); err == nil {
+			return vit, nil
+		}
+	}
 	args := make([]Iterator, len(n.Args))
 	for i, a := range n.Args {
 		it, err := c.compile(a)
@@ -408,12 +423,67 @@ func (c *comp) compileCall(n *ast.FunctionCall) (Iterator, error) {
 	return &builtinCallIter{fn: fn, args: args}, nil
 }
 
-// compileFLWOR builds the local tuple pipeline and, when the compiler
-// annotated the expression ModeDataFrame, the DataFrame plan. Leading let
-// clauses the compiler marked as cluster-bound (Info.RDDLets) are peeled
-// off first: their variables bind to the value's RDD once per evaluation —
-// cached when consumed more than once — instead of materializing per tuple.
+// peelRDDLets compiles the unbroken prefix of leading let clauses the
+// compiler marked as cluster-bound (Info.RDDLets): their variables bind to
+// the value's RDD once per evaluation — cached when consumed more than
+// once — instead of materializing per tuple. It returns the remaining
+// clause chain alongside the bindings.
+func (c *comp) peelRDDLets(f *ast.FLWOR) ([]ast.Clause, []*rddLetBinding, error) {
+	clauses := f.Clauses
+	var rlets []*rddLetBinding
+	for len(clauses) > 0 {
+		lc, ok := clauses[0].(*ast.LetClause)
+		if !ok {
+			break
+		}
+		lp := c.info.RDDLets[lc]
+		if lp == nil {
+			break
+		}
+		val, err := c.compile(lc.Value)
+		if err != nil {
+			return nil, nil, err
+		}
+		rlets = append(rlets, &rddLetBinding{name: lc.Var, value: val, cache: lp.Cache})
+		clauses = clauses[1:]
+	}
+	return clauses, rlets, nil
+}
+
+// compileFLWOR builds the local tuple pipeline (plus the DataFrame plan
+// when annotated ModeDataFrame), upgrades it to the columnar backend when
+// the compiler chose ModeVector, and wraps any peeled cluster-bound lets.
 func (c *comp) compileFLWOR(f *ast.FLWOR) (Iterator, error) {
+	clauses, rlets, err := c.peelRDDLets(f)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.compileFLWORPipeline(f, clauses, len(rlets) > 0)
+	if err != nil {
+		return nil, err
+	}
+	var result Iterator = out
+	if c.info.VectorPlans[f] != nil {
+		// The compiler chose the columnar backend. The tuple pipeline just
+		// built stays attached as the fallback (multi-item free variables);
+		// if the vector compile itself declines — a shape the eligibility
+		// analysis admitted but the backend cannot build — the tuple
+		// pipeline runs alone, preserving results over raw speed.
+		if vit, err := c.compileVector(f, clauses, out, nil); err == nil {
+			result = vit
+		}
+	}
+	if len(rlets) > 0 {
+		return &rddLetIter{planNode: c.pn(f), lets: rlets, inner: result}, nil
+	}
+	return result, nil
+}
+
+// compileFLWORPipeline builds the tuple pipeline (and DataFrame plan) for
+// the clause chain remaining after cluster-bound lets were peeled; hoisted
+// reports whether such lets exist, in which case the chain evaluates under
+// their bindings off a single unit tuple.
+func (c *comp) compileFLWORPipeline(f *ast.FLWOR, clauses []ast.Clause, hoisted bool) (*flworIter, error) {
 	ret, err := c.compile(f.Return)
 	if err != nil {
 		return nil, err
@@ -429,25 +499,7 @@ func (c *comp) compileFLWOR(f *ast.FLWOR) (Iterator, error) {
 	dfOK := c.info.ModeOf(f) == compiler.ModeDataFrame
 	var plan *dfPlan
 
-	clauses := f.Clauses
-	var rlets []*rddLetBinding
-	for len(clauses) > 0 {
-		lc, ok := clauses[0].(*ast.LetClause)
-		if !ok {
-			break
-		}
-		lp := c.info.RDDLets[lc]
-		if lp == nil {
-			break
-		}
-		val, err := c.compile(lc.Value)
-		if err != nil {
-			return nil, err
-		}
-		rlets = append(rlets, &rddLetBinding{name: lc.Var, value: val, cache: lp.Cache})
-		clauses = clauses[1:]
-	}
-	if len(rlets) > 0 {
+	if hoisted {
 		// The hoisted lets produce exactly one incoming tuple; the
 		// remaining chain (possibly empty) evaluates under their bindings.
 		local = unitEval{}
@@ -561,19 +613,37 @@ func (c *comp) compileFLWOR(f *ast.FLWOR) (Iterator, error) {
 		plan.steps = steps
 		out.df = plan
 	}
-	var result Iterator = out
-	if c.info.VectorPlans[f] != nil {
-		// The compiler chose the columnar backend. The tuple pipeline just
-		// built stays attached as the fallback (multi-item free variables);
-		// if the vector compile itself declines — a shape the eligibility
-		// analysis admitted but the backend cannot build — the tuple
-		// pipeline runs alone, preserving results over raw speed.
-		if vit, err := c.compileVector(f, clauses, out); err == nil {
-			result = vit
-		}
+	return out, nil
+}
+
+// compileVectorAgg builds the columnar plan of a grand aggregate call the
+// compiler annotated ModeVector (Info.VectorAggs): the vector-eligible
+// FLWOR argument compiles into a morsel pipeline whose tail folds the
+// return projection into a single mergeable accumulator instead of
+// emitting rows, so a filtered-scan count/sum/avg/min/max runs (and
+// parallelizes) entirely inside the columnar backend. The fallback — used
+// when a free variable binds a multi-item sequence at run time — is the
+// ordinary local aggregate fold over the tuple pipeline.
+func (c *comp) compileVectorAgg(n *ast.FunctionCall) (Iterator, error) {
+	f, ok := n.Args[0].(*ast.FLWOR)
+	if !ok {
+		return nil, Errorf("vector: grand aggregate argument is not a FLWOR")
+	}
+	clauses, rlets, err := c.peelRDDLets(f)
+	if err != nil {
+		return nil, err
+	}
+	tuple, err := c.compileFLWORPipeline(f, clauses, len(rlets) > 0)
+	if err != nil {
+		return nil, err
+	}
+	fallback := &aggregateIter{name: n.Name, arg: tuple}
+	vit, err := c.compileVector(f, clauses, fallback, n)
+	if err != nil {
+		return nil, err
 	}
 	if len(rlets) > 0 {
-		return &rddLetIter{planNode: c.pn(f), lets: rlets, inner: result}, nil
+		return &rddLetIter{planNode: c.pn(n), lets: rlets, inner: vit}, nil
 	}
-	return result, nil
+	return vit, nil
 }

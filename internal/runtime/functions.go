@@ -306,6 +306,34 @@ func (j *jsonFileIter) Stream(dc *DynamicContext, yield func(item.Item) error) e
 	return nil
 }
 
+// StreamRaw implements rawScanner: it streams the dataset's raw JSON-Lines
+// records with their byte volume, leaving both the parse and the simulated
+// storage round trips to the consumer — the vector backend's morsel
+// workers decode (and charge) them in parallel.
+func (j *jsonFileIter) StreamRaw(dc *DynamicContext, yield func(line []byte, bytes int64) error) (bool, error) {
+	splits, err := j.splits(dc)
+	if err != nil {
+		return true, err
+	}
+	ctx := dc.GoContext()
+	var n int
+	for _, s := range splits {
+		if err := dfs.ReadLines(s, nil, func(line []byte) error {
+			if ctx != nil {
+				if n++; n&255 == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
+			}
+			return yield(line, int64(len(line))+1)
+		}); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
 func (j *jsonFileIter) splits(dc *DynamicContext) ([]dfs.Split, error) {
 	pseq, err := Materialize(j.path, dc)
 	if err != nil {
@@ -449,6 +477,21 @@ func (c *collectionIter) Stream(dc *DynamicContext, yield func(item.Item) error)
 		return err
 	}
 	return it.Stream(dc, yield)
+}
+
+// StreamRaw implements rawScanner for storage-backed collections by
+// delegating to the resolved json-file scan; in-memory collections report
+// handled=false and stream decoded items instead.
+func (c *collectionIter) StreamRaw(dc *DynamicContext, yield func(line []byte, bytes int64) error) (bool, error) {
+	it, err := c.resolve(dc)
+	if err != nil {
+		return true, err
+	}
+	raw, ok := it.(rawScanner)
+	if !ok {
+		return false, nil
+	}
+	return raw.StreamRaw(dc, yield)
 }
 
 func (c *collectionIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {

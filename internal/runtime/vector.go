@@ -2,11 +2,17 @@ package runtime
 
 import (
 	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
 
 	"rumble/internal/ast"
 	"rumble/internal/compiler"
+	"rumble/internal/dfs"
 	"rumble/internal/functions"
 	"rumble/internal/item"
+	"rumble/internal/jparse"
 	"rumble/internal/spark"
 	"rumble/internal/vector"
 )
@@ -253,8 +259,10 @@ type vop struct {
 	expr vexpr
 }
 
-// vgroupExec is the grouped tail of a vector pipeline.
+// vgroupExec is the grouped (or grand-aggregate) tail of a vector
+// pipeline.
 type vgroupExec struct {
+	grand    bool // no group-by: one implicit group over the whole scan
 	keyExprs []vexpr
 	keySlots []int // main-batch slots the key variables rebind to
 	kinds    []vector.AggKind
@@ -263,13 +271,24 @@ type vgroupExec struct {
 	project  vexpr   // return projection over the group batch
 }
 
-// vectorIter is a FLWOR compiled to the columnar backend. Stream packs the
-// scan input into batches and pushes them through the ops; RDD is never
+// vectorIter is a FLWOR compiled to the columnar backend. Stream splits
+// the scan into BatchSize-row morsels and dispatches them to a worker pool
+// sized by the engine's executor slots; workers run the filter / project
+// kernels independently and grouped pipelines fold per-morsel partial
+// aggregation tables that merge in morsel index order. RDD is never
 // available (ModeVector is a local mode).
+//
+// Parallel execution is bit-compatible with a single worker by
+// construction: every morsel folds its own partial state and partials
+// always merge in scan order, so emit order, aggregate results, and which
+// error surfaces ("first error wins": the lowest-indexed failing morsel)
+// depend only on the input — never on the worker count or scheduling.
 type vectorIter struct {
 	planNode
-	fallback  Iterator // tuple pipeline, for multi-item free variables
-	in        Iterator
+	fallback  Iterator       // tuple pipeline, for multi-item free variables
+	in        Iterator       // the scan
+	sc        *spark.Context // executor pool configuration + metrics (nil in bare tests)
+	workers   int            // morsel worker pool size (Config.Executors)
 	nslots    int
 	externals []string
 	ops       []vop
@@ -281,12 +300,16 @@ func (v *vectorIter) RDD(*DynamicContext) (*spark.RDD[item.Item], error) {
 	return nil, Errorf("vector plans execute locally")
 }
 
-func (v *vectorIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
-	vs := &vstate{ext: make([]*vector.Col, len(v.externals))}
+// resolveExternals resolves the pipeline's free variables against the
+// dynamic context into per-evaluation constant columns. A multi-item
+// binding cannot ride in a single-valued column: fellBack=true tells the
+// caller to re-route the evaluation through the tuple pipeline.
+func (v *vectorIter) resolveExternals(dc *DynamicContext) (vs *vstate, fellBack bool, err error) {
+	vs = &vstate{ext: make([]*vector.Col, len(v.externals))}
 	for i, name := range v.externals {
 		seq, rdd, ok := dc.Resolve(name)
 		if !ok {
-			return Errorf("variable $%s is not bound", name)
+			return nil, false, Errorf("variable $%s is not bound", name)
 		}
 		if rdd != nil {
 			// A cluster-resident binding would materialize through the
@@ -302,14 +325,12 @@ func (v *vectorIter) Stream(dc *DynamicContext, yield func(item.Item) error) err
 				return nil
 			})
 			if err != nil && err != errLimitReached {
-				return err
+				return nil, false, err
 			}
 			seq = items
 		}
 		if len(seq) > 1 {
-			// Columns are single-valued; a sequence-valued free variable
-			// re-routes this evaluation through the tuple pipeline.
-			return v.fallback.Stream(dc, yield)
+			return nil, true, nil
 		}
 		if len(seq) == 1 {
 			vs.ext[i] = vector.ConstCol(seq[0])
@@ -317,89 +338,485 @@ func (v *vectorIter) Stream(dc *DynamicContext, yield func(item.Item) error) err
 			vs.ext[i] = vector.ConstCol(nil)
 		}
 	}
+	return vs, false, nil
+}
 
-	ctx := dc.GoContext()
-	var groups *vector.Groups
-	if v.group != nil {
-		groups = vector.NewGroups(len(v.group.keyExprs), v.group.kinds)
+func (v *vectorIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
+	vs, fellBack, err := v.resolveExternals(dc)
+	if err != nil {
+		return err
 	}
-	scan := vector.NewCol(vector.BatchSize)
+	if fellBack {
+		// Columns are single-valued; a sequence-valued free variable
+		// re-routes this evaluation through the tuple pipeline.
+		return v.fallback.Stream(dc, yield)
+	}
+	if v.sc != nil {
+		v.sc.AddVectorRun()
+	}
+	ctx := dc.GoContext()
+	if v.workers > 1 {
+		return v.streamParallel(dc, vs, ctx, yield)
+	}
+	return v.streamSerial(dc, vs, ctx, yield)
+}
 
-	flush := func() error {
-		n := scan.Len()
-		if n == 0 {
+// rawScanner is implemented by scan sources that can stream raw,
+// not-yet-decoded records (JSON-Lines storage). The vector backend prefers
+// it: the producer hands byte records to the morsel workers, which decode
+// them — and incur the simulated storage round trips — in parallel,
+// mirroring how the RDD path's partition tasks own both the read and the
+// decode. Decoding dominates real scan cost, so moving it off the
+// sequential producer is what lets the scan side of a vector pipeline
+// scale with the worker pool.
+type rawScanner interface {
+	// StreamRaw streams raw records with their consumed byte counts.
+	// handled must be decided before the first yield: false means the
+	// source cannot serve this evaluation raw (an in-memory collection)
+	// and the caller must scan decoded items instead.
+	StreamRaw(dc *DynamicContext, yield func(line []byte, bytes int64) error) (handled bool, err error)
+}
+
+// vmorselResult is one processed morsel: projected rows in scan order, or
+// the morsel's partial aggregation table.
+type vmorselResult struct {
+	items  []item.Item
+	groups *vector.Groups
+}
+
+// decodeRows turns a raw morsel into its item rows, charging the morsel's
+// simulated storage round trips and record count exactly as an RDD
+// partition task would while scanning. Item morsels pass through.
+func (v *vectorIter) decodeRows(m vmorsel) ([]item.Item, error) {
+	if m.lines == nil {
+		return m.rows, nil
+	}
+	if v.sc != nil {
+		v.sc.SimulateIO(m.blocks)
+		v.sc.AddRecordsRead(int64(len(m.lines)))
+	}
+	rows := make([]item.Item, 0, len(m.lines))
+	for _, line := range m.lines {
+		it, err := jparse.Parse(line)
+		if err != nil {
+			return nil, Errorf("json-file: %v", err)
+		}
+		rows = append(rows, it)
+	}
+	return rows, nil
+}
+
+// processMorsel packs one morsel of scan rows into a column batch and runs
+// it through the pipeline: lets bind their slots, filters compact the
+// batch, and the tail either projects the surviving rows or folds them
+// into a fresh partial aggregation table.
+func (v *vectorIter) processMorsel(vs *vstate, rows []item.Item) (*vmorselResult, error) {
+	if v.sc != nil {
+		v.sc.AddVectorMorsels(1)
+	}
+	scan := vector.NewCol(len(rows))
+	for _, it := range rows {
+		scan.AppendItem(it)
+	}
+	b := &vbatch{n: scan.Len(), cols: make([]*vector.Col, v.nslots)}
+	b.cols[0] = scan
+	for _, op := range v.ops {
+		col, err := op.expr.eval(vs, b)
+		if err != nil {
+			return nil, err
+		}
+		if op.slot >= 0 {
+			b.cols[op.slot] = col
+			continue
+		}
+		keep := make([]bool, b.n)
+		kept := 0
+		for i := 0; i < b.n; i++ {
+			if col.EBV(i) {
+				keep[i] = true
+				kept++
+			}
+		}
+		if kept < b.n {
+			b = b.compact(keep, kept)
+		}
+		if b.n == 0 {
+			break
+		}
+	}
+	res := &vmorselResult{}
+	if v.group != nil {
+		res.groups = vector.NewGroups(len(v.group.keyExprs), v.group.kinds)
+		if b.n > 0 {
+			if err := v.updateGroups(vs, b, res.groups); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+	if b.n == 0 {
+		return res, nil
+	}
+	col, err := v.project.eval(vs, b)
+	if err != nil {
+		return nil, err
+	}
+	res.items = make([]item.Item, 0, b.n)
+	for i := 0; i < b.n; i++ {
+		if it := col.Item(i); it != nil {
+			res.items = append(res.items, it)
+		}
+	}
+	return res, nil
+}
+
+// mergeResult folds one morsel's result — in morsel index order — into the
+// evaluation: non-group rows yield immediately, partial aggregation tables
+// merge into the running table.
+func mergeResult(merged **vector.Groups, res *vmorselResult, grouped bool, yield func(item.Item) error) error {
+	if grouped {
+		if *merged == nil {
+			*merged = res.groups
 			return nil
 		}
+		if err := (*merged).Merge(res.groups); err != nil {
+			return Errorf("%v", err)
+		}
+		return nil
+	}
+	for _, it := range res.items {
+		if err := yield(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishGroups emits the merged aggregation table (if the pipeline has
+// one), materializing the implicit group of a grand aggregate first.
+func (v *vectorIter) finishGroups(vs *vstate, merged *vector.Groups, ctx context.Context, yield func(item.Item) error) error {
+	if v.group == nil {
+		return nil
+	}
+	if merged == nil {
+		merged = vector.NewGroups(len(v.group.keyExprs), v.group.kinds)
+	}
+	if v.group.grand {
+		merged.EnsureGrand()
+	}
+	return v.emitGroups(vs, merged, ctx, yield)
+}
+
+// streamSerial is the single-worker evaluation: morsels process inline on
+// the calling goroutine, with the same per-morsel partial fold and
+// in-order merge the parallel path uses.
+func (v *vectorIter) streamSerial(dc *DynamicContext, vs *vstate, ctx context.Context, yield func(item.Item) error) error {
+	if v.sc != nil {
+		v.sc.AddVectorWorkers(1)
+	}
+	var merged *vector.Groups
+	_, err := v.scanMorsels(dc, nil, func(m vmorsel) error {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 		}
-		b := &vbatch{n: n, cols: make([]*vector.Col, v.nslots)}
-		b.cols[0] = scan
-		for _, op := range v.ops {
-			col, err := op.expr.eval(vs, b)
+		rows, err := v.decodeRows(m)
+		if err != nil {
+			return err
+		}
+		res, err := v.processMorsel(vs, rows)
+		if err != nil {
+			return err
+		}
+		return mergeResult(&merged, res, v.group != nil, yield)
+	})
+	if err != nil {
+		return err
+	}
+	return v.finishGroups(vs, merged, ctx, yield)
+}
+
+// errStopScan aborts the producer's scan when the evaluation no longer
+// needs further morsels (a lower-indexed morsel failed, the consumer
+// stopped, or the context was cancelled). It never escapes the vector
+// backend.
+var errStopScan = fmt.Errorf("runtime: vector scan stopped")
+
+// vmorsel is one scan morsel awaiting a worker: raw byte records when the
+// source scans raw (the worker decodes them), decoded items otherwise.
+type vmorsel struct {
+	idx    int
+	rows   []item.Item
+	lines  [][]byte
+	blocks int // simulated storage blocks behind lines, charged by the worker
+}
+
+// scanMorsels runs the scan on the calling goroutine, cutting it into
+// BatchSize-record morsels handed to emit in scan-index order. Raw-capable
+// sources stream undecoded records so the workers own the decode; other
+// sources stream items. rowCheck, when non-nil, runs per input record for
+// early abort. Returns the number of morsels emit accepted.
+func (v *vectorIter) scanMorsels(dc *DynamicContext, rowCheck func() error, emit func(m vmorsel) error) (int, error) {
+	idx := 0
+	if raw, ok := v.in.(rawScanner); ok {
+		var lines [][]byte
+		// Block accounting is byte-accurate across morsels: each morsel
+		// is charged the whole blocks the cumulative scan position crossed
+		// while it filled, and the trailing partial block rounds up once
+		// per scan — mirroring dfs.ReadLines' accounting rather than
+		// ceiling every morsel to a full block.
+		var cum, prev int64
+		handled, err := raw.StreamRaw(dc, func(line []byte, n int64) error {
+			if rowCheck != nil {
+				if err := rowCheck(); err != nil {
+					return err
+				}
+			}
+			lines = append(lines, line)
+			cum += n
+			if len(lines) >= vector.BatchSize {
+				m := vmorsel{idx: idx, lines: lines, blocks: int(cum/dfs.BlockSize - prev/dfs.BlockSize)}
+				lines, prev = nil, cum
+				if err := emit(m); err != nil {
+					return err
+				}
+				idx++
+			}
+			return nil
+		})
+		if handled {
 			if err != nil {
+				return idx, err
+			}
+			blocks := int(cum/dfs.BlockSize - prev/dfs.BlockSize)
+			if cum%dfs.BlockSize > 0 {
+				blocks++ // the residual partial block still costs a round trip
+			}
+			if len(lines) > 0 {
+				if err := emit(vmorsel{idx: idx, lines: lines, blocks: blocks}); err != nil {
+					return idx, err
+				}
+				idx++
+			}
+			return idx, nil
+		}
+		if err != nil {
+			return idx, err
+		}
+	}
+	var rows []item.Item
+	err := v.in.Stream(dc, func(it item.Item) error {
+		if rowCheck != nil {
+			if err := rowCheck(); err != nil {
 				return err
 			}
-			if op.slot >= 0 {
-				b.cols[op.slot] = col
-				continue
+		}
+		if rows == nil {
+			rows = make([]item.Item, 0, vector.BatchSize)
+		}
+		rows = append(rows, it)
+		if len(rows) >= vector.BatchSize {
+			m := vmorsel{idx: idx, rows: rows}
+			rows = nil
+			if err := emit(m); err != nil {
+				return err
 			}
-			keep := make([]bool, b.n)
-			kept := 0
-			for i := 0; i < b.n; i++ {
-				if col.EBV(i) {
-					keep[i] = true
-					kept++
-				}
-			}
-			if kept < b.n {
-				b = b.compact(keep, kept)
-			}
-			if b.n == 0 {
-				break
+			idx++
+		}
+		return nil
+	})
+	if err != nil {
+		return idx, err
+	}
+	if len(rows) > 0 {
+		if err := emit(vmorsel{idx: idx, rows: rows}); err != nil {
+			return idx, err
+		}
+		idx++
+	}
+	return idx, nil
+}
+
+// vresult is one morsel's outcome traveling back to the coordinator.
+type vresult struct {
+	idx     int
+	res     *vmorselResult
+	err     error
+	skipped bool // cancelled: a lower-indexed morsel already failed
+}
+
+// lowerFail lowers f to idx if idx is smaller, so f converges on the
+// lowest-indexed failing morsel whatever order failures are observed in.
+func lowerFail(f *atomic.Int64, idx int64) {
+	for {
+		cur := f.Load()
+		if idx >= cur || f.CompareAndSwap(cur, idx) {
+			return
+		}
+	}
+}
+
+// streamParallel is the morsel-driven evaluation: a producer goroutine
+// runs the scan and packs BatchSize-row morsels tagged with their scan
+// index, v.workers workers pull and process them, and the coordinator (the
+// calling goroutine) merges results strictly in index order — yielding
+// projected rows, merging partial aggregation tables, and surfacing the
+// lowest-indexed morsel error. Workers poll the Go context between morsels
+// exactly as spark.runStage's task loop does, and a failure cancels every
+// higher-indexed morsel (workers skip them, the producer stops scanning).
+func (v *vectorIter) streamParallel(dc *DynamicContext, vs *vstate, ctx context.Context, yield func(item.Item) error) error {
+	workers := v.workers
+	if v.sc != nil {
+		v.sc.AddVectorWorkers(int64(workers))
+	}
+	var (
+		work    = make(chan vmorsel, workers)
+		results = make(chan vresult, workers)
+		scanEnd = make(chan vresult, 1) // idx = morsel count, err = scan error
+		done    = make(chan struct{})
+		// pace bounds morsels in flight (queued, processing, or waiting in
+		// the coordinator's reorder buffer): the producer acquires a slot
+		// per morsel, the coordinator releases it when the morsel merges.
+		// Without it one slow morsel would let the scan run ahead and
+		// materialize the rest of the output in the reorder buffer.
+		pace    = make(chan struct{}, 4*workers)
+		failIdx atomic.Int64
+		wg      sync.WaitGroup
+	)
+	failIdx.Store(math.MaxInt64)
+
+	// Producer: run the scan, cut morsels, hand them to the pool. The scan
+	// itself stays sequential — it is the ordered source the morsel
+	// indices are defined by — but raw-capable sources leave the decode to
+	// the workers, so the producer's share of the scan is just the reads.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(work)
+		rowCheck := func() error {
+			select {
+			case <-done:
+				return errStopScan
+			default:
+				return nil
 			}
 		}
-		if b.n > 0 {
-			if v.group != nil {
-				if err := v.updateGroups(vs, b, groups); err != nil {
+		count, err := v.scanMorsels(dc, rowCheck, func(m vmorsel) error {
+			if int64(m.idx) > failIdx.Load() {
+				return errStopScan // later morsels are cancelled
+			}
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
 					return err
 				}
-			} else {
-				col, err := v.project.eval(vs, b)
-				if err != nil {
-					return err
-				}
-				for i := 0; i < b.n; i++ {
-					if it := col.Item(i); it != nil {
-						if err := yield(it); err != nil {
-							return err
-						}
+			}
+			select {
+			case pace <- struct{}{}:
+			case <-done:
+				return errStopScan
+			}
+			select {
+			case work <- m:
+				return nil
+			case <-done:
+				return errStopScan
+			}
+		})
+		if err == errStopScan {
+			// The coordinator aborted (or cancelled the tail); it already
+			// holds the error that matters.
+			err = nil
+		}
+		scanEnd <- vresult{idx: count, err: err}
+	}()
+
+	// Workers: pull morsels until the producer closes the queue. A morsel
+	// above the lowest known failure is skipped — its output could never
+	// be observed — while lower-indexed morsels still run to completion,
+	// because one of them may fail (and win) or still owe output.
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for m := range work {
+				r := vresult{idx: m.idx}
+				switch {
+				case int64(m.idx) > failIdx.Load():
+					r.skipped = true
+				case ctx != nil && ctx.Err() != nil:
+					r.err = ctx.Err()
+					lowerFail(&failIdx, int64(m.idx))
+				default:
+					rows, err := v.decodeRows(m)
+					var res *vmorselResult
+					if err == nil {
+						res, err = v.processMorsel(vs, rows)
+					}
+					if err != nil {
+						r.err = err
+						lowerFail(&failIdx, int64(m.idx))
+					} else {
+						r.res = res
 					}
 				}
+				select {
+				case results <- r:
+				case <-done:
+					return
+				}
 			}
-		}
-		scan.Reset()
-		return nil
+		}()
 	}
 
-	if err := v.in.Stream(dc, func(it item.Item) error {
-		scan.AppendItem(it)
-		if scan.Len() >= vector.BatchSize {
-			return flush()
+	abort := func(err error) error {
+		close(done)
+		wg.Wait()
+		return err
+	}
+
+	// Coordinator: reorder results and merge them strictly in morsel index
+	// order, so emit order and error selection are those of a sequential
+	// left-to-right run.
+	var merged *vector.Groups
+	pending := map[int]vresult{}
+	next, total := 0, -1
+	var scanErr error
+	for total < 0 || next < total {
+		if r, ok := pending[next]; ok {
+			delete(pending, next)
+			<-pace // the morsel left the pipeline; let the scan advance
+			if r.err != nil {
+				return abort(r.err)
+			}
+			if r.skipped {
+				// Unreachable: a skip implies a lower-indexed failure that
+				// returns above. Fail loudly rather than drop rows.
+				return abort(Errorf("vector: morsel %d cancelled without a failing predecessor", r.idx))
+			}
+			if err := mergeResult(&merged, r.res, v.group != nil, yield); err != nil {
+				return abort(err)
+			}
+			next++
+			continue
 		}
-		return nil
-	}); err != nil {
-		return err
+		select {
+		case r := <-results:
+			pending[r.idx] = r
+		case se := <-scanEnd:
+			total, scanErr = se.idx, se.err
+			scanEnd = nil
+		}
 	}
-	if err := flush(); err != nil {
-		return err
+	// Every sent morsel was consumed above, so the pool drains naturally.
+	wg.Wait()
+	if scanErr != nil {
+		// The scan failed after its last complete morsel: everything
+		// before it was already merged, exactly as the sequential path
+		// would have flushed it.
+		return scanErr
 	}
-	if v.group != nil {
-		return v.emitGroups(vs, groups, ctx, yield)
-	}
-	return nil
+	return v.finishGroups(vs, merged, ctx, yield)
 }
 
 // updateGroups binds the grouping keys (left to right, each visible to the
@@ -517,12 +934,24 @@ func (vc *vcomp) external(name string) *vextExpr {
 	return &vextExpr{idx: idx}
 }
 
+// vectorWorkers is the morsel worker pool size: the engine's executor
+// slots, the same knob that bounds concurrent partition tasks on the
+// RDD/DataFrame paths.
+func (c *comp) vectorWorkers() int {
+	if c.env.Spark == nil {
+		return 1
+	}
+	return c.env.Spark.Conf().Executors
+}
+
 // compileVector builds the columnar plan for a FLWOR the compiler
 // annotated ModeVector. clauses is the clause list after cluster-bound
-// lets were peeled; fallback is the tuple pipeline compiled for the same
-// clauses. Any unexpected shape returns an error and the caller keeps the
-// tuple pipeline.
-func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterator) (Iterator, error) {
+// lets were peeled; fallback is a tuple-path iterator producing identical
+// results for the same expression. When agg is non-nil the FLWOR is the
+// argument of that grand aggregate call and the pipeline ends in a
+// single-group fold of the return projection instead of row emission. Any
+// unexpected shape returns an error and the caller keeps the tuple path.
+func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterator, agg *ast.FunctionCall) (Iterator, error) {
 	if len(clauses) == 0 {
 		return nil, Errorf("vector: empty clause list")
 	}
@@ -536,7 +965,12 @@ func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterat
 	}
 	vc := &vcomp{c: c, slots: map[string]int{}, extIdx: map[string]int{}}
 	vc.bind(head.Var) // slot 0: the scan column
-	it := &vectorIter{planNode: c.pn(f), fallback: fallback, in: in}
+	pn := c.pn(f)
+	if agg != nil {
+		pn = c.pn(agg)
+	}
+	it := &vectorIter{planNode: pn, fallback: fallback, in: in,
+		sc: c.env.Spark, workers: c.vectorWorkers()}
 
 	var group *ast.GroupByClause
 	for _, cl := range clauses[1:] {
@@ -558,6 +992,29 @@ func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterat
 		default:
 			return nil, Errorf("vector: unsupported clause %T", cl)
 		}
+	}
+	if agg != nil {
+		if group != nil {
+			return nil, Errorf("vector: grand aggregate over a grouped pipeline")
+		}
+		proj, err := vc.compileExpr(f.Return)
+		if err != nil {
+			return nil, err
+		}
+		kind, ok := vectorAggKinds[agg.Name]
+		if !ok {
+			return nil, Errorf("vector: unsupported grand aggregate %s", agg.Name)
+		}
+		it.group = &vgroupExec{
+			grand:   true,
+			kinds:   []vector.AggKind{kind},
+			aggArgs: []vexpr{proj},
+			gslots:  1,
+			project: &vcolExpr{slot: 0},
+		}
+		it.nslots = vc.nslots
+		it.externals = vc.ext
+		return it, nil
 	}
 	if group == nil {
 		proj, err := vc.compileExpr(f.Return)

@@ -8,37 +8,60 @@ import (
 	"rumble"
 )
 
-// planCache is a thread-safe LRU of compiled statements keyed by the
-// normalized query text: comments are stripped and whitespace runs outside
-// string literals collapse to a single space, so a hot query that arrives
-// trivially reformatted (re-indented, commented, minified) still hits the
-// plan compiled for its first spelling. A hot query served twice skips
-// parse, static analysis and join detection entirely — the compiled
-// Statement is immutable and safe to execute concurrently, so one plan
-// serves any number of clients.
+// planCache is a thread-safe, byte-bounded LRU of compiled statements
+// keyed by the normalized query text: comments are stripped and whitespace
+// runs outside string literals collapse to a single space, so a hot query
+// that arrives trivially reformatted (re-indented, commented, minified)
+// still hits the plan compiled for its first spelling. A hot query served
+// twice skips parse, static analysis and join detection entirely — the
+// compiled Statement is immutable and safe to execute concurrently, so one
+// plan serves any number of clients.
+//
+// The cache is bounded by an approximate memory footprint, not an entry
+// count: each entry is charged a byte cost derived from its query length
+// (plan size grows roughly linearly with token count), and inserting past
+// the budget evicts least-recently-used entries by bytes. A handful of
+// enormous generated queries therefore cannot pin an unbounded amount of
+// plan memory the way a count-based bound would let them.
 //
 // Each entry compiles at most once (sync.Once): N concurrent clients
 // issuing the same cold query share a single compilation instead of
 // racing N of them.
 type planCache struct {
-	mu      sync.Mutex
-	cap     int
-	order   *list.List // front = most recently used
-	entries map[string]*list.Element
+	mu       sync.Mutex
+	capBytes int64
+	bytes    int64
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
 }
 
 type planEntry struct {
 	key  string
+	cost int64
 	once sync.Once
 	st   *rumble.Statement
 	err  error
 }
 
-func newPlanCache(capacity int) *planCache {
-	if capacity < 1 {
-		capacity = 1
+// Approximate per-entry footprint: a fixed overhead for the LRU
+// bookkeeping and the baseline iterator tree, plus a per-query-byte factor
+// covering AST nodes, iterators and analysis maps — all of which grow
+// roughly linearly with the query's token count.
+const (
+	planEntryOverhead    = 4 << 10
+	planBytesPerTextByte = 48
+)
+
+// approxPlanCost estimates the resident bytes a cached plan costs.
+func approxPlanCost(key string) int64 {
+	return planEntryOverhead + int64(len(key))*planBytesPerTextByte
+}
+
+func newPlanCache(capBytes int64) *planCache {
+	if capBytes < 1 {
+		capBytes = 8 << 20
 	}
-	return &planCache{cap: capacity, order: list.New(), entries: map[string]*list.Element{}}
+	return &planCache{capBytes: capBytes, order: list.New(), entries: map[string]*list.Element{}}
 }
 
 // get returns the compiled statement for query, compiling through eng on a
@@ -53,12 +76,20 @@ func (c *planCache) get(eng *rumble.Engine, query string) (st *rumble.Statement,
 	if ok {
 		c.order.MoveToFront(el)
 	} else {
-		el = c.order.PushFront(&planEntry{key: key})
+		e := &planEntry{key: key, cost: approxPlanCost(key)}
+		el = c.order.PushFront(e)
 		c.entries[key] = el
-		if c.order.Len() > c.cap {
+		c.bytes += e.cost
+		// Evict least-recently-used entries until the budget holds. The
+		// newly inserted entry itself is never evicted: an oversized
+		// query still caches (it alone empties the rest of the cache),
+		// so a hot oversized query does not recompile forever.
+		for c.bytes > c.capBytes && c.order.Len() > 1 {
 			lru := c.order.Back()
 			c.order.Remove(lru)
-			delete(c.entries, lru.Value.(*planEntry).key)
+			le := lru.Value.(*planEntry)
+			delete(c.entries, le.key)
+			c.bytes -= le.cost
 		}
 	}
 	e := el.Value.(*planEntry)
@@ -72,6 +103,13 @@ func (c *planCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// size returns the approximate resident bytes of the cached plans.
+func (c *planCache) size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // normalizeQuery canonicalizes query text for cache keying: JSONiq

@@ -46,8 +46,11 @@ type Options struct {
 	// beyond MaxConcurrent; anything past that is rejected with 429.
 	// 0 defaults to 2×MaxConcurrent.
 	QueueDepth int
-	// PlanCacheSize is the compiled-plan LRU capacity. 0 defaults to 64.
-	PlanCacheSize int
+	// PlanCacheBytes bounds the compiled-plan LRU by approximate resident
+	// bytes (each entry is charged a cost derived from its query length),
+	// evicting least-recently-used plans past the budget. 0 defaults to
+	// 8 MiB.
+	PlanCacheBytes int64
 	// DefaultTimeout is the evaluation deadline applied when a request
 	// carries no timeout_ms. 0 defaults to 30s; negative disables the
 	// default deadline.
@@ -69,8 +72,8 @@ func (o Options) withDefaults(eng *rumble.Engine) Options {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 2 * o.MaxConcurrent
 	}
-	if o.PlanCacheSize <= 0 {
-		o.PlanCacheSize = 64
+	if o.PlanCacheBytes <= 0 {
+		o.PlanCacheBytes = 8 << 20
 	}
 	if o.DefaultTimeout == 0 {
 		o.DefaultTimeout = 30 * time.Second
@@ -107,8 +110,11 @@ type Metrics struct {
 	ModeRDD       int64 `json:"queries_mode_rdd"`
 	ModeDataFrame int64 `json:"queries_mode_dataframe"`
 	ModeVector    int64 `json:"queries_mode_vector"`
-	// CachedPlans is the current number of cached statements.
-	CachedPlans int `json:"plan_cache_size"`
+	// CachedPlans is the current number of cached statements; CacheBytes
+	// their approximate resident footprint, the quantity the cache is
+	// bounded by.
+	CachedPlans int   `json:"plan_cache_size"`
+	CacheBytes  int64 `json:"plan_cache_bytes"`
 	// Active is the number of evaluations running right now; Queued the
 	// number waiting for a slot.
 	Active int64 `json:"active"`
@@ -161,7 +167,7 @@ func New(eng *rumble.Engine, opt Options) *Server {
 	s := &Server{
 		eng:   eng,
 		opt:   opt,
-		cache: newPlanCache(opt.PlanCacheSize),
+		cache: newPlanCache(opt.PlanCacheBytes),
 		sem:   make(chan struct{}, opt.MaxConcurrent),
 		mux:   http.NewServeMux(),
 	}
@@ -191,6 +197,7 @@ func (s *Server) Metrics() Metrics {
 		ModeDataFrame: s.modeDF.Load(),
 		ModeVector:    s.modeVector.Load(),
 		CachedPlans:   s.cache.len(),
+		CacheBytes:    s.cache.size(),
 		Active:        active,
 		Queued:        s.inFlight.Load() - active,
 	}

@@ -501,4 +501,75 @@ func TestServerVectorMode(t *testing.T) {
 	if !strings.Contains(string(mbody), `"queries_mode_vector":1`) {
 		t.Errorf("/metrics lacks vector mode counter: %s", mbody)
 	}
+	// The engine's morsel/worker counters ride along: one vector run over
+	// a single morsel, processed by the pool.
+	em := eng.Metrics()
+	if em.VectorRuns != 1 || em.VectorMorsels != 1 || em.VectorWorkers < 1 {
+		t.Errorf("engine vector counters = %+v", em)
+	}
+	for _, field := range []string{`"VectorRuns":1`, `"VectorMorsels":1`} {
+		if !strings.Contains(string(mbody), field) {
+			t.Errorf("/metrics lacks %s: %s", field, mbody)
+		}
+	}
+}
+
+// TestServerPlanCacheByteBounding pins the byte-bounded plan cache: entries
+// are charged an approximate plan cost, eviction runs by bytes (LRU), an
+// evicted query recompiles on return, and /metrics reports the footprint.
+func TestServerPlanCacheByteBounding(t *testing.T) {
+	// Budget for exactly two of these entries: the third insert evicts
+	// the least-recently-used one by bytes.
+	queries := []string{`1 + 1`, `2 + 2`, `3 + 3`}
+	budget := 2 * approxPlanCost(normalizeQuery(queries[0]))
+	srv, ts := newTestServer(t, Options{PlanCacheBytes: budget})
+	for _, q := range queries {
+		if code, body := post(t, ts, queryRequest{Query: q}); code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+	}
+	m := srv.Metrics()
+	if m.CachedPlans != 2 {
+		t.Fatalf("cached plans = %d, want 2 (byte budget holds two entries)", m.CachedPlans)
+	}
+	if m.CacheBytes <= 0 || m.CacheBytes > budget {
+		t.Fatalf("cache bytes = %d, want within (0, %d]", m.CacheBytes, budget)
+	}
+	// The oldest entry was evicted by bytes; re-serving it is a miss.
+	misses := m.CacheMisses
+	if code, body := post(t, ts, queryRequest{Query: `1 + 1`}); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if got := srv.Metrics().CacheMisses; got != misses+1 {
+		t.Errorf("cache misses after evicted re-serve = %d, want %d", got, misses+1)
+	}
+	// An entry larger than the whole budget still caches — alone.
+	big := "1" + strings.Repeat(" + 1", 1000)
+	if code, body := post(t, ts, queryRequest{Query: big}); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if got := srv.Metrics().CachedPlans; got != 1 {
+		t.Errorf("cached plans after oversized insert = %d, want 1", got)
+	}
+	if code, _ := post(t, ts, queryRequest{Query: big}); code != http.StatusOK {
+		t.Fatal("oversized re-serve failed")
+	}
+	if m := srv.Metrics(); m.CacheHits < 1 {
+		t.Errorf("oversized entry did not serve from cache: %+v", m)
+	}
+	if !strings.Contains(metricsBody(t, ts), `"plan_cache_bytes"`) {
+		t.Error("/metrics lacks plan_cache_bytes")
+	}
+}
+
+// metricsBody fetches /metrics as a string.
+func metricsBody(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return string(body)
 }

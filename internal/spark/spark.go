@@ -73,6 +73,9 @@ type Metrics struct {
 	ShuffleRecords   atomic.Int64
 	BroadcastRecords atomic.Int64
 	StagesRun        atomic.Int64
+	VectorRuns       atomic.Int64
+	VectorMorsels    atomic.Int64
+	VectorWorkers    atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics.
@@ -85,6 +88,12 @@ type MetricsSnapshot struct {
 	// broadcast hash joins.
 	BroadcastRecords int64
 	StagesRun        int64
+	// VectorRuns counts vector-backend pipeline evaluations, VectorMorsels
+	// the scan morsels they processed, and VectorWorkers the worker tasks
+	// launched to process them (1 per run when the pool is a single slot).
+	VectorRuns    int64
+	VectorMorsels int64
+	VectorWorkers int64
 }
 
 // Metrics returns a snapshot of the counters.
@@ -96,6 +105,9 @@ func (c *Context) Metrics() MetricsSnapshot {
 		ShuffleRecords:   c.metrics.ShuffleRecords.Load(),
 		BroadcastRecords: c.metrics.BroadcastRecords.Load(),
 		StagesRun:        c.metrics.StagesRun.Load(),
+		VectorRuns:       c.metrics.VectorRuns.Load(),
+		VectorMorsels:    c.metrics.VectorMorsels.Load(),
+		VectorWorkers:    c.metrics.VectorWorkers.Load(),
 	}
 }
 
@@ -107,7 +119,19 @@ func (c *Context) ResetMetrics() {
 	c.metrics.ShuffleRecords.Store(0)
 	c.metrics.BroadcastRecords.Store(0)
 	c.metrics.StagesRun.Store(0)
+	c.metrics.VectorRuns.Store(0)
+	c.metrics.VectorMorsels.Store(0)
+	c.metrics.VectorWorkers.Store(0)
 }
+
+// AddVectorRun counts one vector-backend pipeline evaluation.
+func (c *Context) AddVectorRun() { c.metrics.VectorRuns.Add(1) }
+
+// AddVectorMorsels counts scan morsels processed by the vector backend.
+func (c *Context) AddVectorMorsels(n int64) { c.metrics.VectorMorsels.Add(n) }
+
+// AddVectorWorkers counts worker tasks launched by the vector backend.
+func (c *Context) AddVectorWorkers(n int64) { c.metrics.VectorWorkers.Add(n) }
 
 // AddRecordsRead is called by input sources when they produce records.
 func (c *Context) AddRecordsRead(n int64) { c.metrics.RecordsRead.Add(n) }

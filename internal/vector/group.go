@@ -29,9 +29,11 @@ type aggState struct {
 	cur     item.Item
 }
 
-// groupState is one group: the first-seen key values (nil = absent) and
-// the per-aggregate accumulators.
+// groupState is one group: the first-seen key values (nil = absent), the
+// canonical key encoding it buckets under (kept so partial tables merge
+// without re-encoding), and the per-aggregate accumulators.
 type groupState struct {
+	key  string
 	keys []item.Item
 	aggs []aggState
 }
@@ -77,13 +79,14 @@ func (g *Groups) Update(keyCols, aggCols []*Col, n int) error {
 		st, ok := g.m[string(g.keyBuf)]
 		if !ok {
 			st = &groupState{
+				key:  string(g.keyBuf),
 				keys: make([]item.Item, len(keyCols)),
 				aggs: make([]aggState, len(g.kinds)),
 			}
 			for k, kc := range keyCols {
 				st.keys[k] = kc.Item(i)
 			}
-			g.m[string(g.keyBuf)] = st
+			g.m[st.key] = st
 			g.order = append(g.order, st)
 		}
 		for j := range g.kinds {
@@ -162,6 +165,97 @@ func (g *Groups) updateAgg(a *aggState, kind AggKind, isMin bool, col *Col, i in
 	}
 }
 
+// Merge folds other's groups into g, preserving global first-seen order
+// when partial tables are merged in morsel index order: other's new groups
+// append after g's in other's own first-seen order, and an existing
+// group's accumulators combine with other's as the later partial. Merging
+// per-morsel partials left to right is the parallel backend's determinism
+// contract — the result depends only on the morsel order, never on which
+// worker processed which morsel.
+func (g *Groups) Merge(other *Groups) error {
+	for _, ost := range other.order {
+		st, ok := g.m[ost.key]
+		if !ok {
+			// Adopt the partial state wholesale: first-seen keys and
+			// accumulators travel as-is.
+			g.m[ost.key] = ost
+			g.order = append(g.order, ost)
+			continue
+		}
+		for j := range g.kinds {
+			if err := mergeAgg(&st.aggs[j], &ost.aggs[j], g.kinds[j], g.isMin[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mergeAgg combines o (the later partial) into a. The combination mirrors
+// the row-at-a-time fold: counts add, partial sums add through the fast
+// int lane with the same overflow promotion, and min/max keep a on ties so
+// the earlier partial's first-seen extremum survives.
+func mergeAgg(a, o *aggState, kind AggKind, isMin bool) error {
+	if o.n == 0 {
+		return nil
+	}
+	if a.n == 0 {
+		*a = *o
+		return nil
+	}
+	switch kind {
+	case AggCount:
+		a.n += o.n
+		return nil
+	case AggSum, AggAvg:
+		if a.fastInt && o.fastInt {
+			v := o.intSum
+			r := a.intSum + v
+			if (v > 0 && r < a.intSum) || (v < 0 && r > a.intSum) {
+				res, err := item.Arithmetic(item.OpAdd, item.Int(a.intSum), item.Int(v))
+				if err != nil {
+					return err
+				}
+				a.cur = res
+				a.fastInt = false
+			} else {
+				a.intSum = r
+			}
+		} else {
+			res, err := item.Arithmetic(item.OpAdd, a.sum(), o.sum())
+			if err != nil {
+				return err
+			}
+			a.cur = res
+			a.fastInt = false
+		}
+		a.n += o.n
+		return nil
+	default: // AggMin, AggMax
+		c, err := item.CompareValues(o.cur, a.cur)
+		if err != nil {
+			return fmt.Errorf("min/max: %v", err)
+		}
+		if (isMin && c < 0) || (!isMin && c > 0) {
+			a.cur = o.cur
+		}
+		a.n += o.n
+		return nil
+	}
+}
+
+// EnsureGrand guarantees the single group of a grand (no group-by)
+// aggregation exists, so empty input still finalizes to the builtin
+// aggregates' empty-sequence results (count 0, sum 0, empty avg/min/max).
+func (g *Groups) EnsureGrand() {
+	if len(g.order) != 0 {
+		return
+	}
+	st := &groupState{aggs: make([]aggState, len(g.kinds))}
+	g.m[st.key] = st
+	g.order = append(g.order, st)
+}
+
 // numericTag reports whether present row i of col is numeric.
 func numericTag(col *Col, i int) bool {
 	j := col.idx(i)
@@ -194,12 +288,12 @@ func (g *Groups) Agg(gi, j int) (item.Item, error) {
 		if a.n == 0 {
 			return item.Int(0), nil
 		}
-		return g.sumItem(a), nil
+		return a.sum(), nil
 	case AggAvg:
 		if a.n == 0 {
 			return nil, nil
 		}
-		return item.Arithmetic(item.OpDiv, g.sumItem(a), item.Int(a.n))
+		return item.Arithmetic(item.OpDiv, a.sum(), item.Int(a.n))
 	default: // AggMin, AggMax
 		if a.n == 0 {
 			return nil, nil
@@ -208,7 +302,8 @@ func (g *Groups) Agg(gi, j int) (item.Item, error) {
 	}
 }
 
-func (g *Groups) sumItem(a *aggState) item.Item {
+// sum returns the running sum as an item, materializing the fast int lane.
+func (a *aggState) sum() item.Item {
 	if a.fastInt {
 		return item.Int(a.intSum)
 	}

@@ -225,6 +225,137 @@ func TestGroupsFirstSeenOrderAndEmptyAggs(t *testing.T) {
 	}
 }
 
+// TestGroupsMergeMatchesSequential pins the mergeable-state contract: a
+// fold split into per-chunk partial tables merged in chunk order produces
+// the same groups — order, keys, counts, sums, extrema — as one continuous
+// fold, for any chunking. This is what makes morsel-parallel grouped
+// aggregation deterministic across worker counts.
+func TestGroupsMergeMatchesSequential(t *testing.T) {
+	kinds := []AggKind{AggCount, AggSum, AggAvg, AggMin, AggMax}
+	var keys, vals []item.Item
+	for i := 0; i < 100; i++ {
+		switch i % 9 {
+		case 7:
+			keys = append(keys, nil) // absent key
+		case 8:
+			keys = append(keys, item.Double(float64(i%5)))
+		default:
+			keys = append(keys, item.Int(int64(i%5)))
+		}
+		if i%11 == 10 {
+			vals = append(vals, nil) // absent value
+		} else {
+			vals = append(vals, item.Int(int64(i)))
+		}
+	}
+	fold := func(chunk int) *Groups {
+		var merged *Groups
+		for start := 0; start < len(keys); start += chunk {
+			end := min(start+chunk, len(keys))
+			part := NewGroups(1, kinds)
+			kc, vc := colOf(keys[start:end]...), colOf(vals[start:end]...)
+			if err := part.Update([]*Col{kc}, []*Col{vc, vc, vc, vc, vc}, end-start); err != nil {
+				t.Fatal(err)
+			}
+			if merged == nil {
+				merged = part
+			} else if err := merged.Merge(part); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return merged
+	}
+	whole := fold(len(keys))
+	for _, chunk := range []int{1, 3, 7, 33, 99} {
+		got := fold(chunk)
+		if got.Len() != whole.Len() {
+			t.Fatalf("chunk %d: %d groups, want %d", chunk, got.Len(), whole.Len())
+		}
+		for gi := 0; gi < whole.Len(); gi++ {
+			wk, gk := whole.Key(gi, 0), got.Key(gi, 0)
+			if (wk == nil) != (gk == nil) || (wk != nil && wk.String() != gk.String()) {
+				t.Fatalf("chunk %d: group %d key = %v, want %v", chunk, gi, gk, wk)
+			}
+			for j := range kinds {
+				w, err := whole.Agg(gi, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g, err := got.Agg(gi, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if (w == nil) != (g == nil) || (w != nil && w.String() != g.String()) {
+					t.Fatalf("chunk %d: group %d agg %d = %v, want %v", chunk, gi, j, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestGroupsMergeKeepsFirstSeenExtremum pins min/max tie-breaking across a
+// merge: when partials hold compare-equal extrema of different types (Int 5
+// vs Double 5.0), the earlier partial's first-seen value survives, exactly
+// as the continuous left-to-right fold keeps the first of equals.
+func TestGroupsMergeKeepsFirstSeenExtremum(t *testing.T) {
+	kinds := []AggKind{AggMin, AggMax}
+	key := ConstCol(item.Str("k"))
+	a := NewGroups(1, kinds)
+	av := colOf(item.Int(5))
+	if err := a.Update([]*Col{key}, []*Col{av, av}, 1); err != nil {
+		t.Fatal(err)
+	}
+	b := NewGroups(1, kinds)
+	bv := colOf(item.Double(5))
+	if err := b.Update([]*Col{key}, []*Col{bv, bv}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for j := range kinds {
+		res, err := a.Agg(0, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Kind() != item.KindInteger {
+			t.Fatalf("agg %d kept %s (%v), want the first-seen integer", j, res.Kind(), res)
+		}
+	}
+}
+
+// TestGroupsMergeGrand pins the grand-aggregate helpers: EnsureGrand
+// materializes the single implicit group of an empty fold, and merging
+// keyless partials combines their accumulators.
+func TestGroupsMergeGrand(t *testing.T) {
+	kinds := []AggKind{AggCount, AggSum}
+	empty := NewGroups(0, kinds)
+	empty.EnsureGrand()
+	if empty.Len() != 1 {
+		t.Fatalf("EnsureGrand: %d groups, want 1", empty.Len())
+	}
+	if res, err := empty.Agg(0, 0); err != nil || res.String() != "0" {
+		t.Fatalf("empty grand count = %v, %v", res, err)
+	}
+	if res, err := empty.Agg(0, 1); err != nil || res.String() != "0" {
+		t.Fatalf("empty grand sum = %v, %v", res, err)
+	}
+	part := NewGroups(0, kinds)
+	v := colOf(item.Int(2), item.Int(3))
+	if err := part.Update(nil, []*Col{v, v}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.Merge(part); err != nil {
+		t.Fatal(err)
+	}
+	if res, _ := empty.Agg(0, 0); res.String() != "2" {
+		t.Fatalf("merged grand count = %v, want 2", res)
+	}
+	if res, _ := empty.Agg(0, 1); res.String() != "5" {
+		t.Fatalf("merged grand sum = %v, want 5", res)
+	}
+}
+
 func TestCompactAndConst(t *testing.T) {
 	c := colOf(item.Int(1), item.Int(2), item.Int(3))
 	out := c.Compact([]bool{true, false, true}, 2)

@@ -59,7 +59,9 @@ type Config struct {
 	// Parallelism is the default number of RDD/DataFrame partitions.
 	Parallelism int
 	// Executors bounds concurrently running partition tasks, emulating
-	// the total executor cores of a cluster.
+	// the total executor cores of a cluster. The vector backend sizes its
+	// morsel worker pool by the same knob, so local columnar queries scale
+	// with it too.
 	Executors int
 	// MaxResultItems caps locally collected result sizes (0 = unlimited),
 	// like Rumble's shell materialization cap.
@@ -184,7 +186,8 @@ func (e *Engine) Explain(query string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	info, err := compiler.Analyze(m, compiler.Options{Cluster: e.env.Spark != nil, NoJoin: e.env.NoJoin, Vectorize: e.env.Vectorize})
+	info, err := compiler.Analyze(m, compiler.Options{Cluster: e.env.Spark != nil, NoJoin: e.env.NoJoin,
+		Vectorize: e.env.Vectorize, Executors: e.sc.Conf().Executors})
 	if err != nil {
 		return "", err
 	}
