@@ -392,6 +392,64 @@ func BenchmarkAblation_ParallelVectorVsVector(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_VectorSortTopKJoin measures the columnar sort, the
+// fused top-k and the vector hash join against their tuple-at-a-time
+// counterparts. The top-k sweep runs the same bounded order-by three ways:
+// fused into a columnar TopK operator that never materializes the tail
+// (Vectorize on), as a full columnar sort of the same input (the bound
+// removed, so every row is sorted and emitted), and through the tuple
+// order-by + count + where pipeline (Vectorize off). The join case runs
+// the count-wrapped equi-join through the vector probe pipeline and
+// through the tuple hash join. Recorded numbers live in
+// BENCH_vector_sort_join.json.
+func BenchmarkAblation_VectorSortTopKJoin(b *testing.B) {
+	path := confusionPath(b, fig11Objects)
+	topK := fmt.Sprintf(`
+		for $o in json-file(%q)
+		order by $o.score descending, $o.target
+		count $rank
+		where $rank le 25
+		return { "t": $o.target, "s": $o.score }`, path)
+	fullSort := fmt.Sprintf(`
+		for $o in json-file(%q)
+		order by $o.score descending, $o.target
+		return { "t": $o.target, "s": $o.score }`, path)
+	run := func(b *testing.B, query string, vectorize bool, wantN int) {
+		b.Helper()
+		eng := rumble.New(rumble.Config{Parallelism: 8, Executors: 4,
+			SplitSize: benchSplit, Vectorize: vectorize})
+		st, err := eng.Compile(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if vectorize && st.Mode() != "Vector" {
+			b.Fatalf("mode = %s, want Vector", st.Mode())
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			if err := st.Stream(func(rumble.Item) error { n++; return nil }); err != nil {
+				b.Fatal(err)
+			}
+			if n != wantN {
+				b.Fatalf("result rows = %d, want %d", n, wantN)
+			}
+		}
+	}
+	b.Run("topk/fused-vector", func(b *testing.B) { run(b, topK, true, 25) })
+	b.Run("topk/full-sort-vector", func(b *testing.B) { run(b, fullSort, true, fig11Objects) })
+	b.Run("topk/tuple", func(b *testing.B) { run(b, topK, false, 25) })
+
+	const joinOrders = 4_000
+	orders, customers, err := bench.JoinDataset(benchBase, joinOrders)
+	if err != nil {
+		b.Fatal(err)
+	}
+	joinQuery := bench.JoinQuery(orders, customers)
+	b.Run("join/vector", func(b *testing.B) { run(b, joinQuery, true, 1) })
+	b.Run("join/tuple-hash", func(b *testing.B) { run(b, joinQuery, false, 1) })
+}
+
 // BenchmarkQueryCompilation isolates the frontend: lexing, parsing, static
 // analysis and iterator construction of a realistic query.
 func BenchmarkQueryCompilation(b *testing.B) {

@@ -126,9 +126,21 @@ var vectorExplainGoldens = []struct {
 	{"vector-grand-agg", `sum(for $o in json-file("confusion.jsonl")
 		where $o.guess eq $o.target
 		return $o.score)`},
-	{"vector-ineligible-orderby", `for $o in json-file("confusion.jsonl")
+	{"vector-orderby", `for $o in json-file("confusion.jsonl")
 		order by $o.target
 		return $o.target`},
+	{"vector-topk", `for $o in json-file("confusion.jsonl")
+		order by $o.score descending, $o.target
+		count $rank where $rank le 25
+		return { "t": $o.target, "s": $o.score }`},
+	{"vector-join", `for $o in json-file("orders.jsonl")
+		for $c in json-file("customers.jsonl")
+		where $o.cust eq $c.cid
+		return { "oid": $o.oid, "name": $c.name }`},
+	{"vector-ineligible-orderby-after-group", `for $o in json-file("confusion.jsonl")
+		group by $t := $o.target
+		order by $t
+		return $t`},
 }
 
 func TestExplainVectorGolden(t *testing.T) {
@@ -147,11 +159,15 @@ func TestExplainVectorGolden(t *testing.T) {
 func TestExplainVectorModesPinned(t *testing.T) {
 	eng := New(Config{Vectorize: true})
 	wantRootMode := map[string]string{
-		"vector-groupby-agg":        "[Vector x4]",
-		"vector-filter-project":     "[Vector x4]",
-		"vector-let-rdd-head":       "[Vector x4]",
-		"vector-grand-agg":          "[Vector x4]",
-		"vector-ineligible-orderby": "[DataFrame]",
+		"vector-groupby-agg":    "[Vector x4]",
+		"vector-filter-project": "[Vector x4]",
+		"vector-let-rdd-head":   "[Vector x4]",
+		"vector-grand-agg":      "[Vector x4]",
+		"vector-orderby":        "[Vector x4]",
+		"vector-topk":           "[Vector x4]",
+		"vector-join":           "[Vector x4]",
+		// order-by after group-by stays outside the vector grammar.
+		"vector-ineligible-orderby-after-group": "[DataFrame]",
 	}
 	for _, tc := range vectorExplainGoldens {
 		plan := mustExplain(t, eng, tc.query)
@@ -164,6 +180,27 @@ func TestExplainVectorModesPinned(t *testing.T) {
 		if want := wantRootMode[tc.name]; !strings.HasSuffix(rootLine, want) {
 			t.Errorf("%s: root %q, want mode %s", tc.name, rootLine, want)
 		}
+	}
+	// The vectorized plans carry their physical operators: a columnar Sort,
+	// a fused bounded TopK, and the hash join consumed by the vector head.
+	wantOperator := map[string]string{
+		"vector-orderby": "Sort",
+		"vector-topk":    "TopK(25)",
+		"vector-join":    "Join[hash] for $o, for $c",
+	}
+	for _, tc := range vectorExplainGoldens {
+		want, pinned := wantOperator[tc.name]
+		if !pinned {
+			continue
+		}
+		if plan := mustExplain(t, eng, tc.query); !strings.Contains(plan, want) {
+			t.Errorf("%s: plan lacks %q:\n%s", tc.name, want, plan)
+		}
+	}
+	// A fused top-k consumes its count clause: the bound lives in the
+	// operator, not in a clause line.
+	if plan := mustExplain(t, eng, vectorExplainGoldens[5].query); strings.Contains(plan, "count $rank") {
+		t.Errorf("vector-topk: fused count clause still rendered:\n%s", plan)
 	}
 	// Without the option, the same aggregation query stays a DataFrame.
 	plain := New(Config{})

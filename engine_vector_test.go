@@ -3,6 +3,8 @@ package rumble
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
@@ -49,6 +51,33 @@ func vectorConformanceData(t *testing.T, eng *Engine) {
 		mk(item.Double(1<<53), 7),
 	})
 	if err := eng.RegisterJSON("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Join dimensions: duplicate codes (multi-match expansion), a null key
+	// (eq null matches null) and an absent key (matches nothing).
+	if err := eng.RegisterJSON("langs", []string{
+		`{"code":"fr","name":"French"}`,
+		`{"code":"en","name":"English"}`,
+		`{"code":"fr","name":"Français"}`,
+		`{"code":null,"name":"nullish"}`,
+		`{"name":"keyless"}`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterJSON("nulls", []string{
+		`{"k":null,"v":1}`,
+		`{"k":1,"v":2}`,
+		`{"v":3}`,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterJSON("dims", []string{
+		`{"g":0,"name":"zero"}`,
+		`{"g":1,"name":"one"}`,
+		`{"g":2,"name":"two"}`,
+		`{"g":3,"name":"three"}`,
+		`{"g":5,"name":"five"}`,
+	}); err != nil {
 		t.Fatal(err)
 	}
 	if err := eng.RegisterJSON("strnum", []string{
@@ -391,19 +420,223 @@ func TestVectorLocalConformance(t *testing.T) {
 			wantMode: "Vector",
 			floatSum: true,
 		},
-		// Ineligible shapes keep their non-vector mode but must still agree.
+		// Columnar order-by: per-morsel sorted runs k-way merged in morsel
+		// index order must reproduce the tuple backend's stable sort exactly.
 		{
-			name: "order by stays non-vector",
+			name: "order by descending",
 			query: `for $o in collection("games")
 				order by $o.score descending
 				return $o.score`,
-			wantMode: "DataFrame",
+			wantMode: "Vector",
 		},
 		{
-			name: "positional variable stays non-vector",
+			name: "order by two keys with ties",
+			query: `for $o in collection("games")
+				order by $o.target, $o.score descending
+				return { "t": $o.target, "s": $o.score }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "order by empty greatest over absent keys",
+			query: `for $o in collection("nulls")
+				order by $o.k empty greatest
+				return $o.v`,
+			wantMode: "Vector",
+		},
+		{
+			name: "order by nan negative zero and beyond 2^53",
+			query: `for $o in collection("edge")
+				order by $o.k
+				return $o.w`,
+			wantMode: "Vector",
+		},
+		{
+			name: "multi-morsel order by with massive ties",
+			query: `for $o in collection("wide")
+				order by $o.g descending
+				return $o.v`,
+			wantMode: "Vector",
+		},
+		{
+			name: "order by after filter and let",
+			query: `for $o in collection("wide")
+				let $d := $o.v * 2
+				where $o.g ge 3
+				order by $d descending
+				return $d`,
+			wantMode: "Vector",
+		},
+		{
+			name: "order by string number mix errors",
+			query: `for $o in collection("strnum")
+				order by $o.s
+				return $o.n`,
+			wantMode:  "Vector",
+			wantErr:   true,
+			wantErrIn: "mixes strings and numbers",
+		},
+		{
+			name: "order by non-atomic key errors",
+			query: `for $o in collection("widebad")
+				order by $o.v
+				return $o.g`,
+			wantMode: "Vector",
+			wantErr:  true,
+			// Row 3500's object key fails the per-row atomicity check; the
+			// string at row 1500 only feeds the end-of-stream mix check,
+			// which an earlier hard error preempts.
+			wantErrIn: "non-atomic",
+		},
+		// Fused top-k: the count + where bound folds into the sort, so only
+		// k rows survive per morsel and per merge.
+		{
+			name: "fused top-k descending",
+			query: `for $o in collection("wide")
+				order by $o.v descending
+				count $rank where $rank le 10
+				return $o.v`,
+			wantMode: "Vector",
+		},
+		{
+			name: "fused top-k lt bound with ties",
+			query: `for $o in collection("wide")
+				order by $o.g
+				count $rank where $rank lt 5
+				return $o.v`,
+			wantMode: "Vector",
+		},
+		{
+			name: "fused top-k larger than input",
+			query: `for $o in collection("games")
+				order by $o.score
+				count $rank where $rank le 100
+				return $o.score`,
+			wantMode: "Vector",
+		},
+		// Positional clauses derive from morsel scan indices.
+		{
+			name: "positional variable",
 			query: `for $o at $i in collection("games")
 				return $i * $o.score`,
-			wantMode: "DataFrame",
+			wantMode: "Vector",
+		},
+		{
+			name: "multi-morsel positional filter",
+			query: `for $o at $i in collection("wide")
+				where $i le 3000
+				return $i + $o.v`,
+			wantMode: "Vector",
+		},
+		{
+			name: "count clause before filter",
+			query: `for $o in collection("wide")
+				count $c
+				where $c lt 2500
+				return $c * 2`,
+			wantMode: "Vector",
+		},
+		// Hash equi-joins: eq-faithful against the tuple backend's nested
+		// loop, including null-match, empty-drop, expansion order and the
+		// cross-side type conflict error.
+		{
+			name: "hash equi-join multi-match",
+			query: `for $o in collection("games")
+				for $l in collection("langs")
+				where $o.target eq $l.code
+				return { "g": $o.guess, "t": $o.target, "name": $l.name }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "join null matches null and absent drops",
+			query: `for $a in collection("nulls")
+				for $b in collection("nulls")
+				where $a.k eq $b.k
+				return { "l": $a.v, "r": $b.v }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "join with residual predicate",
+			query: `for $o in collection("games")
+				for $l in collection("langs")
+				where $o.target eq $l.code and $o.score ge 3
+				return { "s": $o.score, "name": $l.name }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "multi-morsel join",
+			query: `for $o in collection("wide")
+				for $d in collection("dims")
+				where $o.g eq $d.g
+				return { "v": $o.v, "name": $d.name }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "join cross-type keys error",
+			query: `for $a in collection("messy")
+				for $b in collection("messy")
+				where $a.k eq $b.k
+				return { "l": $a.v, "r": $b.v }`,
+			wantMode:  "Vector",
+			wantErr:   true,
+			wantErrIn: "non-comparable",
+		},
+		{
+			name: "join then order by",
+			query: `for $o in collection("wide")
+				for $d in collection("dims")
+				where $o.g eq $d.g
+				order by $o.v descending
+				count $rank where $rank le 7
+				return { "v": $o.v, "name": $d.name }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "join then group",
+			query: `for $o in collection("wide")
+				for $d in collection("dims")
+				where $o.g eq $d.g
+				group by $name := $d.name
+				return { "name": $name, "n": count($o), "s": sum($o.v) }`,
+			wantMode: "Vector",
+		},
+		{
+			name: "grand count over join",
+			query: `count(for $o in collection("wide")
+				for $d in collection("dims")
+				where $o.g eq $d.g
+				return $o)`,
+			wantMode: "Vector",
+		},
+		// Existence tests fold as early-exit grand counts.
+		{
+			name:     "exists true",
+			query:    `exists(for $o in collection("wide") where $o.v ge 4999 return $o)`,
+			wantMode: "Vector",
+		},
+		{
+			name:     "exists false",
+			query:    `exists(for $o in collection("games") where $o.score gt 100 return $o)`,
+			wantMode: "Vector",
+		},
+		{
+			name:     "empty over filtered scan",
+			query:    `empty(for $o in collection("wide") where $o.v ge 10 return $o)`,
+			wantMode: "Vector",
+		},
+		{
+			name:     "count eq zero fuses to existence",
+			query:    `count(for $o in collection("wide") where $o.v ge 10 return $o) eq 0`,
+			wantMode: "Vector",
+		},
+		{
+			name:     "zero eq count flipped literal",
+			query:    `0 eq count(for $o in collection("games") where $o.score gt 100 return $o)`,
+			wantMode: "Vector",
+		},
+		{
+			name:     "exists over empty scan",
+			query:    `exists(for $o in collection("empty") return $o)`,
+			wantMode: "Vector",
 		},
 	}
 
@@ -518,4 +751,107 @@ func sortedLines(items []Item) string {
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")
+}
+
+// TestVectorEarlyExitReadsFraction pins the early-exit satellite with
+// metrics: an existence test over a 20k-row file-backed scan must stop
+// reading as soon as the answer is decided, so the records actually read
+// stay far below the collection size — a small prefix in the serial case,
+// and at most the bounded in-flight window in the parallel case.
+func TestVectorEarlyExitReadsFraction(t *testing.T) {
+	const rows = 20000
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, `{"v": %d}`+"\n", i)
+	}
+	path := filepath.Join(t.TempDir(), "big.jsonl")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		workers int
+		maxRead int64
+	}{
+		{workers: 1, maxRead: 2048},  // strictly the first morsel or two
+		{workers: 2, maxRead: 12288}, // one merged + the paced in-flight window
+	} {
+		eng := New(Config{Parallelism: 2, Executors: tc.workers, Vectorize: true})
+		for _, query := range []string{
+			fmt.Sprintf(`exists(for $o in json-file(%q) where $o.v ge 0 return $o)`, path),
+			fmt.Sprintf(`count(for $o in json-file(%q) where $o.v ge 0 return $o) eq 0`, path),
+		} {
+			st, err := eng.Compile(query)
+			if err != nil {
+				t.Fatalf("workers=%d: compile: %v", tc.workers, err)
+			}
+			if st.Mode() != "Vector" {
+				t.Fatalf("workers=%d: mode = %s, want Vector", tc.workers, st.Mode())
+			}
+			eng.ResetMetrics()
+			items, err := streamAll(st)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", tc.workers, err)
+			}
+			want := "true"
+			if strings.Contains(query, "eq 0") {
+				want = "false"
+			}
+			if got := item.SerializeSequence(items); got != want {
+				t.Fatalf("workers=%d: result = %s, want %s", tc.workers, got, want)
+			}
+			if got := eng.Metrics().RecordsRead; got > tc.maxRead {
+				t.Errorf("workers=%d: RecordsRead = %d, want <= %d (early exit must stop the scan)",
+					tc.workers, got, tc.maxRead)
+			}
+		}
+		// The negative case still scans everything — no rows survive the
+		// filter, so the decision needs the whole input.
+		st, err := eng.Compile(fmt.Sprintf(
+			`exists(for $o in json-file(%q) where $o.v lt 0 return $o)`, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.ResetMetrics()
+		items, err := streamAll(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := item.SerializeSequence(items); got != "false" {
+			t.Fatalf("negative exists = %s, want false", got)
+		}
+		if got := eng.Metrics().RecordsRead; got != rows {
+			t.Errorf("workers=%d: negative exists RecordsRead = %d, want %d", tc.workers, got, rows)
+		}
+	}
+}
+
+// TestVectorSortJoinMetrics pins the new backend counters: sort and top-k
+// runs count per evaluation, and join probe output rows accumulate.
+func TestVectorSortJoinMetrics(t *testing.T) {
+	eng := New(Config{Parallelism: 2, Executors: 2, Vectorize: true})
+	vectorConformanceData(t, eng)
+	run := func(q string) {
+		t.Helper()
+		st, err := eng.Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := streamAll(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.ResetMetrics()
+	run(`for $o in collection("games") order by $o.score return $o.score`)
+	if m := eng.Metrics(); m.VectorSortRuns != 1 || m.VectorTopKRuns != 0 {
+		t.Errorf("after sort: sort runs = %d, topk runs = %d, want 1, 0", m.VectorSortRuns, m.VectorTopKRuns)
+	}
+	run(`for $o in collection("games") order by $o.score count $c where $c le 2 return $o.score`)
+	if m := eng.Metrics(); m.VectorSortRuns != 1 || m.VectorTopKRuns != 1 {
+		t.Errorf("after topk: sort runs = %d, topk runs = %d, want 1, 1", m.VectorSortRuns, m.VectorTopKRuns)
+	}
+	run(`for $o in collection("games") for $l in collection("langs")
+		where $o.target eq $l.code return $l.name`)
+	if m := eng.Metrics(); m.VectorJoinRows == 0 {
+		t.Error("after join: VectorJoinRows = 0, want > 0")
+	}
 }

@@ -200,8 +200,21 @@ func (p *explainPrinter) expr(depth int, prefix string, e ast.Expr) {
 			p.join(depth+1, jp)
 			clauses = clauses[3:] // for, for, where consumed by the join
 		}
-		for _, cl := range clauses {
-			p.clause(depth+1, cl)
+		vp := p.info.VectorPlans[n]
+		for ci := 0; ci < len(clauses); ci++ {
+			if ob, ok := clauses[ci].(*ast.OrderByClause); ok && vp != nil && vp.OrderBy == ob {
+				// A vectorized order-by runs as a columnar sort operator; a
+				// fused top-k absorbs the trailing count + where bound.
+				label := "Sort"
+				if vp.TopK > 0 {
+					label = fmt.Sprintf("TopK(%d)", vp.TopK)
+					ci += 2
+				}
+				p.line(depth+1, label, nil)
+				p.orderKeys(depth+2, ob)
+				continue
+			}
+			p.clause(depth+1, clauses[ci])
 		}
 		p.line(depth+1, "return", nil)
 		p.expr(depth+2, "", n.Return)
@@ -272,18 +285,24 @@ func (p *explainPrinter) clause(depth int, cl ast.Clause) {
 		}
 	case *ast.OrderByClause:
 		p.line(depth, "order by", nil)
-		for _, spec := range n.Specs {
-			role := "key"
-			if spec.Descending {
-				role += " descending"
-			}
-			if spec.EmptyGreatest {
-				role += " empty greatest"
-			}
-			p.expr(depth+1, role+": ", spec.Expr)
-		}
+		p.orderKeys(depth+1, n)
 	case *ast.CountClause:
 		p.line(depth, "count $"+n.Var, nil)
+	}
+}
+
+// orderKeys renders the key lines of an order-by clause (or of the Sort /
+// TopK operator it vectorizes into).
+func (p *explainPrinter) orderKeys(depth int, n *ast.OrderByClause) {
+	for _, spec := range n.Specs {
+		role := "key"
+		if spec.Descending {
+			role += " descending"
+		}
+		if spec.EmptyGreatest {
+			role += " empty greatest"
+		}
+		p.expr(depth, role+": ", spec.Expr)
 	}
 }
 

@@ -170,6 +170,12 @@ func (c *checker) annotate(e ast.Expr) Mode {
 	case *ast.Comparison:
 		c.annotate(n.L)
 		c.annotate(n.R)
+		// "count(F) eq 0" over a vector pipeline is an emptiness test: fold
+		// it as an early-exit grand aggregate instead of counting the scan.
+		if call := c.countZeroCall(n); call != nil {
+			c.info.VectorCountZero[n] = call
+			mode = ModeVector
+		}
 	case *ast.Logic:
 		c.annotate(n.L)
 		c.annotate(n.R)
@@ -277,13 +283,14 @@ func (c *checker) annotateCall(n *ast.FunctionCall) Mode {
 			c.info.Pushdown[n] = true
 			break
 		}
-		// A grand aggregate over a vector-eligible non-grouped pipeline
-		// folds inside the columnar backend: the scan, filters and the
-		// accumulator all run morsel-driven, nothing materializes between
-		// the FLWOR and the aggregate.
-		if c.vectorize && VectorAggregates[n.Name] && len(n.Args) == 1 {
+		// A grand aggregate over a vector-eligible non-grouped, non-sorted
+		// pipeline folds inside the columnar backend: the scan, filters and
+		// the accumulator all run morsel-driven, nothing materializes
+		// between the FLWOR and the aggregate. exists and empty fold as
+		// early-exit counts — remaining morsels cancel once decided.
+		if c.vectorize && VectorGrandAggregates[n.Name] && len(n.Args) == 1 {
 			if f, isFLWOR := n.Args[0].(*ast.FLWOR); isFLWOR {
-				if vp := c.info.VectorPlans[f]; vp != nil && !vp.Grouped {
+				if vp := c.info.VectorPlans[f]; vp != nil && !vp.Grouped && vp.OrderBy == nil {
 					c.info.VectorAggs[n] = true
 					return ModeVector
 				}
@@ -364,21 +371,26 @@ func (c *checker) annotateFLWOR(f *ast.FLWOR) Mode {
 		}
 	}
 	c.annotate(f.Return)
+	// Join detection runs first: it only fires on DataFrame-shaped FLWORs
+	// (two parallel for clauses plus an equi-where), and a detected join
+	// plan is itself input to vector eligibility — when the keys and the
+	// pipeline tail are vectorizable, the same JoinPlan compiles to a
+	// vector hash join instead of a DataFrame shuffle join.
+	if mode == ModeDataFrame {
+		if plan := c.detectJoin(f); plan != nil {
+			c.info.Joins[f] = plan
+		}
+	}
 	// The columnar local backend takes precedence over both Local and
 	// DataFrame execution when enabled and the pipeline shape is eligible:
-	// a hot scan→filter→project→group pipeline runs faster batch-at-a-time
-	// on the driver than tuple-at-a-time (Local) or through the exchange
-	// machinery (DataFrame). Join-shaped FLWORs are never vector-eligible
-	// (they need two for clauses), so join detection is unaffected.
+	// a hot scan→filter→sort→project→group pipeline runs faster
+	// batch-at-a-time on the driver than tuple-at-a-time (Local) or through
+	// the exchange machinery (DataFrame). The JoinPlan stays recorded either
+	// way, so the tuple fallback of a vector join keeps hash semantics.
 	if c.vectorize {
 		if vp := c.detectVector(f); vp != nil {
 			mode = ModeVector
 			c.info.VectorPlans[f] = vp
-		}
-	}
-	if mode == ModeDataFrame {
-		if plan := c.detectJoin(f); plan != nil {
-			c.info.Joins[f] = plan
 		}
 	}
 	return mode

@@ -16,12 +16,37 @@ type VectorPlan struct {
 	// Grouped reports whether the pipeline ends in a group-by, i.e. the
 	// vector run aggregates instead of projecting row-by-row.
 	Grouped bool
+	// OrderBy is the order-by clause the backend runs as a columnar sort
+	// (each morsel worker sorts a run, the coordinator k-way-merges them);
+	// nil when the pipeline has none.
+	OrderBy *ast.OrderByClause
+	// TopK, when positive, bounds the sort: the clause tail was
+	// "count $c where $c le/lt K" (or the flipped ge/gt form), so the
+	// backend keeps a bounded top-k per morsel and never materializes the
+	// tail. The count variable itself is fused away.
+	TopK int64
+	// Join reports that the FLWOR's detected equi-join (Info.Joins) runs as
+	// a vector hash join: the right side builds a pre-sized hash table, the
+	// left side probes it morsel by morsel.
+	Join bool
+	// Positional reports that the pipeline binds scan positions — a
+	// positional "at $p" variable or a pre-filter count clause — derived
+	// from morsel scan indices.
+	Positional bool
 }
 
 // VectorAggregates are the aggregation builtins the vector backend folds
 // with columnar accumulators after a group-by.
 var VectorAggregates = map[string]bool{
 	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+// VectorGrandAggregates are the builtins the backend folds as grand (no
+// group-by) aggregates over a vector pipeline. exists and empty fold as
+// early-exit counts: the scan cancels as soon as the answer is decided.
+var VectorGrandAggregates = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+	"exists": true, "empty": true,
 }
 
 // VectorScalarFunctions are the scalar builtins the vector backend
@@ -36,19 +61,26 @@ var VectorScalarFunctions = map[string]bool{
 // detectVector decides whether f runs on the columnar local backend: an
 // unbroken pipeline of
 //
-//	[cluster-bound lets] for $x in <src> (let|where)* [group by] return <e>
+//	[cluster-bound lets] for $x [at $p] in <src> (let|where|count)*
+//	    [order by ... [count $c where $c le K]] | [group by] return <e>
 //
-// where every let value, where condition, group key and the return
+// or a detected equi-join (Info.Joins) followed by the same tail, where
+// every let value, where condition, sort key, join key and the return
 // expression are vector-compilable scalars (literals, variable references,
 // object-field lookups, arithmetic, value comparisons, and/or logic, object
 // and array constructors, and a whitelist of scalar builtins), and — after
 // a group-by — non-key variables are consumed only through aggregates.
 //
+// Positional variables and count clauses bind scan positions, so a count
+// is eligible only while no preceding filter (or join) has changed the row
+// count. An order-by whose tail is "count $c where $c le K" (the count
+// variable unused elsewhere) fuses into a bounded top-k. "allowing empty",
+// a nested for, order-by before group-by, or any non-vectorizable
+// expression declines eligibility and the FLWOR keeps its Local or
+// DataFrame mode.
+//
 // Cluster-bound lets stay hoisted exactly as in the tuple plan: the vector
-// scan begins after them, streaming the bound RDD through the driver. A
-// positional variable, "allowing empty", order-by, count clause, nested
-// for, or any non-vectorizable expression declines eligibility and the
-// FLWOR keeps its Local or DataFrame mode.
+// scan begins after them, streaming the bound RDD through the driver.
 func (c *checker) detectVector(f *ast.FLWOR) *VectorPlan {
 	clauses := f.Clauses
 	for len(clauses) > 0 {
@@ -61,15 +93,40 @@ func (c *checker) detectVector(f *ast.FLWOR) *VectorPlan {
 	if len(clauses) == 0 {
 		return nil
 	}
-	head, ok := clauses[0].(*ast.ForClause)
-	if !ok || head.AllowEmpty || head.PosVar != "" {
-		return nil
+	vp := &VectorPlan{}
+	bound := map[string]bool{}
+	filtered := false
+	var rest []ast.Clause
+	if jp := c.info.Joins[f]; jp != nil {
+		// detectJoin consumed f.Clauses[0:3] (for/for/where); it only fires
+		// on a leading for clause, so no cluster-bound lets were peeled.
+		for _, keys := range [][]ast.Expr{jp.LeftKeys, jp.RightKeys, jp.Residual} {
+			for _, k := range keys {
+				if !c.vectorizableExpr(k) {
+					return nil
+				}
+			}
+		}
+		vp.Join = true
+		bound[jp.Left.Var] = true
+		bound[jp.Right.Var] = true
+		filtered = true // join output positions are not scan positions
+		rest = clauses[3:]
+	} else {
+		head, ok := clauses[0].(*ast.ForClause)
+		if !ok || head.AllowEmpty {
+			return nil
+		}
+		bound[head.Var] = true
+		if head.PosVar != "" {
+			bound[head.PosVar] = true
+			vp.Positional = true
+		}
+		rest = clauses[1:]
 	}
-	bound := map[string]bool{head.Var: true}
 	var group *ast.GroupByClause
-	rest := clauses[1:]
-	for i, cl := range rest {
-		switch n := cl.(type) {
+	for i := 0; i < len(rest); i++ {
+		switch n := rest[i].(type) {
 		case *ast.LetClause:
 			if !c.vectorizableExpr(n.Value) {
 				return nil
@@ -79,11 +136,45 @@ func (c *checker) detectVector(f *ast.FLWOR) *VectorPlan {
 			if !c.vectorizableExpr(n.Cond) {
 				return nil
 			}
+			filtered = true
+		case *ast.CountClause:
+			if filtered {
+				return nil // count no longer equals the scan position
+			}
+			bound[n.Var] = true
+			vp.Positional = true
 		case *ast.GroupByClause:
 			if i != len(rest)-1 {
 				return nil // group-by must be the last clause
 			}
 			group = n
+		case *ast.OrderByClause:
+			for _, spec := range n.Specs {
+				if spec.Expr == nil || !c.vectorizableExpr(spec.Expr) {
+					return nil
+				}
+			}
+			// The sort must end the pipeline, except for the fused top-k
+			// tail: "count $c where $c le K" with $c unused in the return.
+			tail := rest[i+1:]
+			switch len(tail) {
+			case 0:
+			case 2:
+				cc, okC := tail[0].(*ast.CountClause)
+				wc, okW := tail[1].(*ast.WhereClause)
+				if !okC || !okW {
+					return nil
+				}
+				k, ok := topKBound(wc.Cond, cc.Var)
+				if !ok || k < 1 || exprUsesVar(f.Return, cc.Var) {
+					return nil
+				}
+				vp.TopK = k
+			default:
+				return nil
+			}
+			vp.OrderBy = n
+			i = len(rest) // tail consumed
 		default:
 			return nil
 		}
@@ -92,7 +183,7 @@ func (c *checker) detectVector(f *ast.FLWOR) *VectorPlan {
 		if !c.vectorizableExpr(f.Return) {
 			return nil
 		}
-		return &VectorPlan{}
+		return vp
 	}
 	// Group keys evaluate left to right, each binding its variable for the
 	// specs after it (mirroring the tuple path's progressive extension).
@@ -111,7 +202,87 @@ func (c *checker) detectVector(f *ast.FLWOR) *VectorPlan {
 	if !c.vectorizableGroupReturn(f.Return, keys, bound) {
 		return nil
 	}
-	return &VectorPlan{Grouped: true}
+	vp.Grouped = true
+	return vp
+}
+
+// topKBound recognizes a where condition that bounds the count variable of
+// an order-by tail to a static rank: "$c le K" / "$c lt K" or the flipped
+// "K ge $c" / "K gt $c" (value comparisons with an integer literal K),
+// returning the inclusive bound.
+func topKBound(cond ast.Expr, countVar string) (int64, bool) {
+	cmp, ok := cond.(*ast.Comparison)
+	if !ok || cmp.General {
+		return 0, false
+	}
+	if vr, ok := cmp.L.(*ast.VarRef); ok && vr.Name == countVar {
+		if k, ok := literalInt(cmp.R); ok {
+			switch cmp.Op {
+			case "le":
+				return k, true
+			case "lt":
+				return k - 1, true
+			}
+		}
+		return 0, false
+	}
+	if vr, ok := cmp.R.(*ast.VarRef); ok && vr.Name == countVar {
+		if k, ok := literalInt(cmp.L); ok {
+			switch cmp.Op {
+			case "ge":
+				return k, true
+			case "gt":
+				return k - 1, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// literalInt unwraps an integer literal.
+func literalInt(e ast.Expr) (int64, bool) {
+	lit, ok := e.(*ast.Literal)
+	if !ok {
+		return 0, false
+	}
+	v, ok := lit.Value.(item.Int)
+	return int64(v), ok
+}
+
+// countZeroCall recognizes "count(F) eq 0" (either operand order, value
+// comparison) over a vector-eligible non-grouped, non-sorted pipeline: the
+// emptiness test folds as an early-exit grand aggregate, like empty(F).
+// Returns the inner count call, or nil.
+func (c *checker) countZeroCall(n *ast.Comparison) *ast.FunctionCall {
+	if !c.vectorize || n.General || n.Op != "eq" {
+		return nil
+	}
+	call, lit := n.L, n.R
+	if _, ok := call.(*ast.Literal); ok {
+		call, lit = lit, call
+	}
+	if v, ok := literalInt(lit); !ok || v != 0 {
+		return nil
+	}
+	fc, ok := call.(*ast.FunctionCall)
+	if !ok || fc.Name != "count" || len(fc.Args) != 1 {
+		return nil
+	}
+	if _, isUDF := c.functions[fc.Name]; isUDF {
+		return nil
+	}
+	if c.info.Pushdown[fc] {
+		return nil // the cluster count action already short-circuits costs
+	}
+	f, ok := fc.Args[0].(*ast.FLWOR)
+	if !ok {
+		return nil
+	}
+	vp := c.info.VectorPlans[f]
+	if vp == nil || vp.Grouped || vp.OrderBy != nil {
+		return nil
+	}
+	return fc
 }
 
 // vectorizableExpr reports whether e compiles to a single-valued column

@@ -44,6 +44,20 @@ func TestVectorEligibility(t *testing.T) {
 			return { "t": $t, "n": count($o) }`,
 		"cluster-bound let head": `let $d := json-file("d.jsonl")
 			for $x in $d where $x.score ge 100 return $x.body`,
+		"order by": `for $o in json-file("d.jsonl")
+			order by $o.score return $o.score`,
+		"order by descending empty greatest": `for $o in json-file("d.jsonl")
+			order by $o.score descending empty greatest, $o.id return $o.id`,
+		"fused top-k": `for $o in json-file("d.jsonl")
+			order by $o.score descending
+			count $c where $c le 10 return $o.id`,
+		"positional variable": `for $o at $i in json-file("d.jsonl") return $i`,
+		"count clause":        `for $o in json-file("d.jsonl") count $c return $c`,
+		"count clause before filter": `for $o in json-file("d.jsonl")
+			count $c where $o.score gt 3 return $c`,
+		"hash equi-join": `for $o in json-file("a.jsonl")
+			for $c in json-file("b.jsonl")
+			where $o.k eq $c.k return $o`,
 	}
 	for name, q := range eligible {
 		t.Run("eligible/"+name, func(t *testing.T) {
@@ -54,14 +68,16 @@ func TestVectorEligibility(t *testing.T) {
 	}
 
 	ineligible := map[string]string{
-		"order by": `for $o in json-file("d.jsonl")
-			order by $o.score return $o.score`,
-		"positional variable": `for $o at $i in json-file("d.jsonl") return $i`,
-		"allowing empty":      `for $o allowing empty in json-file("d.jsonl") return $o`,
-		"nested for": `for $o in json-file("a.jsonl")
+		"allowing empty": `for $o allowing empty in json-file("d.jsonl") return $o`,
+		"nested for without equi-predicate": `for $o in json-file("a.jsonl")
 			for $c in json-file("b.jsonl")
-			where $o.k eq $c.k return $o`,
-		"count clause": `for $o in json-file("d.jsonl") count $c return $c`,
+			return [ $o, $c ]`,
+		"count clause after filter": `for $o in json-file("d.jsonl")
+			where $o.score gt 3 count $c return $c`,
+		"clause after order by": `for $o in json-file("d.jsonl")
+			order by $o.score count $c return $c`,
+		"top-k bound used in return": `for $o in json-file("d.jsonl")
+			order by $o.score count $c where $c le 10 return $c`,
 		"general comparison": `for $o in json-file("d.jsonl")
 			where $o.tags = "x" return $o`,
 		"dynamic lookup key": `for $o in json-file("d.jsonl")

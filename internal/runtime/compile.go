@@ -198,7 +198,16 @@ func (c *comp) compile(e ast.Expr) (Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &comparisonIter{op: string(n.Op), general: n.General, l: l, r: r}, nil
+		ci := &comparisonIter{op: string(n.Op), general: n.General, l: l, r: r}
+		if call := c.info.VectorCountZero[n]; call != nil {
+			// count(<vector-eligible scan>) eq 0 is an existence test: fold
+			// it as an early-exit vector pipeline that stops scanning at the
+			// first surviving row. A decline keeps the tuple comparison.
+			if vit, err := c.compileVectorCountZero(n, call, ci); err == nil {
+				return vit, nil
+			}
+		}
+		return ci, nil
 	case *ast.Logic:
 		l, r, err := c.compileTwo(n.L, n.R)
 		if err != nil {
@@ -638,7 +647,32 @@ func (c *comp) compileVectorAgg(n *ast.FunctionCall) (Iterator, error) {
 		return nil, err
 	}
 	fallback := &aggregateIter{name: n.Name, arg: tuple}
-	vit, err := c.compileVector(f, clauses, fallback, n)
+	vit, err := c.compileVector(f, clauses, fallback, &vaggSpec{name: n.Name, pn: c.pn(n)})
+	if err != nil {
+		return nil, err
+	}
+	if len(rlets) > 0 {
+		return &rddLetIter{planNode: c.pn(n), lets: rlets, inner: vit}, nil
+	}
+	return vit, nil
+}
+
+// compileVectorCountZero builds the early-exit vector pipeline of a
+// count(...) eq 0 comparison the compiler annotated (Info.VectorCountZero):
+// the count call's FLWOR argument folds as an `empty` existence test, so
+// the scan stops at the first surviving row instead of counting them all.
+// The fallback — a comparison over the ordinary local count — runs when a
+// free variable binds a multi-item sequence at run time.
+func (c *comp) compileVectorCountZero(n *ast.Comparison, call *ast.FunctionCall, fallback Iterator) (Iterator, error) {
+	f, ok := call.Args[0].(*ast.FLWOR)
+	if !ok {
+		return nil, Errorf("vector: count argument is not a FLWOR")
+	}
+	clauses, rlets, err := c.peelRDDLets(f)
+	if err != nil {
+		return nil, err
+	}
+	vit, err := c.compileVector(f, clauses, fallback, &vaggSpec{name: "empty", pn: c.pn(n)})
 	if err != nil {
 		return nil, err
 	}

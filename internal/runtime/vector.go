@@ -269,6 +269,68 @@ type vgroupExec struct {
 	aggArgs  []vexpr // evaluated on the main batch, aligned with kinds
 	gslots   int     // group-batch width: len(keyExprs) + len(kinds)
 	project  vexpr   // return projection over the group batch
+	// earlyExit marks an existence test (exists/empty/count-eq-zero): the
+	// single grand count only needs to reach one, so the coordinator stops
+	// the scan and cancels remaining morsels as soon as a merged partial
+	// shows a present row.
+	earlyExit bool
+}
+
+// vcountBoolExpr finalizes an existence test over the grand count column:
+// Bool(n == 0) for empty (and count-eq-zero), Bool(n > 0) for exists.
+type vcountBoolExpr struct {
+	wantEmpty bool
+}
+
+func (v *vcountBoolExpr) eval(_ *vstate, b *vbatch) (*vector.Col, error) {
+	in := b.cols[0]
+	out := vector.NewCol(b.n)
+	for i := 0; i < b.n; i++ {
+		n, _ := in.Item(i).(item.Int)
+		out.AppendBool((n == 0) == v.wantEmpty)
+	}
+	return out, nil
+}
+
+// vsortExec is the order-by tail of a vector pipeline: every morsel worker
+// encodes its rows' sort keys and produces a stably sorted run, and the
+// coordinator k-way-merges the runs in morsel index order — so ties resolve
+// by scan position and the merged stream is the stable sort of the whole
+// scan, identical at every worker count. The return projection is deferred
+// to the merged stream: key errors surface before projection errors (as in
+// the tuple path, which sorts before projecting), and a bounded top-k never
+// projects the tail it discards.
+type vsortExec struct {
+	keys          []vexpr
+	emptyGreatest []bool
+	specs         []vector.SortSpec
+	topK          int64 // 0 = full sort; otherwise each run truncates to k
+	project       vexpr
+}
+
+// vjoinExec is the hash equi-join head of a vector pipeline: the left
+// (probe) side is the scan, the right (build) side materializes once per
+// evaluation into a hash table pre-sized from its cardinality, and every
+// morsel probes it, expanding matches left-major in build order — the
+// nested loop's output order, as the tuple path's joinEval produces.
+type vjoinExec struct {
+	rightIn   Iterator
+	rightSlot int     // main-batch slot the right variable binds
+	leftKeys  []vexpr // evaluated on the main (probe) batch
+	rightKeys []vexpr // evaluated on build batches (slot 0 = right var)
+}
+
+// vjoinRun is the per-evaluation state of a vector join: the build runs
+// lazily on the first non-empty probe morsel (an empty probe side never
+// evaluates the right keys, like the tuple path), guarded by a Once so
+// concurrent workers block until one build finishes. A build error reaches
+// every morsel, so the coordinator surfaces it at the lowest index.
+type vjoinRun struct {
+	dc    *DynamicContext
+	once  sync.Once
+	table map[string][]item.Item
+	rmask uint64
+	err   error
 }
 
 // vectorIter is a FLWOR compiled to the columnar backend. Stream splits
@@ -291,8 +353,11 @@ type vectorIter struct {
 	workers   int            // morsel worker pool size (Config.Executors)
 	nslots    int
 	externals []string
+	posSlots  []int // slots bound to the 1-based scan position (at / count)
+	join      *vjoinExec
 	ops       []vop
 	group     *vgroupExec
+	sort      *vsortExec
 	project   vexpr // non-group row projection
 }
 
@@ -353,12 +418,23 @@ func (v *vectorIter) Stream(dc *DynamicContext, yield func(item.Item) error) err
 	}
 	if v.sc != nil {
 		v.sc.AddVectorRun()
+		if v.sort != nil {
+			if v.sort.topK > 0 {
+				v.sc.AddVectorTopKRun()
+			} else {
+				v.sc.AddVectorSortRun()
+			}
+		}
+	}
+	var jr *vjoinRun
+	if v.join != nil {
+		jr = &vjoinRun{dc: dc}
 	}
 	ctx := dc.GoContext()
 	if v.workers > 1 {
-		return v.streamParallel(dc, vs, ctx, yield)
+		return v.streamParallel(dc, vs, jr, ctx, yield)
 	}
-	return v.streamSerial(dc, vs, ctx, yield)
+	return v.streamSerial(dc, vs, jr, ctx, yield)
 }
 
 // rawScanner is implemented by scan sources that can stream raw,
@@ -377,11 +453,16 @@ type rawScanner interface {
 	StreamRaw(dc *DynamicContext, yield func(line []byte, bytes int64) error) (handled bool, err error)
 }
 
-// vmorselResult is one processed morsel: projected rows in scan order, or
-// the morsel's partial aggregation table.
+// vmorselResult is one processed morsel: projected rows in scan order, the
+// morsel's partial aggregation table, or (for an order-by tail) the
+// morsel's sorted run plus the per-spec key type observations the global
+// string/number mix check needs.
 type vmorselResult struct {
-	items  []item.Item
-	groups *vector.Groups
+	items     []item.Item
+	groups    *vector.Groups
+	run       *vector.SortRows
+	sawString []bool
+	sawNumber []bool
 }
 
 // decodeRows turns a raw morsel into its item rows, charging the morsel's
@@ -406,11 +487,207 @@ func (v *vectorIter) decodeRows(m vmorsel) ([]item.Item, error) {
 	return rows, nil
 }
 
+// encodeVectorJoinKey encodes one row's equi-join keys from the evaluated
+// key columns into buf, mirroring the tuple path's encodeJoinKeys: an
+// absent key stops (the row cannot match, and later keys never contribute
+// to the type mask), and the mask records each seen key's type tag for the
+// cross-side comparability check. Vector key expressions are single-valued
+// by construction, so the tuple path's "binds a sequence" error cannot
+// arise here.
+func encodeVectorJoinKey(keyCols []*vector.Col, row int, buf []byte) (key []byte, mask uint64, ok bool, err error) {
+	for i, kc := range keyCols {
+		if kc.Absent(row) {
+			return buf, mask, false, nil
+		}
+		sk, e := kc.SortKey(row)
+		if e != nil {
+			return buf, mask, false, Errorf("join key %d: %v", i+1, e)
+		}
+		mask |= (1 << uint(sk.Tag)) << (8 * uint(i))
+		buf = item.AppendSortKey(buf, sk)
+	}
+	return buf, mask, true, nil
+}
+
+// buildJoinTable materializes the right (build) side once and hashes it by
+// encoded key, pre-sizing the table from the scan cardinality. Rows whose
+// key is absent drop out (an eq against the empty sequence matches
+// nothing); per-bucket rows keep build order so probe expansion reproduces
+// the nested loop's right-input order.
+func (v *vectorIter) buildJoinTable(vs *vstate, jr *vjoinRun) error {
+	j := v.join
+	items, err := Materialize(j.rightIn, jr.dc)
+	if err != nil {
+		return err
+	}
+	jr.table = make(map[string][]item.Item, len(items))
+	var buf []byte
+	for start := 0; start < len(items); start += vector.BatchSize {
+		end := start + vector.BatchSize
+		if end > len(items) {
+			end = len(items)
+		}
+		col := vector.NewCol(end - start)
+		for _, it := range items[start:end] {
+			col.AppendItem(it)
+		}
+		rb := &vbatch{n: col.Len(), cols: []*vector.Col{col}}
+		keyCols := make([]*vector.Col, len(j.rightKeys))
+		for ki, ke := range j.rightKeys {
+			kc, err := ke.eval(vs, rb)
+			if err != nil {
+				return err
+			}
+			keyCols[ki] = kc
+		}
+		for i := 0; i < rb.n; i++ {
+			key, mask, ok, err := encodeVectorJoinKey(keyCols, i, buf[:0])
+			buf = key
+			if err != nil {
+				return err
+			}
+			jr.rmask |= mask
+			if ok {
+				jr.table[string(key)] = append(jr.table[string(key)], items[start+i])
+			}
+		}
+	}
+	return nil
+}
+
+// probeJoin streams one probe batch through the hash table, expanding each
+// left row into one output row per match (left-major, matches in build
+// order). The build runs lazily on the first non-empty probe batch; the
+// cross-side type comparability check runs per probe row before the
+// missing-key skip, exactly as the tuple path orders them.
+func (v *vectorIter) probeJoin(vs *vstate, jr *vjoinRun, b *vbatch) (*vbatch, error) {
+	if b.n == 0 {
+		return b, nil
+	}
+	jr.once.Do(func() { jr.err = v.buildJoinTable(vs, jr) })
+	if jr.err != nil {
+		return nil, jr.err
+	}
+	j := v.join
+	keyCols := make([]*vector.Col, len(j.leftKeys))
+	for ki, ke := range j.leftKeys {
+		kc, err := ke.eval(vs, b)
+		if err != nil {
+			return nil, err
+		}
+		keyCols[ki] = kc
+	}
+	matches := make([][]item.Item, b.n)
+	total := 0
+	var buf []byte
+	for i := 0; i < b.n; i++ {
+		key, mask, ok, err := encodeVectorJoinKey(keyCols, i, buf[:0])
+		buf = key
+		if err != nil {
+			return nil, err
+		}
+		if err := joinKeyTypeConflict(mask, jr.rmask, len(j.leftKeys)); err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		matches[i] = jr.table[string(key)]
+		total += len(matches[i])
+	}
+	if v.sc != nil {
+		v.sc.AddVectorJoinRows(int64(total))
+	}
+	nb := &vbatch{n: total, cols: make([]*vector.Col, len(b.cols))}
+	for slot, c := range b.cols {
+		if c == nil || slot == j.rightSlot {
+			continue
+		}
+		if c.Const {
+			nb.cols[slot] = c
+			continue
+		}
+		oc := vector.NewCol(total)
+		for i := 0; i < b.n; i++ {
+			it := c.Item(i)
+			for range matches[i] {
+				oc.AppendItem(it)
+			}
+		}
+		nb.cols[slot] = oc
+	}
+	rcol := vector.NewCol(total)
+	for i := 0; i < b.n; i++ {
+		for _, it := range matches[i] {
+			rcol.AppendItem(it)
+		}
+	}
+	nb.cols[j.rightSlot] = rcol
+	return nb, nil
+}
+
+// sortMorsel encodes the batch's order-by keys and produces this morsel's
+// stably sorted run (truncated to k for a fused top-k), carrying each
+// surviving row's bound column values for the deferred projection.
+func (v *vectorIter) sortMorsel(vs *vstate, b *vbatch) (*vmorselResult, error) {
+	s := v.sort
+	res := &vmorselResult{
+		run:       vector.NewSortRows(s.specs),
+		sawString: make([]bool, len(s.keys)),
+		sawNumber: make([]bool, len(s.keys)),
+	}
+	keyCols := make([]*vector.Col, len(s.keys))
+	for ki, ke := range s.keys {
+		kc, err := ke.eval(vs, b)
+		if err != nil {
+			return nil, err
+		}
+		keyCols[ki] = kc
+	}
+	for i := 0; i < b.n; i++ {
+		keys := make([]item.SortKey, len(keyCols))
+		for ki, kc := range keyCols {
+			sk, err := kc.OrderKey(i, s.emptyGreatest[ki])
+			if err != nil {
+				return nil, Errorf("order by: %v", err)
+			}
+			keys[ki] = sk
+			switch sk.Tag {
+			case item.TagString:
+				res.sawString[ki] = true
+			case item.TagNumber:
+				res.sawNumber[ki] = true
+			}
+		}
+		row := i
+		vals := func() []item.Item {
+			vs := make([]item.Item, len(b.cols))
+			for slot, c := range b.cols {
+				if c != nil {
+					vs[slot] = c.Item(row)
+				}
+			}
+			return vs
+		}
+		if s.topK > 0 {
+			res.run.AppendTopK(keys, int(s.topK), vals)
+			continue
+		}
+		res.run.Append(keys, vals())
+	}
+	if s.topK == 0 {
+		res.run.Sort()
+	}
+	return res, nil
+}
+
 // processMorsel packs one morsel of scan rows into a column batch and runs
-// it through the pipeline: lets bind their slots, filters compact the
-// batch, and the tail either projects the surviving rows or folds them
-// into a fresh partial aggregation table.
-func (v *vectorIter) processMorsel(vs *vstate, rows []item.Item) (*vmorselResult, error) {
+// it through the pipeline: a join head expands rows against the build
+// table, positional slots fill from the morsel's scan indices, lets bind
+// their slots, filters compact the batch, and the tail projects the
+// surviving rows, folds them into a fresh partial aggregation table, or
+// sorts them into a run.
+func (v *vectorIter) processMorsel(vs *vstate, jr *vjoinRun, idx int, rows []item.Item) (*vmorselResult, error) {
 	if v.sc != nil {
 		v.sc.AddVectorMorsels(1)
 	}
@@ -420,6 +697,25 @@ func (v *vectorIter) processMorsel(vs *vstate, rows []item.Item) (*vmorselResult
 	}
 	b := &vbatch{n: scan.Len(), cols: make([]*vector.Col, v.nslots)}
 	b.cols[0] = scan
+	if len(v.posSlots) > 0 {
+		// Every morsel but the last is exactly BatchSize rows, so the
+		// 1-based scan position of row i is idx*BatchSize + i + 1.
+		base := int64(idx) * int64(vector.BatchSize)
+		pc := vector.NewCol(b.n)
+		for i := 0; i < b.n; i++ {
+			pc.AppendInt(base + int64(i) + 1)
+		}
+		for _, slot := range v.posSlots {
+			b.cols[slot] = pc
+		}
+	}
+	if v.join != nil {
+		nb, err := v.probeJoin(vs, jr, b)
+		if err != nil {
+			return nil, err
+		}
+		b = nb
+	}
 	for _, op := range v.ops {
 		col, err := op.expr.eval(vs, b)
 		if err != nil {
@@ -443,6 +739,9 @@ func (v *vectorIter) processMorsel(vs *vstate, rows []item.Item) (*vmorselResult
 		if b.n == 0 {
 			break
 		}
+	}
+	if v.sort != nil {
+		return v.sortMorsel(vs, b)
 	}
 	res := &vmorselResult{}
 	if v.group != nil {
@@ -470,26 +769,139 @@ func (v *vectorIter) processMorsel(vs *vstate, rows []item.Item) (*vmorselResult
 	return res, nil
 }
 
+// vmergeState is the coordinator's running evaluation state: the merged
+// aggregation table, the collected (or running top-k merged) sorted runs,
+// and the per-spec key type observations feeding the global mix check.
+type vmergeState struct {
+	groups    *vector.Groups
+	runs      []*vector.SortRows
+	topk      *vector.SortRows
+	sawString []bool
+	sawNumber []bool
+}
+
+func (v *vectorIter) newMergeState() *vmergeState {
+	st := &vmergeState{}
+	if v.sort != nil {
+		st.sawString = make([]bool, len(v.sort.keys))
+		st.sawNumber = make([]bool, len(v.sort.keys))
+	}
+	return st
+}
+
 // mergeResult folds one morsel's result — in morsel index order — into the
 // evaluation: non-group rows yield immediately, partial aggregation tables
-// merge into the running table.
-func mergeResult(merged **vector.Groups, res *vmorselResult, grouped bool, yield func(item.Item) error) error {
-	if grouped {
-		if *merged == nil {
-			*merged = res.groups
-			return nil
+// merge into the running table, sorted runs collect (or two-way merge into
+// the running top-k, bounding memory to k). stop=true asks the caller to
+// cancel the remaining scan: an early-exit existence test is decided.
+func (v *vectorIter) mergeResult(st *vmergeState, res *vmorselResult, yield func(item.Item) error) (stop bool, err error) {
+	if v.sort != nil {
+		for ki := range st.sawString {
+			st.sawString[ki] = st.sawString[ki] || res.sawString[ki]
+			st.sawNumber[ki] = st.sawNumber[ki] || res.sawNumber[ki]
 		}
-		if err := (*merged).Merge(res.groups); err != nil {
-			return Errorf("%v", err)
+		if v.sort.topK > 0 {
+			if st.topk == nil {
+				st.topk = res.run
+			} else {
+				st.topk = vector.MergeTopK(st.topk, res.run, int(v.sort.topK))
+			}
+			return false, nil
 		}
-		return nil
+		st.runs = append(st.runs, res.run)
+		return false, nil
+	}
+	if v.group != nil {
+		if st.groups == nil {
+			st.groups = res.groups
+		} else if err := st.groups.Merge(res.groups); err != nil {
+			return false, Errorf("%v", err)
+		}
+		if v.group.earlyExit && st.groups.GrandCount() > 0 {
+			// The existence test is decided; no further morsel can change
+			// it, so the scan and the remaining morsels are cancelled.
+			return true, nil
+		}
+		return false, nil
 	}
 	for _, it := range res.items {
 		if err := yield(it); err != nil {
-			return err
+			return false, err
 		}
 	}
-	return nil
+	return false, nil
+}
+
+// finish emits the evaluation's tail after every merged morsel: the merged
+// sorted runs (projected in merge order), or the merged aggregation table.
+func (v *vectorIter) finish(vs *vstate, st *vmergeState, ctx context.Context, yield func(item.Item) error) error {
+	if v.sort != nil {
+		return v.finishSort(vs, st, ctx, yield)
+	}
+	return v.finishGroups(vs, st.groups, ctx, yield)
+}
+
+// finishSort runs the global string/number mix check the tuple path applies
+// after seeing the whole stream, then k-way merges the per-morsel runs and
+// projects the return expression over the merged order in batches.
+func (v *vectorIter) finishSort(vs *vstate, st *vmergeState, ctx context.Context, yield func(item.Item) error) error {
+	s := v.sort
+	for ki := range st.sawString {
+		if st.sawString[ki] && st.sawNumber[ki] {
+			return Errorf("order by: key %d mixes strings and numbers across the tuple stream", ki+1)
+		}
+	}
+	runs := st.runs
+	if s.topK > 0 {
+		if st.topk == nil {
+			return nil
+		}
+		runs = []*vector.SortRows{st.topk}
+	}
+	b := &vbatch{cols: make([]*vector.Col, v.nslots)}
+	for i := range b.cols {
+		b.cols[i] = vector.NewCol(vector.BatchSize)
+	}
+	flush := func() error {
+		if b.n == 0 {
+			return nil
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		pc, err := s.project.eval(vs, b)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < b.n; i++ {
+			if it := pc.Item(i); it != nil {
+				if err := yield(it); err != nil {
+					return err
+				}
+			}
+		}
+		b = &vbatch{cols: make([]*vector.Col, v.nslots)}
+		for i := range b.cols {
+			b.cols[i] = vector.NewCol(vector.BatchSize)
+		}
+		return nil
+	}
+	err := vector.MergeRuns(runs, func(vals []item.Item) error {
+		for slot, c := range b.cols {
+			c.AppendItem(vals[slot])
+		}
+		b.n++
+		if b.n >= vector.BatchSize {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return flush()
 }
 
 // finishGroups emits the merged aggregation table (if the pipeline has
@@ -510,11 +922,12 @@ func (v *vectorIter) finishGroups(vs *vstate, merged *vector.Groups, ctx context
 // streamSerial is the single-worker evaluation: morsels process inline on
 // the calling goroutine, with the same per-morsel partial fold and
 // in-order merge the parallel path uses.
-func (v *vectorIter) streamSerial(dc *DynamicContext, vs *vstate, ctx context.Context, yield func(item.Item) error) error {
+func (v *vectorIter) streamSerial(dc *DynamicContext, vs *vstate, jr *vjoinRun, ctx context.Context, yield func(item.Item) error) error {
 	if v.sc != nil {
 		v.sc.AddVectorWorkers(1)
 	}
-	var merged *vector.Groups
+	st := v.newMergeState()
+	stopped := false
 	_, err := v.scanMorsels(dc, nil, func(m vmorsel) error {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -525,16 +938,24 @@ func (v *vectorIter) streamSerial(dc *DynamicContext, vs *vstate, ctx context.Co
 		if err != nil {
 			return err
 		}
-		res, err := v.processMorsel(vs, rows)
+		res, err := v.processMorsel(vs, jr, m.idx, rows)
 		if err != nil {
 			return err
 		}
-		return mergeResult(&merged, res, v.group != nil, yield)
+		stop, err := v.mergeResult(st, res, yield)
+		if err != nil {
+			return err
+		}
+		if stop {
+			stopped = true
+			return errStopScan
+		}
+		return nil
 	})
-	if err != nil {
+	if err != nil && !(stopped && err == errStopScan) {
 		return err
 	}
-	return v.finishGroups(vs, merged, ctx, yield)
+	return v.finish(vs, st, ctx, yield)
 }
 
 // errStopScan aborts the producer's scan when the evaluation no longer
@@ -665,7 +1086,7 @@ func lowerFail(f *atomic.Int64, idx int64) {
 // lowest-indexed morsel error. Workers poll the Go context between morsels
 // exactly as spark.runStage's task loop does, and a failure cancels every
 // higher-indexed morsel (workers skip them, the producer stops scanning).
-func (v *vectorIter) streamParallel(dc *DynamicContext, vs *vstate, ctx context.Context, yield func(item.Item) error) error {
+func (v *vectorIter) streamParallel(dc *DynamicContext, vs *vstate, jr *vjoinRun, ctx context.Context, yield func(item.Item) error) error {
 	workers := v.workers
 	if v.sc != nil {
 		v.sc.AddVectorWorkers(int64(workers))
@@ -751,7 +1172,7 @@ func (v *vectorIter) streamParallel(dc *DynamicContext, vs *vstate, ctx context.
 					rows, err := v.decodeRows(m)
 					var res *vmorselResult
 					if err == nil {
-						res, err = v.processMorsel(vs, rows)
+						res, err = v.processMorsel(vs, jr, m.idx, rows)
 					}
 					if err != nil {
 						r.err = err
@@ -778,7 +1199,7 @@ func (v *vectorIter) streamParallel(dc *DynamicContext, vs *vstate, ctx context.
 	// Coordinator: reorder results and merge them strictly in morsel index
 	// order, so emit order and error selection are those of a sequential
 	// left-to-right run.
-	var merged *vector.Groups
+	st := v.newMergeState()
 	pending := map[int]vresult{}
 	next, total := 0, -1
 	var scanErr error
@@ -794,8 +1215,18 @@ func (v *vectorIter) streamParallel(dc *DynamicContext, vs *vstate, ctx context.
 				// returns above. Fail loudly rather than drop rows.
 				return abort(Errorf("vector: morsel %d cancelled without a failing predecessor", r.idx))
 			}
-			if err := mergeResult(&merged, r.res, v.group != nil, yield); err != nil {
+			stop, err := v.mergeResult(st, r.res, yield)
+			if err != nil {
 				return abort(err)
+			}
+			if stop {
+				// The early-exit decision is made by the merged prefix
+				// alone, so cancelling the scan and discarding the pending
+				// higher-indexed morsels cannot change the result —
+				// whatever the worker count.
+				close(done)
+				wg.Wait()
+				return v.finish(vs, st, ctx, yield)
 			}
 			next++
 			continue
@@ -816,7 +1247,7 @@ func (v *vectorIter) streamParallel(dc *DynamicContext, vs *vstate, ctx context.
 		// would have flushed it.
 		return scanErr
 	}
-	return v.finishGroups(vs, merged, ctx, yield)
+	return v.finish(vs, st, ctx, yield)
 }
 
 // updateGroups binds the grouping keys (left to right, each visible to the
@@ -905,16 +1336,34 @@ var vectorAggKinds = map[string]vector.AggKind{
 	"max":   vector.AggMax,
 }
 
+// vexternals interns the pipeline's free variables. It is shared between
+// the slot environments of one plan (a join's probe and build sides), so a
+// free variable resolves once per evaluation wherever it is referenced.
+type vexternals struct {
+	idx   map[string]int
+	names []string
+}
+
+func (ex *vexternals) ref(name string) *vextExpr {
+	if idx, ok := ex.idx[name]; ok {
+		return &vextExpr{idx: idx}
+	}
+	idx := len(ex.names)
+	ex.names = append(ex.names, name)
+	ex.idx[name] = idx
+	return &vextExpr{idx: idx}
+}
+
 // vcomp compiles vector expressions against a slot environment. The main
 // environment covers the scan variable and let bindings; a grouped
 // pipeline compiles its return against a second environment of key-
-// variable and aggregate-result slots.
+// variable and aggregate-result slots, and a join compiles its build-side
+// keys against an environment whose slot 0 is the right variable.
 type vcomp struct {
 	c      *comp
 	slots  map[string]int
 	nslots int
-	extIdx map[string]int
-	ext    []string
+	ext    *vexternals
 }
 
 func (vc *vcomp) bind(name string) int {
@@ -922,16 +1371,6 @@ func (vc *vcomp) bind(name string) int {
 	vc.nslots++
 	vc.slots[name] = slot
 	return slot
-}
-
-func (vc *vcomp) external(name string) *vextExpr {
-	if idx, ok := vc.extIdx[name]; ok {
-		return &vextExpr{idx: idx}
-	}
-	idx := len(vc.ext)
-	vc.ext = append(vc.ext, name)
-	vc.extIdx[name] = idx
-	return &vextExpr{idx: idx}
 }
 
 // vectorWorkers is the morsel worker pool size: the engine's executor
@@ -944,37 +1383,101 @@ func (c *comp) vectorWorkers() int {
 	return c.env.Spark.Conf().Executors
 }
 
+// vaggSpec names the grand aggregate a vector pipeline folds into, and the
+// plan node the resulting iterator reports as: the aggregate call for
+// count/sum/avg/min/max/exists/empty, or the comparison node for a fused
+// count(...) eq 0 existence test.
+type vaggSpec struct {
+	name string
+	pn   planNode
+}
+
 // compileVector builds the columnar plan for a FLWOR the compiler
 // annotated ModeVector. clauses is the clause list after cluster-bound
 // lets were peeled; fallback is a tuple-path iterator producing identical
 // results for the same expression. When agg is non-nil the FLWOR is the
-// argument of that grand aggregate call and the pipeline ends in a
+// argument of that grand aggregate and the pipeline ends in a
 // single-group fold of the return projection instead of row emission. Any
 // unexpected shape returns an error and the caller keeps the tuple path.
-func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterator, agg *ast.FunctionCall) (Iterator, error) {
+func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterator, agg *vaggSpec) (Iterator, error) {
 	if len(clauses) == 0 {
 		return nil, Errorf("vector: empty clause list")
 	}
-	head, ok := clauses[0].(*ast.ForClause)
-	if !ok {
-		return nil, Errorf("vector: pipeline must start with a for clause")
+	vp := c.info.VectorPlans[f]
+	if vp == nil {
+		return nil, Errorf("vector: no plan recorded for this FLWOR")
 	}
-	in, err := c.compile(head.In)
-	if err != nil {
-		return nil, err
-	}
-	vc := &vcomp{c: c, slots: map[string]int{}, extIdx: map[string]int{}}
-	vc.bind(head.Var) // slot 0: the scan column
+	ext := &vexternals{idx: map[string]int{}}
+	vc := &vcomp{c: c, slots: map[string]int{}, ext: ext}
 	pn := c.pn(f)
 	if agg != nil {
-		pn = c.pn(agg)
+		pn = agg.pn
 	}
-	it := &vectorIter{planNode: pn, fallback: fallback, in: in,
+	it := &vectorIter{planNode: pn, fallback: fallback,
 		sc: c.env.Spark, workers: c.vectorWorkers()}
 
+	var rest []ast.Clause
+	if jp := c.info.Joins[f]; vp.Join && jp != nil {
+		// Join head: the left side is the scan (slot 0), the right side
+		// compiles against its own single-slot environment for the build.
+		in, err := c.compile(jp.Left.In)
+		if err != nil {
+			return nil, err
+		}
+		it.in = in
+		vc.bind(jp.Left.Var) // slot 0: the probe (scan) column
+		j := &vjoinExec{rightSlot: vc.bind(jp.Right.Var)}
+		rightIn, err := c.compile(jp.Right.In)
+		if err != nil {
+			return nil, err
+		}
+		j.rightIn = rightIn
+		rvc := &vcomp{c: c, slots: map[string]int{}, ext: ext}
+		rvc.bind(jp.Right.Var) // slot 0 of build batches
+		for _, ke := range jp.LeftKeys {
+			e, err := vc.compileExpr(ke)
+			if err != nil {
+				return nil, err
+			}
+			j.leftKeys = append(j.leftKeys, e)
+		}
+		for _, ke := range jp.RightKeys {
+			e, err := rvc.compileExpr(ke)
+			if err != nil {
+				return nil, err
+			}
+			j.rightKeys = append(j.rightKeys, e)
+		}
+		it.join = j
+		for _, cond := range jp.Residual {
+			e, err := vc.compileExpr(cond)
+			if err != nil {
+				return nil, err
+			}
+			it.ops = append(it.ops, vop{slot: -1, expr: e})
+		}
+		rest = clauses[3:]
+	} else {
+		head, ok := clauses[0].(*ast.ForClause)
+		if !ok {
+			return nil, Errorf("vector: pipeline must start with a for clause")
+		}
+		in, err := c.compile(head.In)
+		if err != nil {
+			return nil, err
+		}
+		it.in = in
+		vc.bind(head.Var) // slot 0: the scan column
+		if head.PosVar != "" {
+			it.posSlots = append(it.posSlots, vc.bind(head.PosVar))
+		}
+		rest = clauses[1:]
+	}
+
 	var group *ast.GroupByClause
-	for _, cl := range clauses[1:] {
-		switch n := cl.(type) {
+	var orderBy *ast.OrderByClause
+	for ci := 0; ci < len(rest); ci++ {
+		switch n := rest[ci].(type) {
 		case *ast.LetClause:
 			e, err := vc.compileExpr(n.Value)
 			if err != nil {
@@ -987,33 +1490,79 @@ func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterat
 				return nil, err
 			}
 			it.ops = append(it.ops, vop{slot: -1, expr: e})
+		case *ast.CountClause:
+			// Positional: the clause precedes every filter (the planner
+			// declines it otherwise), so the count is the scan position.
+			it.posSlots = append(it.posSlots, vc.bind(n.Var))
 		case *ast.GroupByClause:
 			group = n
+		case *ast.OrderByClause:
+			orderBy = n
+			if vp.TopK > 0 {
+				// The trailing count + where pair is fused into the sort
+				// bound; neither clause materializes.
+				ci += 2
+			}
 		default:
-			return nil, Errorf("vector: unsupported clause %T", cl)
+			return nil, Errorf("vector: unsupported clause %T", rest[ci])
 		}
 	}
 	if agg != nil {
-		if group != nil {
+		if group != nil || orderBy != nil {
 			return nil, Errorf("vector: grand aggregate over a grouped pipeline")
 		}
 		proj, err := vc.compileExpr(f.Return)
 		if err != nil {
 			return nil, err
 		}
-		kind, ok := vectorAggKinds[agg.Name]
-		if !ok {
-			return nil, Errorf("vector: unsupported grand aggregate %s", agg.Name)
-		}
-		it.group = &vgroupExec{
-			grand:   true,
-			kinds:   []vector.AggKind{kind},
-			aggArgs: []vexpr{proj},
-			gslots:  1,
-			project: &vcolExpr{slot: 0},
+		switch agg.name {
+		case "exists", "empty":
+			// Fold the projection into a grand count and finalize it to a
+			// boolean; the coordinator stops the scan once it is positive.
+			it.group = &vgroupExec{
+				grand:     true,
+				earlyExit: true,
+				kinds:     []vector.AggKind{vector.AggCount},
+				aggArgs:   []vexpr{proj},
+				gslots:    1,
+				project:   &vcountBoolExpr{wantEmpty: agg.name == "empty"},
+			}
+		default:
+			kind, ok := vectorAggKinds[agg.name]
+			if !ok {
+				return nil, Errorf("vector: unsupported grand aggregate %s", agg.name)
+			}
+			it.group = &vgroupExec{
+				grand:   true,
+				kinds:   []vector.AggKind{kind},
+				aggArgs: []vexpr{proj},
+				gslots:  1,
+				project: &vcolExpr{slot: 0},
+			}
 		}
 		it.nslots = vc.nslots
-		it.externals = vc.ext
+		it.externals = ext.names
+		return it, nil
+	}
+	if orderBy != nil {
+		s := &vsortExec{topK: vp.TopK}
+		for _, spec := range orderBy.Specs {
+			ke, err := vc.compileExpr(spec.Expr)
+			if err != nil {
+				return nil, err
+			}
+			s.keys = append(s.keys, ke)
+			s.emptyGreatest = append(s.emptyGreatest, spec.EmptyGreatest)
+			s.specs = append(s.specs, vector.SortSpec{Descending: spec.Descending})
+		}
+		proj, err := vc.compileExpr(f.Return)
+		if err != nil {
+			return nil, err
+		}
+		s.project = proj
+		it.sort = s
+		it.nslots = vc.nslots
+		it.externals = ext.names
 		return it, nil
 	}
 	if group == nil {
@@ -1023,7 +1572,7 @@ func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterat
 		}
 		it.project = proj
 		it.nslots = vc.nslots
-		it.externals = vc.ext
+		it.externals = ext.names
 		return it, nil
 	}
 	ge := &vgroupExec{}
@@ -1057,7 +1606,7 @@ func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterat
 	ge.gslots = len(ge.keyExprs) + len(ge.kinds)
 	it.group = ge
 	it.nslots = vc.nslots
-	it.externals = vc.ext
+	it.externals = ext.names
 	return it, nil
 }
 
@@ -1187,7 +1736,7 @@ func (vc *vcomp) compileVarRef(n *ast.VarRef) (vexpr, error) {
 	if slot, ok := vc.slots[n.Name]; ok {
 		return &vcolExpr{slot: slot}, nil
 	}
-	return vc.external(n.Name), nil
+	return vc.ext.ref(n.Name), nil
 }
 
 // compileSpecialCall implements vexprEnv: the pipeline body has no
@@ -1218,7 +1767,7 @@ func (gc *vgroupComp) compileVarRef(n *ast.VarRef) (vexpr, error) {
 	if _, bound := gc.main.slots[n.Name]; bound {
 		return nil, Errorf("vector: non-key variable $%s outside an aggregate", n.Name)
 	}
-	return gc.main.external(n.Name), nil
+	return gc.main.ext.ref(n.Name), nil
 }
 
 // compileSpecialCall implements vexprEnv for the grouped return:

@@ -76,6 +76,9 @@ type Metrics struct {
 	VectorRuns       atomic.Int64
 	VectorMorsels    atomic.Int64
 	VectorWorkers    atomic.Int64
+	VectorSortRuns   atomic.Int64
+	VectorTopKRuns   atomic.Int64
+	VectorJoinRows   atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics.
@@ -94,6 +97,12 @@ type MetricsSnapshot struct {
 	VectorRuns    int64
 	VectorMorsels int64
 	VectorWorkers int64
+	// VectorSortRuns counts vector pipeline evaluations that ran a full
+	// columnar sort, VectorTopKRuns those that ran a fused bounded top-k,
+	// and VectorJoinRows the rows emitted by vector hash-join probes.
+	VectorSortRuns int64 `json:"vector_sort_runs"`
+	VectorTopKRuns int64 `json:"vector_topk_runs"`
+	VectorJoinRows int64 `json:"vector_join_rows"`
 }
 
 // Metrics returns a snapshot of the counters.
@@ -108,6 +117,9 @@ func (c *Context) Metrics() MetricsSnapshot {
 		VectorRuns:       c.metrics.VectorRuns.Load(),
 		VectorMorsels:    c.metrics.VectorMorsels.Load(),
 		VectorWorkers:    c.metrics.VectorWorkers.Load(),
+		VectorSortRuns:   c.metrics.VectorSortRuns.Load(),
+		VectorTopKRuns:   c.metrics.VectorTopKRuns.Load(),
+		VectorJoinRows:   c.metrics.VectorJoinRows.Load(),
 	}
 }
 
@@ -122,6 +134,9 @@ func (c *Context) ResetMetrics() {
 	c.metrics.VectorRuns.Store(0)
 	c.metrics.VectorMorsels.Store(0)
 	c.metrics.VectorWorkers.Store(0)
+	c.metrics.VectorSortRuns.Store(0)
+	c.metrics.VectorTopKRuns.Store(0)
+	c.metrics.VectorJoinRows.Store(0)
 }
 
 // AddVectorRun counts one vector-backend pipeline evaluation.
@@ -132,6 +147,15 @@ func (c *Context) AddVectorMorsels(n int64) { c.metrics.VectorMorsels.Add(n) }
 
 // AddVectorWorkers counts worker tasks launched by the vector backend.
 func (c *Context) AddVectorWorkers(n int64) { c.metrics.VectorWorkers.Add(n) }
+
+// AddVectorSortRun counts one vector pipeline run with a full columnar sort.
+func (c *Context) AddVectorSortRun() { c.metrics.VectorSortRuns.Add(1) }
+
+// AddVectorTopKRun counts one vector pipeline run with a fused top-k.
+func (c *Context) AddVectorTopKRun() { c.metrics.VectorTopKRuns.Add(1) }
+
+// AddVectorJoinRows counts rows emitted by vector hash-join probes.
+func (c *Context) AddVectorJoinRows(n int64) { c.metrics.VectorJoinRows.Add(n) }
 
 // AddRecordsRead is called by input sources when they produce records.
 func (c *Context) AddRecordsRead(n int64) { c.metrics.RecordsRead.Add(n) }

@@ -272,6 +272,17 @@ func numericTag(col *Col, i int) bool {
 // Len returns the number of groups, in first-seen order.
 func (g *Groups) Len() int { return len(g.order) }
 
+// GrandCount returns the running count accumulator of a grand (no group-by)
+// aggregation whose first aggregate is AggCount — 0 when no present value
+// has been folded yet. Early-exit aggregates (exists/empty) poll it to stop
+// scanning as soon as the answer is decided.
+func (g *Groups) GrandCount() int64 {
+	if len(g.order) == 0 {
+		return 0
+	}
+	return g.order[0].aggs[0].n
+}
+
 // Key returns grouping key ki of group gi (nil = absent), the first-seen
 // key value exactly as the tuple backend binds it.
 func (g *Groups) Key(gi, ki int) item.Item { return g.order[gi].keys[ki] }

@@ -166,6 +166,13 @@ func (c *Col) AppendItem(it item.Item) {
 	}
 }
 
+// AppendInt appends a present integer row.
+func (c *Col) AppendInt(v int64) {
+	i := c.grow()
+	c.Tags[i] = TagInt
+	c.Ints[i] = v
+}
+
 // AppendBool appends a present boolean row.
 func (c *Col) AppendBool(b bool) {
 	i := c.grow()

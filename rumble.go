@@ -76,9 +76,11 @@ type Config struct {
 	// evaluation — the escape hatch for comparison benchmarks.
 	DisableJoin bool
 	// Vectorize enables the columnar local backend: eligible FLWOR
-	// pipelines (scan → filter → project → group/aggregate) are compiled
-	// to Mode=Vector and execute batch-at-a-time over typed columns
-	// instead of tuple-at-a-time or through the DataFrame machinery.
+	// pipelines (scan → filter → project → group/aggregate, order-by
+	// with fused top-k, positional/count clauses, and detected hash
+	// equi-joins) are compiled to Mode=Vector and execute batch-at-a-time
+	// over typed columns instead of tuple-at-a-time or through the
+	// DataFrame machinery.
 	Vectorize bool
 }
 
