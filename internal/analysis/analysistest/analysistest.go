@@ -1,0 +1,121 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against // want "substring" comments, the same contract
+// as golang.org/x/tools/go/analysis/analysistest but implemented on the
+// repository's dependency-free framework.
+//
+// Fixture layout: <testdata>/src/<pkg>/*.go. A line expecting diagnostics
+// carries a trailing comment of the form
+//
+//	// want "substr" "other substr"
+//
+// and the test fails when a want has no matching diagnostic on its line or
+// a diagnostic has no matching want.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"rumble/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads testdata/src/<pkg> relative to the test's working directory,
+// runs the analyzer over it, and checks the diagnostics against the
+// fixture's want comments. It returns the diagnostics for further checks.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) []analysis.Diagnostic {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	loaded, err := loader.Load(dir, pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(loaded, a)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, dir)
+	matched := map[int]bool{} // index into diags
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic matching %q (got %v)", w.file, w.line, w.substr, onLine(diags, w.file, w.line))
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+	return diags
+}
+
+type want struct {
+	file   string
+	line   int
+	substr string
+}
+
+// collectWants scans the fixture sources for // want comments.
+func collectWants(t *testing.T, dir string) []want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading %s: %v", path, err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+				wants = append(wants, want{file: path, line: i + 1, substr: q[1]})
+			}
+		}
+	}
+	return wants
+}
+
+func onLine(diags []analysis.Diagnostic, file string, line int) []string {
+	var out []string
+	for _, d := range diags {
+		if d.Pos.Filename == file && d.Pos.Line == line {
+			out = append(out, d.Message)
+		}
+	}
+	if len(out) == 0 {
+		return []string{fmt.Sprintf("no diagnostics on line %d", line)}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"rumble/internal/analysis/analysistest"
+	"rumble/internal/analysis/ctxpoll"
+)
+
+func TestCtxPoll(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxpoll.Analyzer, "ctxpoll")
+}

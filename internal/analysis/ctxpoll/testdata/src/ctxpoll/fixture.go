@@ -1,0 +1,48 @@
+package fixture
+
+import "context"
+
+type source struct{}
+
+func (source) Stream(yield func(int) bool) {}
+
+func bad(items []int, yield func(int) bool) {
+	for _, it := range items { // want "cancellation checkpoint"
+		if !yield(it) {
+			return
+		}
+	}
+}
+
+func polled(ctx context.Context, items []int, yield func(int) bool) {
+	for i, it := range items {
+		if i&63 == 0 && ctx.Err() != nil {
+			return
+		}
+		if !yield(it) {
+			return
+		}
+	}
+}
+
+func drains(s source, yield func(int) bool) {
+	var buf []int
+	s.Stream(func(v int) bool {
+		buf = append(buf, v)
+		return true
+	})
+	for _, v := range buf {
+		if !yield(v) {
+			return
+		}
+	}
+}
+
+func bounded(yield func(int) bool) {
+	//rumble:ctxpoll-ok loop is bounded at three iterations
+	for i := 0; i < 3; i++ {
+		if !yield(i) {
+			return
+		}
+	}
+}

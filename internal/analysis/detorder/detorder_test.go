@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"rumble/internal/analysis/analysistest"
+	"rumble/internal/analysis/detorder"
+)
+
+func TestDetOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", detorder.Analyzer, "detorder")
+}

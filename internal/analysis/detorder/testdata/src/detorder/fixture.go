@@ -1,0 +1,33 @@
+package fixture
+
+func emit(m map[string]int, order []string, yield func(int)) {
+	for _, k := range order {
+		yield(m[k])
+	}
+	for k, v := range m { // want "nondeterministic order"
+		_, _ = k, v
+	}
+}
+
+func escaped(m map[string]int) int {
+	total := 0
+	//rumble:nondeterministic-ok summing is commutative, order cannot be observed
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func escapedNoReason(m map[string]int) {
+	//rumble:nondeterministic-ok
+	for range m { // want "requires a justification"
+	}
+}
+
+func slices(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

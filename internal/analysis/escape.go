@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// EscapePrefix starts every analyzer escape comment. The full form is
+//
+//	//rumble:<name>-ok <justification>
+//
+// placed on the offending line or the line directly above it. The
+// justification is mandatory: an escape without one is itself reported, so
+// every suppressed finding carries its reasoning in the source.
+const EscapePrefix = "rumble:"
+
+// Escape is one parsed escape comment.
+type Escape struct {
+	// Name is the escape class ("nondeterministic", "ctxpoll", ...).
+	Name string
+	// Reason is the justification text after the marker; empty when the
+	// author omitted it (which analyzers must report).
+	Reason string
+	Pos    token.Position
+}
+
+// Escapes indexes the escape comments of a package by file and line.
+type Escapes struct {
+	byLine map[string]map[int][]Escape
+}
+
+// collectEscapes parses every //rumble:<name>-ok comment of the files. A
+// comment suppresses findings on its own line (trailing comment) and on the
+// line that follows it (standalone comment above the code).
+func collectEscapes(fset *token.FileSet, files []*ast.File) *Escapes {
+	es := &Escapes{byLine: map[string]map[int][]Escape{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+EscapePrefix)
+				if !ok {
+					continue
+				}
+				marker, reason, _ := strings.Cut(text, " ")
+				name, ok := strings.CutSuffix(marker, "-ok")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				e := Escape{Name: name, Reason: strings.TrimSpace(reason), Pos: pos}
+				lines := es.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]Escape{}
+					es.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], e)
+				lines[pos.Line+1] = append(lines[pos.Line+1], e)
+			}
+		}
+	}
+	return es
+}
+
+// At returns the escape of class name covering pos (same line or the line
+// above), or nil.
+func (es *Escapes) At(name string, pos token.Position) *Escape {
+	for _, e := range es.byLine[pos.Filename][pos.Line] {
+		if e.Name == name {
+			return &e
+		}
+	}
+	return nil
+}
+
+// Suppress is the shared analyzer helper: when an escape of class name
+// covers pos it returns true (the finding is suppressed) — reporting a
+// justification-missing diagnostic through report when the escape carries
+// no reason.
+func Suppress(p *Pass, name string, pos token.Pos) bool {
+	esc := p.Escapes.At(name, p.Fset.Position(pos))
+	if esc == nil {
+		return false
+	}
+	if esc.Reason == "" {
+		p.Reportf(pos, "//%s%s-ok escape requires a justification after the marker", EscapePrefix, name)
+	}
+	return true
+}

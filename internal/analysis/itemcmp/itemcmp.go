@@ -1,0 +1,139 @@
+// Package itemcmp forbids raw equality on JSONiq item values outside
+// internal/item.
+//
+// Items compare under JSONiq value semantics — 1 eq 1.0, NaN ordered
+// greatest, -0.0 equal to +0.0, integers beyond 2^53 distinct — none of
+// which Go's ==, != or reflect.DeepEqual implement. Comparing two
+// item.Item interfaces with == compares dynamic type identity (Int(1) !=
+// Double(1.0)); comparing two item.SortKey structs with == compares raw
+// float bits (a NaN key never equals itself). Every comparison must flow
+// through item.CompareValues, item.DeepEqual or SortKey.Compare. Nil checks
+// (it == nil) stay legal.
+package itemcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rumble/internal/analysis"
+)
+
+// Analyzer is the itemcmp pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "itemcmp",
+	Doc:  "forbid ==/!=/reflect.DeepEqual on item values outside internal/item; use CompareValues/DeepEqual/SortKey.Compare",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/item") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				if isNilExpr(pass, e.X) || isNilExpr(pass, e.Y) {
+					return true
+				}
+				name := itemTypeName(pass, e.X)
+				if name == "" {
+					name = itemTypeName(pass, e.Y)
+				}
+				if name == "" {
+					return true
+				}
+				if analysis.Suppress(pass, "itemcmp", e.Pos()) {
+					return true
+				}
+				what := "item.CompareValues or item.DeepEqual"
+				if name == "SortKey" {
+					what = "SortKey.Compare (raw == compares NaN float bits wrong)"
+				}
+				pass.Reportf(e.Pos(), "%s on item.%s compares Go representations, not JSONiq values; use %s", e.Op, name, what)
+			case *ast.CallExpr:
+				if !isReflectDeepEqual(pass, e) || len(e.Args) != 2 {
+					return true
+				}
+				name := itemTypeName(pass, e.Args[0])
+				if name == "" {
+					name = itemTypeName(pass, e.Args[1])
+				}
+				if name == "" {
+					return true
+				}
+				if analysis.Suppress(pass, "itemcmp", e.Pos()) {
+					return true
+				}
+				pass.Reportf(e.Pos(), "reflect.DeepEqual on item.%s values ignores JSONiq equality (1 vs 1.0, NaN, -0.0); use item.DeepEqual", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isNilExpr reports whether e is the untyped nil literal.
+func isNilExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+// itemTypeName returns the offending internal/item type name ("Item",
+// "SortKey") when e's static type is — or contains through one level of
+// slice/array/map — a value-comparison-bearing item type, else "".
+func itemTypeName(pass *analysis.Pass, e ast.Expr) string {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	return itemName(tv.Type, 0)
+}
+
+func itemName(t types.Type, depth int) string {
+	if depth > 2 {
+		return ""
+	}
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/item") {
+			if obj.Name() == "Item" || obj.Name() == "SortKey" {
+				return obj.Name()
+			}
+		}
+		return ""
+	case *types.Slice:
+		return itemName(u.Elem(), depth+1)
+	case *types.Array:
+		return itemName(u.Elem(), depth+1)
+	case *types.Map:
+		return itemName(u.Elem(), depth+1)
+	case *types.Pointer:
+		return itemName(u.Elem(), depth+1)
+	}
+	return ""
+}
+
+// isReflectDeepEqual matches calls to reflect.DeepEqual.
+func isReflectDeepEqual(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "DeepEqual" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[id]
+	if !ok {
+		return false
+	}
+	pkg, ok := obj.(*types.PkgName)
+	return ok && pkg.Imported().Path() == "reflect"
+}

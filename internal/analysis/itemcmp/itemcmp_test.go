@@ -1,0 +1,12 @@
+package itemcmp_test
+
+import (
+	"testing"
+
+	"rumble/internal/analysis/analysistest"
+	"rumble/internal/analysis/itemcmp"
+)
+
+func TestItemCmp(t *testing.T) {
+	analysistest.Run(t, "testdata", itemcmp.Analyzer, "itemcmp")
+}

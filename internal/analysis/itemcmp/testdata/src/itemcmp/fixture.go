@@ -1,0 +1,31 @@
+package fixture
+
+import (
+	"reflect"
+
+	"rumble/internal/item"
+)
+
+func eq(a, b item.Item) bool {
+	if a == nil {
+		return b == nil
+	}
+	return a == b // want "compares Go representations"
+}
+
+func keys(a, b item.SortKey) bool {
+	return a != b // want "NaN float bits"
+}
+
+func deep(a, b []item.Item) bool {
+	return reflect.DeepEqual(a, b) // want "use item.DeepEqual"
+}
+
+func pointerIdentity(a, b item.Item) bool {
+	//rumble:itemcmp-ok cache identity check wants pointer equality, not value equality
+	return a == b
+}
+
+func ints(a, b int) bool {
+	return a == b
+}

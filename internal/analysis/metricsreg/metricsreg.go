@@ -1,0 +1,201 @@
+// Package metricsreg keeps the spark metric registry consistent.
+//
+// A metric counter is only useful when it flows all the way out: the
+// atomic field in spark.Metrics must be read by the Metrics() snapshot
+// method, zeroed by ResetMetrics(), and carried by an exported
+// MetricsSnapshot field (the /metrics endpoint marshals the whole snapshot
+// struct, so an unexported field silently disappears from the rendering).
+// PRs 5–6 each added counters to all three places by hand; this analyzer
+// makes the compiler... the linter... do the remembering.
+//
+// The pass runs on any package declaring a struct named Metrics with
+// atomic counter fields; packages without one are skipped, so the analyzer
+// is safe to run everywhere.
+package metricsreg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rumble/internal/analysis"
+)
+
+// Analyzer is the metricsreg pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricsreg",
+	Doc:  "every Metrics counter field must be snapshotted in Metrics(), zeroed in ResetMetrics(), and exported in MetricsSnapshot",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	metrics := findStruct(pass, "Metrics")
+	if metrics == nil {
+		return nil
+	}
+	counters := atomicFields(metrics)
+	if len(counters) == 0 {
+		return nil
+	}
+	snapshotFn := findFunc(pass, "Metrics")
+	resetFn := findFunc(pass, "ResetMetrics")
+
+	if snapshotFn == nil {
+		pass.Reportf(metrics.pos, "package declares a Metrics counter struct but no Metrics() snapshot method")
+	} else {
+		read := fieldCalls(snapshotFn, "Load")
+		for _, f := range counters {
+			if !read[f.name] {
+				pass.Reportf(f.pos, "metric field %s is never Load-ed in the Metrics() snapshot; it cannot reach /metrics", f.name)
+			}
+		}
+	}
+	if resetFn == nil {
+		pass.Reportf(metrics.pos, "package declares a Metrics counter struct but no ResetMetrics()")
+	} else {
+		stored := fieldCalls(resetFn, "Store")
+		for _, f := range counters {
+			if !stored[f.name] {
+				pass.Reportf(f.pos, "metric field %s is never Store-d in ResetMetrics(); resets leave it running", f.name)
+			}
+		}
+	}
+	if snap := findStruct(pass, "MetricsSnapshot"); snap != nil {
+		for _, f := range snap.fields {
+			if !ast.IsExported(f.name) {
+				pass.Reportf(f.pos, "MetricsSnapshot field %s is unexported; JSON marshalling drops it from the /metrics rendering", f.name)
+			}
+		}
+		if snapshotFn != nil {
+			assigned := literalKeys(snapshotFn)
+			for _, f := range snap.fields {
+				if !assigned[f.name] {
+					pass.Reportf(f.pos, "MetricsSnapshot field %s is never assigned in the Metrics() snapshot literal", f.name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type structInfo struct {
+	pos    token.Pos
+	fields []fieldInfo
+	typ    *ast.StructType
+}
+
+type fieldInfo struct {
+	name   string
+	pos    token.Pos
+	atomic bool
+}
+
+// findStruct locates a package-level struct type declaration by name.
+func findStruct(pass *analysis.Pass, name string) *structInfo {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				info := &structInfo{pos: ts.Pos(), typ: st}
+				for _, fld := range st.Fields.List {
+					atomic := isAtomicCounter(pass, fld.Type)
+					for _, id := range fld.Names {
+						info.fields = append(info.fields, fieldInfo{name: id.Name, pos: id.Pos(), atomic: atomic})
+					}
+				}
+				return info
+			}
+		}
+	}
+	return nil
+}
+
+// atomicFields filters a struct's fields to the atomic counters.
+func atomicFields(s *structInfo) []fieldInfo {
+	var out []fieldInfo
+	for _, f := range s.fields {
+		if f.atomic {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// isAtomicCounter reports whether the field type is a sync/atomic counter
+// (atomic.Int64, atomic.Int32, atomic.Uint64, ...).
+func isAtomicCounter(pass *analysis.Pass, t ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[t]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	name := named.Obj().Name()
+	return strings.HasPrefix(name, "Int") || strings.HasPrefix(name, "Uint")
+}
+
+// findFunc locates a package-level function or method by name.
+func findFunc(pass *analysis.Pass, name string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == name && fd.Body != nil {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// fieldCalls collects the field names X on which <recv>.<X>.<method>() is
+// called anywhere in fn.
+func fieldCalls(fn *ast.FuncDecl, method string) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
+			return true
+		}
+		if field, ok := sel.X.(*ast.SelectorExpr); ok {
+			out[field.Sel.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// literalKeys collects the field keys assigned in composite literals in fn.
+func literalKeys(fn *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		kv, ok := n.(*ast.KeyValueExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}

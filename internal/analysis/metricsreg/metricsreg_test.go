@@ -1,0 +1,12 @@
+package metricsreg_test
+
+import (
+	"testing"
+
+	"rumble/internal/analysis/analysistest"
+	"rumble/internal/analysis/metricsreg"
+)
+
+func TestMetricsReg(t *testing.T) {
+	analysistest.Run(t, "testdata", metricsreg.Analyzer, "metricsreg")
+}

@@ -1,0 +1,27 @@
+package fixture
+
+import "sync/atomic"
+
+type Metrics struct {
+	Good    atomic.Int64
+	NoLoad  atomic.Int64 // want "never Load-ed"
+	NoReset atomic.Int64 // want "never Store-d"
+}
+
+type MetricsSnapshot struct {
+	Good      int64
+	hidden    int64 // want "unexported"
+	NotFilled int64 // want "never assigned"
+}
+
+func (m *Metrics) Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		Good:   m.Good.Load(),
+		hidden: m.NoReset.Load(),
+	}
+}
+
+func (m *Metrics) ResetMetrics() {
+	m.Good.Store(0)
+	m.NoLoad.Store(0)
+}

@@ -1,0 +1,126 @@
+// Package modecase requires switches over engine enums to be exhaustive.
+//
+// The compiler's Mode enum (Local/RDD/DataFrame/Vector) and the join
+// strategy enum grow with the engine; a switch that silently falls through
+// for a new mode routes queries to the wrong backend. Any switch whose tag
+// is one of those enum types must either carry a default clause or name
+// every package-level constant of the type in its cases.
+package modecase
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"rumble/internal/analysis"
+)
+
+// Analyzer is the modecase pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "modecase",
+	Doc:  "switches over engine enums (compiler.Mode, compiler.JoinStrategy) must cover every constant or carry a default",
+	Run:  run,
+}
+
+// enumTypeNames lists the named types treated as closed enums. They live in
+// internal/compiler; the package-path check below keeps same-named types
+// elsewhere out of scope.
+var enumTypeNames = map[string]bool{
+	"Mode":         true,
+	"JoinStrategy": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named := enumType(tv.Type)
+			if named == nil {
+				return true
+			}
+			missing := missingConstants(pass, sw, named)
+			if len(missing) == 0 {
+				return true
+			}
+			if analysis.Suppress(pass, "modecase", sw.Pos()) {
+				return true
+			}
+			pass.Reportf(sw.Pos(),
+				"switch over %s is not exhaustive: missing %s (add the cases or a default clause)",
+				named.Obj().Name(), strings.Join(missing, ", "))
+			return true
+		})
+	}
+	return nil
+}
+
+// enumType returns the named enum type of t, or nil when t is not one of
+// the closed engine enums.
+func enumType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !enumTypeNames[obj.Name()] {
+		return nil
+	}
+	if !strings.HasSuffix(obj.Pkg().Path(), "internal/compiler") &&
+		!strings.HasSuffix(obj.Pkg().Path(), "modecase") { // fixture packages
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Basic); !ok {
+		return nil
+	}
+	return named
+}
+
+// missingConstants returns the names of package-level constants of typ not
+// named by any case clause. A default clause satisfies exhaustiveness.
+func missingConstants(pass *analysis.Pass, sw *ast.SwitchStmt, typ *types.Named) []string {
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return nil // default clause: exhaustive by construction
+		}
+		for _, e := range cc.List {
+			covered[constName(pass, e)] = true
+		}
+	}
+	var missing []string
+	scope := typ.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), typ) {
+			continue
+		}
+		if !covered[c.Name()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+// constName resolves a case expression to the constant name it denotes.
+func constName(pass *analysis.Pass, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package modecase_test
+
+import (
+	"testing"
+
+	"rumble/internal/analysis/analysistest"
+	"rumble/internal/analysis/modecase"
+)
+
+func TestModeCase(t *testing.T) {
+	analysistest.Run(t, "testdata", modecase.Analyzer, "modecase")
+}

@@ -1,0 +1,45 @@
+package fixture
+
+type Mode int
+
+const (
+	ModeLocal Mode = iota
+	ModeRDD
+	ModeVector
+)
+
+func name(m Mode) string {
+	switch m { // want "missing ModeVector"
+	case ModeLocal:
+		return "local"
+	case ModeRDD:
+		return "rdd"
+	}
+	return ""
+}
+
+func full(m Mode) string {
+	switch m {
+	case ModeLocal, ModeRDD, ModeVector:
+		return "known"
+	}
+	return ""
+}
+
+func defaulted(m Mode) string {
+	switch m {
+	case ModeLocal:
+		return "local"
+	default:
+		return "other"
+	}
+}
+
+func partial(m Mode) bool {
+	//rumble:modecase-ok only vector-ness matters on this path
+	switch m {
+	case ModeVector:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,243 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"rumble/internal/ast"
+	"rumble/internal/parser"
+)
+
+// analyzeQuery parses and analyzes one query, failing the test on either
+// static error — the corruption tests need a valid plan to start from.
+func analyzeQuery(t *testing.T, q string, opts Options) (*ast.Module, *Info) {
+	t.Helper()
+	m, err := parser.Parse(q)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, q)
+	}
+	info, err := Analyze(m, opts)
+	if err != nil {
+		t.Fatalf("analyze: %v\n%s", err, q)
+	}
+	return m, info
+}
+
+func body(t *testing.T, m *ast.Module) *ast.FLWOR {
+	t.Helper()
+	f, ok := m.Body.(*ast.FLWOR)
+	if !ok {
+		t.Fatalf("module body is %T, want *ast.FLWOR", m.Body)
+	}
+	return f
+}
+
+const vectorTopKQuery = `for $x in (1 to 100) order by $x descending count $c where $c le 10 return $x`
+
+const joinQuery = `for $a in parallelize(({"k": 1, "v": "x"}, {"k": 2, "v": "y"}))
+for $b in parallelize(({"k": 2, "w": "p"}))
+where $a.k eq $b.k
+return $a.v || $b.w`
+
+// TestVerifyCleanPlans pins that Verify accepts what Analyze produces
+// across every backend the compiler can choose.
+func TestVerifyCleanPlans(t *testing.T) {
+	queries := []struct {
+		name string
+		q    string
+		opts Options
+	}{
+		{"local scalar", `1 + 2`, Options{}},
+		{"local flwor", `for $x in (1, 2, 3) where $x gt 1 return $x * 2`, Options{}},
+		{"dataframe", `for $x in parallelize((1, 2, 3)) return $x`, Options{Cluster: true}},
+		{"rdd predicate", `parallelize((1, 2, 3))[$$ gt 1]`, Options{Cluster: true}},
+		{"join", joinQuery, Options{Cluster: true}},
+		{"vector pipeline", `for $x in (1 to 50) where $x mod 2 eq 0 return {"v": $x}`, Options{Vectorize: true}},
+		{"vector group", `for $x in (1 to 50) group by $k := $x mod 3 return count($x)`, Options{Vectorize: true}},
+		{"vector topk", vectorTopKQuery, Options{Vectorize: true}},
+		{"vector grand aggregate", `sum(for $x in (1 to 50) where $x gt 10 return $x)`, Options{Vectorize: true}},
+		{"vector count zero", `count(for $x in (1 to 50) where $x gt 100 return $x) eq 0`, Options{Vectorize: true}},
+		{"vector join", joinQuery, Options{Cluster: true, Vectorize: true}},
+		{"udf and globals", `declare variable $n := 3; declare function local:sq($x) { $x * $x }; local:sq($n)`, Options{}},
+	}
+	for _, tc := range queries {
+		t.Run(tc.name, func(t *testing.T) {
+			m, info := analyzeQuery(t, tc.q, tc.opts)
+			if err := Verify(m, info); err != nil {
+				t.Fatalf("clean plan rejected: %v", err)
+			}
+		})
+	}
+}
+
+// TestVerifyCorruptedPlans hand-corrupts valid analysis results the way a
+// compiler bug would and demands the named diagnostic code for each.
+func TestVerifyCorruptedPlans(t *testing.T) {
+	cases := []struct {
+		name     string
+		q        string
+		opts     Options
+		corrupt  func(t *testing.T, m *ast.Module, info *Info)
+		wantCode string
+	}{
+		{
+			name: "erased mode annotation",
+			q:    `1 + 2`,
+			corrupt: func(t *testing.T, m *ast.Module, info *Info) {
+				delete(info.Modes, m.Body)
+			},
+			wantCode: "mode-unannotated",
+		},
+		{
+			name: "predicate mode contradicts input",
+			q:    `(1 to 5)[$$ gt 3]`,
+			corrupt: func(t *testing.T, m *ast.Module, info *Info) {
+				info.Modes[m.Body] = ModeRDD
+			},
+			wantCode: "mode-child",
+		},
+		{
+			name: "rdd predicate demoted to local",
+			q:    `parallelize((1, 2, 3))[$$ gt 1]`,
+			opts: Options{Cluster: true},
+			corrupt: func(t *testing.T, m *ast.Module, info *Info) {
+				info.Modes[m.Body] = ModeLocal
+			},
+			wantCode: "mode-child",
+		},
+		{
+			name: "dataframe head input not parallel",
+			q:    `for $x in parallelize((1, 2, 3)) return $x`,
+			opts: Options{Cluster: true},
+			corrupt: func(t *testing.T, m *ast.Module, info *Info) {
+				head := body(t, m).Clauses[0].(*ast.ForClause)
+				info.Modes[head.In] = ModeLocal
+			},
+			wantCode: "mode-dataframe-head",
+		},
+		{
+			name: "vector mode without plan",
+			q:    `for $x in (1 to 50) where $x gt 2 return $x`,
+			opts: Options{Vectorize: true},
+			corrupt: func(t *testing.T, m *ast.Module, info *Info) {
+				delete(info.VectorPlans, body(t, m))
+			},
+			wantCode: "vector-plan-missing",
+		},
+		{
+			name: "vector plan on non-vector mode",
+			q:    `for $x in (1 to 50) where $x gt 2 return $x`,
+			opts: Options{Vectorize: true},
+			corrupt: func(t *testing.T, m *ast.Module, info *Info) {
+				info.Modes[m.Body] = ModeLocal
+			},
+			wantCode: "vector-plan-orphan",
+		},
+		{
+			name: "non-whitelisted call in vector pipeline",
+			q:    `for $x in (1 to 50) where $x gt 2 return string($x)`,
+			opts: Options{Vectorize: true},
+			corrupt: func(t *testing.T, m *ast.Module, info *Info) {
+				body(t, m).Return.(*ast.FunctionCall).Name = "serialize"
+			},
+			wantCode: "vector-operator",
+		},
+		{
+			name: "zero top-k bound",
+			q:    vectorTopKQuery,
+			opts: Options{Vectorize: true},
+			corrupt: func(t *testing.T, m *ast.Module, info *Info) {
+				info.VectorPlans[body(t, m)].TopK = 0
+			},
+			wantCode: "vector-topk",
+		},
+		{
+			name: "top-k bound disagrees with AST",
+			q:    vectorTopKQuery,
+			opts: Options{Vectorize: true},
+			corrupt: func(t *testing.T, m *ast.Module, info *Info) {
+				info.VectorPlans[body(t, m)].TopK = 3
+			},
+			wantCode: "vector-topk",
+		},
+		{
+			name: "join with no key pairs",
+			q:    joinQuery,
+			opts: Options{Cluster: true},
+			corrupt: func(t *testing.T, m *ast.Module, info *Info) {
+				jp := info.Joins[body(t, m)]
+				jp.LeftKeys, jp.RightKeys = nil, nil
+			},
+			wantCode: "join-keys",
+		},
+		{
+			name: "join key arity mismatch",
+			q:    joinQuery,
+			opts: Options{Cluster: true},
+			corrupt: func(t *testing.T, m *ast.Module, info *Info) {
+				jp := info.Joins[body(t, m)]
+				jp.RightKeys = append(jp.RightKeys, jp.RightKeys[0])
+			},
+			wantCode: "join-keys",
+		},
+		{
+			name: "unknown join strategy",
+			q:    joinQuery,
+			opts: Options{Cluster: true},
+			corrupt: func(t *testing.T, m *ast.Module, info *Info) {
+				info.Joins[body(t, m)].Strategy = JoinStrategy(7)
+			},
+			wantCode: "join-strategy",
+		},
+		{
+			name: "hash join with build-left flag",
+			q:    joinQuery,
+			opts: Options{Cluster: true},
+			corrupt: func(t *testing.T, m *ast.Module, info *Info) {
+				jp := info.Joins[body(t, m)]
+				jp.Strategy = JoinHash
+				jp.BuildLeft = true
+			},
+			wantCode: "join-strategy",
+		},
+		{
+			name: "vector agg over grouped pipeline",
+			q:    `sum(for $x in (1 to 50) where $x gt 10 return $x)`,
+			opts: Options{Vectorize: true},
+			corrupt: func(t *testing.T, m *ast.Module, info *Info) {
+				call := m.Body.(*ast.FunctionCall)
+				info.VectorPlans[call.Args[0].(*ast.FLWOR)].Grouped = true
+			},
+			wantCode: "vector-agg",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, info := analyzeQuery(t, tc.q, tc.opts)
+			if err := Verify(m, info); err != nil {
+				t.Fatalf("plan not clean before corruption: %v", err)
+			}
+			tc.corrupt(t, m, info)
+			err := Verify(m, info)
+			if err == nil {
+				t.Fatalf("corrupted plan verified clean")
+			}
+			ve, ok := err.(*VerifyError)
+			if !ok {
+				t.Fatalf("got %T, want *VerifyError", err)
+			}
+			found := false
+			for _, d := range ve.Diags {
+				if d.Code == tc.wantCode {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no %q diagnostic in: %v", tc.wantCode, err)
+			}
+			if !strings.Contains(err.Error(), tc.wantCode) {
+				t.Fatalf("error text does not carry the code: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package item
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// fuzzKeyItem maps fuzz primitives to one atomic key sequence: the empty
+// sequence or a null, boolean, string, integer or double item — the kinds
+// EncodeSortKey accepts.
+func fuzzKeyItem(kind uint8, i int64, f float64, s string) []Item {
+	switch kind % 6 {
+	case 0:
+		return nil
+	case 1:
+		return []Item{Null{}}
+	case 2:
+		return []Item{Bool(i&1 == 0)}
+	case 3:
+		return []Item{Str(s)}
+	case 4:
+		return []Item{Int(i)}
+	default:
+		return []Item{Double(f)}
+	}
+}
+
+// boundaryDouble reports whether d falls where the (Num, Int) encoding is
+// documented to collapse against int64 values: NaN orders greatest by
+// sentinel (CompareValues cannot order it at all), and integral doubles at
+// or beyond 2^63 share their rounded Num with in-range int64 keys without
+// an exact Int tie-breaker.
+func boundaryDouble(it Item) bool {
+	d, ok := it.(Double)
+	if !ok {
+		return false
+	}
+	return math.IsNaN(float64(d)) || math.Abs(float64(d)) >= 9.223372036854775808e18
+}
+
+// FuzzSortKeyTotalOrder checks the sort-key encoding contract on arbitrary
+// key pairs:
+//
+//   - Compare is a total order: reflexive, antisymmetric, and transitive
+//     (probed with a third key derived from the same inputs);
+//   - AppendSortKey agrees with Compare exactly — two keys encode to the
+//     same bytes if and only if Compare orders them equal, and byte-wise
+//     lexicographic order never contradicts Compare, so hash-join and
+//     group-by bucketing by encoded bytes matches order-by semantics;
+//   - where CompareValues defines an ordering (and away from the documented
+//     NaN/2^63 boundaries), the key order agrees with the value order.
+func FuzzSortKeyTotalOrder(f *testing.F) {
+	f.Add(uint8(4), int64(9223372036854775807), 9.223372036854775808e18, "")
+	f.Add(uint8(5), int64(1)<<53, float64(1<<53)+2, "x")
+	f.Add(uint8(5), int64(0), math.NaN(), "NaN")
+	f.Add(uint8(5), int64(-1), math.Copysign(0, -1), "")
+	f.Add(uint8(3), int64(0), math.Inf(-1), "a\x00b")
+	f.Add(uint8(0), int64(42), 42.0, "42")
+	for a := uint8(0); a < 6; a++ {
+		f.Add(a, int64(-7), 0.5, "k")
+	}
+	f.Fuzz(func(t *testing.T, kind uint8, i int64, fl float64, s string) {
+		seqs := [][]Item{
+			fuzzKeyItem(kind, i, fl, s),
+			fuzzKeyItem(kind>>3, fl2i(fl), float64(i), s+"\x00"),
+			fuzzKeyItem(kind+1, i/2, -fl, s),
+		}
+		var keys []SortKey
+		var items [][]Item
+		for _, seq := range seqs {
+			k, err := EncodeSortKey(seq, false)
+			if err != nil {
+				t.Fatalf("encoding a legal atomic key failed: %v", err)
+			}
+			keys = append(keys, k)
+			items = append(items, seq)
+		}
+		for x, kx := range keys {
+			if kx.Compare(kx) != 0 {
+				t.Errorf("key %+v does not compare equal to itself", kx)
+			}
+			for y, ky := range keys {
+				c := kx.Compare(ky)
+				if rc := ky.Compare(kx); rc != -c {
+					t.Errorf("antisymmetry violated: %+v vs %+v: %d and %d", kx, ky, c, rc)
+				}
+				bx := AppendSortKey(nil, kx)
+				by := AppendSortKey(nil, ky)
+				if (c == 0) != bytes.Equal(bx, by) {
+					t.Errorf("encoding disagrees with Compare (%d): %+v -> %x, %+v -> %x", c, kx, bx, ky, by)
+				}
+				if len(items[x]) == 1 && len(items[y]) == 1 &&
+					!boundaryDouble(items[x][0]) && !boundaryDouble(items[y][0]) {
+					if vc, err := CompareValues(items[x][0], items[y][0]); err == nil && vc != c {
+						t.Errorf("key order %d disagrees with value order %d: %v vs %v",
+							c, vc, items[x][0], items[y][0])
+					}
+				}
+				for _, kz := range keys {
+					if c <= 0 && ky.Compare(kz) <= 0 && kx.Compare(kz) > 0 {
+						t.Errorf("transitivity violated: %+v <= %+v <= %+v but not %+v <= %+v", kx, ky, kz, kx, kz)
+					}
+				}
+			}
+		}
+	})
+}
+
+// fl2i derives an int64 from a float without triggering conversion traps
+// on NaN or out-of-range values.
+func fl2i(f float64) int64 {
+	if math.IsNaN(f) || f < -9.2e18 || f > 9.2e18 {
+		return 0
+	}
+	return int64(f)
+}

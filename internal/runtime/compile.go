@@ -79,6 +79,11 @@ func Compile(m *ast.Module, env *Env) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
+	if env.VerifyPlans {
+		if err := compiler.Verify(m, info); err != nil {
+			return nil, err
+		}
+	}
 	c := &comp{env: env, info: info, udfs: map[string]*udf{}}
 	prog := &Program{}
 	c.globals = func() *DynamicContext { return prog.globals }

@@ -47,8 +47,8 @@ func (st *dfState) rowBinder(dc *DynamicContext) func(spark.Row) *DynamicContext
 	}
 	schema := st.df.Schema()
 	binds := make([]bind, 0, len(st.varCol))
-	for v, col := range st.varCol {
-		idx := schema.IndexOf(col)
+	for _, v := range st.varNames() {
+		idx := schema.IndexOf(st.varCol[v])
 		if idx >= 0 {
 			binds = append(binds, bind{name: v, idx: idx})
 		}
@@ -65,6 +65,7 @@ func (st *dfState) rowBinder(dc *DynamicContext) func(spark.Row) *DynamicContext
 // varColumns returns the bound variable names in a deterministic order.
 func (st *dfState) varNames() []string {
 	names := make([]string, 0, len(st.varCol))
+	//rumble:nondeterministic-ok keys are insertion-sorted immediately below
 	for v := range st.varCol {
 		names = append(names, v)
 	}
@@ -250,6 +251,7 @@ func dfGroupStep(specs []dfGroupSpec, usage map[string]compiler.VarUsage) dfStep
 			newVarCol[spec.varName] = st.varCol[spec.varName]
 		}
 		countCols := map[string]string{} // output int col -> synthetic var
+		var countOrder []string          // insertion order of countCols keys
 		for _, v := range st.varNames() {
 			if keySet[v] {
 				continue
@@ -269,6 +271,7 @@ func dfGroupStep(specs []dfGroupSpec, usage map[string]compiler.VarUsage) dfStep
 				out := st.freshCol()
 				aggs = append(aggs, spark.Agg{Col: preCol, Kind: spark.AggSumInt, As: out})
 				countCols[out] = v + compiler.CountMarkerSuffix
+				countOrder = append(countOrder, out)
 			default:
 				aggs = append(aggs, spark.Agg{Col: col, Kind: spark.AggSequence})
 				newVarCol[v] = col
@@ -293,8 +296,10 @@ func dfGroupStep(specs []dfGroupSpec, usage map[string]compiler.VarUsage) dfStep
 		st.df = grouped
 		st.varCol = newVarCol
 		// Convert COUNT() results into singleton integer sequences bound
-		// to the synthetic count variables.
-		for intCol, syntheticVar := range countCols {
+		// to the synthetic count variables, in recorded insertion order so
+		// synthetic column numbering is stable run to run.
+		for _, intCol := range countOrder {
+			syntheticVar := countCols[intCol]
 			idx := st.df.Schema().IndexOf(intCol)
 			seqCol := st.freshCol()
 			st.df = st.df.WithColumn(seqCol, spark.ColSeq, func(r spark.Row) (any, error) {

@@ -30,6 +30,11 @@ type Env struct {
 	// eligible FLWOR pipelines ModeVector and they execute batch-at-a-time
 	// (internal/vector) instead of tuple-at-a-time.
 	Vectorize bool
+	// VerifyPlans runs compiler.Verify over every analyzed module before
+	// compiling it, failing compilation with structured diagnostics when a
+	// plan invariant is violated. Always on in tests; servers enable it
+	// with RUMBLE_VERIFY_PLANS=1.
+	VerifyPlans bool
 }
 
 // builtinCallIter dispatches a call to the local builtin library,
@@ -509,6 +514,7 @@ type constSeqIter struct {
 }
 
 func (c *constSeqIter) Stream(_ *DynamicContext, yield func(item.Item) error) error {
+	//rumble:ctxpoll-ok bounded: emits a fixed already-bound sequence; downstream consumers checkpoint
 	for _, it := range c.seq {
 		if err := yield(it); err != nil {
 			return err

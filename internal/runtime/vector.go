@@ -824,6 +824,7 @@ func (v *vectorIter) mergeResult(st *vmergeState, res *vmorselResult, yield func
 		}
 		return false, nil
 	}
+	//rumble:ctxpoll-ok bounded: emits one morsel's batch; the morsel driver polls GoContext between morsels
 	for _, it := range res.items {
 		if err := yield(it); err != nil {
 			return false, err

@@ -152,6 +152,7 @@ func normalizeQuery(q string) string {
 			sep()
 			b.WriteString(q[start:i])
 		case c == '(' && i+1 < len(q) && q[i+1] == ':':
+			start := i
 			depth := 1
 			i += 2
 			for i < len(q) && depth > 0 {
@@ -165,6 +166,16 @@ func normalizeQuery(q string) string {
 				default:
 					i++
 				}
+			}
+			if depth > 0 {
+				// Unterminated comment: a lexical error the parser reports,
+				// while the stripped form may be a valid query. Keep the
+				// broken tail verbatim so the two never share a cache key —
+				// the entry compiles the first arrival's original text, and
+				// a poisoned key would serve that error to valid spellings.
+				sep()
+				b.WriteString(q[start:])
+				break
 			}
 			pendingSpace = true // a comment separates tokens like whitespace
 		case c == ' ' || c == '\t' || c == '\n' || c == '\r':

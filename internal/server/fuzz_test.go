@@ -1,0 +1,78 @@
+package server
+
+import (
+	"testing"
+
+	"rumble/internal/lexer"
+)
+
+// FuzzNormalizeQuery checks the cache-key contract of normalizeQuery: two
+// queries may share a key only when they tokenize identically. Concretely,
+// for any input q and its normal form n:
+//
+//   - normalization is idempotent (n normalizes to itself), so a key is a
+//     fixed point and re-keying a cached key cannot drift;
+//   - q lexes successfully exactly when n does — a lexically broken query
+//     must not share a key with a valid one, because the cache entry
+//     compiles whichever original text arrives first;
+//   - when q lexes, n yields the same token stream (kinds and texts).
+func FuzzNormalizeQuery(f *testing.F) {
+	seeds := []string{
+		``,
+		`1 + 2`,
+		`1 (:`,
+		`1 (: never closed`,
+		`(: comment (: nested :) :) 42`,
+		`(:a:)`,
+		"for  $x \t in\n(1,2)  return $x",
+		`"white  space   kept" || "tab\there"`,
+		`"esc \" \\ inside"`,
+		`"unterminated with (: comment-looking text`,
+		`{"k (: not a comment :)": 1}.$k`,
+		`1(:sep:)2`,
+		`"a" (: c :) "b"`,
+		"\x00(\xff:",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		n := normalizeQuery(q)
+		if nn := normalizeQuery(n); nn != n {
+			t.Errorf("not idempotent:\n q: %q\n n: %q\nnn: %q", q, n, nn)
+		}
+		toks, err := lexer.Lex(q)
+		ntoks, nerr := lexer.Lex(n)
+		if (err == nil) != (nerr == nil) {
+			t.Fatalf("lex outcome diverged: original err=%v, normalized err=%v\n q: %q\n n: %q", err, nerr, q, n)
+		}
+		if err != nil {
+			return
+		}
+		if len(toks) != len(ntoks) {
+			t.Fatalf("token count diverged: %d vs %d\n q: %q\n n: %q", len(toks), len(ntoks), q, n)
+		}
+		for i := range toks {
+			if toks[i].Kind != ntoks[i].Kind || toks[i].Text != ntoks[i].Text {
+				t.Fatalf("token %d diverged: %v %q vs %v %q\n q: %q\n n: %q",
+					i, toks[i].Kind, toks[i].Text, ntoks[i].Kind, ntoks[i].Text, q, n)
+			}
+		}
+	})
+}
+
+// TestNormalizeQueryUnterminatedComment pins the cache-poisoning fix: an
+// unterminated comment is a lexical error, so "1 (:" must not normalize to
+// the same key as the valid query "1" — the cache compiles the first
+// arrival's original text, and a shared key would serve that compile error
+// to every valid spelling afterwards.
+func TestNormalizeQueryUnterminatedComment(t *testing.T) {
+	broken := normalizeQuery("1 (:")
+	valid := normalizeQuery("1")
+	if broken == valid {
+		t.Fatalf("broken and valid queries share cache key %q", valid)
+	}
+	if got := normalizeQuery("1 (: stripped :) + 2"); got != "1 + 2" {
+		t.Errorf("terminated comments should still strip: got %q", got)
+	}
+}

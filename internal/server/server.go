@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"rumble"
+	"rumble/internal/compiler"
 	"rumble/internal/spark"
 )
 
@@ -232,6 +233,30 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// planDiagnostic is the wire form of one plan-verifier finding.
+type planDiagnostic struct {
+	Code    string `json:"code"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// writeVerifyError renders a failed plan verification (RUMBLE_VERIFY_PLANS)
+// as structured diagnostics rather than one flattened string, so clients
+// and operators can file the invariant code directly.
+func writeVerifyError(w http.ResponseWriter, ve *compiler.VerifyError) {
+	diags := make([]planDiagnostic, len(ve.Diags))
+	for i, d := range ve.Diags {
+		diags[i] = planDiagnostic{Code: d.Code, Line: d.Pos.Line, Col: d.Pos.Col, Message: d.Msg}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusInternalServerError)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error":            "plan verification failed",
+		"plan_diagnostics": diags,
+	})
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body to /query")
@@ -274,6 +299,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.misses.Add(1)
 	}
 	if err != nil {
+		var ve *compiler.VerifyError
+		if errors.As(err, &ve) {
+			writeVerifyError(w, ve)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"rumble/internal/compiler"
+	"rumble/internal/lexer"
+)
+
+// TestWriteVerifyError pins the wire shape of a failed plan verification:
+// one structured diagnostic per invariant, each carrying its stable code,
+// instead of a single flattened error string.
+func TestWriteVerifyError(t *testing.T) {
+	ve := &compiler.VerifyError{Diags: []compiler.PlanDiagnostic{
+		{Code: "vector-topk", Pos: lexer.Pos{Line: 2, Col: 7}, Msg: "vector top-k bound is 0"},
+		{Code: "join-keys", Pos: lexer.Pos{Line: 4, Col: 1}, Msg: "join plan has no key pairs"},
+	}}
+	rec := httptest.NewRecorder()
+	writeVerifyError(rec, ve)
+	if rec.Code != 500 {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var resp struct {
+		Error string `json:"error"`
+		Diags []struct {
+			Code    string `json:"code"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Message string `json:"message"`
+		} `json:"plan_diagnostics"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if resp.Error != "plan verification failed" {
+		t.Errorf("error = %q", resp.Error)
+	}
+	if len(resp.Diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2", len(resp.Diags))
+	}
+	if resp.Diags[0].Code != "vector-topk" || resp.Diags[0].Line != 2 || resp.Diags[0].Col != 7 {
+		t.Errorf("first diagnostic = %+v", resp.Diags[0])
+	}
+	if resp.Diags[1].Code != "join-keys" || resp.Diags[1].Message != "join plan has no key pairs" {
+		t.Errorf("second diagnostic = %+v", resp.Diags[1])
+	}
+}

@@ -57,6 +57,7 @@ func Parallelize[T any](ctx *Context, data []T, parts int) *RDD[T] {
 	n := len(data)
 	return NewRDD(ctx, parts, "parallelize", func(p int, yield func(T) error) error {
 		lo, hi := sliceRange(n, parts, p)
+		//rumble:ctxpoll-ok source scan over an in-memory slice; engine pipelines wrap the sink in WithCancel, whose yield error aborts this loop
 		for _, v := range data[lo:hi] {
 			if err := yield(v); err != nil {
 				return err

@@ -99,18 +99,20 @@ func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], combine func(V, V) V) 
 	// before the exchange.
 	pre := NewRDD(r.ctx, r.parts, "mapSideCombine("+r.name+")", func(p int, yield func(Pair[K, V]) error) error {
 		acc := make(map[K]V)
+		var order []K // first-seen key order keeps the emit deterministic
 		if err := r.compute(p, func(kv Pair[K, V]) error {
 			if cur, ok := acc[kv.Key]; ok {
 				acc[kv.Key] = combine(cur, kv.Value)
 			} else {
 				acc[kv.Key] = kv.Value
+				order = append(order, kv.Key)
 			}
 			return nil
 		}); err != nil {
 			return err
 		}
-		for k, v := range acc {
-			if err := yield(Pair[K, V]{k, v}); err != nil {
+		for _, k := range order {
+			if err := yield(Pair[K, V]{k, acc[k]}); err != nil {
 				return err
 			}
 		}
@@ -123,15 +125,17 @@ func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], combine func(V, V) V) 
 			return ex.err
 		}
 		acc := make(map[K]V)
+		var order []K // bucket replay order is deterministic, so this is too
 		for _, kv := range ex.buckets[p] {
 			if cur, ok := acc[kv.Key]; ok {
 				acc[kv.Key] = combine(cur, kv.Value)
 			} else {
 				acc[kv.Key] = kv.Value
+				order = append(order, kv.Key)
 			}
 		}
-		for k, v := range acc {
-			if err := yield(Pair[K, V]{k, v}); err != nil {
+		for _, k := range order {
+			if err := yield(Pair[K, V]{k, acc[k]}); err != nil {
 				return err
 			}
 		}
@@ -149,11 +153,15 @@ func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[Pair[K, []V]] {
 			return ex.err
 		}
 		groups := make(map[K][]V)
+		var order []K // first-seen key order keeps the emit deterministic
 		for _, kv := range ex.buckets[p] {
+			if _, ok := groups[kv.Key]; !ok {
+				order = append(order, kv.Key)
+			}
 			groups[kv.Key] = append(groups[kv.Key], kv.Value)
 		}
-		for k, vs := range groups {
-			if err := yield(Pair[K, []V]{k, vs}); err != nil {
+		for _, k := range order {
+			if err := yield(Pair[K, []V]{k, groups[k]}); err != nil {
 				return err
 			}
 		}

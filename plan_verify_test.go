@@ -1,0 +1,60 @@
+package rumble
+
+import (
+	"strings"
+	"testing"
+
+	"rumble/internal/compiler"
+	"rumble/internal/parser"
+)
+
+// TestConformancePlansVerify runs the plan verifier over every conformance
+// query's analysis result, with the vector backend both off and on: the
+// entire known-good corpus must produce invariant-clean plans. Queries that
+// fail parsing or static analysis are skipped — those are the wantErr
+// static-error cases, which never reach the verifier in production either.
+func TestConformancePlansVerify(t *testing.T) {
+	for _, vectorize := range []bool{false, true} {
+		opts := compiler.Options{Cluster: true, Vectorize: vectorize, Executors: 4}
+		for name, c := range conformanceCases {
+			m, err := parser.Parse(c.query)
+			if err != nil {
+				continue
+			}
+			info, err := compiler.Analyze(m, opts)
+			if err != nil {
+				continue
+			}
+			if err := compiler.Verify(m, info); err != nil {
+				t.Errorf("%s (vectorize=%v): conformance plan failed verification:\n%v\nquery: %s",
+					name, vectorize, err, c.query)
+			}
+		}
+	}
+}
+
+// TestConformanceWithVerifyPlans re-runs the conformance table through an
+// engine with plan verification (and the vector backend) enabled: turning
+// the verifier on must not change a single result. This exercises the
+// runtime.Compile hook end to end, the same path RUMBLE_VERIFY_PLANS=1
+// takes in the server.
+func TestConformanceWithVerifyPlans(t *testing.T) {
+	e := New(Config{Parallelism: 4, Executors: 4, Vectorize: true, VerifyPlans: true})
+	for name, c := range conformanceCases {
+		t.Run(name, func(t *testing.T) {
+			out, err := e.QueryJSON(c.query)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("query %s should fail, got %v", c.query, out)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("query failed: %v\n%s", err, c.query)
+			}
+			if got := strings.Join(out, "\n"); got != c.want {
+				t.Errorf("got:\n%s\nwant:\n%s\nquery: %s", got, c.want, c.query)
+			}
+		})
+	}
+}

@@ -18,6 +18,7 @@ package rumble
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"rumble/internal/compiler"
@@ -82,6 +83,11 @@ type Config struct {
 	// over typed columns instead of tuple-at-a-time or through the
 	// DataFrame machinery.
 	Vectorize bool
+	// VerifyPlans checks every compiled plan's invariants (mode
+	// annotations, vector operator whitelist, join legality) before
+	// execution, surfacing compiler bugs as structured errors instead of
+	// wrong results. Also enabled by RUMBLE_VERIFY_PLANS=1.
+	VerifyPlans bool
 }
 
 // Engine compiles and runs JSONiq queries. Engines are safe for concurrent
@@ -109,6 +115,7 @@ func New(cfg Config) *Engine {
 			SplitSize:   cfg.SplitSize,
 			NoJoin:      cfg.DisableJoin,
 			Vectorize:   cfg.Vectorize,
+			VerifyPlans: cfg.VerifyPlans || os.Getenv("RUMBLE_VERIFY_PLANS") == "1",
 		},
 	}
 }
