@@ -7,13 +7,19 @@
 //
 // An ```explain block renders the default engine's plan; ```explain
 // vectorize renders the plan under Config{Vectorize: true}, pinning the
-// Mode=Vector backend choices the cookbook demonstrates.
+// Mode=Vector backend choices the cookbook demonstrates. An ```explain
+// analyze block (optionally with the vectorize suffix) goes further: it
+// executes the query and checks the live per-operator annotations —
+// row counts, batch counts, plan shape — with the wall-clock figures
+// masked to ?ms, since only the timings are run-dependent. Analyze
+// queries must therefore be self-contained (no external files).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strings"
 
 	"rumble"
@@ -81,7 +87,8 @@ func Process(src string) (string, []Drift, error) {
 			query = body
 			out = append(out, lines[i:next]...)
 			i = next
-		case fence == "```explain" || fence == "```explain vectorize":
+		case fence == "```explain" || fence == "```explain vectorize",
+			fence == "```explain analyze" || fence == "```explain analyze vectorize":
 			if query == "" {
 				return "", nil, fmt.Errorf("line %d: explain block without a preceding jsoniq block", i+1)
 			}
@@ -90,10 +97,16 @@ func Process(src string) (string, []Drift, error) {
 				return "", nil, err
 			}
 			eng := plain
-			if fence == "```explain vectorize" {
+			if strings.HasSuffix(fence, " vectorize") {
 				eng = vectorized
 			}
-			plan, err := eng.Explain(query)
+			var plan string
+			if strings.HasPrefix(fence, "```explain analyze") {
+				plan, err = eng.ExplainAnalyze(query)
+				plan = maskTimings(plan)
+			} else {
+				plan, err = eng.Explain(query)
+			}
 			if err != nil {
 				return "", nil, fmt.Errorf("line %d: explain failed: %v\nquery:\n%s", i+1, err, query)
 			}
@@ -115,6 +128,15 @@ func Process(src string) (string, []Drift, error) {
 	}
 	return strings.Join(out, "\n"), drift, nil
 }
+
+// timingRE matches the wall-clock figures explain-analyze renders (the
+// per-operator annotations and the result/workers footers).
+var timingRE = regexp.MustCompile(`\d+\.\d{2}ms`)
+
+// maskTimings replaces every wall-clock figure in an analyze rendering
+// with ?ms, leaving the deterministic parts — plan shape, row counts,
+// batch counts, worker counts — for the freshness check.
+func maskTimings(s string) string { return timingRE.ReplaceAllString(s, "?ms") }
 
 // fencedBlock returns the body of the fenced block opening at line i and
 // the index just past its closing fence.

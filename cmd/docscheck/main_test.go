@@ -66,3 +66,36 @@ func TestProcessVectorizeFence(t *testing.T) {
 		t.Errorf("plain fence produced no DataFrame plan:\n%s", out)
 	}
 }
+
+// TestProcessAnalyzeFence pins the explain-analyze fence: the query is
+// actually executed (live row counts appear), every wall-clock figure is
+// masked to ?ms so reruns are stable, and drift detection still bites on
+// a stale row count.
+func TestProcessAnalyzeFence(t *testing.T) {
+	doc := "```jsoniq\ncount(parallelize(1 to 100))\n```\n```explain analyze\nstale\n```\n"
+	out, drift, err := Process(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drift) != 1 {
+		t.Fatalf("drift = %d, want 1", len(drift))
+	}
+	if !strings.Contains(out, "out=100") || !strings.Contains(out, "-- result: 1 rows") {
+		t.Errorf("analyze fence carries no live statistics:\n%s", out)
+	}
+	if !strings.Contains(out, "?ms") {
+		t.Errorf("analyze fence lost its timing placeholders:\n%s", out)
+	}
+	if timingRE.MatchString(out) {
+		t.Errorf("unmasked timing survived in:\n%s", out)
+	}
+	// A rerun of the regenerated document is deterministic: same counts,
+	// same masks, no drift.
+	out2, drift2, err := Process(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drift2) != 0 || out2 != out {
+		t.Fatalf("regenerated analyze block still drifts: %v", drift2)
+	}
+}

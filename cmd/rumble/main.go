@@ -29,15 +29,16 @@ func main() {
 		return
 	}
 	var (
-		query       = flag.String("q", "", "JSONiq query text")
-		file        = flag.String("f", "", "file containing the JSONiq query")
-		output      = flag.String("output", "", "write results to this directory as JSON-Lines part files")
-		parallelism = flag.Int("parallelism", 8, "default number of partitions")
-		executors   = flag.Int("executors", 4, "concurrent executor slots")
-		maxResults  = flag.Int("max-results", 1000, "shell materialization cap (0 = unlimited)")
-		showTime    = flag.Bool("time", false, "print execution time")
-		explain     = flag.Bool("explain", false, "print the mode-annotated physical plan instead of executing")
-		vectorize   = flag.Bool("vectorize", false, "compile eligible pipelines to the columnar local backend (Mode=Vector)")
+		query          = flag.String("q", "", "JSONiq query text")
+		file           = flag.String("f", "", "file containing the JSONiq query")
+		output         = flag.String("output", "", "write results to this directory as JSON-Lines part files")
+		parallelism    = flag.Int("parallelism", 8, "default number of partitions")
+		executors      = flag.Int("executors", 4, "concurrent executor slots")
+		maxResults     = flag.Int("max-results", 1000, "shell materialization cap (0 = unlimited)")
+		showTime       = flag.Bool("time", false, "print execution time")
+		explain        = flag.Bool("explain", false, "print the mode-annotated physical plan instead of executing")
+		explainAnalyze = flag.Bool("explain-analyze", false, "execute the query and print the plan annotated with live per-operator statistics")
+		vectorize      = flag.Bool("vectorize", false, "compile eligible pipelines to the columnar local backend (Mode=Vector)")
 	)
 	flag.Parse()
 
@@ -61,6 +62,15 @@ func main() {
 			fatal(fmt.Errorf("--explain requires a query (-q or -f)"))
 		}
 		if err := explainQuery(os.Stdout, eng, text); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *explainAnalyze {
+		if text == "" {
+			fatal(fmt.Errorf("--explain-analyze requires a query (-q or -f)"))
+		}
+		if err := explainAnalyzeQuery(os.Stdout, eng, text); err != nil {
 			fatal(err)
 		}
 		return
@@ -101,6 +111,9 @@ func serveMain(args []string) {
 		timeout       = fs.Duration("timeout", 30*time.Second, "default per-request evaluation deadline (0 = none)")
 		maxResult     = fs.Int("max-result-items", 1_000_000, "reject unlimited results larger than this (0 = unbounded)")
 		vectorize     = fs.Bool("vectorize", false, "compile eligible pipelines to the columnar local backend (Mode=Vector)")
+		slowQueryMS   = fs.Int("slow-query-ms", 0, "log a JSON profile line to stderr for queries at or above this total time (0 = off)")
+		enablePprof   = fs.Bool("enable-pprof", false, "mount net/http/pprof under /debug/pprof/")
+		profileRing   = fs.Int("profile-ring", 0, "recent query profiles kept for GET /debug/queries (0 = 128)")
 	)
 	var colls collectionFlags
 	fs.Var(&colls, "collection", "register a name=path JSON-Lines collection (repeatable)")
@@ -117,6 +130,9 @@ func serveMain(args []string) {
 		PlanCacheBytes: *cacheBytes,
 		DefaultTimeout: *timeout,
 		MaxResultItems: *maxResult,
+		SlowQueryMS:    *slowQueryMS,
+		EnablePprof:    *enablePprof,
+		ProfileRing:    *profileRing,
 	}
 	if *timeout == 0 {
 		opt.DefaultTimeout = -1 // explicit 0 means "no default deadline"
@@ -132,6 +148,17 @@ func serveMain(args []string) {
 // explainQuery prints the statically annotated physical plan of one query.
 func explainQuery(out io.Writer, eng *rumble.Engine, text string) error {
 	plan, err := eng.Explain(text)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(out, plan)
+	return err
+}
+
+// explainAnalyzeQuery executes one query and prints the plan annotated
+// with the run's per-operator statistics.
+func explainAnalyzeQuery(out io.Writer, eng *rumble.Engine, text string) error {
+	plan, err := eng.ExplainAnalyze(text)
 	if err != nil {
 		return err
 	}
@@ -201,7 +228,8 @@ func shell(eng *rumble.Engine, showTime bool, maxResults int) {
 // instead of executing it, mirroring rumble --explain.
 func shellOn(in io.Reader, out, errw io.Writer, eng *rumble.Engine, showTime bool, maxResults int) {
 	fmt.Fprintln(out, "Rumble-Go shell — JSONiq on a Spark-like engine")
-	fmt.Fprintln(out, `Type a query and finish with an empty line. "explain <query>" prints its plan. "quit" exits.`)
+	fmt.Fprintln(out, `Type a query and finish with an empty line. "explain <query>" prints its plan,`)
+	fmt.Fprintln(out, `"explain analyze <query>" runs it and prints the plan with live statistics. "quit" exits.`)
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf []string
@@ -230,7 +258,11 @@ func shellOn(in io.Reader, out, errw io.Writer, eng *rumble.Engine, showTime boo
 		text := strings.Join(buf, "\n")
 		buf = nil
 		if q, ok := explainCommand(text); ok {
-			if err := explainQuery(out, eng, q); err != nil {
+			render := explainQuery
+			if qa, analyze := explainAnalyzeCommand(q); analyze {
+				render, q = explainAnalyzeQuery, qa
+			}
+			if err := render(out, eng, q); err != nil {
 				fmt.Fprintln(errw, "error:", err)
 			}
 			continue
@@ -245,6 +277,16 @@ func shellOn(in io.Reader, out, errw io.Writer, eng *rumble.Engine, showTime boo
 // returns the query text.
 func explainCommand(text string) (string, bool) {
 	rest, ok := strings.CutPrefix(strings.TrimSpace(text), "explain")
+	if !ok || rest == "" || (rest[0] != ' ' && rest[0] != '\t' && rest[0] != '\n') {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// explainAnalyzeCommand recognizes the "analyze <query>" tail of an
+// "explain analyze <query>" shell submission.
+func explainAnalyzeCommand(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, "analyze")
 	if !ok || rest == "" || (rest[0] != ' ' && rest[0] != '\t' && rest[0] != '\n') {
 		return "", false
 	}

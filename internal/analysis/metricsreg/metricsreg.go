@@ -134,13 +134,22 @@ func atomicFields(s *structInfo) []fieldInfo {
 }
 
 // isAtomicCounter reports whether the field type is a sync/atomic counter
-// (atomic.Int64, atomic.Int32, atomic.Uint64, ...).
+// (atomic.Int64, atomic.Int32, atomic.Uint64, ...) or a fixed-size array
+// of them — a histogram bucket array is a counter set and must flow
+// through the snapshot/reset/rendering machinery like any scalar.
 func isAtomicCounter(pass *analysis.Pass, t ast.Expr) bool {
 	tv, ok := pass.TypesInfo.Types[t]
 	if !ok {
 		return false
 	}
-	named, ok := tv.Type.(*types.Named)
+	return isAtomicType(tv.Type)
+}
+
+func isAtomicType(t types.Type) bool {
+	if arr, ok := t.(*types.Array); ok {
+		return isAtomicType(arr.Elem())
+	}
+	named, ok := t.(*types.Named)
 	if !ok || named.Obj().Pkg() == nil {
 		return false
 	}
@@ -163,8 +172,9 @@ func findFunc(pass *analysis.Pass, name string) *ast.FuncDecl {
 	return nil
 }
 
-// fieldCalls collects the field names X on which <recv>.<X>.<method>() is
-// called anywhere in fn.
+// fieldCalls collects the field names X on which <recv>.<X>.<method>()
+// or <recv>.<X>[i].<method>() (a bucket-array element) is called
+// anywhere in fn.
 func fieldCalls(fn *ast.FuncDecl, method string) map[string]bool {
 	out := map[string]bool{}
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -176,7 +186,11 @@ func fieldCalls(fn *ast.FuncDecl, method string) map[string]bool {
 		if !ok || sel.Sel.Name != method {
 			return true
 		}
-		if field, ok := sel.X.(*ast.SelectorExpr); ok {
+		recv := sel.X
+		if idx, ok := recv.(*ast.IndexExpr); ok {
+			recv = idx.X
+		}
+		if field, ok := recv.(*ast.SelectorExpr); ok {
 			out[field.Sel.Name] = true
 		}
 		return true

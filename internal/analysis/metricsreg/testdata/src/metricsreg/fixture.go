@@ -6,6 +6,12 @@ type Metrics struct {
 	Good    atomic.Int64
 	NoLoad  atomic.Int64 // want "never Load-ed"
 	NoReset atomic.Int64 // want "never Store-d"
+
+	// Histogram bucket arrays are counter sets too: an unregistered one
+	// silently drops a whole histogram from /metrics.
+	GoodHist  [4]atomic.Int64
+	GhostHist [4]atomic.Int64 // want "never Load-ed" "never Store-d"
+	NoOffHist [4]atomic.Int64 // want "never Store-d"
 }
 
 type MetricsSnapshot struct {
@@ -15,13 +21,21 @@ type MetricsSnapshot struct {
 }
 
 func (m *Metrics) Metrics() MetricsSnapshot {
-	return MetricsSnapshot{
+	snap := MetricsSnapshot{
 		Good:   m.Good.Load(),
 		hidden: m.NoReset.Load(),
 	}
+	for i := 0; i < 4; i++ {
+		_ = m.GoodHist[i].Load()
+		_ = m.NoOffHist[i].Load()
+	}
+	return snap
 }
 
 func (m *Metrics) ResetMetrics() {
 	m.Good.Store(0)
 	m.NoLoad.Store(0)
+	for i := 0; i < 4; i++ {
+		m.GoodHist[i].Store(0)
+	}
 }

@@ -13,7 +13,17 @@ import (
 // [DataFrame]). FLWOR clause and object-field lines structure the tree but
 // carry no mode of their own.
 func Explain(m *ast.Module, info *Info) string {
-	p := &explainPrinter{info: info}
+	return ExplainAnnotated(m, info, nil)
+}
+
+// ExplainAnnotated renders the same plan tree with an optional annotation
+// per operator line: note is called with the operator's registration key —
+// the AST node, clause pointer or join plan the runtime keyed its profile
+// operator by — and a non-empty return is appended to the line. A nil note
+// (or one that always returns "") reproduces Explain byte for byte, which
+// pins the explain goldens.
+func ExplainAnnotated(m *ast.Module, info *Info, note func(key any) string) string {
+	p := &explainPrinter{info: info, note: note}
 	for _, vd := range m.Vars {
 		p.line(0, "declare variable $"+vd.Name, nil)
 		p.expr(1, ":= ", vd.Init)
@@ -33,6 +43,19 @@ func Explain(m *ast.Module, info *Info) string {
 type explainPrinter struct {
 	b    strings.Builder
 	info *Info
+	note func(key any) string
+}
+
+// tag appends the annotation for key (if any) to a label that is not
+// itself an expression line — clause headers, join nodes, Sort/TopK.
+func (p *explainPrinter) tag(label string, key any) string {
+	if p.note == nil || key == nil {
+		return label
+	}
+	if s := p.note(key); s != "" {
+		return label + "  " + s
+	}
+	return label
 }
 
 // line emits one indented line; when e is non-nil its mode is appended.
@@ -51,6 +74,12 @@ func (p *explainPrinter) line(depth int, label string, e ast.Expr) {
 			fmt.Fprintf(&p.b, " x%d", p.info.VectorWorkers)
 		}
 		p.b.WriteString("]")
+	}
+	if p.note != nil && e != nil {
+		if s := p.note(e); s != "" {
+			p.b.WriteString("  ")
+			p.b.WriteString(s)
+		}
 	}
 	p.b.WriteString("\n")
 }
@@ -210,7 +239,7 @@ func (p *explainPrinter) expr(depth int, prefix string, e ast.Expr) {
 					label = fmt.Sprintf("TopK(%d)", vp.TopK)
 					ci += 2
 				}
-				p.line(depth+1, label, nil)
+				p.line(depth+1, p.tag(label, ob), nil)
 				p.orderKeys(depth+2, ob)
 				continue
 			}
@@ -234,7 +263,7 @@ func (p *explainPrinter) join(depth int, jp *JoinPlan) {
 		}
 		label += " (build: " + side + ")"
 	}
-	p.line(depth, label, nil)
+	p.line(depth, p.tag(label, jp), nil)
 	p.expr(depth+1, "left in: ", jp.Left.In)
 	p.expr(depth+1, "right in: ", jp.Right.In)
 	for i := range jp.LeftKeys {
@@ -258,7 +287,7 @@ func (p *explainPrinter) clause(depth int, cl ast.Clause) {
 		if n.AllowEmpty {
 			label += " allowing empty"
 		}
-		p.line(depth, label, nil)
+		p.line(depth, p.tag(label, n), nil)
 		p.expr(depth+1, "in: ", n.In)
 	case *ast.LetClause:
 		label := "let $" + n.Var
@@ -269,13 +298,13 @@ func (p *explainPrinter) clause(depth int, cl ast.Clause) {
 			}
 			label += "]"
 		}
-		p.line(depth, label, nil)
+		p.line(depth, p.tag(label, n), nil)
 		p.expr(depth+1, ":= ", n.Value)
 	case *ast.WhereClause:
-		p.line(depth, "where", nil)
+		p.line(depth, p.tag("where", n), nil)
 		p.expr(depth+1, "", n.Cond)
 	case *ast.GroupByClause:
-		p.line(depth, "group by", nil)
+		p.line(depth, p.tag("group by", n), nil)
 		for _, spec := range n.Specs {
 			if spec.Expr == nil {
 				p.line(depth+1, "key $"+spec.Var, nil)
@@ -284,10 +313,10 @@ func (p *explainPrinter) clause(depth int, cl ast.Clause) {
 			p.expr(depth+1, "$"+spec.Var+" := ", spec.Expr)
 		}
 	case *ast.OrderByClause:
-		p.line(depth, "order by", nil)
+		p.line(depth, p.tag("order by", n), nil)
 		p.orderKeys(depth+1, n)
 	case *ast.CountClause:
-		p.line(depth, "count $"+n.Var, nil)
+		p.line(depth, p.tag("count $"+n.Var, n), nil)
 	}
 }
 

@@ -1,0 +1,65 @@
+package profile
+
+import (
+	"testing"
+	"time"
+)
+
+// The "profiling off" fast path is a nil profile; every recording and
+// reading method must be callable on it without panicking.
+func TestNilSafety(t *testing.T) {
+	var p *Profile
+	p.Op(0).AddRows(1)
+	p.Op(0).AddBatches(1)
+	p.Op(0).AddWall(time.Millisecond)
+	p.AddBusy(time.Millisecond)
+	p.AddWait(time.Millisecond)
+	p.SetWorkers(4)
+	if got := p.Op(3).RowsOut(); got != 0 {
+		t.Fatalf("nil op RowsOut = %d, want 0", got)
+	}
+	if s := p.Snapshot(); len(s.Ops) != 0 {
+		t.Fatalf("nil snapshot has %d ops", len(s.Ops))
+	}
+}
+
+func TestSnapshotDerivesRowsIn(t *testing.T) {
+	p := New([]OpDesc{
+		{Name: "scan", Input: -1},
+		{Name: "filter", Input: 0},
+		{Name: "project", Input: 1},
+	})
+	p.Op(0).AddRows(100)
+	p.Op(1).AddRows(40)
+	p.Op(2).AddRows(40)
+	p.Op(99).AddRows(7) // out of range: must no-op, not panic
+	s := p.Snapshot()
+	if len(s.Ops) != 3 {
+		t.Fatalf("got %d ops", len(s.Ops))
+	}
+	wantIn := []int64{-1, 100, 40}
+	wantOut := []int64{100, 40, 40}
+	for i, op := range s.Ops {
+		if op.RowsIn != wantIn[i] || op.RowsOut != wantOut[i] {
+			t.Errorf("op %d (%s): rows_in=%d rows_out=%d, want %d/%d",
+				i, op.Name, op.RowsIn, op.RowsOut, wantIn[i], wantOut[i])
+		}
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(Snapshot{QueryID: string(rune('a' + i))})
+	}
+	got := r.Snapshots()
+	if len(got) != 3 {
+		t.Fatalf("got %d snapshots", len(got))
+	}
+	// Newest first: e, d, c.
+	for i, want := range []string{"e", "d", "c"} {
+		if got[i].QueryID != want {
+			t.Errorf("snapshot %d = %q, want %q", i, got[i].QueryID, want)
+		}
+	}
+}

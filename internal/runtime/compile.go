@@ -2,23 +2,60 @@ package runtime
 
 import (
 	"context"
+	"time"
 
 	"rumble/internal/ast"
 	"rumble/internal/compiler"
 	"rumble/internal/functions"
 	"rumble/internal/item"
+	"rumble/internal/profile"
 	"rumble/internal/spark"
 )
 
 // Program is a fully compiled query: a root iterator plus the global
-// dynamic context holding prolog variable bindings.
+// dynamic context holding prolog variable bindings. It also retains the
+// analyzed module, the analysis info and the profiling operator
+// registry, so explain-analyze can render the same plan tree the
+// operators were registered on.
 type Program struct {
 	Root    Iterator
 	globals *DynamicContext
+
+	module   *ast.Module
+	info     *compiler.Info
+	descs    []profile.OpDesc
+	opKeys   map[any]int
+	resultOp int
 }
 
 // GlobalContext returns the dynamic context with prolog variables bound.
 func (p *Program) GlobalContext() *DynamicContext { return p.globals }
+
+// Module returns the analyzed module this program was compiled from.
+func (p *Program) Module() *ast.Module { return p.module }
+
+// AnalysisInfo returns the static analysis the program was compiled
+// under — the same Info Explain renders mode annotations from.
+func (p *Program) AnalysisInfo() *compiler.Info { return p.info }
+
+// NewProfile allocates a profile sized for this program's registered
+// plan operators. Pass it to the profiled run variants; a nil profile
+// keeps the zero-overhead fast path.
+func (p *Program) NewProfile() *profile.Profile { return profile.New(p.descs) }
+
+// OpIndex returns the profiling operator registered for an AST node
+// during compilation, or -1. The explain-analyze renderer uses it to
+// look up live stats by the same keys the compiler registered.
+func (p *Program) OpIndex(key any) int {
+	if id, ok := p.opKeys[key]; ok {
+		return id
+	}
+	return -1
+}
+
+// ResultOp returns the index of the program-level result operator,
+// which records the rows and wall time of the whole query.
+func (p *Program) ResultOp() int { return p.resultOp }
 
 // Mode returns the statically assigned execution mode of the root plan
 // node: Local, RDD or DataFrame.
@@ -33,14 +70,7 @@ func (p *Program) Run() ([]item.Item, error) { return p.RunContext(nil) }
 // poll the context and unwind with its error. A nil ctx disables the
 // checkpoints entirely (no per-iteration overhead).
 func (p *Program) RunContext(ctx context.Context) ([]item.Item, error) {
-	dc := p.globals
-	if ctx != nil {
-		dc = dc.WithGoContext(ctx)
-	}
-	if p.Root.Mode().Parallel() {
-		return CollectRDD(p.Root, dc)
-	}
-	return Materialize(p.Root, dc)
+	return p.runDC(p.evalCtx(ctx, nil), 0)
 }
 
 // RunContextLimit is RunContext bounded to at most max result items: local
@@ -49,21 +79,59 @@ func (p *Program) RunContext(ctx context.Context) ([]item.Item, error) {
 // stop) instead of a full collect — so a limited request never
 // materializes an unbounded result on the driver. max <= 0 means no limit.
 func (p *Program) RunContextLimit(ctx context.Context, max int) ([]item.Item, error) {
-	if max <= 0 {
-		return p.RunContext(ctx)
+	return p.runDC(p.evalCtx(ctx, nil), max)
+}
+
+// RunProfiled is RunContextLimit with a per-query profile attached:
+// every instrumented plan operator the evaluation passes through
+// records rows and wall time into prof, and the program-level result
+// operator records the result cardinality. A nil prof is exactly
+// RunContextLimit — the nil check is the profiling-off fast path.
+func (p *Program) RunProfiled(ctx context.Context, max int, prof *profile.Profile) ([]item.Item, error) {
+	if prof == nil {
+		return p.runDC(p.evalCtx(ctx, nil), max)
 	}
+	dc := p.evalCtx(ctx, prof)
+	op := prof.Op(p.resultOp)
+	start := time.Now()
+	items, err := p.runDC(dc, max)
+	op.AddRows(int64(len(items)))
+	op.AddBatches(1)
+	op.AddWall(time.Since(start))
+	return items, err
+}
+
+// evalCtx builds the evaluation context: globals plus the optional Go
+// context and profile, each attached only when present.
+func (p *Program) evalCtx(ctx context.Context, prof *profile.Profile) *DynamicContext {
 	dc := p.globals
 	if ctx != nil {
 		dc = dc.WithGoContext(ctx)
 	}
-	if p.Root.Mode().Parallel() {
-		rdd, err := p.Root.RDD(dc)
-		if err != nil {
-			return nil, err
-		}
-		return spark.Take(spark.WithCancel(rdd, cancelOf(dc)), max)
+	if prof != nil {
+		dc = dc.WithProfile(prof)
 	}
-	return MaterializeN(p.Root, dc, max)
+	return dc
+}
+
+// runDC evaluates the root under dc, bounded to max items when max is
+// positive (local streaming cap, or a cluster take action instead of a
+// full collect).
+func (p *Program) runDC(dc *DynamicContext, max int) ([]item.Item, error) {
+	if p.Root.Mode().Parallel() {
+		if max > 0 {
+			rdd, err := p.Root.RDD(dc)
+			if err != nil {
+				return nil, err
+			}
+			return spark.Take(spark.WithCancel(rdd, cancelOf(dc)), max)
+		}
+		return CollectRDD(p.Root, dc)
+	}
+	if max > 0 {
+		return MaterializeN(p.Root, dc, max)
+	}
+	return Materialize(p.Root, dc)
 }
 
 // Compile analyzes and compiles a parsed module against an environment.
@@ -84,7 +152,7 @@ func Compile(m *ast.Module, env *Env) (*Program, error) {
 			return nil, err
 		}
 	}
-	c := &comp{env: env, info: info, udfs: map[string]*udf{}}
+	c := &comp{env: env, info: info, udfs: map[string]*udf{}, opKeys: map[any]int{}}
 	prog := &Program{}
 	c.globals = func() *DynamicContext { return prog.globals }
 	// Declare UDFs first (bodies compiled after, enabling recursion).
@@ -117,6 +185,12 @@ func Compile(m *ast.Module, env *Env) (*Program, error) {
 		return nil, err
 	}
 	prog.Root = root
+	// The program-level result operator records the whole query's output
+	// cardinality and wall time, whichever backend ran. Its input is the
+	// root expression's operator when one was registered.
+	prog.resultOp = c.op(nil, "result", c.opOf(root, m.Body))
+	prog.module, prog.info = m, info
+	prog.descs, prog.opKeys = c.descs, c.opKeys
 	return prog, nil
 }
 
@@ -125,11 +199,56 @@ type comp struct {
 	info    *compiler.Info
 	udfs    map[string]*udf
 	globals func() *DynamicContext
+
+	// Profiling operator registry. Ops are dedup-keyed by AST node: the
+	// tuple pipeline and the vector backend compile from the same clause
+	// pointers, so both register the same operator and — since exactly
+	// one backend runs per evaluation — never double-count.
+	descs  []profile.OpDesc
+	opKeys map[any]int
 }
 
 // pn builds the planNode of e from the compiler's mode annotation.
 func (c *comp) pn(e ast.Expr) planNode {
 	return planNode{mode: c.info.ModeOf(e)}
+}
+
+// op registers a profiling operator named name whose upstream operator
+// is input (-1 for sources), dedup-keyed by key; a nil key always
+// appends. Returns the operator's index into the program's profiles.
+func (c *comp) op(key any, name string, input int) int {
+	if key != nil {
+		if id, ok := c.opKeys[key]; ok {
+			return id
+		}
+	}
+	id := len(c.descs)
+	c.descs = append(c.descs, profile.OpDesc{Name: name, Input: input})
+	if key != nil {
+		c.opKeys[key] = id
+	}
+	return id
+}
+
+// opOf resolves the profiling operator already registered for a
+// compiled iterator (or its AST node), or -1. Used to chain rows-in
+// derivation across operator boundaries.
+func (c *comp) opOf(it Iterator, e ast.Expr) int {
+	if p, ok := it.(*profiledIter); ok {
+		return p.opID
+	}
+	if e != nil {
+		if id, ok := c.opKeys[e]; ok {
+			return id
+		}
+	}
+	return -1
+}
+
+// profiled wraps it so evaluations with a profile attached record rows
+// out, batches and wall time under the operator registered for key.
+func (c *comp) profiled(key any, name string, input int, it Iterator) Iterator {
+	return &profiledIter{inner: it, opID: c.op(key, name, input)}
 }
 
 func (c *comp) compile(e ast.Expr) (Iterator, error) {
@@ -409,17 +528,19 @@ func (c *comp) compileCall(n *ast.FunctionCall) (Iterator, error) {
 		if len(args) == 2 {
 			ji.min = args[1]
 		}
-		return ji, nil
+		return c.profiled(n, "json-file", -1, ji), nil
 	case "parallelize":
 		pi := &parallelizeIter{planNode: c.pn(n), env: c.env, child: args[0]}
 		if len(args) == 2 {
 			pi.parts = args[1]
 		}
-		return pi, nil
+		return c.profiled(n, "parallelize", c.opOf(args[0], n.Args[0]), pi), nil
 	case "collection":
-		return &collectionIter{planNode: c.pn(n), env: c.env, name: args[0]}, nil
+		return c.profiled(n, "collection", -1,
+			&collectionIter{planNode: c.pn(n), env: c.env, name: args[0]}), nil
 	case "distinct-values":
-		return &distinctValuesIter{planNode: c.pn(n), arg: args[0]}, nil
+		return c.profiled(n, "distinct-values", c.opOf(args[0], n.Args[0]),
+			&distinctValuesIter{planNode: c.pn(n), arg: args[0]}), nil
 	}
 	if compiler.AggregateFunctions[n.Name] {
 		// The compiler decided statically whether the aggregation pushes
@@ -428,7 +549,7 @@ func (c *comp) compileCall(n *ast.FunctionCall) (Iterator, error) {
 		if len(args) == 2 {
 			ai.dflt = args[1]
 		}
-		return ai, nil
+		return c.profiled(n, n.Name, c.opOf(args[0], n.Args[0]), ai), nil
 	}
 	fn, ok := functions.Lookup(n.Name)
 	if !ok {
@@ -513,6 +634,11 @@ func (c *comp) compileFLWORPipeline(f *ast.FLWOR, clauses []ast.Clause, hoisted 
 	dfOK := c.info.ModeOf(f) == compiler.ModeDataFrame
 	var plan *dfPlan
 
+	// prev tracks the profiling operator of the clause upstream of the
+	// one being compiled, so rows-in derivation chains through the
+	// pipeline. Ops are keyed by clause AST pointers: the vector backend
+	// compiles from the same clauses and shares the same operators.
+	prev := -1
 	if hoisted {
 		// The hoisted lets produce exactly one incoming tuple; the
 		// remaining chain (possibly empty) evaluates under their bindings.
@@ -527,11 +653,15 @@ func (c *comp) compileFLWORPipeline(f *ast.FLWOR, clauses []ast.Clause, hoisted 
 			return nil, err
 		}
 		local = &joinEval{j: cj}
+		prev = c.op(jp, "join", -1)
+		local = &profiledClause{inner: local, opID: prev}
 		if dfOK {
 			plan = &dfPlan{sc: c.env.Spark, join: cj, ret: ret}
 		}
-		for _, res := range cj.residual {
+		for i, res := range cj.residual {
 			local = &whereEval{parent: local, cond: res}
+			prev = c.op(jp.Residual[i], "where", prev)
+			local = &profiledClause{inner: local, opID: prev}
 			if dfOK {
 				steps = append(steps, dfWhereStep(res))
 			}
@@ -549,6 +679,12 @@ func (c *comp) compileFLWORPipeline(f *ast.FLWOR, clauses []ast.Clause, hoisted 
 			}
 			fe := &forEval{parent: local, varName: n.Var, posVar: n.PosVar, allowEmpty: n.AllowEmpty, in: in}
 			local = fe
+			input := prev
+			if input < 0 {
+				input = c.opOf(in, n.In) // head for: rows in = scan rows out
+			}
+			prev = c.op(n, "for $"+n.Var, input)
+			local = &profiledClause{inner: local, opID: prev}
 			if i == 0 && !headDone {
 				if dfOK {
 					plan = &dfPlan{sc: c.env.Spark, initVar: n.Var, initPos: n.PosVar, initIn: in, ret: ret}
@@ -562,6 +698,8 @@ func (c *comp) compileFLWORPipeline(f *ast.FLWOR, clauses []ast.Clause, hoisted 
 				return nil, err
 			}
 			local = &letEval{parent: local, varName: n.Var, value: val}
+			prev = c.op(n, "let $"+n.Var, prev)
+			local = &profiledClause{inner: local, opID: prev}
 			if dfOK && (i > 0 || headDone) {
 				steps = append(steps, dfLetStep(n.Var, val))
 			}
@@ -571,6 +709,8 @@ func (c *comp) compileFLWORPipeline(f *ast.FLWOR, clauses []ast.Clause, hoisted 
 				return nil, err
 			}
 			local = &whereEval{parent: local, cond: cond}
+			prev = c.op(n, "where", prev)
+			local = &profiledClause{inner: local, opID: prev}
 			if dfOK {
 				steps = append(steps, dfWhereStep(cond))
 			}
@@ -595,6 +735,8 @@ func (c *comp) compileFLWORPipeline(f *ast.FLWOR, clauses []ast.Clause, hoisted 
 				usage = gplan.Usage
 			}
 			local = &groupByEval{parent: local, specs: lspecs, usage: usage}
+			prev = c.op(n, "group by", prev)
+			local = &profiledClause{inner: local, opID: prev}
 			if dfOK {
 				steps = append(steps, dfGroupStep(dspecs, usage))
 			}
@@ -610,11 +752,15 @@ func (c *comp) compileFLWORPipeline(f *ast.FLWOR, clauses []ast.Clause, hoisted 
 				dspecs = append(dspecs, dfOrderSpec{expr: e, descending: spec.Descending, emptyGreatest: spec.EmptyGreatest})
 			}
 			local = &orderByEval{parent: local, specs: lspecs}
+			prev = c.op(n, "order by", prev)
+			local = &profiledClause{inner: local, opID: prev}
 			if dfOK {
 				steps = append(steps, dfOrderStep(dspecs))
 			}
 		case *ast.CountClause:
 			local = &countEval{parent: local, varName: n.Var}
+			prev = c.op(n, "count $"+n.Var, prev)
+			local = &profiledClause{inner: local, opID: prev}
 			if dfOK {
 				steps = append(steps, dfCountStep(n.Var))
 			}
@@ -623,6 +769,7 @@ func (c *comp) compileFLWORPipeline(f *ast.FLWOR, clauses []ast.Clause, hoisted 
 		}
 	}
 	out.local = local
+	out.opRoot = c.op(f, "flwor", prev)
 	if dfOK {
 		plan.steps = steps
 		out.df = plan
@@ -656,10 +803,11 @@ func (c *comp) compileVectorAgg(n *ast.FunctionCall) (Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
+	out := c.profiled(n, n.Name, c.opOf(nil, f), vit)
 	if len(rlets) > 0 {
-		return &rddLetIter{planNode: c.pn(n), lets: rlets, inner: vit}, nil
+		return &rddLetIter{planNode: c.pn(n), lets: rlets, inner: out}, nil
 	}
-	return vit, nil
+	return out, nil
 }
 
 // compileVectorCountZero builds the early-exit vector pipeline of a
@@ -681,8 +829,9 @@ func (c *comp) compileVectorCountZero(n *ast.Comparison, call *ast.FunctionCall,
 	if err != nil {
 		return nil, err
 	}
+	out := c.profiled(n, "count-eq-zero", c.opOf(nil, f), vit)
 	if len(rlets) > 0 {
-		return &rddLetIter{planNode: c.pn(n), lets: rlets, inner: vit}, nil
+		return &rddLetIter{planNode: c.pn(n), lets: rlets, inner: out}, nil
 	}
-	return vit, nil
+	return out, nil
 }

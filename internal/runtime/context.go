@@ -22,6 +22,7 @@ import (
 
 	"rumble/internal/compiler"
 	"rumble/internal/item"
+	"rumble/internal/profile"
 	"rumble/internal/spark"
 )
 
@@ -34,6 +35,7 @@ type DynamicContext struct {
 	vars       map[string][]item.Item
 	rdds       map[string]*spark.RDD[item.Item] // cluster-resident bindings
 	goCtx      context.Context                  // cancellation/deadline, set once at the root
+	prof       *profile.Profile                 // per-query stats, copied down from the root
 	ctxItem    item.Item
 	ctxPos     int64 // 1-based position for positional predicates
 	hasCtxItem bool
@@ -47,7 +49,7 @@ func NewDynamicContext() *DynamicContext {
 // BindVars returns a child context with the given variable bindings added.
 // The map is owned by the context afterwards.
 func (dc *DynamicContext) BindVars(vars map[string][]item.Item) *DynamicContext {
-	return &DynamicContext{parent: dc, vars: vars}
+	return &DynamicContext{parent: dc, prof: dc.prof, vars: vars}
 }
 
 // BindVar returns a child context with one extra binding.
@@ -59,7 +61,7 @@ func (dc *DynamicContext) BindVar(name string, seq []item.Item) *DynamicContext 
 // sequence. The compiler only emits references that consume such a binding
 // through Resolve, so ordinary Lookup never observes it.
 func (dc *DynamicContext) BindRDDVar(name string, r *spark.RDD[item.Item]) *DynamicContext {
-	return &DynamicContext{parent: dc, rdds: map[string]*spark.RDD[item.Item]{name: r}}
+	return &DynamicContext{parent: dc, prof: dc.prof, rdds: map[string]*spark.RDD[item.Item]{name: r}}
 }
 
 // WithGoContext returns a child context carrying a Go context. Evaluation
@@ -67,7 +69,7 @@ func (dc *DynamicContext) BindRDDVar(name string, r *spark.RDD[item.Item]) *Dyna
 // iterators check it periodically and cluster actions poll it inside
 // partition tasks.
 func (dc *DynamicContext) WithGoContext(ctx context.Context) *DynamicContext {
-	return &DynamicContext{parent: dc, goCtx: ctx}
+	return &DynamicContext{parent: dc, prof: dc.prof, goCtx: ctx}
 }
 
 // GoContext resolves the nearest Go context in the chain; nil means the
@@ -80,6 +82,19 @@ func (dc *DynamicContext) GoContext() context.Context {
 	}
 	return nil
 }
+
+// WithProfile returns a child context carrying a per-query profile.
+// Instrumented iterators resolve it via Profile(); recording methods on
+// the ops of a nil profile no-op, so profiling off costs one nil check.
+func (dc *DynamicContext) WithProfile(p *profile.Profile) *DynamicContext {
+	return &DynamicContext{parent: dc, prof: p}
+}
+
+// Profile returns this evaluation's profile; nil means profiling is
+// off. Unlike GoContext, the pointer is copied into every child
+// context at construction, so the lookup is a single field read — the
+// profiling-off fast path costs one nil check on hot paths.
+func (dc *DynamicContext) Profile() *profile.Profile { return dc.prof }
 
 // cancelOf adapts the context's Go context into the polling function
 // spark.WithCancel expects, or nil when evaluation is not cancellable.
@@ -94,7 +109,7 @@ func cancelOf(dc *DynamicContext) func() error {
 // WithContextItem returns a child context whose context item ($$) is it,
 // with 1-based position pos.
 func (dc *DynamicContext) WithContextItem(it item.Item, pos int64) *DynamicContext {
-	return &DynamicContext{parent: dc, ctxItem: it, ctxPos: pos, hasCtxItem: true}
+	return &DynamicContext{parent: dc, prof: dc.prof, ctxItem: it, ctxPos: pos, hasCtxItem: true}
 }
 
 // Lookup resolves a variable through the context chain.

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"time"
 
 	"rumble/internal/compiler"
 	"rumble/internal/item"
@@ -79,8 +80,27 @@ func (st *dfState) varNames() []string {
 }
 
 // RDD materializes the FLWOR's output sequence as an RDD by running the
-// DataFrame plan.
+// DataFrame plan. When the evaluation carries a profile, the output RDD
+// is wrapped so executor tasks record the FLWOR's result cardinality —
+// the intermediate DataFrame steps stay uninstrumented (they are lazy
+// views whose per-step cardinalities never materialize separately).
 func (f *flworIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {
+	rdd, err := f.rddPlan(dc)
+	if err != nil {
+		return nil, err
+	}
+	op := dc.Profile().Op(f.opRoot)
+	if op == nil {
+		return rdd, nil
+	}
+	return spark.Observe(rdd, func(rows int64, wall time.Duration) {
+		op.AddRows(rows)
+		op.AddBatches(1)
+		op.AddWall(wall)
+	}), nil
+}
+
+func (f *flworIter) rddPlan(dc *DynamicContext) (*spark.RDD[item.Item], error) {
 	if f.df == nil {
 		return nil, Errorf("FLWOR expression does not support RDD execution")
 	}

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"sort"
+	"time"
 
 	"rumble/internal/ast"
 	"rumble/internal/compiler"
@@ -360,10 +361,26 @@ type flworIter struct {
 	local   clauseEval   // chained local evaluators
 	ret     Iterator
 	df      *dfPlan // non-nil when the static mode is ModeDataFrame
+	opRoot  int     // profiling operator of the whole FLWOR (result rows)
 }
 
 func (f *flworIter) Stream(dc *DynamicContext, yield func(item.Item) error) error {
-	return f.local.streamTuples(dc, func(t tuple) error {
-		return f.ret.Stream(t.context(dc), yield)
+	op := dc.Profile().Op(f.opRoot)
+	if op == nil {
+		return f.local.streamTuples(dc, func(t tuple) error {
+			return f.ret.Stream(t.context(dc), yield)
+		})
+	}
+	start := time.Now()
+	var rows int64
+	err := f.local.streamTuples(dc, func(t tuple) error {
+		return f.ret.Stream(t.context(dc), func(it item.Item) error {
+			rows++
+			return yield(it)
+		})
 	})
+	op.AddRows(rows)
+	op.AddBatches(1)
+	op.AddWall(time.Since(start))
+	return err
 }

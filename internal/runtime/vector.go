@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rumble/internal/ast"
 	"rumble/internal/compiler"
@@ -13,6 +14,7 @@ import (
 	"rumble/internal/functions"
 	"rumble/internal/item"
 	"rumble/internal/jparse"
+	"rumble/internal/profile"
 	"rumble/internal/spark"
 	"rumble/internal/vector"
 )
@@ -47,9 +49,12 @@ func (b *vbatch) compact(keep []bool, kept int) *vbatch {
 }
 
 // vstate is per-evaluation state: free variables resolved once against the
-// dynamic context and broadcast as constant columns.
+// dynamic context and broadcast as constant columns, plus the evaluation's
+// profile (nil when profiling is off — the per-morsel fast path is a
+// single nil check).
 type vstate struct {
-	ext []*vector.Col
+	ext  []*vector.Col
+	prof *profile.Profile
 }
 
 // vexpr is a compiled vector scalar expression: one column per batch.
@@ -254,9 +259,12 @@ func (v *vcallExpr) eval(vs *vstate, b *vbatch) (*vector.Col, error) {
 
 // vop is one pipeline step after the scan: a let binding its column slot,
 // or a filter (slot < 0) compacting the batch by its condition column.
+// opID is the profiling operator shared with the tuple pipeline's
+// evaluator for the same clause.
 type vop struct {
 	slot int
 	expr vexpr
+	opID int
 }
 
 // vgroupExec is the grouped (or grand-aggregate) tail of a vector
@@ -359,6 +367,12 @@ type vectorIter struct {
 	group     *vgroupExec
 	sort      *vsortExec
 	project   vexpr // non-group row projection
+
+	// Profiling operator indices, -1 when the stage is absent or not
+	// registered. They name the same operators the tuple pipeline's
+	// profiledClause wrappers record into — only one backend runs per
+	// evaluation, so the counts never mix.
+	opScan, opJoin, opGroup, opSort, opRoot int
 }
 
 func (v *vectorIter) RDD(*DynamicContext) (*spark.RDD[item.Item], error) {
@@ -416,6 +430,7 @@ func (v *vectorIter) Stream(dc *DynamicContext, yield func(item.Item) error) err
 		// re-routes this evaluation through the tuple pipeline.
 		return v.fallback.Stream(dc, yield)
 	}
+	vs.prof = dc.Profile()
 	if v.sc != nil {
 		v.sc.AddVectorRun()
 		if v.sort != nil {
@@ -691,6 +706,14 @@ func (v *vectorIter) processMorsel(vs *vstate, jr *vjoinRun, idx int, rows []ite
 	if v.sc != nil {
 		v.sc.AddVectorMorsels(1)
 	}
+	// Profiling is per-stage when a profile rides the evaluation; every
+	// recording site below no-ops on the nil ops of a nil profile, and
+	// time.Now is only called when one is attached.
+	prof := vs.prof
+	var t0 time.Time
+	if prof != nil {
+		t0 = time.Now()
+	}
 	scan := vector.NewCol(len(rows))
 	for _, it := range rows {
 		scan.AppendItem(it)
@@ -709,12 +732,28 @@ func (v *vectorIter) processMorsel(vs *vstate, jr *vjoinRun, idx int, rows []ite
 			b.cols[slot] = pc
 		}
 	}
+	if prof != nil {
+		op := prof.Op(v.opScan)
+		op.AddRows(int64(b.n))
+		op.AddBatches(1)
+		now := time.Now()
+		op.AddWall(now.Sub(t0))
+		t0 = now
+	}
 	if v.join != nil {
 		nb, err := v.probeJoin(vs, jr, b)
 		if err != nil {
 			return nil, err
 		}
 		b = nb
+		if prof != nil {
+			op := prof.Op(v.opJoin)
+			op.AddRows(int64(b.n))
+			op.AddBatches(1)
+			now := time.Now()
+			op.AddWall(now.Sub(t0))
+			t0 = now
+		}
 	}
 	for _, op := range v.ops {
 		col, err := op.expr.eval(vs, b)
@@ -723,25 +762,40 @@ func (v *vectorIter) processMorsel(vs *vstate, jr *vjoinRun, idx int, rows []ite
 		}
 		if op.slot >= 0 {
 			b.cols[op.slot] = col
-			continue
-		}
-		keep := make([]bool, b.n)
-		kept := 0
-		for i := 0; i < b.n; i++ {
-			if col.EBV(i) {
-				keep[i] = true
-				kept++
+		} else {
+			keep := make([]bool, b.n)
+			kept := 0
+			for i := 0; i < b.n; i++ {
+				if col.EBV(i) {
+					keep[i] = true
+					kept++
+				}
+			}
+			if kept < b.n {
+				b = b.compact(keep, kept)
 			}
 		}
-		if kept < b.n {
-			b = b.compact(keep, kept)
+		if prof != nil {
+			pop := prof.Op(op.opID)
+			pop.AddRows(int64(b.n))
+			pop.AddBatches(1)
+			now := time.Now()
+			pop.AddWall(now.Sub(t0))
+			t0 = now
 		}
 		if b.n == 0 {
 			break
 		}
 	}
 	if v.sort != nil {
-		return v.sortMorsel(vs, b)
+		res, err := v.sortMorsel(vs, b)
+		if err == nil && prof != nil {
+			op := prof.Op(v.opSort)
+			op.AddRows(int64(b.n))
+			op.AddBatches(1)
+			op.AddWall(time.Since(t0))
+		}
+		return res, err
 	}
 	res := &vmorselResult{}
 	if v.group != nil {
@@ -750,6 +804,14 @@ func (v *vectorIter) processMorsel(vs *vstate, jr *vjoinRun, idx int, rows []ite
 			if err := v.updateGroups(vs, b, res.groups); err != nil {
 				return nil, err
 			}
+		}
+		if prof != nil {
+			// Rows out of a group stage only exist after the global merge;
+			// per-morsel we record batches and fold time (emitGroups adds
+			// the group cardinality when the merged table projects).
+			op := prof.Op(v.opGroup)
+			op.AddBatches(1)
+			op.AddWall(time.Since(t0))
 		}
 		return res, nil
 	}
@@ -765,6 +827,12 @@ func (v *vectorIter) processMorsel(vs *vstate, jr *vjoinRun, idx int, rows []ite
 		if it := col.Item(i); it != nil {
 			res.items = append(res.items, it)
 		}
+	}
+	if prof != nil {
+		op := prof.Op(v.opRoot)
+		op.AddRows(int64(len(res.items)))
+		op.AddBatches(1)
+		op.AddWall(time.Since(t0))
 	}
 	return res, nil
 }
@@ -859,6 +927,14 @@ func (v *vectorIter) finishSort(vs *vstate, st *vmergeState, ctx context.Context
 		}
 		runs = []*vector.SortRows{st.topk}
 	}
+	var rootOp *profile.Op
+	var rootStart time.Time
+	var rootRows int64
+	if vs.prof != nil {
+		if rootOp = vs.prof.Op(v.opRoot); rootOp != nil {
+			rootStart = time.Now()
+		}
+	}
 	b := &vbatch{cols: make([]*vector.Col, v.nslots)}
 	for i := range b.cols {
 		b.cols[i] = vector.NewCol(vector.BatchSize)
@@ -878,6 +954,7 @@ func (v *vectorIter) finishSort(vs *vstate, st *vmergeState, ctx context.Context
 		}
 		for i := 0; i < b.n; i++ {
 			if it := pc.Item(i); it != nil {
+				rootRows++
 				if err := yield(it); err != nil {
 					return err
 				}
@@ -902,7 +979,15 @@ func (v *vectorIter) finishSort(vs *vstate, st *vmergeState, ctx context.Context
 	if err != nil {
 		return err
 	}
-	return flush()
+	if err := flush(); err != nil {
+		return err
+	}
+	if rootOp != nil {
+		rootOp.AddRows(rootRows)
+		rootOp.AddBatches(1)
+		rootOp.AddWall(time.Since(rootStart))
+	}
+	return nil
 }
 
 // finishGroups emits the merged aggregation table (if the pipeline has
@@ -927,6 +1012,7 @@ func (v *vectorIter) streamSerial(dc *DynamicContext, vs *vstate, jr *vjoinRun, 
 	if v.sc != nil {
 		v.sc.AddVectorWorkers(1)
 	}
+	vs.prof.SetWorkers(1)
 	st := v.newMergeState()
 	stopped := false
 	_, err := v.scanMorsels(dc, nil, func(m vmorsel) error {
@@ -1092,6 +1178,7 @@ func (v *vectorIter) streamParallel(dc *DynamicContext, vs *vstate, jr *vjoinRun
 	if v.sc != nil {
 		v.sc.AddVectorWorkers(int64(workers))
 	}
+	vs.prof.SetWorkers(workers)
 	var (
 		work    = make(chan vmorsel, workers)
 		results = make(chan vresult, workers)
@@ -1161,7 +1248,21 @@ func (v *vectorIter) streamParallel(dc *DynamicContext, vs *vstate, jr *vjoinRun
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Per-worker busy/wait split: the gap before a morsel arrives is
+			// wait, decode+process is busy; result-send blocking folds into
+			// the next wait. Profile counters are atomics, so the workers
+			// record concurrently without coordination.
+			prof := vs.prof
+			var last time.Time
+			if prof != nil {
+				last = time.Now()
+			}
 			for m := range work {
+				if prof != nil {
+					now := time.Now()
+					prof.AddWait(now.Sub(last))
+					last = now
+				}
 				r := vresult{idx: m.idx}
 				switch {
 				case int64(m.idx) > failIdx.Load():
@@ -1181,6 +1282,11 @@ func (v *vectorIter) streamParallel(dc *DynamicContext, vs *vstate, jr *vjoinRun
 					} else {
 						r.res = res
 					}
+				}
+				if prof != nil {
+					now := time.Now()
+					prof.AddBusy(now.Sub(last))
+					last = now
 				}
 				select {
 				case results <- r:
@@ -1284,6 +1390,17 @@ func (v *vectorIter) updateGroups(vs *vstate, b *vbatch, groups *vector.Groups) 
 func (v *vectorIter) emitGroups(vs *vstate, groups *vector.Groups, ctx context.Context, yield func(item.Item) error) error {
 	g := v.group
 	nk := len(g.keyExprs)
+	var rootOp *profile.Op
+	var rootStart time.Time
+	var rootRows int64
+	if vs.prof != nil {
+		// The merged table's cardinality is the group stage's row count;
+		// the projected output rows belong to the whole-FLWOR operator.
+		vs.prof.Op(v.opGroup).AddRows(int64(groups.Len()))
+		if rootOp = vs.prof.Op(v.opRoot); rootOp != nil {
+			rootStart = time.Now()
+		}
+	}
 	for start := 0; start < groups.Len(); start += vector.BatchSize {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -1319,11 +1436,17 @@ func (v *vectorIter) emitGroups(vs *vstate, groups *vector.Groups, ctx context.C
 		}
 		for i := 0; i < gb.n; i++ {
 			if it := pc.Item(i); it != nil {
+				rootRows++
 				if err := yield(it); err != nil {
 					return err
 				}
 			}
 		}
+	}
+	if rootOp != nil {
+		rootOp.AddRows(rootRows)
+		rootOp.AddBatches(1)
+		rootOp.AddWall(time.Since(rootStart))
 	}
 	return nil
 }
@@ -1415,7 +1538,8 @@ func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterat
 		pn = agg.pn
 	}
 	it := &vectorIter{planNode: pn, fallback: fallback,
-		sc: c.env.Spark, workers: c.vectorWorkers()}
+		sc: c.env.Spark, workers: c.vectorWorkers(),
+		opScan: -1, opJoin: -1, opGroup: -1, opSort: -1, opRoot: -1}
 
 	var rest []ast.Clause
 	if jp := c.info.Joins[f]; vp.Join && jp != nil {
@@ -1450,12 +1574,15 @@ func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterat
 			j.rightKeys = append(j.rightKeys, e)
 		}
 		it.join = j
+		// Profiling ops are dedup lookups: the tuple pipeline registered
+		// the same clauses (same AST keys) when it compiled first.
+		it.opJoin = c.op(jp, "join", -1)
 		for _, cond := range jp.Residual {
 			e, err := vc.compileExpr(cond)
 			if err != nil {
 				return nil, err
 			}
-			it.ops = append(it.ops, vop{slot: -1, expr: e})
+			it.ops = append(it.ops, vop{slot: -1, expr: e, opID: c.op(cond, "where", -1)})
 		}
 		rest = clauses[3:]
 	} else {
@@ -1469,6 +1596,7 @@ func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterat
 		}
 		it.in = in
 		vc.bind(head.Var) // slot 0: the scan column
+		it.opScan = c.op(head, "for $"+head.Var, c.opOf(in, head.In))
 		if head.PosVar != "" {
 			it.posSlots = append(it.posSlots, vc.bind(head.PosVar))
 		}
@@ -1484,13 +1612,13 @@ func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterat
 			if err != nil {
 				return nil, err
 			}
-			it.ops = append(it.ops, vop{slot: vc.bind(n.Var), expr: e})
+			it.ops = append(it.ops, vop{slot: vc.bind(n.Var), expr: e, opID: c.op(n, "let $"+n.Var, -1)})
 		case *ast.WhereClause:
 			e, err := vc.compileExpr(n.Cond)
 			if err != nil {
 				return nil, err
 			}
-			it.ops = append(it.ops, vop{slot: -1, expr: e})
+			it.ops = append(it.ops, vop{slot: -1, expr: e, opID: c.op(n, "where", -1)})
 		case *ast.CountClause:
 			// Positional: the clause precedes every filter (the planner
 			// declines it otherwise), so the count is the scan position.
@@ -1507,6 +1635,17 @@ func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterat
 		default:
 			return nil, Errorf("vector: unsupported clause %T", rest[ci])
 		}
+	}
+	if group != nil {
+		it.opGroup = c.op(group, "group by", -1)
+	}
+	if orderBy != nil {
+		it.opSort = c.op(orderBy, "order by", -1)
+	}
+	if agg == nil {
+		// The whole-FLWOR operator records the pipeline's emitted rows;
+		// grand aggregates leave it to their enclosing profiled wrapper.
+		it.opRoot = c.op(f, "flwor", -1)
 	}
 	if agg != nil {
 		if group != nil || orderBy != nil {

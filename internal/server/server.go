@@ -25,13 +25,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"rumble"
 	"rumble/internal/compiler"
+	"rumble/internal/profile"
 	"rumble/internal/spark"
 )
 
@@ -64,6 +68,19 @@ type Options struct {
 	MaxResultItems int
 	// MaxBodyBytes caps the request body. 0 defaults to 1 MiB.
 	MaxBodyBytes int64
+	// ProfileRing bounds the in-memory buffer of recent query profiles
+	// served by GET /debug/queries. 0 defaults to 128.
+	ProfileRing int
+	// SlowQueryMS, when positive, logs one JSON line (the query's profile
+	// snapshot) to SlowQueryLog for every evaluation whose total time
+	// meets or exceeds this many milliseconds.
+	SlowQueryMS int
+	// SlowQueryLog receives slow-query lines. nil defaults to stderr.
+	SlowQueryLog io.Writer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// server's handler. Off by default: profiling endpoints expose
+	// internals and cost CPU, so operators opt in.
+	EnablePprof bool
 }
 
 func (o Options) withDefaults(eng *rumble.Engine) Options {
@@ -85,41 +102,13 @@ func (o Options) withDefaults(eng *rumble.Engine) Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 1 << 20
 	}
+	if o.ProfileRing <= 0 {
+		o.ProfileRing = 128
+	}
+	if o.SlowQueryLog == nil {
+		o.SlowQueryLog = os.Stderr
+	}
 	return o
-}
-
-// Metrics is a snapshot of the server's own counters, served by /metrics
-// next to the engine's cluster counters.
-type Metrics struct {
-	// Queries counts evaluations started (admitted past the queue).
-	Queries int64 `json:"queries"`
-	// Errors counts evaluations that failed with a query error.
-	Errors int64 `json:"errors"`
-	// Rejected counts requests turned away with 429 (queue full).
-	Rejected int64 `json:"rejected"`
-	// Timeouts counts requests that exceeded their deadline.
-	Timeouts int64 `json:"timeouts"`
-	// Cancelled counts requests whose client went away mid-flight.
-	Cancelled int64 `json:"cancelled"`
-	// CacheHits / CacheMisses count compiled-plan cache outcomes.
-	CacheHits   int64 `json:"plan_cache_hits"`
-	CacheMisses int64 `json:"plan_cache_misses"`
-	// ModeLocal..ModeVector count evaluations by the execution mode the
-	// compiler statically assigned to the query's root (the same value the
-	// envelope's "mode" field and X-Rumble-Mode header report).
-	ModeLocal     int64 `json:"queries_mode_local"`
-	ModeRDD       int64 `json:"queries_mode_rdd"`
-	ModeDataFrame int64 `json:"queries_mode_dataframe"`
-	ModeVector    int64 `json:"queries_mode_vector"`
-	// CachedPlans is the current number of cached statements; CacheBytes
-	// their approximate resident footprint, the quantity the cache is
-	// bounded by.
-	CachedPlans int   `json:"plan_cache_size"`
-	CacheBytes  int64 `json:"plan_cache_bytes"`
-	// Active is the number of evaluations running right now; Queued the
-	// number waiting for a slot.
-	Active int64 `json:"active"`
-	Queued int64 `json:"queued"`
 }
 
 // Server is a concurrent JSONiq query service over one engine. Create it
@@ -130,34 +119,26 @@ type Server struct {
 	cache *planCache
 	sem   chan struct{}
 	mux   *http.ServeMux
+	ring  *profile.Ring
 
-	inFlight  atomic.Int64 // running + queued
-	active    atomic.Int64
-	queries   atomic.Int64
-	errors    atomic.Int64
-	rejected  atomic.Int64
-	timeouts  atomic.Int64
-	cancelled atomic.Int64
-	hits      atomic.Int64
-	misses    atomic.Int64
+	inFlight atomic.Int64 // running + queued (gauge, not a counter)
+	active   atomic.Int64
+	qid      atomic.Int64 // query-id sequence
 
-	modeLocal  atomic.Int64
-	modeRDD    atomic.Int64
-	modeDF     atomic.Int64
-	modeVector atomic.Int64
+	m Metrics
 }
 
 // countMode bumps the per-execution-mode query counter.
 func (s *Server) countMode(mode string) {
 	switch mode {
 	case "RDD":
-		s.modeRDD.Add(1)
+		s.m.modeRDD.Add(1)
 	case "DataFrame":
-		s.modeDF.Add(1)
+		s.m.modeDF.Add(1)
 	case "Vector":
-		s.modeVector.Add(1)
+		s.m.modeVector.Add(1)
 	default:
-		s.modeLocal.Add(1)
+		s.m.modeLocal.Add(1)
 	}
 }
 
@@ -171,38 +152,25 @@ func New(eng *rumble.Engine, opt Options) *Server {
 		cache: newPlanCache(opt.PlanCacheBytes),
 		sem:   make(chan struct{}, opt.MaxConcurrent),
 		mux:   http.NewServeMux(),
+		ring:  profile.NewRing(opt.ProfileRing),
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	if opt.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
 // Handler returns the HTTP handler serving the query API.
 func (s *Server) Handler() http.Handler { return s.mux }
-
-// Metrics snapshots the server counters.
-func (s *Server) Metrics() Metrics {
-	active := s.active.Load()
-	return Metrics{
-		Queries:       s.queries.Load(),
-		Errors:        s.errors.Load(),
-		Rejected:      s.rejected.Load(),
-		Timeouts:      s.timeouts.Load(),
-		Cancelled:     s.cancelled.Load(),
-		CacheHits:     s.hits.Load(),
-		CacheMisses:   s.misses.Load(),
-		ModeLocal:     s.modeLocal.Load(),
-		ModeRDD:       s.modeRDD.Load(),
-		ModeDataFrame: s.modeDF.Load(),
-		ModeVector:    s.modeVector.Load(),
-		CachedPlans:   s.cache.len(),
-		CacheBytes:    s.cache.size(),
-		Active:        active,
-		Queued:        s.inFlight.Load() - active,
-	}
-}
 
 // queryRequest is the POST /query body.
 type queryRequest struct {
@@ -215,16 +183,30 @@ type queryRequest struct {
 	Format string `json:"format"`
 	// TimeoutMS overrides the server's default evaluation deadline.
 	TimeoutMS int `json:"timeout_ms"`
+	// Profile requests per-operator execution statistics: the envelope
+	// gains a "profile" section and the /debug/queries entry carries the
+	// operator breakdown. Equivalent to the profile=1 query parameter.
+	Profile bool `json:"profile"`
 }
 
-// queryResponse is the JSON envelope of POST /query.
+// queryResponse is the JSON envelope of POST /query. The phase timings
+// split where the request's wall time went: queue_ms waiting for an
+// executor slot, compile_ms in parse/analysis (0 on a plan-cache hit),
+// execute_ms evaluating, total_ms from arrival to the envelope being
+// built. elapsed_ms remains as a deprecated alias of execute_ms.
 type queryResponse struct {
+	QueryID   string            `json:"query_id"`
 	Items     []json.RawMessage `json:"items"`
 	Count     int               `json:"count"`
 	Truncated bool              `json:"truncated"`
 	Cached    bool              `json:"cached"`
 	Mode      string            `json:"mode"`
+	QueueMS   float64           `json:"queue_ms"`
+	CompileMS float64           `json:"compile_ms"`
+	ExecuteMS float64           `json:"execute_ms"`
+	TotalMS   float64           `json:"total_ms"`
 	ElapsedMS float64           `json:"elapsed_ms"`
+	Profile   *profile.Snapshot `json:"profile,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -258,10 +240,13 @@ func writeVerifyError(w http.ResponseWriter, ve *compiler.VerifyError) {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	arrival := time.Now()
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body to /query")
 		return
 	}
+	qid := fmt.Sprintf("q-%d", s.qid.Add(1))
+	w.Header().Set("X-Rumble-Query-Id", qid)
 	var req queryRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
@@ -272,6 +257,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing query text")
 		return
 	}
+	profiling := req.Profile || r.URL.Query().Get("profile") == "1"
 
 	// The request deadline covers queue wait and evaluation both.
 	ctx := r.Context()
@@ -290,13 +276,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	queueNS := int64(time.Since(arrival))
 
 	// Compile (or fetch) the plan, then evaluate under the deadline.
+	compileStart := time.Now()
 	st, hit, err := s.cache.get(s.eng, req.Query)
+	compileNS := int64(time.Since(compileStart))
 	if hit {
-		s.hits.Add(1)
+		s.m.hits.Add(1)
 	} else {
-		s.misses.Add(1)
+		s.m.misses.Add(1)
 	}
 	if err != nil {
 		var ve *compiler.VerifyError
@@ -307,8 +296,43 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.queries.Add(1)
+	s.m.queries.Add(1)
 	s.countMode(st.Mode())
+
+	var prof *rumble.Profile
+	if profiling {
+		prof = st.NewProfile()
+	}
+	// record builds the query's snapshot — phase timings always, the
+	// operator breakdown when profiling — observes the latency histogram
+	// and feeds the /debug/queries ring plus the slow-query log. It runs
+	// once per evaluation, on the success and failure paths both.
+	record := func(execNS, streamNS int64) {
+		if prof != nil {
+			prof.QueryID, prof.Query, prof.Mode = qid, req.Query, st.Mode()
+			prof.Start, prof.CacheHit = arrival, hit
+			prof.QueueNS, prof.CompileNS = queueNS, compileNS
+			prof.ExecuteNS, prof.StreamNS = execNS, streamNS
+			prof.TotalNS = int64(time.Since(arrival))
+		}
+		snap := prof.Snapshot()
+		if prof == nil {
+			snap = profile.Snapshot{
+				QueryID: qid, Query: req.Query, Mode: st.Mode(),
+				Time: arrival, CacheHit: hit,
+				QueueMS: float64(queueNS) / 1e6, CompileMS: float64(compileNS) / 1e6,
+				ExecuteMS: float64(execNS) / 1e6, StreamMS: float64(streamNS) / 1e6,
+				TotalMS: float64(time.Since(arrival)) / 1e6,
+			}
+		}
+		s.m.observeLatency(st.Mode(), time.Duration(execNS))
+		s.ring.Add(snap)
+		if s.opt.SlowQueryMS > 0 && snap.TotalMS >= float64(s.opt.SlowQueryMS) {
+			line, _ := json.Marshal(snap)
+			fmt.Fprintf(s.opt.SlowQueryLog, "rumble: slow query: %s\n", line)
+		}
+	}
+
 	start := time.Now()
 	// The request is bounded inside the evaluation itself: fetch one item
 	// past the client's limit (to detect truncation) or past the server's
@@ -321,25 +345,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case bound > 0:
 		fetch = bound + 1
 	}
-	items, err := st.CollectContextLimit(ctx, fetch)
+	items, err := st.CollectProfiled(ctx, fetch, prof)
+	execNS := int64(time.Since(start))
 	if err != nil {
+		record(execNS, 0)
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			s.timeouts.Add(1)
+			s.m.timeouts.Add(1)
 			writeError(w, http.StatusGatewayTimeout, "query exceeded its deadline")
 		case errors.Is(err, context.Canceled):
-			s.cancelled.Add(1) // client went away; nobody reads the response
+			s.m.cancelled.Add(1) // client went away; nobody reads the response
 		case errors.Is(err, spark.ErrResultTooLarge):
-			s.errors.Add(1)
+			s.m.errors.Add(1)
 			writeError(w, http.StatusUnprocessableEntity,
 				"result exceeds the server's max result size; request a limit")
 		default:
-			s.errors.Add(1)
+			s.m.errors.Add(1)
 			writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		}
 		return
 	}
-	elapsed := time.Since(start)
 
 	// Truncate to the client's limit first: a result truncated to a limit
 	// within the bound is always servable, whatever the untruncated size.
@@ -349,7 +374,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		truncated = true
 	}
 	if bound > 0 && len(items) > bound {
-		s.errors.Add(1)
+		record(execNS, 0)
+		s.m.errors.Add(1)
 		writeError(w, http.StatusUnprocessableEntity,
 			"result exceeds the server bound of %d items; request a limit", bound)
 		return
@@ -359,35 +385,57 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Rumble-Mode", st.Mode())
 	if req.Format == "ndjson" {
 		w.Header().Set("Content-Type", "application/x-ndjson")
+		streamStart := time.Now()
 		for i, it := range items {
 			// A client that disconnects (or a deadline expiring)
 			// mid-stream stops the writes.
 			if i&255 == 0 && ctx.Err() != nil {
 				if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-					s.timeouts.Add(1)
+					s.m.timeouts.Add(1)
 				} else {
-					s.cancelled.Add(1)
+					s.m.cancelled.Add(1)
 				}
+				record(execNS, int64(time.Since(streamStart)))
 				return
 			}
 			w.Write(it.AppendJSON(nil))
 			w.Write([]byte("\n"))
 		}
+		record(execNS, int64(time.Since(streamStart)))
 		return
 	}
 	resp := queryResponse{
+		QueryID:   qid,
 		Items:     make([]json.RawMessage, len(items)),
 		Count:     len(items),
 		Truncated: truncated,
 		Cached:    hit,
 		Mode:      st.Mode(),
-		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		QueueMS:   float64(queueNS) / 1e6,
+		CompileMS: float64(compileNS) / 1e6,
+		ExecuteMS: float64(execNS) / 1e6,
+		TotalMS:   float64(time.Since(arrival)) / 1e6,
+		ElapsedMS: float64(execNS) / 1e6,
+	}
+	if prof != nil {
+		// The envelope's profile section is rendered before the response
+		// streams, so its stream_ms is necessarily 0; the /debug/queries
+		// entry (recorded after encoding) carries the measured value.
+		prof.QueryID, prof.Query, prof.Mode = qid, req.Query, st.Mode()
+		prof.Start, prof.CacheHit = arrival, hit
+		prof.QueueNS, prof.CompileNS = queueNS, compileNS
+		prof.ExecuteNS = execNS
+		prof.TotalNS = int64(time.Since(arrival))
+		snap := prof.Snapshot()
+		resp.Profile = &snap
 	}
 	for i, it := range items {
 		resp.Items[i] = it.AppendJSON(nil)
 	}
 	w.Header().Set("Content-Type", "application/json")
+	streamStart := time.Now()
 	json.NewEncoder(w).Encode(resp)
+	record(execNS, int64(time.Since(streamStart)))
 }
 
 func cacheHeader(hit bool) string {
@@ -405,7 +453,7 @@ func cacheHeader(hit bool) string {
 func (s *Server) admit(w http.ResponseWriter, ctx context.Context) (release func(), admitted bool) {
 	if s.inFlight.Add(1) > int64(s.opt.MaxConcurrent+s.opt.QueueDepth) {
 		s.inFlight.Add(-1)
-		s.rejected.Add(1)
+		s.m.rejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "server at capacity (%d running, %d queued)",
 			s.opt.MaxConcurrent, s.opt.QueueDepth)
@@ -416,10 +464,10 @@ func (s *Server) admit(w http.ResponseWriter, ctx context.Context) (release func
 	case <-ctx.Done():
 		s.inFlight.Add(-1)
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			s.timeouts.Add(1)
+			s.m.timeouts.Add(1)
 			writeError(w, http.StatusServiceUnavailable, "timed out waiting for an executor slot")
 		} else {
-			s.cancelled.Add(1)
+			s.m.cancelled.Add(1)
 		}
 		return nil, false
 	}
@@ -469,14 +517,51 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves server counters next to the engine's cluster
-// counters as one JSON document.
+// counters. The default rendering is one JSON document; a client whose
+// Accept header asks for text/plain (a Prometheus scraper) gets the
+// text exposition format instead.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, s.Metrics(), s.eng.Metrics())
+		return
+	}
 	snap := struct {
-		Server Metrics               `json:"server"`
+		Server MetricsSnapshot       `json:"server"`
 		Engine spark.MetricsSnapshot `json:"engine"`
 	}{Server: s.Metrics(), Engine: s.eng.Metrics()}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(snap)
+}
+
+// wantsPrometheus reports whether the request negotiates the Prometheus
+// text format: any Accept entry of text/plain (with or without the
+// version parameter Prometheus sends) that is not outranked by an
+// explicit application/json entry earlier in the list.
+func wantsPrometheus(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mt {
+		case "application/json":
+			return false
+		case "text/plain":
+			return true
+		}
+	}
+	return false
+}
+
+// handleDebugQueries serves the bounded ring of recent query profiles,
+// newest first. Entries always carry the query id, mode and phase
+// timings; the per-operator breakdown is present for queries that ran
+// with profile=1.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET /debug/queries")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"queries": s.ring.Snapshots()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,324 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rumble"
+	"rumble/internal/profile"
+)
+
+// syncBuffer is an io.Writer safe to read while the server goroutine is
+// still appending slow-query lines.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestServerQueryID(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	ids := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		body, _ := json.Marshal(queryRequest{Query: `1 + 1`})
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		hdr := resp.Header.Get("X-Rumble-Query-Id")
+		if hdr == "" {
+			t.Fatal("response carries no X-Rumble-Query-Id header")
+		}
+		env := decodeEnvelope(t, out)
+		if env.QueryID != hdr {
+			t.Errorf("envelope query_id %q != header %q", env.QueryID, hdr)
+		}
+		if ids[hdr] {
+			t.Errorf("query id %q reused", hdr)
+		}
+		ids[hdr] = true
+	}
+	// Errors get an id too: the header is set before the body is parsed.
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"query":"1 +"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Rumble-Query-Id") == "" {
+		t.Error("failed query carries no X-Rumble-Query-Id header")
+	}
+}
+
+func TestServerProfileEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	q := `for $x in parallelize(1 to 100) where $x mod 2 eq 0 return $x`
+
+	// Without profile the envelope still splits its phases but carries no
+	// operator breakdown.
+	code, body := post(t, ts, queryRequest{Query: q})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	env := decodeEnvelope(t, body)
+	if env.Profile != nil {
+		t.Errorf("unprofiled response carries a profile section: %+v", env.Profile)
+	}
+	if env.TotalMS < env.ExecuteMS {
+		t.Errorf("total_ms %.3f < execute_ms %.3f", env.TotalMS, env.ExecuteMS)
+	}
+	if env.ElapsedMS != env.ExecuteMS {
+		t.Errorf("elapsed_ms %.3f is not the execute_ms alias %.3f", env.ElapsedMS, env.ExecuteMS)
+	}
+
+	code, body = post(t, ts, queryRequest{Query: q, Profile: true})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	env = decodeEnvelope(t, body)
+	if env.Profile == nil {
+		t.Fatal("profile:true response has no profile section")
+	}
+	p := env.Profile
+	if p.QueryID != env.QueryID || p.Mode != env.Mode {
+		t.Errorf("profile identity mismatch: %+v vs envelope %+v", p, env)
+	}
+	if len(p.Ops) == 0 {
+		t.Fatalf("profile has no operators: %+v", p)
+	}
+	rows := int64(0)
+	for _, op := range p.Ops {
+		rows += op.RowsOut
+	}
+	if rows == 0 {
+		t.Errorf("profile operators recorded no rows: %+v", p.Ops)
+	}
+
+	// The profile=1 query parameter is equivalent to the body field.
+	reqBody, _ := json.Marshal(queryRequest{Query: q})
+	resp, err := http.Post(ts.URL+"/query?profile=1", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if env := decodeEnvelope(t, out); env.Profile == nil {
+		t.Error("profile=1 query parameter did not enable profiling")
+	}
+}
+
+// TestServerPhaseTimingsQueued pins the elapsed-time split that motivated
+// retiring the single elapsed_ms number: a request that waits for an
+// executor slot must report that wait in queue_ms, separate from
+// execute_ms. One slot, one slow occupant, one queued probe.
+func TestServerPhaseTimingsQueued(t *testing.T) {
+	_, ts, path := slowFixture(t, 6, 20*time.Millisecond, Options{MaxConcurrent: 1, QueueDepth: 4})
+	slow := fmt.Sprintf(`count(json-file(%q))`, path)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		post(t, ts, queryRequest{Query: slow})
+	}()
+	// Let the slow query take the only slot before probing.
+	time.Sleep(20 * time.Millisecond)
+	code, body := post(t, ts, queryRequest{Query: `1 + 1`})
+	wg.Wait()
+	if code != http.StatusOK {
+		t.Fatalf("probe status %d: %s", code, body)
+	}
+	env := decodeEnvelope(t, body)
+	if env.QueueMS <= 0 {
+		t.Errorf("queued probe reports queue_ms = %.3f, want > 0", env.QueueMS)
+	}
+	if env.TotalMS < env.QueueMS+env.ExecuteMS {
+		t.Errorf("total_ms %.3f < queue_ms %.3f + execute_ms %.3f", env.TotalMS, env.QueueMS, env.ExecuteMS)
+	}
+}
+
+func TestServerMetricsPrometheus(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	if code, body := post(t, ts, queryRequest{Query: `for $x in parallelize(1 to 5) return $x`}); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q, want Prometheus text format", ct)
+	}
+	body := string(text)
+	for _, want := range []string{
+		"# TYPE rumble_queries_total counter",
+		"rumble_queries_total 1",
+		`rumble_queries_mode_total{mode="dataframe"} 1`,
+		"# TYPE rumble_query_duration_seconds histogram",
+		`rumble_query_duration_seconds_bucket{mode="dataframe",le="+Inf"} 1`,
+		`rumble_query_duration_seconds_count{mode="dataframe"} 1`,
+		"# TYPE rumble_active_queries gauge",
+		"rumble_engine_tasks_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("Prometheus exposition missing %q:\n%s", want, body)
+		}
+	}
+	// Histogram buckets must be cumulative: each successive count >= the
+	// previous, ending exactly at the series count.
+	var prev, last int64 = 0, -1
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, `rumble_query_duration_seconds_bucket{mode="dataframe"`) {
+			var n int64
+			if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &n); err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if n < prev {
+				t.Errorf("bucket counts not cumulative at %q", line)
+			}
+			prev, last = n, n
+		}
+	}
+	if last != 1 {
+		t.Errorf("+Inf bucket = %d, want 1", last)
+	}
+
+	// A JSON client — or an Accept list preferring application/json — keeps
+	// the JSON document.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/json, text/plain")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Server MetricsSnapshot `json:"server"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("JSON /metrics did not decode: %v", err)
+	}
+	resp.Body.Close()
+	if doc.Server.LatencyDataFrame.Count != 1 {
+		t.Errorf("JSON histogram count = %d, want 1", doc.Server.LatencyDataFrame.Count)
+	}
+	if got := doc.Server.LatencyDataFrame.LeMS; len(got) != histBuckets-1 || got[0] != 0.25 {
+		t.Errorf("histogram bounds = %v", got)
+	}
+	_ = srv
+}
+
+func TestServerDebugQueries(t *testing.T) {
+	_, ts := newTestServer(t, Options{ProfileRing: 2})
+	for i, q := range []string{`1 + 1`, `2 + 2`, `3 + 3`} {
+		req := queryRequest{Query: q, Profile: i == 2}
+		if code, body := post(t, ts, req); code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+	}
+	var doc struct {
+		Queries []profile.Snapshot `json:"queries"`
+	}
+	// The ring entry lands after the response body is written; poll.
+	waitUntil(t, time.Second, "ring entries", func() bool {
+		resp, err := http.Get(ts.URL + "/debug/queries")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		doc = struct {
+			Queries []profile.Snapshot `json:"queries"`
+		}{}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("/debug/queries did not decode: %v", err)
+		}
+		return len(doc.Queries) == 2 && doc.Queries[0].Query == `3 + 3`
+	})
+	// Newest first, ring bound evicted the oldest.
+	if doc.Queries[1].Query != `2 + 2` {
+		t.Errorf("ring order = [%q %q]", doc.Queries[0].Query, doc.Queries[1].Query)
+	}
+	newest := doc.Queries[0]
+	if newest.QueryID == "" || newest.Mode == "" || newest.TotalMS <= 0 {
+		t.Errorf("ring entry lacks identity/timings: %+v", newest)
+	}
+	if len(newest.Ops) == 0 {
+		t.Errorf("profiled ring entry has no operator breakdown: %+v", newest)
+	}
+	if len(doc.Queries[1].Ops) != 0 {
+		t.Errorf("unprofiled ring entry has operators: %+v", doc.Queries[1].Ops)
+	}
+}
+
+func TestServerSlowQueryLog(t *testing.T) {
+	buf := &syncBuffer{}
+	// Threshold 0 disables the log; threshold 1ms with simulated scan
+	// latency catches the slow query but not the trivial one.
+	_, ts, path := slowFixture(t, 4, 5*time.Millisecond, Options{SlowQueryMS: 1, SlowQueryLog: buf})
+	if code, body := post(t, ts, queryRequest{Query: fmt.Sprintf(`count(json-file(%q))`, path)}); code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	waitUntil(t, time.Second, "slow-query line", func() bool {
+		return strings.Contains(buf.String(), "rumble: slow query: ")
+	})
+	line := strings.TrimPrefix(strings.TrimSpace(buf.String()), "rumble: slow query: ")
+	var snap profile.Snapshot
+	if err := json.Unmarshal([]byte(line), &snap); err != nil {
+		t.Fatalf("slow-query line is not a profile JSON document: %v\n%s", err, line)
+	}
+	if snap.QueryID == "" || snap.TotalMS < 1 {
+		t.Errorf("slow-query snapshot = %+v", snap)
+	}
+}
+
+func TestServerPprofGate(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof served without --enable-pprof: status %d", resp.StatusCode)
+	}
+
+	eng := rumble.New(rumble.Config{Parallelism: 2, Executors: 2})
+	srv := New(eng, Options{EnablePprof: true})
+	ts2 := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts2.Close)
+	resp, err = http.Get(ts2.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline status %d with EnablePprof", resp.StatusCode)
+	}
+}

@@ -251,7 +251,7 @@ func TestServerExplainMetricsHealthz(t *testing.T) {
 		t.Fatal(err)
 	}
 	var m struct {
-		Server Metrics `json:"server"`
+		Server MetricsSnapshot `json:"server"`
 		Engine struct {
 			StagesRun int64
 		} `json:"engine"`

@@ -3,6 +3,7 @@ package spark
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // RDD is a lazy, partitioned dataset of T values. A transformation returns
@@ -277,6 +278,27 @@ func WithCancel[T any](r *RDD[T], check func() error) *RDD[T] {
 			}
 			return yield(v)
 		})
+	})
+}
+
+// Observe returns an RDD that reports each partition's element count and
+// task wall time to rec when the partition task finishes (successfully or
+// not). rec is called from executor goroutines, so it must be safe for
+// concurrent use — the profiling counters it feeds are atomics. A nil rec
+// returns r unchanged, keeping the profiling-off path allocation-free.
+func Observe[T any](r *RDD[T], rec func(rows int64, wall time.Duration)) *RDD[T] {
+	if rec == nil {
+		return r
+	}
+	return NewRDD(r.ctx, r.parts, "observed("+r.name+")", func(p int, yield func(T) error) error {
+		start := time.Now()
+		var n int64
+		err := r.compute(p, func(v T) error {
+			n++
+			return yield(v)
+		})
+		rec(n, time.Since(start))
+		return err
 	})
 }
 

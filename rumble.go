@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"rumble/internal/compiler"
@@ -26,9 +27,19 @@ import (
 	"rumble/internal/item"
 	"rumble/internal/jparse"
 	"rumble/internal/parser"
+	"rumble/internal/profile"
 	"rumble/internal/runtime"
 	"rumble/internal/spark"
 )
+
+// Profile collects per-query execution statistics (per-operator rows,
+// batches and wall time, worker busy/wait, phase timings) when passed to
+// CollectProfiled. A nil *Profile disables profiling at near-zero cost.
+type Profile = profile.Profile
+
+// ProfileSnapshot is the JSON-ready rendering of a Profile, as served in
+// the HTTP envelope's "profile" section and the slow-query log.
+type ProfileSnapshot = profile.Snapshot
 
 // Item is one JSONiq item: an atomic value, object or array. See the
 // aliased kinds (Object, Array, Str, Int, ...) for construction and
@@ -257,6 +268,85 @@ func (s *Statement) CollectContext(ctx context.Context) ([]Item, error) {
 // means no limit.
 func (s *Statement) CollectContextLimit(ctx context.Context, max int) ([]Item, error) {
 	return s.prog.RunContextLimit(ctx, max)
+}
+
+// NewProfile allocates a Profile sized for this statement's plan: one
+// counter set per operator the compiler registered during compilation.
+func (s *Statement) NewProfile() *Profile { return s.prog.NewProfile() }
+
+// CollectProfiled is CollectContextLimit with per-operator statistics
+// recorded into prof (obtained from NewProfile). A nil prof runs exactly
+// like CollectContextLimit — the instrumentation's off-path is one nil
+// check per operator evaluation.
+func (s *Statement) CollectProfiled(ctx context.Context, max int, prof *Profile) ([]Item, error) {
+	return s.prog.RunProfiled(ctx, max, prof)
+}
+
+// ExplainAnalyze executes the statement and renders the mode-annotated
+// plan tree with live per-operator statistics appended to each
+// instrumented line — rows in/out, batches (morsels on the vector path)
+// and inclusive wall time — followed by a result summary footer. The
+// result itself is discarded; MaxResultItems bounds the materialization
+// like any collected run.
+func (s *Statement) ExplainAnalyze(ctx context.Context) (string, error) {
+	prof := s.prog.NewProfile()
+	start := time.Now()
+	items, err := s.prog.RunProfiled(ctx, s.eng.sc.Conf().MaxResultItems, prof)
+	if err != nil {
+		return "", err
+	}
+	prof.ExecuteNS = int64(time.Since(start))
+	snap := prof.Snapshot()
+	note := func(key any) string {
+		i := s.prog.OpIndex(key)
+		if i < 0 || i >= len(snap.Ops) {
+			return ""
+		}
+		op := snap.Ops[i]
+		if op.Batches == 0 {
+			// The operator never recorded (an uninstrumented lazy view on
+			// the DataFrame path, or an early-exited stage): no annotation
+			// beats a misleading out=0.
+			return ""
+		}
+		// rows-in is derived from the input operator; hide it when that
+		// operator itself never recorded.
+		showIn := op.RowsIn >= 0 && op.Input >= 0 && op.Input < len(snap.Ops) && snap.Ops[op.Input].Batches > 0
+		return formatOpStats(op, showIn)
+	}
+	plan := compiler.ExplainAnnotated(s.prog.Module(), s.prog.AnalysisInfo(), note)
+	var b strings.Builder
+	b.WriteString(plan)
+	fmt.Fprintf(&b, "-- result: %d rows in %.2fms [%s]\n", len(items), snap.ExecuteMS, s.Mode())
+	if snap.Workers > 0 {
+		fmt.Fprintf(&b, "-- workers: %d (busy %.2fms, wait %.2fms)\n", snap.Workers, snap.BusyMS, snap.WaitMS)
+	}
+	return b.String(), nil
+}
+
+// formatOpStats renders one operator's annotation for explain-analyze.
+func formatOpStats(op profile.OpStats, showIn bool) string {
+	var b strings.Builder
+	b.WriteString("(")
+	if showIn {
+		fmt.Fprintf(&b, "in=%d ", op.RowsIn)
+	}
+	fmt.Fprintf(&b, "out=%d", op.RowsOut)
+	if op.Batches > 0 {
+		fmt.Fprintf(&b, " batches=%d", op.Batches)
+	}
+	fmt.Fprintf(&b, " %.2fms)", op.WallMS)
+	return b.String()
+}
+
+// ExplainAnalyze compiles and profiles a query in one step. See
+// Statement.ExplainAnalyze.
+func (e *Engine) ExplainAnalyze(query string) (string, error) {
+	st, err := e.Compile(query)
+	if err != nil {
+		return "", err
+	}
+	return st.ExplainAnalyze(context.Background())
 }
 
 // Stream runs the statement through the local streaming API, pushing items
