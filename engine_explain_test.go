@@ -141,6 +141,9 @@ var vectorExplainGoldens = []struct {
 		group by $t := $o.target
 		order by $t
 		return $t`},
+	{"vector-prune", `for $o in json-file("events.jsonl")
+		where $o.ts ge 1700000000 and $o.kind eq "click"
+		return { "ts": $o.ts, "user": $o.user }`},
 }
 
 func TestExplainVectorGolden(t *testing.T) {
@@ -168,6 +171,7 @@ func TestExplainVectorModesPinned(t *testing.T) {
 		"vector-join":           "[Vector x4]",
 		// order-by after group-by stays outside the vector grammar.
 		"vector-ineligible-orderby-after-group": "[DataFrame]",
+		"vector-prune":                          "[Vector x4]",
 	}
 	for _, tc := range vectorExplainGoldens {
 		plan := mustExplain(t, eng, tc.query)
@@ -187,6 +191,8 @@ func TestExplainVectorModesPinned(t *testing.T) {
 		"vector-orderby": "Sort",
 		"vector-topk":    "TopK(25)",
 		"vector-join":    "Join[hash] for $o, for $c",
+		// The compiler pushes the prunable where prefix onto the scan.
+		"vector-prune": `zone-map prune: ts ge 1700000000 and kind eq "click"`,
 	}
 	for _, tc := range vectorExplainGoldens {
 		want, pinned := wantOperator[tc.name]

@@ -1,0 +1,250 @@
+package rumble
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rumble/internal/item"
+)
+
+// segmentConformanceData registers the shared conformance collections
+// file-backed: every text-expressible collection is written to a
+// JSON-Lines file under dir (once — engines registered against the same
+// dir share the files and their ingested `.segments` siblings). The
+// in-memory "edge" collection keeps its item registration — its values
+// (NaN, -0.0) have no JSON-text form — and exercises the in-memory
+// fallback next to segment-backed sources.
+func segmentConformanceData(t *testing.T, eng *Engine, dir string) {
+	t.Helper()
+	for name, lines := range vectorConformanceJSON() {
+		path := filepath.Join(dir, name+".jsonl")
+		if _, err := os.Stat(path); err != nil {
+			text := ""
+			if len(lines) > 0 {
+				text = strings.Join(lines, "\n") + "\n"
+			}
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.RegisterCollection(name, path)
+	}
+	registerEdgeCollection(eng)
+}
+
+// TestSegmentScanConformance pins the segment store's core contract: a
+// segment-backed scan is observationally identical to the JSON-Lines scan
+// it replaces. For every query of the shared vector corpus, an engine
+// with Segments on must reproduce its Segments-off twin bit for bit —
+// values, emit order, and which error surfaces — across morsel worker
+// counts 1, 2 and 8 and with vectorization on and off. Only the metrics
+// may differ: the segment engines must actually have served segments
+// (SegmentsRead > 0), or the whole comparison would be vacuous.
+func TestSegmentScanConformance(t *testing.T) {
+	dir := t.TempDir()
+	configs := []struct {
+		workers   int
+		vectorize bool
+	}{
+		{workers: 2, vectorize: false},
+		{workers: 1, vectorize: true},
+		{workers: 2, vectorize: true},
+		{workers: 8, vectorize: true},
+	}
+	type pair struct {
+		raw, seg  *Engine
+		workers   int
+		vectorize bool
+	}
+	pairs := make([]pair, len(configs))
+	for i, cfg := range configs {
+		raw := New(Config{Parallelism: 2, Executors: cfg.workers, Vectorize: cfg.vectorize})
+		seg := New(Config{Parallelism: 2, Executors: cfg.workers, Vectorize: cfg.vectorize, Segments: true})
+		segmentConformanceData(t, raw, dir)
+		segmentConformanceData(t, seg, dir)
+		pairs[i] = pair{raw: raw, seg: seg, workers: cfg.workers, vectorize: cfg.vectorize}
+	}
+
+	for _, tc := range vectorConformanceCases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, p := range pairs {
+				label := fmt.Sprintf("workers=%d vectorize=%v", p.workers, p.vectorize)
+				rs, err := p.raw.Compile(tc.query)
+				if err != nil {
+					t.Fatalf("%s: compile (raw): %v", label, err)
+				}
+				ss, err := p.seg.Compile(tc.query)
+				if err != nil {
+					t.Fatalf("%s: compile (segments): %v", label, err)
+				}
+				if rm, sm := rs.Mode(), ss.Mode(); rm != sm {
+					t.Fatalf("%s: mode differs: raw %s vs segments %s", label, rm, sm)
+				}
+				rItems, rErr := streamAll(rs)
+				sItems, sErr := streamAll(ss)
+				if (rErr == nil) != (sErr == nil) {
+					t.Fatalf("%s: error mismatch: raw %v vs segments %v", label, rErr, sErr)
+				}
+				if rErr != nil {
+					if rErr.Error() != sErr.Error() {
+						t.Fatalf("%s: error selection differs\nraw:      %s\nsegments: %s", label, rErr, sErr)
+					}
+					continue
+				}
+				got, want := item.SerializeSequence(sItems), item.SerializeSequence(rItems)
+				if got != want {
+					t.Fatalf("%s: streamed results differ\nsegments:\n%s\nraw:\n%s", label, got, want)
+				}
+			}
+		})
+	}
+
+	for _, p := range pairs {
+		m := p.seg.Metrics()
+		if p.vectorize && m.SegmentsRead == 0 {
+			t.Errorf("workers=%d vectorize=%v: SegmentsRead = 0 — the segment path never engaged, the conformance run was vacuous",
+				p.workers, p.vectorize)
+		}
+		if !p.vectorize && m.SegmentsRead != 0 {
+			t.Errorf("workers=%d vectorize=%v: SegmentsRead = %d — segments must not engage outside the vector backend",
+				p.workers, p.vectorize, m.SegmentsRead)
+		}
+	}
+}
+
+// TestSegmentScanLiteralConformance runs the language conformance table
+// on a segments-enabled engine: queries that never touch storage must be
+// completely indifferent to the store's existence.
+func TestSegmentScanLiteralConformance(t *testing.T) {
+	eng := New(Config{Parallelism: 2, Executors: 2, Vectorize: true, Segments: true})
+	for name, c := range conformanceCases {
+		t.Run(name, func(t *testing.T) {
+			out, err := eng.QueryJSON(c.query)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("query %s should fail, got %v", c.query, out)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("query failed: %v\n%s", err, c.query)
+			}
+			if got := strings.Join(out, "\n"); got != c.want {
+				t.Errorf("got:\n%s\nwant:\n%s\nquery: %s", got, c.want, c.query)
+			}
+		})
+	}
+}
+
+// TestZoneMapSkipReadsFraction pins zone-map pruning with metrics: a
+// selective predicate over sorted data must skip the segments its zone
+// maps prove irrelevant before any row is touched, so the records
+// actually read stay a small fraction of the collection — with results
+// identical to the unpruned JSON-line scan.
+func TestZoneMapSkipReadsFraction(t *testing.T) {
+	const rows = 40000 // ~10 segments of 4096 rows
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, `{"g": %d, "v": %d}`+"\n", i%7, i)
+	}
+	path := filepath.Join(t.TempDir(), "sorted.jsonl")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// v ge 36000 touches only the last ~2 of ~10 segments; the grouped
+	// aggregation needs every surviving row, so nothing early-exits.
+	query := fmt.Sprintf(`for $o in json-file(%q)
+		where $o.v ge 36000
+		group by $g := $o.g
+		return { "g": $g, "n": count($o), "s": sum($o.v) }`, path)
+
+	ref := New(Config{Parallelism: 2, Executors: 2, Vectorize: true})
+	rs, err := ref.Compile(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refItems, err := streamAll(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		eng := New(Config{Parallelism: 2, Executors: workers, Vectorize: true, Segments: true})
+		st, err := eng.Compile(query)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if st.Mode() != "Vector" {
+			t.Fatalf("workers=%d: mode = %s, want Vector", workers, st.Mode())
+		}
+		eng.ResetMetrics()
+		items, err := streamAll(st)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got, want := item.SerializeSequence(items), item.SerializeSequence(refItems); got != want {
+			t.Fatalf("workers=%d: pruned results differ from unpruned scan\npruned:\n%s\nunpruned:\n%s", workers, got, want)
+		}
+		m := eng.Metrics()
+		if m.SegmentsSkipped < 7 {
+			t.Errorf("workers=%d: SegmentsSkipped = %d, want >= 7 (zone maps must prune the sorted prefix)", workers, m.SegmentsSkipped)
+		}
+		if m.SegmentsRead > 2 {
+			t.Errorf("workers=%d: SegmentsRead = %d, want <= 2", workers, m.SegmentsRead)
+		}
+		if max := int64(rows / 4); m.RecordsRead > max {
+			t.Errorf("workers=%d: RecordsRead = %d, want <= %d (pruning must keep reads to the matching tail)",
+				workers, m.RecordsRead, max)
+		}
+	}
+}
+
+// TestSegmentBufferPoolMetrics pins the cache-residency counters end to
+// end: the first evaluation decodes every segment once (misses), a rerun
+// on the same engine serves entirely from the buffer pool (hits, and no
+// simulated storage reads), and each full segment is decoded by exactly
+// one of its four morsels.
+func TestSegmentBufferPoolMetrics(t *testing.T) {
+	const rows = 12288 // 3 full segments = 12 morsels
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, `{"v": %d}`+"\n", i)
+	}
+	path := filepath.Join(t.TempDir(), "pool.jsonl")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(Config{Parallelism: 2, Executors: 2, Vectorize: true, Segments: true})
+	query := fmt.Sprintf(`count(for $o in json-file(%q) where $o.v ge 0 return $o)`, path)
+	run := func() {
+		t.Helper()
+		st, err := eng.Compile(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items, err := streamAll(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := item.SerializeSequence(items); got != fmt.Sprint(rows) {
+			t.Fatalf("count = %s, want %d", got, rows)
+		}
+	}
+	eng.ResetMetrics()
+	run()
+	m := eng.Metrics()
+	if m.SegmentsRead != 3 || m.SegmentCacheMiss != 3 || m.SegmentCacheHits != 9 {
+		t.Errorf("cold run: read=%d miss=%d hits=%d, want 3/3/9 (one decode per segment, three pooled fetches)",
+			m.SegmentsRead, m.SegmentCacheMiss, m.SegmentCacheHits)
+	}
+	eng.ResetMetrics()
+	run()
+	m = eng.Metrics()
+	if m.SegmentCacheMiss != 0 || m.SegmentCacheHits != 12 {
+		t.Errorf("hot run: miss=%d hits=%d, want 0/12 (every morsel must ride the buffer pool)",
+			m.SegmentCacheMiss, m.SegmentCacheHits)
+	}
+}

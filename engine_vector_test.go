@@ -12,79 +12,55 @@ import (
 	"rumble/internal/item"
 )
 
-// vectorConformanceData builds the shared test collections, including
-// values JSON text cannot express (NaN, -0.0, integers beyond 2^53).
-func vectorConformanceData(t *testing.T, eng *Engine) {
-	t.Helper()
-	if err := eng.RegisterJSON("games", []string{
-		`{"guess":"fr","target":"fr","score":3,"country":"CH"}`,
-		`{"guess":"de","target":"fr","score":5,"country":"CH"}`,
-		`{"guess":"fr","target":"fr","score":7,"country":"FR"}`,
-		`{"guess":"en","target":"en","score":1,"country":"US"}`,
-		`{"guess":"en","target":"en","score":2,"country":"US"}`,
-		`{"guess":"it","target":"es","score":9,"country":"IT"}`,
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if err := eng.RegisterJSON("messy", []string{
-		`{"k":1,"v":10}`,
-		`{"k":1.0,"v":20}`,
-		`{"k":null,"v":30}`,
-		`{"v":40}`,
-		`{"k":"1","v":50}`,
-		`{"k":true,"v":60}`,
-		`{"k":2,"v":{"nested":1}}`,
-	}); err != nil {
-		t.Fatal(err)
-	}
-	// Values JSON text can't carry: NaN keys, -0.0, integers beyond 2^53.
-	mk := func(k item.Item, w int64) Item {
-		return item.NewObject([]string{"k", "w"}, []item.Item{k, item.Int(w)})
-	}
-	eng.RegisterItems("edge", []Item{
-		mk(item.Double(math.NaN()), 1),
-		mk(item.Double(math.NaN()), 2),
-		mk(item.Double(math.Copysign(0, -1)), 3),
-		mk(item.Double(0), 4),
-		mk(item.Int(1<<53), 5),
-		mk(item.Int(1<<53+1), 6),
-		mk(item.Double(1<<53), 7),
-	})
-	if err := eng.RegisterJSON("empty", nil); err != nil {
-		t.Fatal(err)
-	}
-	// Join dimensions: duplicate codes (multi-match expansion), a null key
-	// (eq null matches null) and an absent key (matches nothing).
-	if err := eng.RegisterJSON("langs", []string{
-		`{"code":"fr","name":"French"}`,
-		`{"code":"en","name":"English"}`,
-		`{"code":"fr","name":"Français"}`,
-		`{"code":null,"name":"nullish"}`,
-		`{"name":"keyless"}`,
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if err := eng.RegisterJSON("nulls", []string{
-		`{"k":null,"v":1}`,
-		`{"k":1,"v":2}`,
-		`{"v":3}`,
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if err := eng.RegisterJSON("dims", []string{
-		`{"g":0,"name":"zero"}`,
-		`{"g":1,"name":"one"}`,
-		`{"g":2,"name":"two"}`,
-		`{"g":3,"name":"three"}`,
-		`{"g":5,"name":"five"}`,
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if err := eng.RegisterJSON("strnum", []string{
-		`{"n":1,"s":5}`,
-		`{"n":2,"s":"a"}`,
-	}); err != nil {
-		t.Fatal(err)
+// vectorConformanceJSON is the JSON-Lines text of every text-expressible
+// conformance collection: vectorConformanceData registers it in-memory,
+// and the segment conformance test writes it to storage files so the same
+// query corpus runs file-backed (raw scan) and segment-backed.
+func vectorConformanceJSON() map[string][]string {
+	m := map[string][]string{
+		"games": {
+			`{"guess":"fr","target":"fr","score":3,"country":"CH"}`,
+			`{"guess":"de","target":"fr","score":5,"country":"CH"}`,
+			`{"guess":"fr","target":"fr","score":7,"country":"FR"}`,
+			`{"guess":"en","target":"en","score":1,"country":"US"}`,
+			`{"guess":"en","target":"en","score":2,"country":"US"}`,
+			`{"guess":"it","target":"es","score":9,"country":"IT"}`,
+		},
+		"messy": {
+			`{"k":1,"v":10}`,
+			`{"k":1.0,"v":20}`,
+			`{"k":null,"v":30}`,
+			`{"v":40}`,
+			`{"k":"1","v":50}`,
+			`{"k":true,"v":60}`,
+			`{"k":2,"v":{"nested":1}}`,
+		},
+		"empty": nil,
+		// Join dimensions: duplicate codes (multi-match expansion), a null
+		// key (eq null matches null) and an absent key (matches nothing).
+		"langs": {
+			`{"code":"fr","name":"French"}`,
+			`{"code":"en","name":"English"}`,
+			`{"code":"fr","name":"Français"}`,
+			`{"code":null,"name":"nullish"}`,
+			`{"name":"keyless"}`,
+		},
+		"nulls": {
+			`{"k":null,"v":1}`,
+			`{"k":1,"v":2}`,
+			`{"v":3}`,
+		},
+		"dims": {
+			`{"g":0,"name":"zero"}`,
+			`{"g":1,"name":"one"}`,
+			`{"g":2,"name":"two"}`,
+			`{"g":3,"name":"three"}`,
+			`{"g":5,"name":"five"}`,
+		},
+		"strnum": {
+			`{"n":1,"s":5}`,
+			`{"n":2,"s":"a"}`,
+		},
 	}
 	// Multi-morsel collections (5000 rows > 4 × vector.BatchSize), so the
 	// parallel backend actually splits the scan: "wide" is clean, "widebad"
@@ -103,12 +79,7 @@ func vectorConformanceData(t *testing.T, eng *Engine) {
 			widebad[i] = wide[i]
 		}
 	}
-	if err := eng.RegisterJSON("wide", wide); err != nil {
-		t.Fatal(err)
-	}
-	if err := eng.RegisterJSON("widebad", widebad); err != nil {
-		t.Fatal(err)
-	}
+	m["wide"], m["widebad"] = wide, widebad
 	// Doubles whose sum is rounding-sensitive: a large head followed by
 	// thousands of small addends spanning several morsels.
 	floats := make([]string, 3000)
@@ -116,9 +87,553 @@ func vectorConformanceData(t *testing.T, eng *Engine) {
 	for i := 1; i < len(floats); i++ {
 		floats[i] = fmt.Sprintf(`{"g":%d,"v":0.1}`, i%3)
 	}
-	if err := eng.RegisterJSON("floats", floats); err != nil {
-		t.Fatal(err)
+	m["floats"] = floats
+	return m
+}
+
+// registerEdgeCollection registers the in-memory "edge" collection, whose
+// values JSON text cannot express (NaN keys, -0.0, integers beyond 2^53).
+func registerEdgeCollection(eng *Engine) {
+	mk := func(k item.Item, w int64) Item {
+		return item.NewObject([]string{"k", "w"}, []item.Item{k, item.Int(w)})
 	}
+	eng.RegisterItems("edge", []Item{
+		mk(item.Double(math.NaN()), 1),
+		mk(item.Double(math.NaN()), 2),
+		mk(item.Double(math.Copysign(0, -1)), 3),
+		mk(item.Double(0), 4),
+		mk(item.Int(1<<53), 5),
+		mk(item.Int(1<<53+1), 6),
+		mk(item.Double(1<<53), 7),
+	})
+}
+
+// vectorConformanceData builds the shared test collections, including
+// values JSON text cannot express (NaN, -0.0, integers beyond 2^53).
+func vectorConformanceData(t *testing.T, eng *Engine) {
+	t.Helper()
+	for name, lines := range vectorConformanceJSON() {
+		if err := eng.RegisterJSON(name, lines); err != nil {
+			t.Fatalf("collection %s: %v", name, err)
+		}
+	}
+	registerEdgeCollection(eng)
+}
+
+// vectorConformanceCase is one entry of the vector query corpus, shared
+// by the vector-vs-tuple and segment-vs-raw conformance tests.
+type vectorConformanceCase struct {
+	name     string
+	query    string
+	wantMode string // mode pinned on the vectorizing engines ("" = skip)
+	wantErr  bool
+	// wantErrIn pins a substring of the deterministic first error
+	// (e.g. the type of the lowest-scan-position poison row).
+	wantErrIn string
+	// floatSum marks double-valued sums: per-morsel partials merged in
+	// scan order may differ from the tuple fold in the last units of
+	// precision (float addition is not associative), so the tuple
+	// comparison is skipped — cross-worker-count identity still holds.
+	floatSum bool
+}
+
+// vectorConformanceCases is the vector-eligible query corpus over the
+// shared conformance collections.
+var vectorConformanceCases = []vectorConformanceCase{
+	{
+		name: "filter project object",
+		query: `for $o in collection("games")
+				where $o.score ge 3 and $o.guess eq $o.target
+				return { "lang": $o.target, "score": $o.score }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "group count rewrite",
+		query: `for $o in collection("games")
+				group by $t := $o.target
+				return { "t": $t, "n": count($o) }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "group count sum avg min max",
+		query: `for $o in collection("games")
+				where $o.guess eq $o.target
+				group by $t := $o.target
+				return { "t": $t, "n": count($o), "sum": sum($o.score),
+					"avg": avg($o.score), "min": min($o.score), "max": max($o.score) }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "group by two keys",
+		query: `for $o in collection("games")
+				group by $c := $o.country, $t := $o.target
+				return { "c": $c, "t": $t, "n": count($o) }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "let and arithmetic",
+		query: `for $o in collection("games")
+				let $boost := $o.score * 2 + 1
+				where $boost gt 5
+				return $boost`,
+		wantMode: "Vector",
+	},
+	{
+		name: "contains filter",
+		query: `for $o in collection("games")
+				where contains($o.country, "S")
+				return $o.target`,
+		wantMode: "Vector",
+	},
+	{
+		name: "mixed numeric null and absent group keys",
+		query: `for $o in collection("messy")
+				group by $k := $o.k
+				return { "k": $k, "n": count($o) }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "nan and exact-int group keys",
+		query: `for $o in collection("edge")
+				group by $k := $o.k
+				return { "k": $k, "n": count($o), "w": sum($o.w) }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "count of possibly-absent path",
+		query: `for $o in collection("messy")
+				group by $g := true
+				return { "present": count($o.k), "rows": count($o) }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "min max over absent fields",
+		query: `for $o in collection("games")
+				group by $t := $o.target
+				return { "t": $t, "m": min($o.missing) }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "decimal literal filter",
+		query: `for $o in collection("games")
+				where $o.score gt 2.5
+				return $o.score`,
+		wantMode: "Vector",
+	},
+	{
+		name: "array constructor return",
+		query: `for $o in collection("games")
+				where $o.score lt 4
+				return [ $o.target ]`,
+		wantMode: "Vector",
+	},
+	{
+		name: "unary minus projection",
+		query: `for $o in collection("games")
+				return -$o.score`,
+		wantMode: "Vector",
+	},
+	{
+		name: "or short-circuit avoids right error",
+		query: `for $o in collection("strnum")
+				where $o.n eq 1 or $o.s eq "a"
+				return $o.n`,
+		wantMode: "Vector",
+	},
+	{
+		name: "string number compare errors",
+		query: `for $o in collection("strnum")
+				where $o.s eq "a"
+				return $o.n`,
+		wantMode: "Vector",
+		wantErr:  true,
+	},
+	{
+		name: "sum over non-numeric errors",
+		query: `for $o in collection("messy")
+				group by $g := true
+				return sum($o.v)`,
+		wantMode: "Vector",
+		wantErr:  true,
+	},
+	{
+		name: "arithmetic on object errors",
+		query: `for $o in collection("messy")
+				where $o.k eq 2
+				return $o.v + 1`,
+		wantMode: "Vector",
+		wantErr:  true,
+	},
+	{
+		name: "empty input",
+		query: `for $o in collection("empty")
+				group by $t := $o.x
+				return { "t": $t, "n": count($o) }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "external scalar variable",
+		query: `declare variable $threshold := 4;
+				for $o in collection("games")
+				where $o.score ge $threshold
+				return $o.score`,
+		wantMode: "Vector",
+	},
+	{
+		name: "external sequence variable falls back",
+		query: `declare variable $tags := ("a", "b");
+				for $o in collection("games")
+				where $o.score gt 8
+				return $tags`,
+		wantMode: "Vector",
+	},
+	{
+		name: "nested eligible pipeline per outer tuple",
+		query: `for $min in (2, 6)
+				return count(for $o in collection("games")
+					where $o.score ge $min
+					return $o)`,
+	},
+	// Grand aggregates: count/sum/avg/min/max over a filtered scan fold
+	// inside the columnar backend with mergeable accumulators.
+	{
+		name: "grand count over filtered scan",
+		query: `count(for $o in collection("games")
+				where $o.score ge 3 return $o)`,
+		wantMode: "Vector",
+	},
+	{
+		name: "grand sum over path",
+		query: `sum(for $o in collection("games")
+				where $o.guess eq $o.target return $o.score)`,
+		wantMode: "Vector",
+	},
+	{
+		name:     "grand avg",
+		query:    `avg(for $o in collection("games") return $o.score)`,
+		wantMode: "Vector",
+	},
+	{
+		name:     "grand min over absent field is empty",
+		query:    `min(for $o in collection("games") return $o.missing)`,
+		wantMode: "Vector",
+	},
+	{
+		name:     "grand max",
+		query:    `max(for $o in collection("games") return $o.score)`,
+		wantMode: "Vector",
+	},
+	{
+		name:     "grand sum over empty scan is zero",
+		query:    `sum(for $o in collection("empty") return $o.x)`,
+		wantMode: "Vector",
+	},
+	{
+		name:     "grand avg over empty scan is empty",
+		query:    `avg(for $o in collection("empty") return $o.x)`,
+		wantMode: "Vector",
+	},
+	{
+		name:     "grand sum exact beyond 2^53",
+		query:    `sum(for $o in collection("edge") return $o.k)`,
+		wantMode: "Vector",
+		wantErr:  false,
+	},
+	{
+		name:      "grand sum over non-numeric errors",
+		query:     `sum(for $o in collection("messy") return $o.v)`,
+		wantMode:  "Vector",
+		wantErr:   true,
+		wantErrIn: "object",
+	},
+	{
+		name: "grand count over cluster-bound let head",
+		query: `count(let $d := collection("games")
+				for $x in $d where $x.score ge 3 return $x)`,
+		wantMode: "Vector",
+	},
+	{
+		name: "grand count with multi-item external falls back",
+		query: `declare variable $tags := ("a", "b");
+				count(for $o in collection("games")
+					where $o.score gt 0 return $tags)`,
+		wantMode: "Vector",
+	},
+	// Multi-morsel shapes: >4 BatchSize-sized morsels, so parallel
+	// workers genuinely race and the in-order merge must hide it.
+	{
+		name: "multi-morsel filter order",
+		query: `for $o in collection("wide")
+				where $o.v ge 2500 return $o.v`,
+		wantMode: "Vector",
+	},
+	{
+		name: "multi-morsel grouped aggregates",
+		query: `for $o in collection("wide")
+				group by $g := $o.g
+				return { "g": $g, "n": count($o), "s": sum($o.v),
+					"lo": min($o.v), "hi": max($o.v) }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "multi-morsel grand aggregate",
+		query: `sum(for $o in collection("wide")
+				where $o.v ge 10 return $o.v)`,
+		wantMode: "Vector",
+	},
+	{
+		name: "multi-morsel first error wins grand",
+		query: `sum(for $o in collection("widebad")
+				return $o.v)`,
+		wantMode: "Vector",
+		wantErr:  true,
+		// Row 1500 (a string) precedes row 3500 (an object): the
+		// earliest scan position's error must surface at every worker
+		// count, never the object one a faster worker found first.
+		wantErrIn: "string",
+	},
+	{
+		name: "multi-morsel first error wins grouped",
+		query: `for $o in collection("widebad")
+				group by $g := $o.g
+				return { "g": $g, "s": sum($o.v) }`,
+		wantMode:  "Vector",
+		wantErr:   true,
+		wantErrIn: "string",
+	},
+	{
+		name: "float sum stable across worker counts",
+		query: `sum(for $o in collection("floats")
+				return $o.v)`,
+		wantMode: "Vector",
+		floatSum: true,
+	},
+	{
+		name: "grouped float sum stable across worker counts",
+		query: `for $o in collection("floats")
+				group by $g := $o.g
+				return { "g": $g, "s": sum($o.v), "a": avg($o.v) }`,
+		wantMode: "Vector",
+		floatSum: true,
+	},
+	// Columnar order-by: per-morsel sorted runs k-way merged in morsel
+	// index order must reproduce the tuple backend's stable sort exactly.
+	{
+		name: "order by descending",
+		query: `for $o in collection("games")
+				order by $o.score descending
+				return $o.score`,
+		wantMode: "Vector",
+	},
+	{
+		name: "order by two keys with ties",
+		query: `for $o in collection("games")
+				order by $o.target, $o.score descending
+				return { "t": $o.target, "s": $o.score }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "order by empty greatest over absent keys",
+		query: `for $o in collection("nulls")
+				order by $o.k empty greatest
+				return $o.v`,
+		wantMode: "Vector",
+	},
+	{
+		name: "order by nan negative zero and beyond 2^53",
+		query: `for $o in collection("edge")
+				order by $o.k
+				return $o.w`,
+		wantMode: "Vector",
+	},
+	{
+		name: "multi-morsel order by with massive ties",
+		query: `for $o in collection("wide")
+				order by $o.g descending
+				return $o.v`,
+		wantMode: "Vector",
+	},
+	{
+		name: "order by after filter and let",
+		query: `for $o in collection("wide")
+				let $d := $o.v * 2
+				where $o.g ge 3
+				order by $d descending
+				return $d`,
+		wantMode: "Vector",
+	},
+	{
+		name: "order by string number mix errors",
+		query: `for $o in collection("strnum")
+				order by $o.s
+				return $o.n`,
+		wantMode:  "Vector",
+		wantErr:   true,
+		wantErrIn: "mixes strings and numbers",
+	},
+	{
+		name: "order by non-atomic key errors",
+		query: `for $o in collection("widebad")
+				order by $o.v
+				return $o.g`,
+		wantMode: "Vector",
+		wantErr:  true,
+		// Row 3500's object key fails the per-row atomicity check; the
+		// string at row 1500 only feeds the end-of-stream mix check,
+		// which an earlier hard error preempts.
+		wantErrIn: "non-atomic",
+	},
+	// Fused top-k: the count + where bound folds into the sort, so only
+	// k rows survive per morsel and per merge.
+	{
+		name: "fused top-k descending",
+		query: `for $o in collection("wide")
+				order by $o.v descending
+				count $rank where $rank le 10
+				return $o.v`,
+		wantMode: "Vector",
+	},
+	{
+		name: "fused top-k lt bound with ties",
+		query: `for $o in collection("wide")
+				order by $o.g
+				count $rank where $rank lt 5
+				return $o.v`,
+		wantMode: "Vector",
+	},
+	{
+		name: "fused top-k larger than input",
+		query: `for $o in collection("games")
+				order by $o.score
+				count $rank where $rank le 100
+				return $o.score`,
+		wantMode: "Vector",
+	},
+	// Positional clauses derive from morsel scan indices.
+	{
+		name: "positional variable",
+		query: `for $o at $i in collection("games")
+				return $i * $o.score`,
+		wantMode: "Vector",
+	},
+	{
+		name: "multi-morsel positional filter",
+		query: `for $o at $i in collection("wide")
+				where $i le 3000
+				return $i + $o.v`,
+		wantMode: "Vector",
+	},
+	{
+		name: "count clause before filter",
+		query: `for $o in collection("wide")
+				count $c
+				where $c lt 2500
+				return $c * 2`,
+		wantMode: "Vector",
+	},
+	// Hash equi-joins: eq-faithful against the tuple backend's nested
+	// loop, including null-match, empty-drop, expansion order and the
+	// cross-side type conflict error.
+	{
+		name: "hash equi-join multi-match",
+		query: `for $o in collection("games")
+				for $l in collection("langs")
+				where $o.target eq $l.code
+				return { "g": $o.guess, "t": $o.target, "name": $l.name }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "join null matches null and absent drops",
+		query: `for $a in collection("nulls")
+				for $b in collection("nulls")
+				where $a.k eq $b.k
+				return { "l": $a.v, "r": $b.v }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "join with residual predicate",
+		query: `for $o in collection("games")
+				for $l in collection("langs")
+				where $o.target eq $l.code and $o.score ge 3
+				return { "s": $o.score, "name": $l.name }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "multi-morsel join",
+		query: `for $o in collection("wide")
+				for $d in collection("dims")
+				where $o.g eq $d.g
+				return { "v": $o.v, "name": $d.name }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "join cross-type keys error",
+		query: `for $a in collection("messy")
+				for $b in collection("messy")
+				where $a.k eq $b.k
+				return { "l": $a.v, "r": $b.v }`,
+		wantMode:  "Vector",
+		wantErr:   true,
+		wantErrIn: "non-comparable",
+	},
+	{
+		name: "join then order by",
+		query: `for $o in collection("wide")
+				for $d in collection("dims")
+				where $o.g eq $d.g
+				order by $o.v descending
+				count $rank where $rank le 7
+				return { "v": $o.v, "name": $d.name }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "join then group",
+		query: `for $o in collection("wide")
+				for $d in collection("dims")
+				where $o.g eq $d.g
+				group by $name := $d.name
+				return { "name": $name, "n": count($o), "s": sum($o.v) }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "grand count over join",
+		query: `count(for $o in collection("wide")
+				for $d in collection("dims")
+				where $o.g eq $d.g
+				return $o)`,
+		wantMode: "Vector",
+	},
+	// Existence tests fold as early-exit grand counts.
+	{
+		name:     "exists true",
+		query:    `exists(for $o in collection("wide") where $o.v ge 4999 return $o)`,
+		wantMode: "Vector",
+	},
+	{
+		name:     "exists false",
+		query:    `exists(for $o in collection("games") where $o.score gt 100 return $o)`,
+		wantMode: "Vector",
+	},
+	{
+		name:     "empty over filtered scan",
+		query:    `empty(for $o in collection("wide") where $o.v ge 10 return $o)`,
+		wantMode: "Vector",
+	},
+	{
+		name:     "count eq zero fuses to existence",
+		query:    `count(for $o in collection("wide") where $o.v ge 10 return $o) eq 0`,
+		wantMode: "Vector",
+	},
+	{
+		name:     "zero eq count flipped literal",
+		query:    `0 eq count(for $o in collection("games") where $o.score gt 100 return $o)`,
+		wantMode: "Vector",
+	},
+	{
+		name:     "exists over empty scan",
+		query:    `exists(for $o in collection("empty") return $o)`,
+		wantMode: "Vector",
+	},
 }
 
 // TestVectorLocalConformance asserts that every vector-eligible query
@@ -130,516 +645,6 @@ func vectorConformanceData(t *testing.T, eng *Engine) {
 // run as DataFrames when vectorization is off) must match as multisets,
 // since group output order across the shuffle is implementation-defined.
 func TestVectorLocalConformance(t *testing.T) {
-	cases := []struct {
-		name     string
-		query    string
-		wantMode string // mode pinned on the vectorizing engines ("" = skip)
-		wantErr  bool
-		// wantErrIn pins a substring of the deterministic first error
-		// (e.g. the type of the lowest-scan-position poison row).
-		wantErrIn string
-		// floatSum marks double-valued sums: per-morsel partials merged in
-		// scan order may differ from the tuple fold in the last units of
-		// precision (float addition is not associative), so the tuple
-		// comparison is skipped — cross-worker-count identity still holds.
-		floatSum bool
-	}{
-		{
-			name: "filter project object",
-			query: `for $o in collection("games")
-				where $o.score ge 3 and $o.guess eq $o.target
-				return { "lang": $o.target, "score": $o.score }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "group count rewrite",
-			query: `for $o in collection("games")
-				group by $t := $o.target
-				return { "t": $t, "n": count($o) }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "group count sum avg min max",
-			query: `for $o in collection("games")
-				where $o.guess eq $o.target
-				group by $t := $o.target
-				return { "t": $t, "n": count($o), "sum": sum($o.score),
-					"avg": avg($o.score), "min": min($o.score), "max": max($o.score) }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "group by two keys",
-			query: `for $o in collection("games")
-				group by $c := $o.country, $t := $o.target
-				return { "c": $c, "t": $t, "n": count($o) }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "let and arithmetic",
-			query: `for $o in collection("games")
-				let $boost := $o.score * 2 + 1
-				where $boost gt 5
-				return $boost`,
-			wantMode: "Vector",
-		},
-		{
-			name: "contains filter",
-			query: `for $o in collection("games")
-				where contains($o.country, "S")
-				return $o.target`,
-			wantMode: "Vector",
-		},
-		{
-			name: "mixed numeric null and absent group keys",
-			query: `for $o in collection("messy")
-				group by $k := $o.k
-				return { "k": $k, "n": count($o) }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "nan and exact-int group keys",
-			query: `for $o in collection("edge")
-				group by $k := $o.k
-				return { "k": $k, "n": count($o), "w": sum($o.w) }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "count of possibly-absent path",
-			query: `for $o in collection("messy")
-				group by $g := true
-				return { "present": count($o.k), "rows": count($o) }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "min max over absent fields",
-			query: `for $o in collection("games")
-				group by $t := $o.target
-				return { "t": $t, "m": min($o.missing) }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "decimal literal filter",
-			query: `for $o in collection("games")
-				where $o.score gt 2.5
-				return $o.score`,
-			wantMode: "Vector",
-		},
-		{
-			name: "array constructor return",
-			query: `for $o in collection("games")
-				where $o.score lt 4
-				return [ $o.target ]`,
-			wantMode: "Vector",
-		},
-		{
-			name: "unary minus projection",
-			query: `for $o in collection("games")
-				return -$o.score`,
-			wantMode: "Vector",
-		},
-		{
-			name: "or short-circuit avoids right error",
-			query: `for $o in collection("strnum")
-				where $o.n eq 1 or $o.s eq "a"
-				return $o.n`,
-			wantMode: "Vector",
-		},
-		{
-			name: "string number compare errors",
-			query: `for $o in collection("strnum")
-				where $o.s eq "a"
-				return $o.n`,
-			wantMode: "Vector",
-			wantErr:  true,
-		},
-		{
-			name: "sum over non-numeric errors",
-			query: `for $o in collection("messy")
-				group by $g := true
-				return sum($o.v)`,
-			wantMode: "Vector",
-			wantErr:  true,
-		},
-		{
-			name: "arithmetic on object errors",
-			query: `for $o in collection("messy")
-				where $o.k eq 2
-				return $o.v + 1`,
-			wantMode: "Vector",
-			wantErr:  true,
-		},
-		{
-			name: "empty input",
-			query: `for $o in collection("empty")
-				group by $t := $o.x
-				return { "t": $t, "n": count($o) }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "external scalar variable",
-			query: `declare variable $threshold := 4;
-				for $o in collection("games")
-				where $o.score ge $threshold
-				return $o.score`,
-			wantMode: "Vector",
-		},
-		{
-			name: "external sequence variable falls back",
-			query: `declare variable $tags := ("a", "b");
-				for $o in collection("games")
-				where $o.score gt 8
-				return $tags`,
-			wantMode: "Vector",
-		},
-		{
-			name: "nested eligible pipeline per outer tuple",
-			query: `for $min in (2, 6)
-				return count(for $o in collection("games")
-					where $o.score ge $min
-					return $o)`,
-		},
-		// Grand aggregates: count/sum/avg/min/max over a filtered scan fold
-		// inside the columnar backend with mergeable accumulators.
-		{
-			name: "grand count over filtered scan",
-			query: `count(for $o in collection("games")
-				where $o.score ge 3 return $o)`,
-			wantMode: "Vector",
-		},
-		{
-			name: "grand sum over path",
-			query: `sum(for $o in collection("games")
-				where $o.guess eq $o.target return $o.score)`,
-			wantMode: "Vector",
-		},
-		{
-			name:     "grand avg",
-			query:    `avg(for $o in collection("games") return $o.score)`,
-			wantMode: "Vector",
-		},
-		{
-			name:     "grand min over absent field is empty",
-			query:    `min(for $o in collection("games") return $o.missing)`,
-			wantMode: "Vector",
-		},
-		{
-			name:     "grand max",
-			query:    `max(for $o in collection("games") return $o.score)`,
-			wantMode: "Vector",
-		},
-		{
-			name:     "grand sum over empty scan is zero",
-			query:    `sum(for $o in collection("empty") return $o.x)`,
-			wantMode: "Vector",
-		},
-		{
-			name:     "grand avg over empty scan is empty",
-			query:    `avg(for $o in collection("empty") return $o.x)`,
-			wantMode: "Vector",
-		},
-		{
-			name:     "grand sum exact beyond 2^53",
-			query:    `sum(for $o in collection("edge") return $o.k)`,
-			wantMode: "Vector",
-			wantErr:  false,
-		},
-		{
-			name:      "grand sum over non-numeric errors",
-			query:     `sum(for $o in collection("messy") return $o.v)`,
-			wantMode:  "Vector",
-			wantErr:   true,
-			wantErrIn: "object",
-		},
-		{
-			name: "grand count over cluster-bound let head",
-			query: `count(let $d := collection("games")
-				for $x in $d where $x.score ge 3 return $x)`,
-			wantMode: "Vector",
-		},
-		{
-			name: "grand count with multi-item external falls back",
-			query: `declare variable $tags := ("a", "b");
-				count(for $o in collection("games")
-					where $o.score gt 0 return $tags)`,
-			wantMode: "Vector",
-		},
-		// Multi-morsel shapes: >4 BatchSize-sized morsels, so parallel
-		// workers genuinely race and the in-order merge must hide it.
-		{
-			name: "multi-morsel filter order",
-			query: `for $o in collection("wide")
-				where $o.v ge 2500 return $o.v`,
-			wantMode: "Vector",
-		},
-		{
-			name: "multi-morsel grouped aggregates",
-			query: `for $o in collection("wide")
-				group by $g := $o.g
-				return { "g": $g, "n": count($o), "s": sum($o.v),
-					"lo": min($o.v), "hi": max($o.v) }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "multi-morsel grand aggregate",
-			query: `sum(for $o in collection("wide")
-				where $o.v ge 10 return $o.v)`,
-			wantMode: "Vector",
-		},
-		{
-			name: "multi-morsel first error wins grand",
-			query: `sum(for $o in collection("widebad")
-				return $o.v)`,
-			wantMode: "Vector",
-			wantErr:  true,
-			// Row 1500 (a string) precedes row 3500 (an object): the
-			// earliest scan position's error must surface at every worker
-			// count, never the object one a faster worker found first.
-			wantErrIn: "string",
-		},
-		{
-			name: "multi-morsel first error wins grouped",
-			query: `for $o in collection("widebad")
-				group by $g := $o.g
-				return { "g": $g, "s": sum($o.v) }`,
-			wantMode:  "Vector",
-			wantErr:   true,
-			wantErrIn: "string",
-		},
-		{
-			name: "float sum stable across worker counts",
-			query: `sum(for $o in collection("floats")
-				return $o.v)`,
-			wantMode: "Vector",
-			floatSum: true,
-		},
-		{
-			name: "grouped float sum stable across worker counts",
-			query: `for $o in collection("floats")
-				group by $g := $o.g
-				return { "g": $g, "s": sum($o.v), "a": avg($o.v) }`,
-			wantMode: "Vector",
-			floatSum: true,
-		},
-		// Columnar order-by: per-morsel sorted runs k-way merged in morsel
-		// index order must reproduce the tuple backend's stable sort exactly.
-		{
-			name: "order by descending",
-			query: `for $o in collection("games")
-				order by $o.score descending
-				return $o.score`,
-			wantMode: "Vector",
-		},
-		{
-			name: "order by two keys with ties",
-			query: `for $o in collection("games")
-				order by $o.target, $o.score descending
-				return { "t": $o.target, "s": $o.score }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "order by empty greatest over absent keys",
-			query: `for $o in collection("nulls")
-				order by $o.k empty greatest
-				return $o.v`,
-			wantMode: "Vector",
-		},
-		{
-			name: "order by nan negative zero and beyond 2^53",
-			query: `for $o in collection("edge")
-				order by $o.k
-				return $o.w`,
-			wantMode: "Vector",
-		},
-		{
-			name: "multi-morsel order by with massive ties",
-			query: `for $o in collection("wide")
-				order by $o.g descending
-				return $o.v`,
-			wantMode: "Vector",
-		},
-		{
-			name: "order by after filter and let",
-			query: `for $o in collection("wide")
-				let $d := $o.v * 2
-				where $o.g ge 3
-				order by $d descending
-				return $d`,
-			wantMode: "Vector",
-		},
-		{
-			name: "order by string number mix errors",
-			query: `for $o in collection("strnum")
-				order by $o.s
-				return $o.n`,
-			wantMode:  "Vector",
-			wantErr:   true,
-			wantErrIn: "mixes strings and numbers",
-		},
-		{
-			name: "order by non-atomic key errors",
-			query: `for $o in collection("widebad")
-				order by $o.v
-				return $o.g`,
-			wantMode: "Vector",
-			wantErr:  true,
-			// Row 3500's object key fails the per-row atomicity check; the
-			// string at row 1500 only feeds the end-of-stream mix check,
-			// which an earlier hard error preempts.
-			wantErrIn: "non-atomic",
-		},
-		// Fused top-k: the count + where bound folds into the sort, so only
-		// k rows survive per morsel and per merge.
-		{
-			name: "fused top-k descending",
-			query: `for $o in collection("wide")
-				order by $o.v descending
-				count $rank where $rank le 10
-				return $o.v`,
-			wantMode: "Vector",
-		},
-		{
-			name: "fused top-k lt bound with ties",
-			query: `for $o in collection("wide")
-				order by $o.g
-				count $rank where $rank lt 5
-				return $o.v`,
-			wantMode: "Vector",
-		},
-		{
-			name: "fused top-k larger than input",
-			query: `for $o in collection("games")
-				order by $o.score
-				count $rank where $rank le 100
-				return $o.score`,
-			wantMode: "Vector",
-		},
-		// Positional clauses derive from morsel scan indices.
-		{
-			name: "positional variable",
-			query: `for $o at $i in collection("games")
-				return $i * $o.score`,
-			wantMode: "Vector",
-		},
-		{
-			name: "multi-morsel positional filter",
-			query: `for $o at $i in collection("wide")
-				where $i le 3000
-				return $i + $o.v`,
-			wantMode: "Vector",
-		},
-		{
-			name: "count clause before filter",
-			query: `for $o in collection("wide")
-				count $c
-				where $c lt 2500
-				return $c * 2`,
-			wantMode: "Vector",
-		},
-		// Hash equi-joins: eq-faithful against the tuple backend's nested
-		// loop, including null-match, empty-drop, expansion order and the
-		// cross-side type conflict error.
-		{
-			name: "hash equi-join multi-match",
-			query: `for $o in collection("games")
-				for $l in collection("langs")
-				where $o.target eq $l.code
-				return { "g": $o.guess, "t": $o.target, "name": $l.name }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "join null matches null and absent drops",
-			query: `for $a in collection("nulls")
-				for $b in collection("nulls")
-				where $a.k eq $b.k
-				return { "l": $a.v, "r": $b.v }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "join with residual predicate",
-			query: `for $o in collection("games")
-				for $l in collection("langs")
-				where $o.target eq $l.code and $o.score ge 3
-				return { "s": $o.score, "name": $l.name }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "multi-morsel join",
-			query: `for $o in collection("wide")
-				for $d in collection("dims")
-				where $o.g eq $d.g
-				return { "v": $o.v, "name": $d.name }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "join cross-type keys error",
-			query: `for $a in collection("messy")
-				for $b in collection("messy")
-				where $a.k eq $b.k
-				return { "l": $a.v, "r": $b.v }`,
-			wantMode:  "Vector",
-			wantErr:   true,
-			wantErrIn: "non-comparable",
-		},
-		{
-			name: "join then order by",
-			query: `for $o in collection("wide")
-				for $d in collection("dims")
-				where $o.g eq $d.g
-				order by $o.v descending
-				count $rank where $rank le 7
-				return { "v": $o.v, "name": $d.name }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "join then group",
-			query: `for $o in collection("wide")
-				for $d in collection("dims")
-				where $o.g eq $d.g
-				group by $name := $d.name
-				return { "name": $name, "n": count($o), "s": sum($o.v) }`,
-			wantMode: "Vector",
-		},
-		{
-			name: "grand count over join",
-			query: `count(for $o in collection("wide")
-				for $d in collection("dims")
-				where $o.g eq $d.g
-				return $o)`,
-			wantMode: "Vector",
-		},
-		// Existence tests fold as early-exit grand counts.
-		{
-			name:     "exists true",
-			query:    `exists(for $o in collection("wide") where $o.v ge 4999 return $o)`,
-			wantMode: "Vector",
-		},
-		{
-			name:     "exists false",
-			query:    `exists(for $o in collection("games") where $o.score gt 100 return $o)`,
-			wantMode: "Vector",
-		},
-		{
-			name:     "empty over filtered scan",
-			query:    `empty(for $o in collection("wide") where $o.v ge 10 return $o)`,
-			wantMode: "Vector",
-		},
-		{
-			name:     "count eq zero fuses to existence",
-			query:    `count(for $o in collection("wide") where $o.v ge 10 return $o) eq 0`,
-			wantMode: "Vector",
-		},
-		{
-			name:     "zero eq count flipped literal",
-			query:    `0 eq count(for $o in collection("games") where $o.score gt 100 return $o)`,
-			wantMode: "Vector",
-		},
-		{
-			name:     "exists over empty scan",
-			query:    `exists(for $o in collection("empty") return $o)`,
-			wantMode: "Vector",
-		},
-	}
-
 	plain := New(Config{Parallelism: 2, Executors: 2})
 	vectorConformanceData(t, plain)
 	workerCounts := []int{1, 2, 8}
@@ -649,7 +654,7 @@ func TestVectorLocalConformance(t *testing.T) {
 		vectorConformanceData(t, vecs[i])
 	}
 
-	for _, tc := range cases {
+	for _, tc := range vectorConformanceCases {
 		t.Run(tc.name, func(t *testing.T) {
 			ps, perr := plain.Compile(tc.query)
 			if perr != nil {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rumble/internal/ast"
+	"rumble/internal/item"
 )
 
 // Explain renders the analyzed module as a mode-annotated physical plan
@@ -244,12 +245,32 @@ func (p *explainPrinter) expr(depth int, prefix string, e ast.Expr) {
 				continue
 			}
 			p.clause(depth+1, clauses[ci])
+			if ci == 0 && vp != nil && len(vp.Prune) > 0 {
+				if _, ok := clauses[ci].(*ast.ForClause); ok {
+					p.line(depth+2, "zone-map prune: "+fmtPrune(vp.Prune), nil)
+				}
+			}
 		}
 		p.line(depth+1, "return", nil)
 		p.expr(depth+2, "", n.Return)
 	default:
 		p.line(depth, fmt.Sprintf("%s<%T>", prefix, e), nil)
 	}
+}
+
+// fmtPrune renders the pushed-down zone-map predicates of a vector scan:
+// the conjuncts a segment-backed scan tests against segment zone maps
+// before touching any row.
+func fmtPrune(preds []PrunePred) string {
+	parts := make([]string, len(preds))
+	for i, p := range preds {
+		lit := p.Lit.String()
+		if p.Lit.Kind() == item.KindString {
+			lit = fmt.Sprintf("%q", string(p.Lit.(item.Str)))
+		}
+		parts[i] = fmt.Sprintf("%s %s %s", p.Field, p.Op, lit)
+	}
+	return strings.Join(parts, " and ")
 }
 
 // join renders a statically detected equi-join node: the strategy, both

@@ -33,6 +33,23 @@ type VectorPlan struct {
 	// positional "at $p" variable or a pre-filter count clause — derived
 	// from morsel scan indices.
 	Positional bool
+	// Prune is the zone-map pushdown: the longest prefix of and-conjuncts
+	// from the leading where run right after the head for clause that are
+	// value comparisons between a literal-key field lookup on the scan
+	// variable and an Int/Double/Dec/Str literal. A segment-backed scan may
+	// skip a whole segment when some conjunct is provably unsatisfiable
+	// there while every earlier conjunct is provably error-free — the
+	// prefix shape plus the backend's per-row short-circuit of "and" make
+	// that exactly result- and error-preserving. Never set on join or
+	// positional pipelines (skipping would renumber scan positions).
+	Prune []PrunePred
+}
+
+// PrunePred is one pushed-down conjunct of VectorPlan.Prune.
+type PrunePred struct {
+	Field string    // top-level field looked up on the scan variable
+	Op    string    // eq, ne, lt, le, gt, ge — normalized to field-on-left
+	Lit   item.Item // Int, Double, Dec or Str literal
 }
 
 // VectorAggregates are the aggregation builtins the vector backend folds
@@ -97,6 +114,7 @@ func (c *checker) detectVector(f *ast.FLWOR) *VectorPlan {
 	bound := map[string]bool{}
 	filtered := false
 	var rest []ast.Clause
+	var pruneHead *ast.ForClause
 	if jp := c.info.Joins[f]; jp != nil {
 		// detectJoin consumed f.Clauses[0:3] (for/for/where); it only fires
 		// on a leading for clause, so no cluster-bound lets were peeled.
@@ -123,6 +141,7 @@ func (c *checker) detectVector(f *ast.FLWOR) *VectorPlan {
 			vp.Positional = true
 		}
 		rest = clauses[1:]
+		pruneHead = head
 	}
 	var group *ast.GroupByClause
 	for i := 0; i < len(rest); i++ {
@@ -179,6 +198,9 @@ func (c *checker) detectVector(f *ast.FLWOR) *VectorPlan {
 			return nil
 		}
 	}
+	if pruneHead != nil && !vp.Positional {
+		vp.Prune = prunePredicates(pruneHead.Var, rest)
+	}
 	if group == nil {
 		if !c.vectorizableExpr(f.Return) {
 			return nil
@@ -204,6 +226,110 @@ func (c *checker) detectVector(f *ast.FLWOR) *VectorPlan {
 	}
 	vp.Grouped = true
 	return vp
+}
+
+// prunePredicates extracts VectorPlan.Prune from the clauses after the
+// head for clause: conjuncts are collected from the leading consecutive
+// where clauses (a let can error, so pruning never reaches past one), in
+// evaluation order through the and-spines, stopping at the first conjunct
+// that is not a prunable comparison. Keeping only that prefix preserves
+// the left-to-right safety contract segment.Skip relies on.
+func prunePredicates(headVar string, rest []ast.Clause) []PrunePred {
+	var preds []PrunePred
+	for _, cl := range rest {
+		wc, ok := cl.(*ast.WhereClause)
+		if !ok {
+			break
+		}
+		for _, conj := range andConjuncts(wc.Cond, nil) {
+			p, ok := pruneConjunct(headVar, conj)
+			if !ok {
+				return preds
+			}
+			preds = append(preds, p)
+		}
+	}
+	return preds
+}
+
+// andConjuncts flattens an and-spine into evaluation order.
+func andConjuncts(e ast.Expr, out []ast.Expr) []ast.Expr {
+	if l, ok := e.(*ast.Logic); ok && l.IsAnd {
+		return andConjuncts(l.R, andConjuncts(l.L, out))
+	}
+	return append(out, e)
+}
+
+// pruneConjunct recognizes one prunable conjunct: a value comparison of a
+// literal-key field lookup on the scan variable against an atomic literal
+// (either operand order; a flipped comparison normalizes its operator).
+func pruneConjunct(headVar string, e ast.Expr) (PrunePred, bool) {
+	cmp, ok := e.(*ast.Comparison)
+	if !ok || cmp.General {
+		return PrunePred{}, false
+	}
+	switch cmp.Op {
+	case "eq", "ne", "lt", "le", "gt", "ge":
+	default:
+		return PrunePred{}, false
+	}
+	if f, ok := pruneLookupField(headVar, cmp.L); ok {
+		if lit, ok := pruneLiteral(cmp.R); ok {
+			return PrunePred{Field: f, Op: string(cmp.Op), Lit: lit}, true
+		}
+		return PrunePred{}, false
+	}
+	if f, ok := pruneLookupField(headVar, cmp.R); ok {
+		if lit, ok := pruneLiteral(cmp.L); ok {
+			return PrunePred{Field: f, Op: flipCompareOp(string(cmp.Op)), Lit: lit}, true
+		}
+	}
+	return PrunePred{}, false
+}
+
+// pruneLookupField matches $head.field with a literal string key.
+func pruneLookupField(headVar string, e ast.Expr) (string, bool) {
+	ol, ok := e.(*ast.ObjectLookup)
+	if !ok {
+		return "", false
+	}
+	vr, ok := ol.Input.(*ast.VarRef)
+	if !ok || vr.Name != headVar {
+		return "", false
+	}
+	lit, ok := ol.Key.(*ast.Literal)
+	if !ok || lit.Value.Kind() != item.KindString {
+		return "", false
+	}
+	return string(lit.Value.(item.Str)), true
+}
+
+// pruneLiteral admits the literal kinds the zone-map rules understand.
+func pruneLiteral(e ast.Expr) (item.Item, bool) {
+	lit, ok := e.(*ast.Literal)
+	if !ok {
+		return nil, false
+	}
+	switch lit.Value.Kind() {
+	case item.KindInteger, item.KindDecimal, item.KindDouble, item.KindString:
+		return lit.Value, true
+	}
+	return nil, false
+}
+
+// flipCompareOp mirrors a value-comparison operator across its operands.
+func flipCompareOp(op string) string {
+	switch op {
+	case "lt":
+		return "gt"
+	case "le":
+		return "ge"
+	case "gt":
+		return "lt"
+	case "ge":
+		return "le"
+	}
+	return op // eq and ne are symmetric
 }
 
 // topKBound recognizes a where condition that bounds the count variable of

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"rumble/internal/ast"
+	"rumble/internal/item"
 	"rumble/internal/lexer"
 )
 
@@ -56,6 +57,7 @@ func (e *VerifyError) Error() string {
 // VectorPlan without teaching Verify about it is itself a diagnostic.
 var verifiedVectorPlanFields = map[string]bool{
 	"Grouped": true, "OrderBy": true, "TopK": true, "Join": true, "Positional": true,
+	"Prune": true,
 }
 
 // verifiedJoinPlanFields is the same coverage contract for JoinPlan.
@@ -409,6 +411,8 @@ func (v *verifier) checkVectorPlan(f *ast.FLWOR, vp *VectorPlan, jp *JoinPlan) {
 	positional := false
 	sawOrderBy := false
 	var topK int64
+	var pruneHead *ast.ForClause
+	var pruneRest []ast.Clause
 
 	if vp.Join {
 		if jp == nil {
@@ -439,6 +443,7 @@ func (v *verifier) checkVectorPlan(f *ast.FLWOR, vp *VectorPlan, jp *JoinPlan) {
 			v.report("vector-operator", head.Pos(), "vector scan head allows empty; the backend has no outer-scan operator")
 		}
 		clauses = clauses[1:]
+		pruneHead, pruneRest = head, clauses
 	}
 
 	for i := 0; i < len(clauses); i++ {
@@ -515,6 +520,32 @@ func (v *verifier) checkVectorPlan(f *ast.FLWOR, vp *VectorPlan, jp *JoinPlan) {
 		v.report("vector-operator", f.Pos(), "vector plan sets Positional but the pipeline binds no scan positions")
 	}
 	_ = positional
+
+	if len(vp.Prune) > 0 {
+		switch {
+		case vp.Join || vp.Positional:
+			// Skipping segments renumbers scan positions and bypasses the
+			// join's consumed where clause: pruning there changes results.
+			v.report("vector-prune", f.Pos(), "vector plan pushes prune predicates into a join or positional pipeline")
+		case pruneHead == nil:
+		default:
+			// The recorded predicates must be a prefix of what the AST
+			// derives: a shorter prefix only prunes less, but any extra or
+			// altered predicate could skip rows the query would keep.
+			derived := prunePredicates(pruneHead.Var, pruneRest)
+			if len(vp.Prune) > len(derived) {
+				v.report("vector-prune", f.Pos(), "vector plan records %d prune predicates but the AST derives only %d", len(vp.Prune), len(derived))
+			} else {
+				for i, p := range vp.Prune {
+					d := derived[i]
+					if p.Field != d.Field || p.Op != d.Op ||
+						p.Lit == nil || p.Lit.Kind() != d.Lit.Kind() || !item.DeepEqual(p.Lit, d.Lit) {
+						v.report("vector-prune", f.Pos(), "prune predicate %d (%s %s) does not re-derive from the AST", i, p.Field, p.Op)
+					}
+				}
+			}
+		}
+	}
 }
 
 // positionalEligible reports whether the pipeline binds scan positions: a

@@ -1,0 +1,112 @@
+package dfs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAccountantSequences pins the shared block-accounting rules every
+// storage path charges simulated I/O through: whole blocks report as they
+// are crossed, a trailing partial block rounds up to one on Finish, and
+// an exact-boundary stream charges nothing extra.
+func TestAccountantSequences(t *testing.T) {
+	cases := []struct {
+		name string
+		adds []int64
+		// wantAdds[i] is the block count Add must return for adds[i].
+		wantAdds   []int
+		wantFinish int
+	}{
+		{name: "empty", adds: nil, wantAdds: nil, wantFinish: 0},
+		{name: "sub-block rounds up once", adds: []int64{10}, wantAdds: []int{0}, wantFinish: 1},
+		{name: "exact block no residual", adds: []int64{BlockSize}, wantAdds: []int{1}, wantFinish: 0},
+		{name: "one byte over", adds: []int64{BlockSize + 1}, wantAdds: []int{1}, wantFinish: 1},
+		{name: "multi-block single add", adds: []int64{3*BlockSize + 5}, wantAdds: []int{3}, wantFinish: 1},
+		{
+			name: "accumulates across adds",
+			adds: []int64{BlockSize / 2, BlockSize / 2, BlockSize / 2},
+			// The second add completes the first block; the third leaves a
+			// half-block residual.
+			wantAdds:   []int{0, 1, 0},
+			wantFinish: 1,
+		},
+		{
+			name:       "boundary across adds",
+			adds:       []int64{BlockSize - 1, 1},
+			wantAdds:   []int{0, 1},
+			wantFinish: 0,
+		},
+		{
+			name:       "zero adds ignored",
+			adds:       []int64{0, BlockSize, 0},
+			wantAdds:   []int{0, 1, 0},
+			wantFinish: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var a Accountant
+			for i, n := range tc.adds {
+				if got := a.Add(n); got != tc.wantAdds[i] {
+					t.Errorf("Add(%d) [#%d] = %d, want %d", n, i, got, tc.wantAdds[i])
+				}
+			}
+			if got := a.Finish(); got != tc.wantFinish {
+				t.Errorf("Finish() = %d, want %d", got, tc.wantFinish)
+			}
+			// Finish is idempotent: a second call never double-charges.
+			if got := a.Finish(); got != 0 {
+				t.Errorf("second Finish() = %d, want 0", got)
+			}
+		})
+	}
+}
+
+// TestBlocksFor pins the one-shot helper against the streaming rules.
+func TestBlocksFor(t *testing.T) {
+	cases := map[int64]int{
+		0:                 0,
+		1:                 1,
+		BlockSize - 1:     1,
+		BlockSize:         1,
+		BlockSize + 1:     2,
+		5 * BlockSize:     5,
+		5*BlockSize + 100: 6,
+	}
+	for n, want := range cases {
+		if got := BlocksFor(n); got != want {
+			t.Errorf("BlocksFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestReadLinesChargesLikeAccountant pins that ReadLines' observer reports
+// sum to exactly what the shared accountant charges for the bytes it
+// consumed — the invariant that makes raw scans and segment reads charge
+// simulated I/O identically for identical byte volumes.
+func TestReadLinesChargesLikeAccountant(t *testing.T) {
+	for _, size := range []int{100, BlockSize, BlockSize + 1, 3*BlockSize + 17} {
+		line := bytes.Repeat([]byte("x"), 99) // 100 bytes per line with \n
+		var data []byte
+		for len(data) < size {
+			data = append(data, line...)
+			data = append(data, '\n')
+		}
+		path := filepath.Join(t.TempDir(), "data.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got int
+		err := ReadLines(Split{Path: path, Offset: 0, Length: int64(len(data))},
+			func(b int) { got += b },
+			func([]byte) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := BlocksFor(int64(len(data))); got != want {
+			t.Errorf("size %d: ReadLines charged %d blocks, BlocksFor charges %d", len(data), got, want)
+		}
+	}
+}

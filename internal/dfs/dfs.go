@@ -106,21 +106,21 @@ func ReadLines(split Split, blockObserver func(blocks int), yield func(line []by
 	}
 	r := bufio.NewReaderSize(f, 256<<10)
 	var consumed int64
-	var sinceBlock int64
+	var acct Accountant
 	defer func() {
 		// Round the residual partial block up to one simulated block read
 		// on every exit path (EOF, boundary, yield abort): the bytes were
 		// fetched, so the round trip happened even if consumption stopped.
-		if blockObserver != nil && sinceBlock > 0 {
-			blockObserver(1)
+		if blockObserver != nil {
+			if b := acct.Finish(); b > 0 {
+				blockObserver(b)
+			}
 		}
 	}()
 	account := func(n int) error {
 		consumed += int64(n)
-		sinceBlock += int64(n)
-		if blockObserver != nil && sinceBlock >= BlockSize {
-			blockObserver(int(sinceBlock / BlockSize))
-			sinceBlock %= BlockSize
+		if b := acct.Add(int64(n)); blockObserver != nil && b > 0 {
+			blockObserver(b)
 		}
 		return nil
 	}

@@ -7,6 +7,7 @@ import (
 	"rumble/internal/functions"
 	"rumble/internal/item"
 	"rumble/internal/jparse"
+	"rumble/internal/segment"
 	"rumble/internal/spark"
 )
 
@@ -23,6 +24,13 @@ type Env struct {
 	InMemory map[string][]item.Item
 	// SplitSize overrides the storage split size (0 = default).
 	SplitSize int64
+	// Segments, when non-nil, lets storage-backed scans serve from the
+	// columnar segment store: json-file and collection sources ingest (or
+	// reuse) a `.segments` sibling of the data and vector pipelines scan
+	// decoded column batches through its buffer pool, with zone-map
+	// pruning for pushed-down predicates. Sources the store cannot serve
+	// fall back to the JSON-Lines paths unchanged.
+	Segments *segment.Store
 	// NoJoin disables the compiler's static equi-join detection, forcing
 	// nested-loop evaluation (for comparison benchmarks).
 	NoJoin bool
@@ -339,18 +347,47 @@ func (j *jsonFileIter) StreamRaw(dc *DynamicContext, yield func(line []byte, byt
 	return true, nil
 }
 
-func (j *jsonFileIter) splits(dc *DynamicContext) ([]dfs.Split, error) {
+// SegmentDataset implements segmentSource: when the environment carries a
+// segment store, the scan serves decoded column batches from the source's
+// `.segments` sibling (ingesting it on first touch). A source the store
+// cannot serve — no store configured, unparseable data — returns nil and
+// the scan falls back to the JSON-Lines paths, which surface the real
+// source error.
+func (j *jsonFileIter) SegmentDataset(dc *DynamicContext) *segment.Dataset {
+	if j.env.Segments == nil {
+		return nil
+	}
+	path, err := j.resolvePath(dc)
+	if err != nil {
+		return nil
+	}
+	ds, err := j.env.Segments.Open(path)
+	if err != nil {
+		return nil
+	}
+	return ds
+}
+
+func (j *jsonFileIter) resolvePath(dc *DynamicContext) (string, error) {
 	pseq, err := Materialize(j.path, dc)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
 	pit, err := exactlyOneAtomic(pseq, "json-file path")
 	if err != nil {
-		return nil, err
+		return "", err
 	}
 	path, err := item.StringValue(pit)
 	if err != nil {
-		return nil, Errorf("%v", err)
+		return "", Errorf("%v", err)
+	}
+	return path, nil
+}
+
+func (j *jsonFileIter) splits(dc *DynamicContext) ([]dfs.Split, error) {
+	path, err := j.resolvePath(dc)
+	if err != nil {
+		return nil, err
 	}
 	splitSize := j.env.SplitSize
 	if j.min != nil {
@@ -497,6 +534,20 @@ func (c *collectionIter) StreamRaw(dc *DynamicContext, yield func(line []byte, b
 		return false, nil
 	}
 	return raw.StreamRaw(dc, yield)
+}
+
+// SegmentDataset implements segmentSource by delegating to the resolved
+// source; in-memory collections have no segment backing and report nil.
+func (c *collectionIter) SegmentDataset(dc *DynamicContext) *segment.Dataset {
+	it, err := c.resolve(dc)
+	if err != nil {
+		return nil
+	}
+	src, ok := it.(segmentSource)
+	if !ok {
+		return nil
+	}
+	return src.SegmentDataset(dc)
 }
 
 func (c *collectionIter) RDD(dc *DynamicContext) (*spark.RDD[item.Item], error) {

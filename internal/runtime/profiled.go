@@ -5,6 +5,7 @@ import (
 
 	"rumble/internal/compiler"
 	"rumble/internal/item"
+	"rumble/internal/segment"
 	"rumble/internal/spark"
 )
 
@@ -83,6 +84,18 @@ func (p *profiledIter) StreamRaw(dc *DynamicContext, yield func(line []byte, byt
 		op.AddWall(time.Since(start))
 	}
 	return handled, err
+}
+
+// SegmentDataset implements segmentSource by forwarding to the wrapped
+// source, so a segment-backed scan still engages through the wrapper.
+// Scan rows are profiled per batch by the vector backend itself
+// (processMorsel records into the scan operator), so nothing is counted
+// here.
+func (p *profiledIter) SegmentDataset(dc *DynamicContext) *segment.Dataset {
+	if src, ok := p.inner.(segmentSource); ok {
+		return src.SegmentDataset(dc)
+	}
+	return nil
 }
 
 // profiledClause instruments one FLWOR clause of the tuple pipeline,

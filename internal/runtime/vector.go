@@ -15,6 +15,7 @@ import (
 	"rumble/internal/item"
 	"rumble/internal/jparse"
 	"rumble/internal/profile"
+	"rumble/internal/segment"
 	"rumble/internal/spark"
 	"rumble/internal/vector"
 )
@@ -362,11 +363,17 @@ type vectorIter struct {
 	nslots    int
 	externals []string
 	posSlots  []int // slots bound to the 1-based scan position (at / count)
-	join      *vjoinExec
-	ops       []vop
-	group     *vgroupExec
-	sort      *vsortExec
-	project   vexpr // non-group row projection
+	// prune is the compiler's zone-map pushdown: the prefix of
+	// and-conjuncts from the pipeline's leading where run that a
+	// segment-backed scan may test against per-segment zone maps to skip
+	// whole segments. Empty when the plan has no prunable prefix; unused
+	// when the scan is not segment-backed.
+	prune   []segment.Predicate
+	join    *vjoinExec
+	ops     []vop
+	group   *vgroupExec
+	sort    *vsortExec
+	project vexpr // non-group row projection
 
 	// Profiling operator indices, -1 when the stage is absent or not
 	// registered. They name the same operators the tuple pipeline's
@@ -468,6 +475,21 @@ type rawScanner interface {
 	StreamRaw(dc *DynamicContext, yield func(line []byte, bytes int64) error) (handled bool, err error)
 }
 
+// segmentSource is implemented by scan sources that can serve an
+// evaluation from the columnar segment store. The vector backend prefers
+// it over both raw and item scanning: the producer walks segment metadata
+// only — testing pushed-down predicates against per-segment zone maps to
+// skip segments outright — and the morsel workers fetch decoded column
+// batches through the byte-bounded buffer pool, so a hot segment costs no
+// parse and no simulated storage round trip at all.
+type segmentSource interface {
+	// SegmentDataset returns the dataset backing this evaluation, or nil
+	// when the source cannot serve segments (no store configured, an
+	// in-memory collection, or ingest failed — the caller then falls back
+	// to raw/item scanning, which surfaces any real source error).
+	SegmentDataset(dc *DynamicContext) *segment.Dataset
+}
+
 // vmorselResult is one processed morsel: projected rows in scan order, the
 // morsel's partial aggregation table, or (for an order-by tail) the
 // morsel's sorted run plus the per-spec key type observations the global
@@ -482,8 +504,28 @@ type vmorselResult struct {
 
 // decodeRows turns a raw morsel into its item rows, charging the morsel's
 // simulated storage round trips and record count exactly as an RDD
-// partition task would while scanning. Item morsels pass through.
+// partition task would while scanning. Segment morsels fetch their rows
+// through the buffer pool: the pool's per-segment single-flight makes one
+// worker pay the cold decode (and its storage round trips) while the
+// other morsels of the same segment ride the cached residency for free.
+// Item morsels pass through.
 func (v *vectorIter) decodeRows(m vmorsel) ([]item.Item, error) {
+	if m.ds != nil {
+		rows, coldBlocks, err := m.ds.Fetch(m.seg)
+		if err != nil {
+			return nil, err
+		}
+		if v.sc != nil {
+			if coldBlocks > 0 {
+				v.sc.SimulateIO(coldBlocks)
+				v.sc.AddSegmentCacheMiss(1)
+			} else {
+				v.sc.AddSegmentCacheHits(1)
+			}
+			v.sc.AddRecordsRead(int64(m.n))
+		}
+		return rows[m.off : m.off+m.n], nil
+	}
 	if m.lines == nil {
 		return m.rows, nil
 	}
@@ -1051,13 +1093,21 @@ func (v *vectorIter) streamSerial(dc *DynamicContext, vs *vstate, jr *vjoinRun, 
 // backend.
 var errStopScan = fmt.Errorf("runtime: vector scan stopped")
 
-// vmorsel is one scan morsel awaiting a worker: raw byte records when the
-// source scans raw (the worker decodes them), decoded items otherwise.
+// vmorsel is one scan morsel awaiting a worker: a segment slice when the
+// source scans segments (the worker fetches the decoded rows through the
+// buffer pool), raw byte records when the source scans raw (the worker
+// decodes them), decoded items otherwise.
 type vmorsel struct {
 	idx    int
 	rows   []item.Item
 	lines  [][]byte
 	blocks int // simulated storage blocks behind lines, charged by the worker
+
+	// Segment-backed scan: the morsel is rows [off, off+n) of segment seg
+	// in ds. ds==nil means a raw or item morsel.
+	ds     *segment.Dataset
+	seg    int
+	off, n int
 }
 
 // scanMorsels runs the scan on the calling goroutine, cutting it into
@@ -1067,6 +1117,11 @@ type vmorsel struct {
 // early abort. Returns the number of morsels emit accepted.
 func (v *vectorIter) scanMorsels(dc *DynamicContext, rowCheck func() error, emit func(m vmorsel) error) (int, error) {
 	idx := 0
+	if src, ok := v.in.(segmentSource); ok {
+		if ds := src.SegmentDataset(dc); ds != nil {
+			return v.scanSegments(ds, rowCheck, emit)
+		}
+	}
 	if raw, ok := v.in.(rawScanner); ok {
 		var lines [][]byte
 		// Block accounting is byte-accurate across morsels: each morsel
@@ -1142,6 +1197,50 @@ func (v *vectorIter) scanMorsels(dc *DynamicContext, rowCheck func() error, emit
 			return idx, err
 		}
 		idx++
+	}
+	return idx, nil
+}
+
+// scanSegments cuts a segment-backed dataset into BatchSize-row morsels.
+// The producer touches metadata only: pushed-down predicates run against
+// each segment's zone maps first, and a provably irrelevant segment is
+// skipped before any of its rows is fetched or decoded (SegmentsSkipped
+// counts them; SegmentsRead counts the rest). Morsel indices stay
+// contiguous across skips, which is safe because the compiler never
+// records prune predicates on positional pipelines — and segment.Skip
+// guarantees a skipped segment contributes no rows and no errors, so
+// emit order and error selection match an unpruned scan exactly. A full
+// segment holds segment.Rows = 4*BatchSize rows, so every morsel but the
+// final segment's tail is exactly BatchSize rows, as the positional
+// columns require.
+func (v *vectorIter) scanSegments(ds *segment.Dataset, rowCheck func() error, emit func(m vmorsel) error) (int, error) {
+	idx := 0
+	for si := 0; si < ds.NumSegments(); si++ {
+		if rowCheck != nil {
+			if err := rowCheck(); err != nil {
+				return idx, err
+			}
+		}
+		meta := ds.Meta(si)
+		if len(v.prune) > 0 && segment.Skip(meta, v.prune) {
+			if v.sc != nil {
+				v.sc.AddSegmentsSkipped(1)
+			}
+			continue
+		}
+		if v.sc != nil {
+			v.sc.AddSegmentsRead(1)
+		}
+		for off := 0; off < meta.Rows; off += vector.BatchSize {
+			n := meta.Rows - off
+			if n > vector.BatchSize {
+				n = vector.BatchSize
+			}
+			if err := emit(vmorsel{idx: idx, ds: ds, seg: si, off: off, n: n}); err != nil {
+				return idx, err
+			}
+			idx++
+		}
 	}
 	return idx, nil
 }
@@ -1599,6 +1698,15 @@ func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterat
 		it.opScan = c.op(head, "for $"+head.Var, c.opOf(in, head.In))
 		if head.PosVar != "" {
 			it.posSlots = append(it.posSlots, vc.bind(head.PosVar))
+		}
+		// Zone-map pushdown: the plan's prune prefix becomes the segment
+		// predicates a segment-backed scan tests before touching rows. The
+		// where clauses themselves still compile below — pruning only skips
+		// segments no row of which could pass (or error in) the prefix, so
+		// running the full filter over the surviving segments is what keeps
+		// results identical.
+		for _, p := range vp.Prune {
+			it.prune = append(it.prune, segment.Predicate{Field: p.Field, Op: p.Op, Lit: p.Lit})
 		}
 		rest = clauses[1:]
 	}

@@ -1,0 +1,593 @@
+// Package segment is the persistent columnar storage layer: an immutable
+// segment format ingested once from a JSON-lines collection and stored in
+// a sibling "<path>.segments" directory, content-hash validated against
+// the source. Each segment holds up to Rows rows decomposed into typed
+// per-column lanes (int64 / float64 / string / tag, with an exact item
+// overflow lane for nested and decimal values), mirroring the
+// internal/vector batch layout, plus per-column zone maps (min/max sort
+// key, null and missing counts) recorded in the dataset manifest. A
+// byte-bounded LRU buffer pool serves decoded segments to the morsel
+// scanner, so hot scans never re-parse JSON, and the zone maps let
+// prunable predicates skip whole segments before any row is touched.
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/big"
+
+	"rumble/internal/item"
+)
+
+// Rows is the row capacity of a full segment: four vector batches, so a
+// segment always splits into whole BatchSize morsels (the final segment
+// of a dataset may be partial).
+const Rows = 4096
+
+// Magic opens every segment file.
+const Magic = "RSEG"
+
+// Version is the current format version.
+const Version = 1
+
+// Column value tags of the dense per-column tag lane. The layout mirrors
+// internal/vector's column tags, with one extra tag (tagDec) so decimal
+// values round-trip exactly instead of through their float64 image.
+const (
+	tagAbsent byte = iota
+	tagNull
+	tagFalse
+	tagTrue
+	tagInt
+	tagDouble
+	tagString
+	tagItem // nested object/array, stored in the exact item encoding
+	tagDec  // decimal, stored as a big.Rat string
+	tagMax
+)
+
+// shape markers: a row is either a column-id list over the dictionary
+// (ordinary object row) or an overflow row carrying the exact item
+// encoding of the whole value (non-object rows and duplicate-key
+// objects, which the dictionary cannot express).
+const shapeOverflow = 0
+
+// Error is a structured storage-layer error. Every corruption the decoder
+// detects — truncation, checksum mismatch, lane inconsistencies, zone
+// maps that disagree with the data — surfaces as one of these, never a
+// panic or silently wrong rows.
+type Error struct {
+	Path string // file the error was detected in ("" when not file-bound)
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.Path == "" {
+		return "segment: " + e.Msg
+	}
+	return fmt.Sprintf("segment: %s: %s", e.Path, e.Msg)
+}
+
+func errf(path, format string, args ...any) error {
+	return &Error{Path: path, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Encode serializes rows into one segment's byte image. Rows must not be
+// longer than the segment capacity.
+func Encode(rows []item.Item) ([]byte, error) {
+	if len(rows) > Rows {
+		return nil, errf("", "encode: %d rows exceed segment capacity %d", len(rows), Rows)
+	}
+	// Column dictionary in first-seen order, so reconstruction preserves
+	// the original key order of every object row.
+	var cols []string
+	colID := map[string]int{}
+	type rowShape struct {
+		overflow []byte // exact item encoding when not a plain object
+		ids      []int
+	}
+	shapes := make([]rowShape, len(rows))
+	for ri, r := range rows {
+		o, ok := r.(*item.Object)
+		if !ok || hasDupKeys(o) {
+			shapes[ri].overflow = appendValue(nil, r)
+			continue
+		}
+		ids := make([]int, o.Len())
+		for ki, k := range o.Keys() {
+			id, seen := colID[k]
+			if !seen {
+				id = len(cols)
+				colID[k] = id
+				cols = append(cols, k)
+			}
+			ids[ki] = id
+		}
+		shapes[ri].ids = ids
+	}
+
+	var payload []byte
+	payload = appendUvarint(payload, uint64(len(cols)))
+	for _, c := range cols {
+		payload = appendString(payload, c)
+	}
+	for ri := range shapes {
+		if shapes[ri].overflow != nil {
+			payload = appendUvarint(payload, shapeOverflow)
+			payload = appendUvarint(payload, uint64(len(shapes[ri].overflow)))
+			payload = append(payload, shapes[ri].overflow...)
+			continue
+		}
+		payload = appendUvarint(payload, uint64(len(shapes[ri].ids)+1))
+		for _, id := range shapes[ri].ids {
+			payload = appendUvarint(payload, uint64(id))
+		}
+	}
+	// Typed lanes, one column at a time: the dense tag lane first, then
+	// the sparse value lanes in row order.
+	for ci := range cols {
+		tags := make([]byte, len(rows))
+		var values []byte
+		for ri, r := range rows {
+			o, ok := r.(*item.Object)
+			if !ok || shapes[ri].overflow != nil {
+				// Overflow rows reconstruct wholesale; non-objects yield
+				// absent for every column, exactly like vector.Lookup.
+				continue
+			}
+			v, present := o.Get(cols[ci])
+			if !present {
+				continue
+			}
+			tag, val := encodeLaneValue(v)
+			tags[ri] = tag
+			values = append(values, val...)
+		}
+		payload = append(payload, tags...)
+		payload = append(payload, values...)
+	}
+
+	out := make([]byte, 0, len(Magic)+1+4+4+4+len(payload))
+	out = append(out, Magic...)
+	out = append(out, Version)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(rows)))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(cols)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	out = append(out, payload...)
+	return out, nil
+}
+
+// encodeLaneValue encodes one column value into its lane tag and value
+// bytes (empty for tags whose value lives in the tag itself).
+func encodeLaneValue(v item.Item) (byte, []byte) {
+	switch t := v.(type) {
+	case item.Null:
+		return tagNull, nil
+	case item.Bool:
+		if bool(t) {
+			return tagTrue, nil
+		}
+		return tagFalse, nil
+	case item.Int:
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(buf[:], int64(t))
+		return tagInt, buf[:n]
+	case item.Double:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(float64(t)))
+		return tagDouble, buf[:]
+	case item.Str:
+		return tagString, appendString(nil, string(t))
+	case item.Dec:
+		return tagDec, appendString(nil, t.Rat().RatString())
+	default:
+		return tagItem, appendSized(nil, appendValue(nil, v))
+	}
+}
+
+func hasDupKeys(o *item.Object) bool {
+	keys := o.Keys()
+	if len(keys) < 2 {
+		return false
+	}
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+	}
+	return false
+}
+
+// Decoded is one segment's decoded contents: the materialized rows and
+// the column dictionary.
+type Decoded struct {
+	Rows []item.Item
+	Cols []string
+}
+
+// Decode parses a segment byte image back into rows. Every malformation —
+// truncation, a flipped bit anywhere in the payload (checksum), invalid
+// lane data — returns a structured error; Decode never panics on
+// corrupted input (FuzzSegmentDecode enforces this).
+func Decode(path string, data []byte) (*Decoded, error) {
+	head := len(Magic) + 1 + 4 + 4 + 4
+	if len(data) < head {
+		return nil, errf(path, "truncated header: %d bytes", len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, errf(path, "bad magic %q", data[:len(Magic)])
+	}
+	if v := data[len(Magic)]; v != Version {
+		return nil, errf(path, "unsupported version %d", v)
+	}
+	rows := int(binary.LittleEndian.Uint32(data[len(Magic)+1:]))
+	ncols := int(binary.LittleEndian.Uint32(data[len(Magic)+5:]))
+	sum := binary.LittleEndian.Uint32(data[len(Magic)+9:])
+	payload := data[head:]
+	if got := crc32.ChecksumIEEE(payload); got != sum {
+		return nil, errf(path, "checksum mismatch: header %08x, payload %08x", sum, got)
+	}
+	if rows < 0 || rows > Rows {
+		return nil, errf(path, "row count %d out of range", rows)
+	}
+	if ncols < 0 || ncols > rows*64+64 {
+		return nil, errf(path, "column count %d implausible for %d rows", ncols, rows)
+	}
+	r := &reader{path: path, data: payload}
+	gotCols, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if int(gotCols) != ncols {
+		return nil, errf(path, "dictionary lists %d columns, header says %d", gotCols, ncols)
+	}
+	cols := make([]string, ncols)
+	for i := range cols {
+		if cols[i], err = r.str(); err != nil {
+			return nil, err
+		}
+	}
+	type rowShape struct {
+		overflow item.Item
+		ids      []int
+	}
+	shapes := make([]rowShape, rows)
+	for ri := range shapes {
+		marker, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if marker == shapeOverflow {
+			raw, err := r.sized()
+			if err != nil {
+				return nil, err
+			}
+			vr := &reader{path: path, data: raw}
+			v, err := vr.value(0)
+			if err != nil {
+				return nil, err
+			}
+			if vr.off != len(vr.data) {
+				return nil, errf(path, "overflow row %d: %d trailing bytes", ri, len(vr.data)-vr.off)
+			}
+			shapes[ri].overflow = v
+			continue
+		}
+		n := int(marker - 1)
+		if n > ncols*4+16 {
+			return nil, errf(path, "row %d: implausible column list length %d", ri, n)
+		}
+		ids := make([]int, n)
+		for i := range ids {
+			id, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if int(id) >= ncols {
+				return nil, errf(path, "row %d: column id %d out of range", ri, id)
+			}
+			ids[i] = int(id)
+		}
+		shapes[ri].ids = ids
+	}
+	// Lanes: decode each column into a full-length item lane (nil = absent).
+	lanes := make([][]item.Item, ncols)
+	for ci := 0; ci < ncols; ci++ {
+		if len(r.data)-r.off < rows {
+			return nil, errf(path, "column %q: truncated tag lane", cols[ci])
+		}
+		tags := r.data[r.off : r.off+rows]
+		r.off += rows
+		lane := make([]item.Item, rows)
+		for ri := 0; ri < rows; ri++ {
+			switch tags[ri] {
+			case tagAbsent:
+			case tagNull:
+				lane[ri] = item.Null{}
+			case tagFalse:
+				lane[ri] = item.Bool(false)
+			case tagTrue:
+				lane[ri] = item.Bool(true)
+			case tagInt:
+				v, err := r.varint()
+				if err != nil {
+					return nil, err
+				}
+				lane[ri] = item.Int(v)
+			case tagDouble:
+				if len(r.data)-r.off < 8 {
+					return nil, errf(path, "column %q: truncated double lane", cols[ci])
+				}
+				lane[ri] = item.Double(math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.off:])))
+				r.off += 8
+			case tagString:
+				s, err := r.str()
+				if err != nil {
+					return nil, err
+				}
+				lane[ri] = item.Str(s)
+			case tagDec:
+				s, err := r.str()
+				if err != nil {
+					return nil, err
+				}
+				rat, ok := new(big.Rat).SetString(s)
+				if !ok {
+					return nil, errf(path, "column %q: invalid decimal %q", cols[ci], s)
+				}
+				lane[ri] = item.NewDecimal(rat)
+			case tagItem:
+				raw, err := r.sized()
+				if err != nil {
+					return nil, err
+				}
+				vr := &reader{path: path, data: raw}
+				v, err := vr.value(0)
+				if err != nil {
+					return nil, err
+				}
+				lane[ri] = v
+			default:
+				return nil, errf(path, "column %q row %d: invalid lane tag %d", cols[ci], ri, tags[ri])
+			}
+		}
+		lanes[ci] = lane
+	}
+	if r.off != len(r.data) {
+		return nil, errf(path, "%d trailing payload bytes", len(r.data)-r.off)
+	}
+	out := make([]item.Item, rows)
+	for ri := range shapes {
+		if shapes[ri].overflow != nil {
+			out[ri] = shapes[ri].overflow
+			continue
+		}
+		keys := make([]string, len(shapes[ri].ids))
+		values := make([]item.Item, len(shapes[ri].ids))
+		for i, id := range shapes[ri].ids {
+			keys[i] = cols[id]
+			v := lanes[id][ri]
+			if v == nil {
+				return nil, errf(path, "row %d: shape lists column %q but its lane is absent", ri, cols[id])
+			}
+			values[i] = v
+		}
+		out[ri] = item.NewObject(keys, values)
+	}
+	return &Decoded{Rows: out, Cols: cols}, nil
+}
+
+// --- exact item encoding (overflow rows and nested lane values) ---
+
+// Value kind bytes of the exact item encoding.
+const (
+	ivNull byte = iota
+	ivFalse
+	ivTrue
+	ivInt
+	ivDouble
+	ivString
+	ivDec
+	ivArray
+	ivObject
+)
+
+// maxValueDepth bounds nesting when decoding untrusted bytes.
+const maxValueDepth = 200
+
+// appendValue appends the exact recursive encoding of v: unlike the
+// canonical JSON rendering, decimals keep their full big.Rat value, so
+// decode reproduces v bit for bit.
+func appendValue(dst []byte, v item.Item) []byte {
+	switch t := v.(type) {
+	case item.Null:
+		return append(dst, ivNull)
+	case item.Bool:
+		if bool(t) {
+			return append(dst, ivTrue)
+		}
+		return append(dst, ivFalse)
+	case item.Int:
+		dst = append(dst, ivInt)
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutVarint(buf[:], int64(t))
+		return append(dst, buf[:n]...)
+	case item.Double:
+		dst = append(dst, ivDouble)
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(float64(t)))
+		return append(dst, buf[:]...)
+	case item.Str:
+		dst = append(dst, ivString)
+		return appendString(dst, string(t))
+	case item.Dec:
+		dst = append(dst, ivDec)
+		return appendString(dst, t.Rat().RatString())
+	case *item.Array:
+		dst = append(dst, ivArray)
+		dst = appendUvarint(dst, uint64(t.Len()))
+		for i := 0; i < t.Len(); i++ {
+			dst = appendValue(dst, t.Member(i))
+		}
+		return dst
+	case *item.Object:
+		dst = append(dst, ivObject)
+		dst = appendUvarint(dst, uint64(t.Len()))
+		for i, k := range t.Keys() {
+			dst = appendString(dst, k)
+			dst = appendValue(dst, t.ValueAt(i))
+		}
+		return dst
+	default:
+		// Unreachable for ingested data; keep encode total anyway.
+		dst = append(dst, ivString)
+		return appendString(dst, v.String())
+	}
+}
+
+// reader is a bounds-checked cursor over untrusted bytes.
+type reader struct {
+	path string
+	data []byte
+	off  int
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, errf(r.path, "invalid uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		return 0, errf(r.path, "invalid varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	b, err := r.sized()
+	return string(b), err
+}
+
+func (r *reader) sized() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.data)-r.off) {
+		return nil, errf(r.path, "length %d overruns buffer at offset %d", n, r.off)
+	}
+	b := r.data[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+func (r *reader) value(depth int) (item.Item, error) {
+	if depth > maxValueDepth {
+		return nil, errf(r.path, "value nesting exceeds %d", maxValueDepth)
+	}
+	if r.off >= len(r.data) {
+		return nil, errf(r.path, "truncated value at offset %d", r.off)
+	}
+	kind := r.data[r.off]
+	r.off++
+	switch kind {
+	case ivNull:
+		return item.Null{}, nil
+	case ivFalse:
+		return item.Bool(false), nil
+	case ivTrue:
+		return item.Bool(true), nil
+	case ivInt:
+		v, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		return item.Int(v), nil
+	case ivDouble:
+		if len(r.data)-r.off < 8 {
+			return nil, errf(r.path, "truncated double at offset %d", r.off)
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.off:]))
+		r.off += 8
+		return item.Double(v), nil
+	case ivString:
+		s, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		return item.Str(s), nil
+	case ivDec:
+		s, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		rat, ok := new(big.Rat).SetString(s)
+		if !ok {
+			return nil, errf(r.path, "invalid decimal %q", s)
+		}
+		return item.NewDecimal(rat), nil
+	case ivArray:
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(r.data)-r.off) {
+			return nil, errf(r.path, "array length %d overruns buffer", n)
+		}
+		members := make([]item.Item, n)
+		for i := range members {
+			if members[i], err = r.value(depth + 1); err != nil {
+				return nil, err
+			}
+		}
+		return item.NewArray(members), nil
+	case ivObject:
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(r.data)-r.off) {
+			return nil, errf(r.path, "object length %d overruns buffer", n)
+		}
+		keys := make([]string, n)
+		values := make([]item.Item, n)
+		for i := range keys {
+			if keys[i], err = r.str(); err != nil {
+				return nil, err
+			}
+			if values[i], err = r.value(depth + 1); err != nil {
+				return nil, err
+			}
+		}
+		return item.NewObject(keys, values), nil
+	default:
+		return nil, errf(r.path, "invalid value kind %d at offset %d", kind, r.off-1)
+	}
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return append(dst, buf[:n]...)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendSized(dst, b []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}

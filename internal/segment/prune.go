@@ -1,0 +1,137 @@
+package segment
+
+import (
+	"math"
+
+	"rumble/internal/item"
+)
+
+// Predicate is one zone-map-prunable conjunct pushed down from a vector
+// pipeline's leading where run: a value comparison between a top-level
+// field of the scan variable and an integer, double or string literal.
+type Predicate struct {
+	Field string // top-level object field the left operand looks up
+	Op    string // eq, ne, lt, le, gt, ge (value comparison)
+	Lit   item.Item
+}
+
+// numericLit reports whether the literal is a number (vs a string).
+func (p Predicate) numericLit() bool {
+	switch p.Lit.(type) {
+	case item.Int, item.Double, item.Dec:
+		return true
+	default:
+		return false
+	}
+}
+
+// key returns the literal's sort key. Only Int, Double, Dec and Str
+// literals are admitted by the compiler, all of which encode without
+// error.
+func (p Predicate) key() item.SortKey {
+	sk, err := item.EncodeSortKey([]item.Item{p.Lit}, false)
+	if err != nil {
+		// Unreachable for admitted literal kinds; a zero key compares
+		// least and can only make pruning more conservative for lt/le.
+		return item.SortKey{}
+	}
+	return sk
+}
+
+// magnitudeGuard is the |value| bound beyond which range pruning declines:
+// near 2^63 the sort-key order of int64 vs float64 values diverges from
+// true value order (the float64 image of 2^63-1 rounds up to 2^63 and the
+// exact-int tie-breaker zeroes out above the boundary), so keys there must
+// not drive skip decisions. 2^62 leaves a whole power of two of margin.
+const magnitudeGuard = float64(1 << 62)
+
+// check evaluates the predicate against one column's zone map. safe
+// reports that evaluating the predicate cannot error on any row of the
+// segment; disjoint (only meaningful when safe) reports that no row can
+// satisfy it. Missing and absent values never satisfy or error on a value
+// comparison (the comparison absorbs them), and null compares without
+// error against every literal kind, ordering below numbers and strings.
+func (p Predicate) check(z ZoneMap) (safe, disjoint bool) {
+	if z.Present == 0 {
+		// Every row yields absent: the comparison absorbs to false.
+		return true, true
+	}
+	if p.numericLit() {
+		if z.Kinds&(KindFalse|KindTrue|KindString|KindItem) != 0 {
+			return false, false
+		}
+	} else {
+		if z.Kinds&(KindFalse|KindTrue|KindInt|KindDouble|KindDec|KindItem) != 0 {
+			return false, false
+		}
+	}
+	if !z.HasRange {
+		return true, false
+	}
+	lit := p.key()
+	min, max := z.Min.SortKey(), z.Max.SortKey()
+	if nanKey(lit) || nanKey(min) || nanKey(max) {
+		// NaN cannot be ingested from JSON, but never prune on one.
+		return true, false
+	}
+	// Range and inequality pruning additionally need key order to agree
+	// with value order across every pair the segment can contain:
+	// decimals (in the column or as the literal) collapse sub-ulp detail
+	// into their float64 image, and the 2^63 neighborhood misorders
+	// int-vs-double keys, so both decline.
+	_, litDec := p.Lit.(item.Dec)
+	rangeExact := z.Kinds&KindDec == 0 && !litDec &&
+		math.Abs(min.Num) < magnitudeGuard && math.Abs(max.Num) < magnitudeGuard &&
+		math.Abs(lit.Num) < magnitudeGuard
+	switch p.Op {
+	case "eq":
+		// Safe even with decimals: equal values always encode equal keys,
+		// so a literal outside [min, max] matches no row.
+		return true, lit.Compare(min) < 0 || lit.Compare(max) > 0
+	case "ne":
+		// Prune only when every key equals the literal's key and key
+		// equality implies value equality (rangeExact). Null rows would
+		// satisfy ne against a non-null literal, but their key differs
+		// from any admitted literal's, so min == max == lit excludes them.
+		return true, rangeExact && min.Compare(lit) == 0 && max.Compare(lit) == 0
+	case "lt":
+		return true, rangeExact && min.Compare(lit) >= 0
+	case "le":
+		return true, rangeExact && min.Compare(lit) > 0
+	case "gt":
+		return true, rangeExact && max.Compare(lit) <= 0
+	case "ge":
+		return true, rangeExact && max.Compare(lit) < 0
+	default:
+		return false, false
+	}
+}
+
+func nanKey(k item.SortKey) bool {
+	return math.IsNaN(k.Num) || (k.Tag == item.TagNumber && k.Str == item.NaNStr)
+}
+
+// Skip reports whether the ordered conjunct chain preds allows skipping
+// the whole segment described by meta. Conjuncts evaluate left to right
+// with and-semantics, so the segment skips exactly when some conjunct is
+// provably unsatisfiable by every row while all conjuncts before it are
+// provably error-free — rows failing the disjoint conjunct never reach
+// anything downstream, so neither results nor error selection change.
+func Skip(meta Meta, preds []Predicate) bool {
+	for _, p := range preds {
+		z, ok := meta.Zone(p.Field)
+		if !ok {
+			// The column appears nowhere in the segment: every row yields
+			// absent, so the conjunct is error-free and nothing passes.
+			return true
+		}
+		safe, disjoint := p.check(z)
+		if !safe {
+			return false
+		}
+		if disjoint {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,370 @@
+package segment
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"rumble/internal/dfs"
+	"rumble/internal/item"
+	"rumble/internal/jparse"
+)
+
+// ManifestName is the dataset manifest file inside a segments directory.
+const ManifestName = "MANIFEST.json"
+
+// Dir returns the segments directory of a JSON-lines source path: a
+// sibling "<path>.segments" directory, which dfs.ListSplits never
+// confuses with part files of the source.
+func Dir(source string) string { return source + ".segments" }
+
+// Meta describes one segment in the manifest: its file, row count, file
+// size and per-column zone maps (sorted by column name).
+type Meta struct {
+	File  string    `json:"file"`
+	Rows  int       `json:"rows"`
+	Bytes int64     `json:"bytes"`
+	Cols  []ColZone `json:"cols"`
+}
+
+// Zone returns the zone map of the named column, when any row of the
+// segment has it.
+func (m Meta) Zone(name string) (ZoneMap, bool) {
+	i := sort.Search(len(m.Cols), func(i int) bool { return m.Cols[i].Name >= name })
+	if i < len(m.Cols) && m.Cols[i].Name == name {
+		return m.Cols[i].Zone, true
+	}
+	return ZoneMap{}, false
+}
+
+// Manifest is the dataset-level metadata: the content hash of the source
+// it was ingested from and the ordered segment list.
+type Manifest struct {
+	Version     int    `json:"version"`
+	SourceHash  string `json:"source_hash"`
+	SourceBytes int64  `json:"source_bytes"`
+	Rows        int64  `json:"rows"`
+	Segments    []Meta `json:"segments"`
+}
+
+// Dataset is an opened, validated segment dataset. Fetch serves decoded
+// segments, through the owning store's buffer pool when there is one.
+type Dataset struct {
+	Source   string
+	Dir      string
+	Manifest Manifest
+	pool     *pool
+}
+
+// NumSegments returns the segment count.
+func (d *Dataset) NumSegments() int { return len(d.Manifest.Segments) }
+
+// Meta returns the manifest entry of segment i.
+func (d *Dataset) Meta(i int) Meta { return d.Manifest.Segments[i] }
+
+// Fetch returns the decoded rows of segment i. coldBlocks is non-zero
+// exactly when this call read and decoded the segment file (a buffer-pool
+// miss, or no pool): it reports the simulated I/O blocks the read
+// charges, rounded by the same shared accounting rules as raw line scans.
+func (d *Dataset) Fetch(i int) (rows []item.Item, coldBlocks int, err error) {
+	if d.pool == nil {
+		return d.load(i)
+	}
+	key := d.Dir + "\x00" + d.Manifest.Segments[i].File
+	return d.pool.get(key, d.Manifest.Segments[i].Bytes, func() ([]item.Item, int, error) {
+		return d.load(i)
+	})
+}
+
+// load reads, decodes and validates segment i from disk.
+func (d *Dataset) load(i int) ([]item.Item, int, error) {
+	meta := d.Manifest.Segments[i]
+	path := filepath.Join(d.Dir, meta.File)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, errf(path, "read: %v", err)
+	}
+	blocks := dfs.BlocksFor(int64(len(data)))
+	dec, err := Decode(path, data)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(dec.Rows) != meta.Rows {
+		return nil, 0, errf(path, "segment holds %d rows, manifest says %d", len(dec.Rows), meta.Rows)
+	}
+	// Zone-map consistency: recompute from the decoded lanes and compare.
+	// Pruning decisions must never rest on summaries the data contradicts.
+	if !zonesEqual(ZoneMaps(dec.Rows), meta.Cols) {
+		return nil, 0, errf(path, "zone maps inconsistent with lane data")
+	}
+	return dec.Rows, blocks, nil
+}
+
+// OpenDataset loads and strictly validates the segment directory of
+// source without re-ingesting: a missing or unreadable manifest, a
+// version mismatch, or a source whose content hash no longer matches the
+// manifest (stale segments) each return a structured error.
+func OpenDataset(source string) (*Dataset, error) {
+	dir := Dir(source)
+	mpath := filepath.Join(dir, ManifestName)
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		return nil, errf(mpath, "read manifest: %v", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, errf(mpath, "parse manifest: %v", err)
+	}
+	if m.Version != Version {
+		return nil, errf(mpath, "manifest version %d, engine supports %d", m.Version, Version)
+	}
+	hash, bytes, err := SourceHash(source)
+	if err != nil {
+		return nil, err
+	}
+	if hash != m.SourceHash || bytes != m.SourceBytes {
+		return nil, errf(mpath, "stale segments: source content hash changed since ingest (re-ingest required)")
+	}
+	return &Dataset{Source: source, Dir: dir, Manifest: m}, nil
+}
+
+// SourceHash fingerprints a JSON-lines source (file or directory of part
+// files): the sha256 over every data file's name and bytes in scan order,
+// plus the total byte count.
+func SourceHash(source string) (string, int64, error) {
+	splits, err := dfs.ListSplits(source, 1<<62)
+	if err != nil {
+		return "", 0, errf(source, "hash: %v", err)
+	}
+	h := sha256.New()
+	var total int64
+	for _, sp := range splits {
+		io.WriteString(h, filepath.Base(sp.Path))
+		h.Write([]byte{0})
+		f, err := os.Open(sp.Path)
+		if err != nil {
+			return "", 0, errf(sp.Path, "hash: %v", err)
+		}
+		n, err := io.Copy(h, f)
+		f.Close()
+		if err != nil {
+			return "", 0, errf(sp.Path, "hash: %v", err)
+		}
+		total += n
+	}
+	return hex.EncodeToString(h.Sum(nil)), total, nil
+}
+
+// Ingest builds (or rebuilds) the segment dataset of source: it scans the
+// JSON lines in raw scan order, parses every line, and writes full
+// segments of Rows rows (the final segment may be partial) plus the
+// manifest into the sibling segments directory, atomically via a
+// temporary directory. Any unparseable line aborts the ingest — such a
+// source stays on the raw scan path, which reports the same parse error
+// the tuple backend would.
+func Ingest(source string) (retErr error) {
+	hash, bytes, err := SourceHash(source)
+	if err != nil {
+		return err
+	}
+	splits, err := dfs.ListSplits(source, 1<<62)
+	if err != nil {
+		return errf(source, "ingest: %v", err)
+	}
+	dir := Dir(source)
+	tmp, err := os.MkdirTemp(filepath.Dir(dir), filepath.Base(dir)+".tmp-*")
+	if err != nil {
+		return errf(source, "ingest: %v", err)
+	}
+	defer func() {
+		if retErr != nil {
+			os.RemoveAll(tmp)
+		}
+	}()
+	m := Manifest{Version: Version, SourceHash: hash, SourceBytes: bytes}
+	var pending []item.Item
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		data, err := Encode(pending)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("seg-%05d.rseg", len(m.Segments))
+		if err := os.WriteFile(filepath.Join(tmp, name), data, 0o644); err != nil {
+			return errf(source, "ingest: %v", err)
+		}
+		m.Segments = append(m.Segments, Meta{
+			File:  name,
+			Rows:  len(pending),
+			Bytes: int64(len(data)),
+			Cols:  ZoneMaps(pending),
+		})
+		m.Rows += int64(len(pending))
+		pending = pending[:0]
+		return nil
+	}
+	for _, sp := range splits {
+		err := dfs.ReadLines(sp, nil, func(line []byte) error {
+			it, perr := jparse.Parse(line)
+			if perr != nil {
+				return errf(sp.Path, "ingest: %v", perr)
+			}
+			pending = append(pending, it)
+			if len(pending) == Rows {
+				return flush()
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	mdata, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return errf(source, "ingest: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, ManifestName), mdata, 0o644); err != nil {
+		return errf(source, "ingest: %v", err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return errf(source, "ingest: %v", err)
+	}
+	if err := os.Rename(tmp, dir); err != nil {
+		return errf(source, "ingest: %v", err)
+	}
+	return nil
+}
+
+// Store serves segment datasets to the engine: one validated (and, when
+// needed, ingested) Dataset per source path, sharing one byte-bounded LRU
+// buffer pool of decoded segments across all of them.
+type Store struct {
+	pool *pool
+
+	mu       sync.Mutex
+	datasets map[string]*datasetEntry
+}
+
+type datasetEntry struct {
+	once sync.Once
+	ds   *Dataset
+	err  error
+}
+
+// DefaultCacheBytes is the buffer-pool budget when none is configured.
+const DefaultCacheBytes = 64 << 20
+
+// NewStore creates a store whose buffer pool holds about cacheBytes of
+// segment files decoded (cacheBytes <= 0 uses DefaultCacheBytes).
+func NewStore(cacheBytes int64) *Store {
+	if cacheBytes <= 0 {
+		cacheBytes = DefaultCacheBytes
+	}
+	return &Store{pool: newPool(cacheBytes), datasets: map[string]*datasetEntry{}}
+}
+
+// Open returns the segment dataset of the JSON-lines source at path,
+// ingesting it first when no (or stale) segments exist. The result is
+// resolved once per store lifetime: a nil Dataset means the source is not
+// segmentable (for example, a line fails to parse) and the scan must fall
+// back to raw JSON lines — which reports the identical error the tuple
+// backend would.
+func (s *Store) Open(path string) (*Dataset, error) {
+	s.mu.Lock()
+	e := s.datasets[path]
+	if e == nil {
+		e = &datasetEntry{}
+		s.datasets[path] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		ds, err := OpenDataset(path)
+		if err != nil {
+			if err = Ingest(path); err != nil {
+				e.err = err
+				return
+			}
+			if ds, err = OpenDataset(path); err != nil {
+				e.err = err
+				return
+			}
+		}
+		ds.pool = s.pool
+		e.ds = ds
+	})
+	return e.ds, e.err
+}
+
+// --- buffer pool: byte-bounded LRU of decoded segments ---
+
+// pool mirrors the server's compiled-plan cache: a doubly linked list in
+// recency order plus an index, with per-entry sync.Once loading outside
+// the lock (concurrent fetchers of one segment decode it once) and
+// eviction that never removes the entry just inserted.
+type pool struct {
+	mu       sync.Mutex
+	capBytes int64
+	bytes    int64
+	order    *list.List // front = most recently used
+	entries  map[string]*list.Element
+}
+
+type poolEntry struct {
+	key  string
+	cost int64
+
+	once   sync.Once
+	rows   []item.Item
+	blocks int
+	err    error
+}
+
+func newPool(capBytes int64) *pool {
+	return &pool{capBytes: capBytes, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+// get returns the decoded rows under key, loading them at most once per
+// residency. coldBlocks is non-zero only for the caller whose load
+// actually ran — the one that must charge the simulated I/O.
+func (p *pool) get(key string, cost int64, load func() ([]item.Item, int, error)) ([]item.Item, int, error) {
+	p.mu.Lock()
+	el, ok := p.entries[key]
+	if ok {
+		p.order.MoveToFront(el)
+	} else {
+		e := &poolEntry{key: key, cost: cost}
+		el = p.order.PushFront(e)
+		p.entries[key] = el
+		p.bytes += cost
+		for p.bytes > p.capBytes && p.order.Len() > 1 {
+			back := p.order.Back()
+			victim := back.Value.(*poolEntry)
+			p.order.Remove(back)
+			delete(p.entries, victim.key)
+			p.bytes -= victim.cost
+		}
+	}
+	e := el.Value.(*poolEntry)
+	p.mu.Unlock()
+	var loaded bool
+	e.once.Do(func() {
+		e.rows, e.blocks, e.err = load()
+		loaded = true
+	})
+	if loaded {
+		return e.rows, e.blocks, e.err
+	}
+	return e.rows, 0, e.err
+}

@@ -1,0 +1,173 @@
+package segment
+
+import (
+	"math"
+	"sort"
+
+	"rumble/internal/item"
+)
+
+// Column kind bits of a zone map: which value kinds the column's present
+// rows hold. The pruning rules consult them to decide when a predicate
+// can neither error nor select a row anywhere in the segment.
+const (
+	KindNull uint32 = 1 << iota
+	KindFalse
+	KindTrue
+	KindInt
+	KindDouble
+	KindDec
+	KindString
+	KindItem // nested object or array (no sort key)
+)
+
+// Key is the JSON-stable rendering of an item.SortKey: the float64 column
+// is stored as its IEEE bits and the string column as bytes (base64 in
+// JSON), so NaN, -0.0 and non-UTF-8 survive the manifest round trip.
+type Key struct {
+	Tag int    `json:"t"`
+	Str []byte `json:"s,omitempty"`
+	Num uint64 `json:"n"`
+	Int int64  `json:"i"`
+}
+
+// SortKey converts back to the comparable form.
+func (k Key) SortKey() item.SortKey {
+	return item.SortKey{Tag: k.Tag, Str: string(k.Str), Num: math.Float64frombits(k.Num), Int: k.Int}
+}
+
+func keyOf(sk item.SortKey) Key {
+	var s []byte
+	if sk.Str != "" {
+		s = []byte(sk.Str)
+	}
+	return Key{Tag: sk.Tag, Str: s, Num: math.Float64bits(sk.Num), Int: sk.Int}
+}
+
+// ZoneMap summarizes one column of one segment: how many rows yield a
+// value (vector.Lookup semantics: non-object rows and missing keys yield
+// absent), how many of those are null, the set of value kinds, and the
+// min/max sort key over the keyable (atomic) values. Missing rows are
+// Rows - Present at the segment level.
+type ZoneMap struct {
+	Present int    `json:"present"`
+	Nulls   int    `json:"nulls"`
+	Kinds   uint32 `json:"kinds"`
+	// HasRange reports whether Min/Max are valid: at least one present
+	// value was atomic and therefore sort-keyable.
+	HasRange bool `json:"has_range,omitempty"`
+	Min      Key  `json:"min"`
+	Max      Key  `json:"max"`
+}
+
+// observe folds one column value into the zone map.
+func (z *ZoneMap) observe(v item.Item) {
+	z.Present++
+	switch t := v.(type) {
+	case item.Null:
+		z.Kinds |= KindNull
+		z.Nulls++
+	case item.Bool:
+		if bool(t) {
+			z.Kinds |= KindTrue
+		} else {
+			z.Kinds |= KindFalse
+		}
+	case item.Int:
+		z.Kinds |= KindInt
+	case item.Double:
+		z.Kinds |= KindDouble
+	case item.Dec:
+		z.Kinds |= KindDec
+	case item.Str:
+		z.Kinds |= KindString
+	default:
+		z.Kinds |= KindItem
+		return // non-atomic: no sort key, min/max unchanged
+	}
+	sk, err := item.EncodeSortKey([]item.Item{v}, false)
+	if err != nil {
+		z.Kinds |= KindItem
+		return
+	}
+	if !z.HasRange {
+		z.HasRange = true
+		z.Min, z.Max = keyOf(sk), keyOf(sk)
+		return
+	}
+	if sk.Compare(z.Min.SortKey()) < 0 {
+		z.Min = keyOf(sk)
+	}
+	if sk.Compare(z.Max.SortKey()) > 0 {
+		z.Max = keyOf(sk)
+	}
+}
+
+// ColZone pairs a column name with its zone map. The manifest stores the
+// list sorted by name, keeping the JSON deterministic.
+type ColZone struct {
+	Name string  `json:"name"`
+	Zone ZoneMap `json:"zone"`
+}
+
+// ZoneMaps computes the per-column zone maps of a decoded segment. The
+// decoder re-runs it after every cold read and compares against the
+// manifest: zone maps inconsistent with the lane data are a structured
+// error, never a silently wrong prune.
+func ZoneMaps(rows []item.Item) []ColZone {
+	var order []string
+	maps := map[string]*ZoneMap{}
+	for _, r := range rows {
+		o, ok := r.(*item.Object)
+		if !ok {
+			continue
+		}
+		// Per-column observation follows lookup semantics: duplicate keys
+		// observe the first (winning) value only, once.
+		seen := map[string]bool{}
+		for _, k := range o.Keys() {
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			z := maps[k]
+			if z == nil {
+				z = &ZoneMap{}
+				maps[k] = z
+				order = append(order, k)
+			}
+			v, _ := o.Get(k)
+			z.observe(v)
+		}
+	}
+	sortStrings(order)
+	out := make([]ColZone, len(order))
+	for i, k := range order {
+		out[i] = ColZone{Name: k, Zone: *maps[k]}
+	}
+	return out
+}
+
+// zonesEqual compares two zone-map sets for the consistency check.
+func zonesEqual(a, b []ColZone) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || !zoneEqual(a[i].Zone, b[i].Zone) {
+			return false
+		}
+	}
+	return true
+}
+
+func zoneEqual(a, b ZoneMap) bool {
+	return a.Present == b.Present && a.Nulls == b.Nulls && a.Kinds == b.Kinds &&
+		a.HasRange == b.HasRange && keyEqual(a.Min, b.Min) && keyEqual(a.Max, b.Max)
+}
+
+func keyEqual(a, b Key) bool {
+	return a.Tag == b.Tag && string(a.Str) == string(b.Str) && a.Num == b.Num && a.Int == b.Int
+}
+
+func sortStrings(s []string) { sort.Strings(s) }

@@ -79,6 +79,10 @@ type Metrics struct {
 	VectorSortRuns   atomic.Int64
 	VectorTopKRuns   atomic.Int64
 	VectorJoinRows   atomic.Int64
+	SegmentsRead     atomic.Int64
+	SegmentsSkipped  atomic.Int64
+	SegmentCacheHits atomic.Int64
+	SegmentCacheMiss atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics.
@@ -103,6 +107,13 @@ type MetricsSnapshot struct {
 	VectorSortRuns int64 `json:"vector_sort_runs"`
 	VectorTopKRuns int64 `json:"vector_topk_runs"`
 	VectorJoinRows int64 `json:"vector_join_rows"`
+	// SegmentsRead counts columnar segments scanned, SegmentsSkipped those
+	// a zone-map prune rejected without touching a row, and the cache pair
+	// counts buffer-pool hits vs cold decodes.
+	SegmentsRead     int64 `json:"segments_read"`
+	SegmentsSkipped  int64 `json:"segments_skipped"`
+	SegmentCacheHits int64 `json:"segment_cache_hits"`
+	SegmentCacheMiss int64 `json:"segment_cache_miss"`
 }
 
 // Metrics returns a snapshot of the counters.
@@ -120,6 +131,10 @@ func (c *Context) Metrics() MetricsSnapshot {
 		VectorSortRuns:   c.metrics.VectorSortRuns.Load(),
 		VectorTopKRuns:   c.metrics.VectorTopKRuns.Load(),
 		VectorJoinRows:   c.metrics.VectorJoinRows.Load(),
+		SegmentsRead:     c.metrics.SegmentsRead.Load(),
+		SegmentsSkipped:  c.metrics.SegmentsSkipped.Load(),
+		SegmentCacheHits: c.metrics.SegmentCacheHits.Load(),
+		SegmentCacheMiss: c.metrics.SegmentCacheMiss.Load(),
 	}
 }
 
@@ -137,6 +152,10 @@ func (c *Context) ResetMetrics() {
 	c.metrics.VectorSortRuns.Store(0)
 	c.metrics.VectorTopKRuns.Store(0)
 	c.metrics.VectorJoinRows.Store(0)
+	c.metrics.SegmentsRead.Store(0)
+	c.metrics.SegmentsSkipped.Store(0)
+	c.metrics.SegmentCacheHits.Store(0)
+	c.metrics.SegmentCacheMiss.Store(0)
 }
 
 // AddVectorRun counts one vector-backend pipeline evaluation.
@@ -156,6 +175,18 @@ func (c *Context) AddVectorTopKRun() { c.metrics.VectorTopKRuns.Add(1) }
 
 // AddVectorJoinRows counts rows emitted by vector hash-join probes.
 func (c *Context) AddVectorJoinRows(n int64) { c.metrics.VectorJoinRows.Add(n) }
+
+// AddSegmentsRead counts columnar segments scanned by the vector backend.
+func (c *Context) AddSegmentsRead(n int64) { c.metrics.SegmentsRead.Add(n) }
+
+// AddSegmentsSkipped counts segments a zone-map prune skipped wholesale.
+func (c *Context) AddSegmentsSkipped(n int64) { c.metrics.SegmentsSkipped.Add(n) }
+
+// AddSegmentCacheHits counts buffer-pool hits serving decoded segments.
+func (c *Context) AddSegmentCacheHits(n int64) { c.metrics.SegmentCacheHits.Add(n) }
+
+// AddSegmentCacheMiss counts cold segment reads that had to decode.
+func (c *Context) AddSegmentCacheMiss(n int64) { c.metrics.SegmentCacheMiss.Add(n) }
 
 // AddRecordsRead is called by input sources when they produce records.
 func (c *Context) AddRecordsRead(n int64) { c.metrics.RecordsRead.Add(n) }

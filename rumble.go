@@ -29,6 +29,7 @@ import (
 	"rumble/internal/parser"
 	"rumble/internal/profile"
 	"rumble/internal/runtime"
+	"rumble/internal/segment"
 	"rumble/internal/spark"
 )
 
@@ -99,6 +100,14 @@ type Config struct {
 	// execution, surfacing compiler bugs as structured errors instead of
 	// wrong results. Also enabled by RUMBLE_VERIFY_PLANS=1.
 	VerifyPlans bool
+	// Segments enables the columnar segment store: storage-backed scans
+	// ingest (or reuse) an immutable `.segments` sibling next to each
+	// JSON-Lines source and vector pipelines read decoded column batches
+	// through a byte-bounded buffer pool, skipping whole segments whose
+	// zone maps prove a pushed-down predicate can never match.
+	Segments bool
+	// SegmentCacheBytes bounds the segment buffer pool (0 = 64 MiB).
+	SegmentCacheBytes int64
 }
 
 // Engine compiles and runs JSONiq queries. Engines are safe for concurrent
@@ -117,6 +126,10 @@ func New(cfg Config) *Engine {
 		MaxResultItems: cfg.MaxResultItems,
 		IOLatency:      cfg.IOLatency,
 	})
+	var segs *segment.Store
+	if cfg.Segments {
+		segs = segment.NewStore(cfg.SegmentCacheBytes)
+	}
 	return &Engine{
 		sc: sc,
 		env: &runtime.Env{
@@ -127,6 +140,7 @@ func New(cfg Config) *Engine {
 			NoJoin:      cfg.DisableJoin,
 			Vectorize:   cfg.Vectorize,
 			VerifyPlans: cfg.VerifyPlans || os.Getenv("RUMBLE_VERIFY_PLANS") == "1",
+			Segments:    segs,
 		},
 	}
 }
