@@ -234,8 +234,14 @@ func Decode(path string, data []byte) (*Decoded, error) {
 	if rows < 0 || rows > Rows {
 		return nil, errf(path, "row count %d out of range", rows)
 	}
-	if ncols < 0 || ncols > rows*64+64 {
-		return nil, errf(path, "column count %d implausible for %d rows", ncols, rows)
+	// Every dictionary entry costs at least one payload byte (its length
+	// uvarint), so the column count can never exceed the payload size. This
+	// is the only header bound the format actually implies — anything
+	// tighter falsely rejects sparse/wide data (a short tail segment with
+	// many distinct keys). The CRC above guards corruption and the
+	// dictionary loop below is bounds-checked.
+	if ncols < 0 || ncols > len(payload) {
+		return nil, errf(path, "column count %d exceeds %d payload bytes", ncols, len(payload))
 	}
 	r := &reader{path: path, data: payload}
 	gotCols, err := r.uvarint()

@@ -2,6 +2,7 @@ package segment
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"math/big"
 	"testing"
@@ -113,6 +114,25 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		full[i] = obj("g", item.Int(i%7), "v", item.Int(i))
 	}
 	cases["full-capacity"] = full
+
+	// Sparse/wide shapes — few rows, many distinct keys — are valid
+	// segments too (a tail segment of heterogeneous data looks exactly
+	// like this); Decode must accept every byte image Encode produces.
+	wideRow := func(n, off int) item.Item {
+		keys := make([]string, n)
+		values := make([]item.Item, n)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%04d", off+i)
+			values[i] = item.Int(off + i)
+		}
+		return item.NewObject(keys, values)
+	}
+	cases["one-row-200-cols"] = []item.Item{wideRow(200, 0)}
+	sparse := make([]item.Item, 10)
+	for i := range sparse {
+		sparse[i] = wideRow(100, i*100) // disjoint keys: 1000 columns, 10 rows
+	}
+	cases["sparse-wide"] = sparse
 
 	for name, rows := range cases {
 		t.Run(name, func(t *testing.T) {

@@ -188,6 +188,13 @@ func Ingest(source string) (retErr error) {
 			os.RemoveAll(tmp)
 		}
 	}()
+	// MkdirTemp creates 0700 staging directories; the rename below makes
+	// this the final segments directory, which must stay as readable as
+	// ordinary created files (umask applies), not private to the ingesting
+	// user.
+	if err := os.Chmod(tmp, 0o755); err != nil {
+		return errf(source, "ingest: %v", err)
+	}
 	m := Manifest{Version: Version, SourceHash: hash, SourceBytes: bytes}
 	var pending []item.Item
 	flush := func() error {
@@ -337,7 +344,10 @@ func newPool(capBytes int64) *pool {
 
 // get returns the decoded rows under key, loading them at most once per
 // residency. coldBlocks is non-zero only for the caller whose load
-// actually ran — the one that must charge the simulated I/O.
+// actually ran — the one that must charge the simulated I/O. A failed
+// load is returned to every waiter but never cached: the entry is
+// dropped, so the next get retries instead of replaying a possibly
+// transient error until eviction.
 func (p *pool) get(key string, cost int64, load func() ([]item.Item, int, error)) ([]item.Item, int, error) {
 	p.mu.Lock()
 	el, ok := p.entries[key]
@@ -348,13 +358,7 @@ func (p *pool) get(key string, cost int64, load func() ([]item.Item, int, error)
 		el = p.order.PushFront(e)
 		p.entries[key] = el
 		p.bytes += cost
-		for p.bytes > p.capBytes && p.order.Len() > 1 {
-			back := p.order.Back()
-			victim := back.Value.(*poolEntry)
-			p.order.Remove(back)
-			delete(p.entries, victim.key)
-			p.bytes -= victim.cost
-		}
+		p.evictOver(el)
 	}
 	e := el.Value.(*poolEntry)
 	p.mu.Unlock()
@@ -363,8 +367,88 @@ func (p *pool) get(key string, cost int64, load func() ([]item.Item, int, error)
 		e.rows, e.blocks, e.err = load()
 		loaded = true
 	})
-	if loaded {
-		return e.rows, e.blocks, e.err
+	if !loaded {
+		return e.rows, 0, e.err
 	}
-	return e.rows, 0, e.err
+	// The loading caller settles the entry's pool accounting: drop it on
+	// error, and on success re-cost it by what it actually pins in memory
+	// — decoded item rows, which can be several times the on-disk size the
+	// entry was provisionally charged at.
+	p.mu.Lock()
+	if cur, ok := p.entries[key]; ok && cur == el {
+		if e.err != nil {
+			p.order.Remove(el)
+			delete(p.entries, key)
+			p.bytes -= e.cost
+		} else if dc := decodedCost(e.rows); dc > e.cost {
+			p.bytes += dc - e.cost
+			e.cost = dc
+			p.evictOver(el)
+		}
+	}
+	p.mu.Unlock()
+	return e.rows, e.blocks, e.err
+}
+
+// evictOver removes LRU entries until the pool fits its budget, never
+// removing keep (the entry just inserted or re-costed). Callers hold p.mu.
+func (p *pool) evictOver(keep *list.Element) {
+	for p.bytes > p.capBytes && p.order.Len() > 1 {
+		back := p.order.Back()
+		if back == keep {
+			return
+		}
+		victim := back.Value.(*poolEntry)
+		p.order.Remove(back)
+		delete(p.entries, victim.key)
+		p.bytes -= victim.cost
+	}
+}
+
+// decodedCost estimates the in-memory bytes a decoded segment pins, so
+// the pool budget bounds real memory rather than the (much smaller)
+// on-disk file size. Object key bytes are shared with the segment's
+// column dictionary, so keys count header-only.
+func decodedCost(rows []item.Item) int64 {
+	n := int64(len(rows)) * ifaceBytes
+	for _, r := range rows {
+		n += itemCost(r)
+	}
+	return n
+}
+
+const (
+	ifaceBytes  = 16 // interface header
+	stringBytes = 16 // string header
+)
+
+func itemCost(v item.Item) int64 {
+	switch t := v.(type) {
+	case nil, item.Null, item.Bool:
+		return 0 // value lives in (or beside) the interface word
+	case item.Int, item.Double:
+		return 8
+	case item.Str:
+		return stringBytes + int64(len(t))
+	case item.Dec:
+		rat := t.Rat()
+		return 96 + int64(len(rat.Num().Bits())+len(rat.Denom().Bits()))*8
+	case *item.Array:
+		n := int64(48) // Array struct + member slice header
+		for _, m := range t.Members() {
+			n += ifaceBytes + itemCost(m)
+		}
+		return n
+	case *item.Object:
+		n := int64(64) // Object struct + two slice headers
+		for i := 0; i < t.Len(); i++ {
+			n += stringBytes + ifaceBytes + itemCost(t.ValueAt(i))
+		}
+		if t.Len() > 8 {
+			n += int64(t.Len()) * 48 // key lookup index
+		}
+		return n
+	default:
+		return 64
+	}
 }

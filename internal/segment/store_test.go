@@ -284,19 +284,70 @@ func TestBufferPoolLRU(t *testing.T) {
 	}
 }
 
-func TestBufferPoolCachesErrors(t *testing.T) {
+func TestBufferPoolRetriesFailedLoads(t *testing.T) {
+	// A failed load (e.g. a transient EMFILE) must not poison the entry
+	// for its whole residency: the pool drops it, the next get retries,
+	// and the failed entry's cost does not leak into the pool budget.
 	p := newPool(100)
 	calls := 0
 	load := func() ([]item.Item, int, error) {
 		calls++
-		return nil, 0, errf("x.rseg", "checksum mismatch")
+		if calls < 3 {
+			return nil, 0, errf("x.rseg", "read: too many open files")
+		}
+		return make([]item.Item, 1), 2, nil
 	}
-	for i := 0; i < 3; i++ {
+	for i := 0; i < 2; i++ {
 		if _, _, err := p.get("x", 10, load); err == nil {
-			t.Fatal("want error")
+			t.Fatalf("get %d: want error", i)
+		}
+		if p.bytes != 0 {
+			t.Fatalf("get %d: failed entry left %d bytes accounted", i, p.bytes)
 		}
 	}
-	if calls != 1 {
-		t.Fatalf("corrupt segment decoded %d times, want once per residency", calls)
+	rows, blocks, err := p.get("x", 10, load)
+	if err != nil || len(rows) != 1 || blocks != 2 {
+		t.Fatalf("retry after transient failure: rows=%v blocks=%d err=%v", rows, blocks, err)
+	}
+	if calls != 3 {
+		t.Fatalf("load ran %d times, want one per get until success", calls)
+	}
+	if _, blocks, _ := p.get("x", 10, load); blocks != 0 || calls != 3 {
+		t.Fatal("successful load must be cached as usual")
+	}
+}
+
+func TestBufferPoolCostsDecodedSize(t *testing.T) {
+	// Entries are charged by what they pin in memory — the decoded rows —
+	// not the (much smaller) on-disk size passed as the provisional cost,
+	// so the configured budget bounds real memory.
+	p := newPool(4096)
+	loads := map[string]int{}
+	bigLoad := func(key string) func() ([]item.Item, int, error) {
+		return func() ([]item.Item, int, error) {
+			loads[key]++
+			rows := make([]item.Item, 50)
+			for i := range rows {
+				rows[i] = item.Str(strings.Repeat("x", 100))
+			}
+			return rows, 1, nil // decoded ≈ 6.6 KiB, nominal cost 10
+		}
+	}
+	if _, _, err := p.get("a", 10, bigLoad("a")); err != nil {
+		t.Fatal(err)
+	}
+	if p.bytes <= 4096 {
+		t.Fatalf("pool accounts %d bytes for a ~6.6 KiB entry", p.bytes)
+	}
+	if _, _, err := p.get("b", 10, bigLoad("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.get("a", 10, bigLoad("a")); err != nil {
+		t.Fatal(err)
+	}
+	// With file-size costing (10+10 bytes) nothing would ever be evicted;
+	// with decoded costing, inserting b must push a out of the budget.
+	if loads["a"] != 2 {
+		t.Fatalf("a loaded %d times, want eviction by b's decoded size and a cold reload", loads["a"])
 	}
 }
