@@ -55,17 +55,21 @@ func TestSegmentScanConformance(t *testing.T) {
 		{workers: 8, vectorize: true},
 	}
 	type pair struct {
-		raw, seg  *Engine
-		workers   int
-		vectorize bool
+		raw, seg, item *Engine
+		workers        int
+		vectorize      bool
 	}
 	pairs := make([]pair, len(configs))
 	for i, cfg := range configs {
 		raw := New(Config{Parallelism: 2, Executors: cfg.workers, Vectorize: cfg.vectorize})
 		seg := New(Config{Parallelism: 2, Executors: cfg.workers, Vectorize: cfg.vectorize, Segments: true})
+		// The third engine pins the lane-native scan against the item path
+		// it replaced: same segments, whole-row decode per morsel.
+		itemEng := New(Config{Parallelism: 2, Executors: cfg.workers, Vectorize: cfg.vectorize, Segments: true, NoLaneScan: true})
 		segmentConformanceData(t, raw, dir)
 		segmentConformanceData(t, seg, dir)
-		pairs[i] = pair{raw: raw, seg: seg, workers: cfg.workers, vectorize: cfg.vectorize}
+		segmentConformanceData(t, itemEng, dir)
+		pairs[i] = pair{raw: raw, seg: seg, item: itemEng, workers: cfg.workers, vectorize: cfg.vectorize}
 	}
 
 	for _, tc := range vectorConformanceCases {
@@ -83,14 +87,19 @@ func TestSegmentScanConformance(t *testing.T) {
 				if rm, sm := rs.Mode(), ss.Mode(); rm != sm {
 					t.Fatalf("%s: mode differs: raw %s vs segments %s", label, rm, sm)
 				}
+				is, err := p.item.Compile(tc.query)
+				if err != nil {
+					t.Fatalf("%s: compile (lane-off): %v", label, err)
+				}
 				rItems, rErr := streamAll(rs)
 				sItems, sErr := streamAll(ss)
-				if (rErr == nil) != (sErr == nil) {
-					t.Fatalf("%s: error mismatch: raw %v vs segments %v", label, rErr, sErr)
+				iItems, iErr := streamAll(is)
+				if (rErr == nil) != (sErr == nil) || (rErr == nil) != (iErr == nil) {
+					t.Fatalf("%s: error mismatch: raw %v vs segments %v vs lane-off %v", label, rErr, sErr, iErr)
 				}
 				if rErr != nil {
-					if rErr.Error() != sErr.Error() {
-						t.Fatalf("%s: error selection differs\nraw:      %s\nsegments: %s", label, rErr, sErr)
+					if rErr.Error() != sErr.Error() || rErr.Error() != iErr.Error() {
+						t.Fatalf("%s: error selection differs\nraw:      %s\nsegments: %s\nlane-off: %s", label, rErr, sErr, iErr)
 					}
 					continue
 				}
@@ -98,12 +107,18 @@ func TestSegmentScanConformance(t *testing.T) {
 				if got != want {
 					t.Fatalf("%s: streamed results differ\nsegments:\n%s\nraw:\n%s", label, got, want)
 				}
+				if gotItem := item.SerializeSequence(iItems); gotItem != want {
+					t.Fatalf("%s: lane-off results differ\nlane-off:\n%s\nraw:\n%s", label, gotItem, want)
+				}
 			}
 		})
 	}
 
 	for _, p := range pairs {
 		m := p.seg.Metrics()
+		if mi := p.item.Metrics(); p.vectorize && mi.SegmentsRead == 0 {
+			t.Errorf("workers=%d vectorize=%v: lane-off engine never served segments", p.workers, p.vectorize)
+		}
 		if p.vectorize && m.SegmentsRead == 0 {
 			t.Errorf("workers=%d vectorize=%v: SegmentsRead = 0 — the segment path never engaged, the conformance run was vacuous",
 				p.workers, p.vectorize)
@@ -199,6 +214,69 @@ func TestZoneMapSkipReadsFraction(t *testing.T) {
 			t.Errorf("workers=%d: RecordsRead = %d, want <= %d (pruning must keep reads to the matching tail)",
 				workers, m.RecordsRead, max)
 		}
+	}
+}
+
+// TestSegmentBackgroundReingest pins the stale-store contract end to end:
+// when the source file changed under an existing `.segments` sibling, the
+// first query serves the fresh raw scan immediately (no stale segment may
+// answer, no ingest stall on the query path) while the store rebuilds in
+// the background; once the rebuild lands, queries serve segments again and
+// the server's segment_reingests counter records exactly one rebuild.
+func TestSegmentBackgroundReingest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "grow.jsonl")
+	write := func(rows int) {
+		var sb strings.Builder
+		for i := 0; i < rows; i++ {
+			fmt.Fprintf(&sb, `{"g": %d, "v": %d}`+"\n", i%5, i)
+		}
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	query := fmt.Sprintf(`for $o in json-file(%q) where $o.v ge 4990 return $o.v`, path)
+	run := func(eng *Engine) string {
+		t.Helper()
+		st, err := eng.Compile(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items, err := streamAll(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return item.SerializeSequence(items)
+	}
+
+	write(5000)
+	eng1 := New(Config{Parallelism: 2, Executors: 2, Vectorize: true, Segments: true})
+	first := run(eng1) // ingests the v1 store
+	if first == "" {
+		t.Fatal("v1 query returned nothing")
+	}
+
+	write(5100) // the v1 manifest's source hash is now stale
+	eng2 := New(Config{Parallelism: 2, Executors: 2, Vectorize: true, Segments: true})
+	eng2.ResetMetrics()
+	got := run(eng2)
+	want := run(New(Config{Parallelism: 2, Executors: 2, Vectorize: true}))
+	if got != want {
+		t.Fatalf("stale-store query served wrong data\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if m := eng2.Metrics(); m.SegmentsRead != 0 {
+		t.Errorf("stale-store query read %d segments; it must fall back to the raw scan", m.SegmentsRead)
+	}
+	eng2.env.Segments.WaitRebuilds()
+	if m := eng2.Metrics(); m.SegmentReingests != 1 {
+		t.Errorf("SegmentReingests = %d, want 1", m.SegmentReingests)
+	}
+	eng2.ResetMetrics()
+	if got := run(eng2); got != want {
+		t.Fatalf("post-rebuild query differs\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if m := eng2.Metrics(); m.SegmentsRead == 0 {
+		t.Error("post-rebuild query still not serving segments")
 	}
 }
 

@@ -88,6 +88,17 @@ func vectorConformanceJSON() map[string][]string {
 		floats[i] = fmt.Sprintf(`{"g":%d,"v":0.1}`, i%3)
 	}
 	m["floats"] = floats
+	// String-heavy collection for the dictionary lanes: 1500 rows (more
+	// than one morsel) cycling 40 distinct strings, embedded NUL escapes,
+	// and a duplicate-key row mid-stream — segment ingest stores that row
+	// as an exact-item overflow, so projected decodes must reconcile lane
+	// codes with overflow lookups inside one segment.
+	dict := make([]string, 1500)
+	for i := range dict {
+		dict[i] = fmt.Sprintf(`{"s":"s%02d","i":%d,"t":"tag\u0000%d"}`, i%40, i, i%5)
+	}
+	dict[700] = `{"s":"dup","s":"later","i":700,"t":"x"}`
+	m["dict"] = dict
 	return m
 }
 
@@ -632,6 +643,46 @@ var vectorConformanceCases = []vectorConformanceCase{
 	{
 		name:     "exists over empty scan",
 		query:    `exists(for $o in collection("empty") return $o)`,
+		wantMode: "Vector",
+	},
+	// Dictionary-lane corpus: string predicates and grouped counts over
+	// "dict" run lane-native on a segment-backed engine (projected columns,
+	// codes compared against a translated literal), with the dup-key
+	// overflow row and NUL-embedded strings in the middle of the data.
+	{
+		name: "dict string equality projection",
+		query: `for $o in collection("dict")
+				where $o.s eq "s07"
+				return { "s": $o.s, "i": $o.i }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "dict string range scan",
+		query: `for $o in collection("dict")
+				where $o.s lt "s05" and $o.t ge "tag"
+				return $o.i`,
+		wantMode: "Vector",
+	},
+	{
+		name: "dict grouped count by string key",
+		query: `for $o in collection("dict")
+				group by $s := $o.s
+				return { "s": $s, "n": count($o), "hi": max($o.i) }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "dict overflow row fields",
+		query: `for $o in collection("dict")
+				where $o.i ge 695 and $o.i le 705
+				return { "s": $o.s, "t": $o.t }`,
+		wantMode: "Vector",
+	},
+	{
+		name: "dict string order by",
+		query: `for $o in collection("dict")
+				where $o.i lt 80
+				order by $o.s descending, $o.i
+				return { "s": $o.s, "i": $o.i }`,
 		wantMode: "Vector",
 	},
 }

@@ -245,9 +245,14 @@ func (p *explainPrinter) expr(depth int, prefix string, e ast.Expr) {
 				continue
 			}
 			p.clause(depth+1, clauses[ci])
-			if ci == 0 && vp != nil && len(vp.Prune) > 0 {
+			if ci == 0 && vp != nil {
 				if _, ok := clauses[ci].(*ast.ForClause); ok {
-					p.line(depth+2, "zone-map prune: "+fmtPrune(vp.Prune), nil)
+					if len(vp.Prune) > 0 {
+						p.line(depth+2, "zone-map prune: "+fmtPrune(vp.Prune), nil)
+					}
+					if !vp.AllColumns && len(vp.Columns) > 0 {
+						p.line(depth+2, "columns: "+strings.Join(vp.Columns, ", "), nil)
+					}
 				}
 			}
 		}

@@ -57,7 +57,7 @@ func (e *VerifyError) Error() string {
 // VectorPlan without teaching Verify about it is itself a diagnostic.
 var verifiedVectorPlanFields = map[string]bool{
 	"Grouped": true, "OrderBy": true, "TopK": true, "Join": true, "Positional": true,
-	"Prune": true,
+	"Prune": true, "Columns": true, "AllColumns": true,
 }
 
 // verifiedJoinPlanFields is the same coverage contract for JoinPlan.
@@ -544,6 +544,29 @@ func (v *verifier) checkVectorPlan(f *ast.FLWOR, vp *VectorPlan, jp *JoinPlan) {
 					}
 				}
 			}
+		}
+	}
+
+	// The recorded projection must re-derive exactly from the AST: a
+	// missing column would make the lane scan skip lanes the pipeline
+	// reads, and a spuriously clear AllColumns would run whole-row
+	// consumers against projected batches.
+	re := &VectorPlan{}
+	deriveScanColumns(re, pruneHead, pruneRest, f.Return)
+	if vp.AllColumns != re.AllColumns {
+		v.report("vector-columns", f.Pos(), "vector plan AllColumns=%v but the AST derives %v", vp.AllColumns, re.AllColumns)
+	} else if !vp.AllColumns {
+		match := len(vp.Columns) == len(re.Columns)
+		if match {
+			for i := range vp.Columns {
+				if vp.Columns[i] != re.Columns[i] {
+					match = false
+					break
+				}
+			}
+		}
+		if !match {
+			v.report("vector-columns", f.Pos(), "vector plan Columns %v does not re-derive from the AST (%v)", vp.Columns, re.Columns)
 		}
 	}
 }

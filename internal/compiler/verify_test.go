@@ -201,6 +201,28 @@ func TestVerifyCorruptedPlans(t *testing.T) {
 			wantCode: "join-strategy",
 		},
 		{
+			name: "projected column dropped",
+			q:    `for $o in ({"a": 1, "b": 2}, {"a": 3, "b": 4}) where $o.a gt 0 return $o.b`,
+			opts: Options{Vectorize: true},
+			corrupt: func(t *testing.T, m *ast.Module, info *Info) {
+				vp := info.VectorPlans[body(t, m)]
+				if vp.AllColumns || len(vp.Columns) != 2 {
+					t.Fatalf("expected a two-column projection, got AllColumns=%v Columns=%v", vp.AllColumns, vp.Columns)
+				}
+				vp.Columns = vp.Columns[:1]
+			},
+			wantCode: "vector-columns",
+		},
+		{
+			name: "all-columns flag cleared on whole-row plan",
+			q:    `for $x in (1 to 50) where $x gt 2 return $x`,
+			opts: Options{Vectorize: true},
+			corrupt: func(t *testing.T, m *ast.Module, info *Info) {
+				info.VectorPlans[body(t, m)].AllColumns = false
+			},
+			wantCode: "vector-columns",
+		},
+		{
 			name: "vector agg over grouped pipeline",
 			q:    `sum(for $x in (1 to 50) where $x gt 10 return $x)`,
 			opts: Options{Vectorize: true},

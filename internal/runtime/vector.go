@@ -374,6 +374,16 @@ type vectorIter struct {
 	group   *vgroupExec
 	sort    *vsortExec
 	project vexpr // non-group row projection
+	// fields/fieldSlots is the lane-native projection: when non-nil, the
+	// plan proved every consumption of the scan variable goes through these
+	// top-level fields (VectorPlan.Columns), each compiled to the batch slot
+	// at the same index. Segment morsels then fetch just these columns'
+	// decoded lanes and never materialize row items; raw and item morsels
+	// still decode rows but expand them into the same field lanes. Slot 0
+	// (the scan variable itself) stays nil in every batch — the compiler
+	// rejects any expression that would read it.
+	fields     []string
+	fieldSlots []int
 
 	// Profiling operator indices, -1 when the stage is absent or not
 	// registered. They name the same operators the tuple pipeline's
@@ -542,6 +552,53 @@ func (v *vectorIter) decodeRows(m vmorsel) ([]item.Item, error) {
 		rows = append(rows, it)
 	}
 	return rows, nil
+}
+
+// morselBatch turns one scan morsel into its initial column batch. On a
+// projected plan a segment morsel fetches only the plan's columns through
+// the buffer pool — decoded lanes slice straight into the field slots, no
+// row item is ever built — while raw and item morsels decode rows and
+// expand them into the same field lanes, so the compiled expressions see
+// one batch shape regardless of the source. Whole-row plans keep the
+// PR-9 item path: rows pack into the scan column at slot 0.
+func (v *vectorIter) morselBatch(m vmorsel) (*vbatch, error) {
+	if m.ds != nil && v.fields != nil {
+		cs, coldBlocks, err := m.ds.FetchBatch(m.seg, v.fields)
+		if err != nil {
+			return nil, err
+		}
+		if v.sc != nil {
+			if coldBlocks > 0 {
+				v.sc.SimulateIO(coldBlocks)
+				v.sc.AddSegmentCacheMiss(1)
+			} else {
+				v.sc.AddSegmentCacheHits(1)
+			}
+			v.sc.AddRecordsRead(int64(m.n))
+		}
+		b := &vbatch{n: m.n, cols: make([]*vector.Col, v.nslots)}
+		for i, f := range v.fields {
+			b.cols[v.fieldSlots[i]] = cs.Col(f).Slice(m.off, m.n)
+		}
+		return b, nil
+	}
+	rows, err := v.decodeRows(m)
+	if err != nil {
+		return nil, err
+	}
+	scan := vector.NewCol(len(rows))
+	for _, it := range rows {
+		scan.AppendItem(it)
+	}
+	b := &vbatch{n: scan.Len(), cols: make([]*vector.Col, v.nslots)}
+	if v.fields != nil {
+		for i, f := range v.fields {
+			b.cols[v.fieldSlots[i]] = vector.Lookup(scan, f, b.n)
+		}
+		return b, nil
+	}
+	b.cols[0] = scan
+	return b, nil
 }
 
 // encodeVectorJoinKey encodes one row's equi-join keys from the evaluated
@@ -738,13 +795,13 @@ func (v *vectorIter) sortMorsel(vs *vstate, b *vbatch) (*vmorselResult, error) {
 	return res, nil
 }
 
-// processMorsel packs one morsel of scan rows into a column batch and runs
-// it through the pipeline: a join head expands rows against the build
-// table, positional slots fill from the morsel's scan indices, lets bind
-// their slots, filters compact the batch, and the tail projects the
-// surviving rows, folds them into a fresh partial aggregation table, or
-// sorts them into a run.
-func (v *vectorIter) processMorsel(vs *vstate, jr *vjoinRun, idx int, rows []item.Item) (*vmorselResult, error) {
+// processMorsel decodes one morsel into a column batch and runs it through
+// the pipeline: a join head expands rows against the build table,
+// positional slots fill from the morsel's scan indices, lets bind their
+// slots, filters compact the batch, and the tail projects the surviving
+// rows, folds them into a fresh partial aggregation table, or sorts them
+// into a run.
+func (v *vectorIter) processMorsel(vs *vstate, jr *vjoinRun, m vmorsel) (*vmorselResult, error) {
 	if v.sc != nil {
 		v.sc.AddVectorMorsels(1)
 	}
@@ -756,16 +813,14 @@ func (v *vectorIter) processMorsel(vs *vstate, jr *vjoinRun, idx int, rows []ite
 	if prof != nil {
 		t0 = time.Now()
 	}
-	scan := vector.NewCol(len(rows))
-	for _, it := range rows {
-		scan.AppendItem(it)
+	b, err := v.morselBatch(m)
+	if err != nil {
+		return nil, err
 	}
-	b := &vbatch{n: scan.Len(), cols: make([]*vector.Col, v.nslots)}
-	b.cols[0] = scan
 	if len(v.posSlots) > 0 {
 		// Every morsel but the last is exactly BatchSize rows, so the
 		// 1-based scan position of row i is idx*BatchSize + i + 1.
-		base := int64(idx) * int64(vector.BatchSize)
+		base := int64(m.idx) * int64(vector.BatchSize)
 		pc := vector.NewCol(b.n)
 		for i := 0; i < b.n; i++ {
 			pc.AppendInt(base + int64(i) + 1)
@@ -1063,11 +1118,7 @@ func (v *vectorIter) streamSerial(dc *DynamicContext, vs *vstate, jr *vjoinRun, 
 				return err
 			}
 		}
-		rows, err := v.decodeRows(m)
-		if err != nil {
-			return err
-		}
-		res, err := v.processMorsel(vs, jr, m.idx, rows)
+		res, err := v.processMorsel(vs, jr, m)
 		if err != nil {
 			return err
 		}
@@ -1370,11 +1421,7 @@ func (v *vectorIter) streamParallel(dc *DynamicContext, vs *vstate, jr *vjoinRun
 					r.err = ctx.Err()
 					lowerFail(&failIdx, int64(m.idx))
 				default:
-					rows, err := v.decodeRows(m)
-					var res *vmorselResult
-					if err == nil {
-						res, err = v.processMorsel(vs, jr, m.idx, rows)
-					}
+					res, err := v.processMorsel(vs, jr, m)
 					if err != nil {
 						r.err = err
 						lowerFail(&failIdx, int64(m.idx))
@@ -1587,6 +1634,16 @@ type vcomp struct {
 	slots  map[string]int
 	nslots int
 	ext    *vexternals
+
+	// Lane-native projection: when scanVar is non-empty the plan proved
+	// every consumption of the scan variable goes through fieldSlots'
+	// fields, so $scanVar.f compiles to a direct field-slot read and a bare
+	// $scanVar reference is a compile error (the batch never materializes
+	// row items; slot 0 stays nil).
+	scanVar    string
+	fieldSlots map[string]int
+	fields     []string // allocation order, parallel to the slots handed out
+	slotList   []int
 }
 
 func (vc *vcomp) bind(name string) int {
@@ -1594,6 +1651,31 @@ func (vc *vcomp) bind(name string) int {
 	vc.nslots++
 	vc.slots[name] = slot
 	return slot
+}
+
+// bindField allocates (or reuses) the batch slot carrying one projected
+// field of the scan variable. Fields live outside the variable namespace:
+// they are filled by the scan itself, never by a let.
+func (vc *vcomp) bindField(f string) int {
+	if slot, ok := vc.fieldSlots[f]; ok {
+		return slot
+	}
+	slot := vc.nslots
+	vc.nslots++
+	vc.fieldSlots[f] = slot
+	vc.fields = append(vc.fields, f)
+	vc.slotList = append(vc.slotList, slot)
+	return slot
+}
+
+// install copies the compiled environment onto the iterator: slot count,
+// free-variable names, and the lane-native projection (nil fields keeps
+// the whole-row scan).
+func (vc *vcomp) install(it *vectorIter) {
+	it.nslots = vc.nslots
+	it.externals = vc.ext.names
+	it.fields = vc.fields
+	it.fieldSlots = vc.slotList
 }
 
 // vectorWorkers is the morsel worker pool size: the engine's executor
@@ -1695,6 +1777,18 @@ func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterat
 		}
 		it.in = in
 		vc.bind(head.Var) // slot 0: the scan column
+		if !vp.AllColumns && !c.env.NoLaneScan {
+			// Lane-native scan: the plan proved the pipeline reads only
+			// these fields off the scan variable, so batches carry one slot
+			// per field (pre-bound here, in the plan's sorted order) and
+			// slot 0 never materializes. Config.NoLaneScan keeps the item
+			// path for ablation.
+			vc.scanVar = head.Var
+			vc.fieldSlots = map[string]int{}
+			for _, f := range vp.Columns {
+				vc.bindField(f)
+			}
+		}
 		it.opScan = c.op(head, "for $"+head.Var, c.opOf(in, head.In))
 		if head.PosVar != "" {
 			it.posSlots = append(it.posSlots, vc.bind(head.PosVar))
@@ -1788,8 +1882,7 @@ func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterat
 				project: &vcolExpr{slot: 0},
 			}
 		}
-		it.nslots = vc.nslots
-		it.externals = ext.names
+		vc.install(it)
 		return it, nil
 	}
 	if orderBy != nil {
@@ -1809,8 +1902,7 @@ func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterat
 		}
 		s.project = proj
 		it.sort = s
-		it.nslots = vc.nslots
-		it.externals = ext.names
+		vc.install(it)
 		return it, nil
 	}
 	if group == nil {
@@ -1819,8 +1911,7 @@ func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterat
 			return nil, err
 		}
 		it.project = proj
-		it.nslots = vc.nslots
-		it.externals = ext.names
+		vc.install(it)
 		return it, nil
 	}
 	ge := &vgroupExec{}
@@ -1853,8 +1944,7 @@ func (c *comp) compileVector(f *ast.FLWOR, clauses []ast.Clause, fallback Iterat
 	ge.project = proj
 	ge.gslots = len(ge.keyExprs) + len(ge.kinds)
 	it.group = ge
-	it.nslots = vc.nslots
-	it.externals = ext.names
+	vc.install(it)
 	return it, nil
 }
 
@@ -1867,6 +1957,10 @@ type vexprEnv interface {
 	// compileSpecialCall intercepts calls before the scalar-builtin
 	// whitelist; handled=false defers to the shared path.
 	compileSpecialCall(n *ast.FunctionCall) (ve vexpr, handled bool, err error)
+	// compileScanField intercepts a literal-key lookup on a variable before
+	// the generic vlookupExpr: on a lane-native plan $scanVar.key reads the
+	// field's decoded lane straight from its batch slot.
+	compileScanField(varName, key string) (vexpr, bool)
 }
 
 // compileVExpr compiles the shared scalar expression grammar against env.
@@ -1880,6 +1974,11 @@ func compileVExpr(env vexprEnv, e ast.Expr) (vexpr, error) {
 		key, ok := literalStringKey(n.Key)
 		if !ok {
 			return nil, Errorf("vector: dynamic object lookup key")
+		}
+		if vr, isVar := n.Input.(*ast.VarRef); isVar {
+			if ve, handled := env.compileScanField(vr.Name, key); handled {
+				return ve, nil
+			}
 		}
 		in, err := compileVExpr(env, n.Input)
 		if err != nil {
@@ -1981,6 +2080,12 @@ func (vc *vcomp) compileExpr(e ast.Expr) (vexpr, error) { return compileVExpr(vc
 // compileVarRef implements vexprEnv: pipeline bindings are columns, free
 // variables per-evaluation constants.
 func (vc *vcomp) compileVarRef(n *ast.VarRef) (vexpr, error) {
+	if vc.scanVar != "" && n.Name == vc.scanVar {
+		// The plan promised whole-row consumption never happens on a
+		// lane-native scan; refusing here (rather than reading the nil scan
+		// slot) turns a planner bug into a tuple-path fallback.
+		return nil, Errorf("vector: scan variable $%s consumed whole under a projected scan", n.Name)
+	}
 	if slot, ok := vc.slots[n.Name]; ok {
 		return &vcolExpr{slot: slot}, nil
 	}
@@ -1991,6 +2096,15 @@ func (vc *vcomp) compileVarRef(n *ast.VarRef) (vexpr, error) {
 // special calls.
 func (vc *vcomp) compileSpecialCall(*ast.FunctionCall) (vexpr, bool, error) {
 	return nil, false, nil
+}
+
+// compileScanField implements vexprEnv: on a lane-native plan a field of
+// the scan variable reads its decoded lane's batch slot.
+func (vc *vcomp) compileScanField(varName, key string) (vexpr, bool) {
+	if vc.scanVar == "" || varName != vc.scanVar {
+		return nil, false
+	}
+	return &vcolExpr{slot: vc.bindField(key)}, true
 }
 
 // vgroupComp compiles the return expression of a grouped pipeline against
@@ -2022,6 +2136,11 @@ func (gc *vgroupComp) compileVarRef(n *ast.VarRef) (vexpr, error) {
 // #count-of and the aggregate builtins become accumulator slots.
 func (gc *vgroupComp) compileSpecialCall(n *ast.FunctionCall) (vexpr, bool, error) {
 	if base, ok := compiler.CountOfVar(n); ok {
+		if gc.main.scanVar != "" && base == gc.main.scanVar {
+			// Counting the scan variable needs row presence only: fold an
+			// always-present constant instead of touching the nil scan slot.
+			return gc.aggSlot(vector.AggCount, onesExpr()), true, nil
+		}
 		slot, bound := gc.main.slots[base]
 		if !bound {
 			return nil, true, Errorf("vector: #count-of over unbound $%s", base)
@@ -2029,6 +2148,10 @@ func (gc *vgroupComp) compileSpecialCall(n *ast.FunctionCall) (vexpr, bool, erro
 		return gc.aggSlot(vector.AggCount, &vcolExpr{slot: slot}), true, nil
 	}
 	if kind, isAgg := vectorAggKinds[n.Name]; isAgg && len(n.Args) == 1 {
+		if vr, isVar := n.Args[0].(*ast.VarRef); isVar && kind == vector.AggCount &&
+			gc.main.scanVar != "" && vr.Name == gc.main.scanVar {
+			return gc.aggSlot(vector.AggCount, onesExpr()), true, nil
+		}
 		arg, err := gc.main.compileExpr(n.Args[0])
 		if err != nil {
 			return nil, true, err
@@ -2036,6 +2159,21 @@ func (gc *vgroupComp) compileSpecialCall(n *ast.FunctionCall) (vexpr, bool, erro
 		return gc.aggSlot(kind, arg), true, nil
 	}
 	return nil, false, nil
+}
+
+// compileScanField implements vexprEnv for the grouped return: aggregate
+// arguments compile against the main environment, so a scan-field lookup
+// reaching this environment directly can only sit outside an aggregate —
+// defer to the generic path, whose compileVarRef rejects it.
+func (gc *vgroupComp) compileScanField(varName, key string) (vexpr, bool) {
+	return nil, false
+}
+
+// onesExpr broadcasts an always-present constant: the count-aggregate
+// argument standing in for "one per row" when the plan never materializes
+// the scan variable itself.
+func onesExpr() vexpr {
+	return &vlitExpr{col: vector.ConstCol(item.Bool(true))}
 }
 
 // aggSlot allocates one accumulator and returns the group-batch column

@@ -17,8 +17,10 @@ import (
 	"hash/crc32"
 	"math"
 	"math/big"
+	"sort"
 
 	"rumble/internal/item"
+	"rumble/internal/vector"
 )
 
 // Rows is the row capacity of a full segment: four vector batches, so a
@@ -29,8 +31,12 @@ const Rows = 4096
 // Magic opens every segment file.
 const Magic = "RSEG"
 
-// Version is the current format version.
-const Version = 1
+// Version is the current format version. Version 2 added the per-segment
+// string dictionary (tagString lane values are codes into a sorted string
+// table), and a byte-length prefix on every column's lane block so a
+// projecting reader skips untouched columns in O(1). Version 1 manifests
+// fail the open-time version check, which re-ingests the source.
+const Version = 2
 
 // Column value tags of the dense per-column tag lane. The layout mirrors
 // internal/vector's column tags, with one extra tag (tagDec) so decimal
@@ -89,10 +95,24 @@ func Encode(rows []item.Item) ([]byte, error) {
 		ids      []int
 	}
 	shapes := make([]rowShape, len(rows))
+	// The per-segment string dictionary: every top-level string a column
+	// lane (or an overflow object row's field, which the projecting decoder
+	// serves through the same code space) can hold, sorted so comparison
+	// kernels can rank a literal against it by binary search.
+	strSet := map[string]struct{}{}
 	for ri, r := range rows {
 		o, ok := r.(*item.Object)
 		if !ok || hasDupKeys(o) {
 			shapes[ri].overflow = appendValue(nil, r)
+			if ok {
+				// A dup-key object row still answers field lookups; its
+				// string fields must resolve through the dictionary too.
+				for i := 0; i < o.Len(); i++ {
+					if s, isStr := o.ValueAt(i).(item.Str); isStr {
+						strSet[string(s)] = struct{}{}
+					}
+				}
+			}
 			continue
 		}
 		ids := make([]int, o.Len())
@@ -104,14 +124,31 @@ func Encode(rows []item.Item) ([]byte, error) {
 				cols = append(cols, k)
 			}
 			ids[ki] = id
+			if s, isStr := o.ValueAt(ki).(item.Str); isStr {
+				strSet[string(s)] = struct{}{}
+			}
 		}
 		shapes[ri].ids = ids
+	}
+	table := make([]string, 0, len(strSet))
+	//rumble:nondeterministic-ok the table is sorted immediately below
+	for s := range strSet {
+		table = append(table, s)
+	}
+	sort.Strings(table)
+	strCode := make(map[string]uint64, len(table))
+	for i, s := range table {
+		strCode[s] = uint64(i)
 	}
 
 	var payload []byte
 	payload = appendUvarint(payload, uint64(len(cols)))
 	for _, c := range cols {
 		payload = appendString(payload, c)
+	}
+	payload = appendUvarint(payload, uint64(len(table)))
+	for _, s := range table {
+		payload = appendString(payload, s)
 	}
 	for ri := range shapes {
 		if shapes[ri].overflow != nil {
@@ -125,8 +162,10 @@ func Encode(rows []item.Item) ([]byte, error) {
 			payload = appendUvarint(payload, uint64(id))
 		}
 	}
-	// Typed lanes, one column at a time: the dense tag lane first, then
-	// the sparse value lanes in row order.
+	// Typed lanes, one column at a time: each column's block is its dense
+	// tag lane followed by the sparse value lane in row order, prefixed by
+	// the block's byte length so a projecting reader skips a whole column
+	// without parsing it.
 	for ci := range cols {
 		tags := make([]byte, len(rows))
 		var values []byte
@@ -141,10 +180,11 @@ func Encode(rows []item.Item) ([]byte, error) {
 			if !present {
 				continue
 			}
-			tag, val := encodeLaneValue(v)
+			tag, val := encodeLaneValue(v, strCode)
 			tags[ri] = tag
 			values = append(values, val...)
 		}
+		payload = appendUvarint(payload, uint64(len(tags)+len(values)))
 		payload = append(payload, tags...)
 		payload = append(payload, values...)
 	}
@@ -160,8 +200,9 @@ func Encode(rows []item.Item) ([]byte, error) {
 }
 
 // encodeLaneValue encodes one column value into its lane tag and value
-// bytes (empty for tags whose value lives in the tag itself).
-func encodeLaneValue(v item.Item) (byte, []byte) {
+// bytes (empty for tags whose value lives in the tag itself). Strings
+// encode as codes into the segment's sorted dictionary.
+func encodeLaneValue(v item.Item, strCode map[string]uint64) (byte, []byte) {
 	switch t := v.(type) {
 	case item.Null:
 		return tagNull, nil
@@ -179,7 +220,7 @@ func encodeLaneValue(v item.Item) (byte, []byte) {
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(float64(t)))
 		return tagDouble, buf[:]
 	case item.Str:
-		return tagString, appendString(nil, string(t))
+		return tagString, appendUvarint(nil, strCode[string(t)])
 	case item.Dec:
 		return tagDec, appendString(nil, t.Rat().RatString())
 	default:
@@ -209,11 +250,29 @@ type Decoded struct {
 	Cols []string
 }
 
-// Decode parses a segment byte image back into rows. Every malformation —
-// truncation, a flipped bit anywhere in the payload (checksum), invalid
-// lane data — returns a structured error; Decode never panics on
-// corrupted input (FuzzSegmentDecode enforces this).
-func Decode(path string, data []byte) (*Decoded, error) {
+// rowShape is one decoded row's shape: either an overflow item (the whole
+// value, for non-object and duplicate-key rows) or a column-id list.
+type rowShape struct {
+	overflow item.Item
+	ids      []int
+}
+
+// parsed is the common prefix of a segment image — header, column names,
+// string dictionary, row shapes — with the reader positioned at the first
+// column lane block. Both decode paths (item rows and projected vector
+// lanes) start from it.
+type parsed struct {
+	rows   int
+	cols   []string
+	table  []string
+	shapes []rowShape
+	r      *reader
+}
+
+// parseSegment validates the header and CRC and parses everything up to
+// the column lane blocks. Every malformation returns a structured error;
+// it never panics on corrupted input (FuzzSegmentDecode enforces this).
+func parseSegment(path string, data []byte) (*parsed, error) {
 	head := len(Magic) + 1 + 4 + 4 + 4
 	if len(data) < head {
 		return nil, errf(path, "truncated header: %d bytes", len(data))
@@ -257,9 +316,20 @@ func Decode(path string, data []byte) (*Decoded, error) {
 			return nil, err
 		}
 	}
-	type rowShape struct {
-		overflow item.Item
-		ids      []int
+	nstr, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Same bound as the column dictionary: every entry costs at least its
+	// length byte.
+	if nstr > uint64(len(payload)) {
+		return nil, errf(path, "string table lists %d entries in %d payload bytes", nstr, len(payload))
+	}
+	table := make([]string, nstr)
+	for i := range table {
+		if table[i], err = r.str(); err != nil {
+			return nil, err
+		}
 	}
 	shapes := make([]rowShape, rows)
 	for ri := range shapes {
@@ -300,14 +370,49 @@ func Decode(path string, data []byte) (*Decoded, error) {
 		}
 		shapes[ri].ids = ids
 	}
+	return &parsed{rows: rows, cols: cols, table: table, shapes: shapes, r: r}, nil
+}
+
+// laneBlock reads one column's length-prefixed lane block and returns a
+// bounded reader over it, or skips it entirely when parse is false.
+func (p *parsed) laneBlock(col string, parse bool) (*reader, error) {
+	n, err := p.r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(p.r.data)-p.r.off) {
+		return nil, errf(p.r.path, "column %q: lane block length %d overruns buffer", col, n)
+	}
+	block := p.r.data[p.r.off : p.r.off+int(n)]
+	p.r.off += int(n)
+	if !parse {
+		return nil, nil
+	}
+	return &reader{path: p.r.path, data: block}, nil
+}
+
+// Decode parses a segment byte image back into rows. Every malformation —
+// truncation, a flipped bit anywhere in the payload (checksum), invalid
+// lane data — returns a structured error; Decode never panics on
+// corrupted input (FuzzSegmentDecode enforces this).
+func Decode(path string, data []byte) (*Decoded, error) {
+	p, err := parseSegment(path, data)
+	if err != nil {
+		return nil, err
+	}
+	rows, cols, r := p.rows, p.cols, p.r
 	// Lanes: decode each column into a full-length item lane (nil = absent).
-	lanes := make([][]item.Item, ncols)
-	for ci := 0; ci < ncols; ci++ {
-		if len(r.data)-r.off < rows {
+	lanes := make([][]item.Item, len(cols))
+	for ci := range cols {
+		lr, err := p.laneBlock(cols[ci], true)
+		if err != nil {
+			return nil, err
+		}
+		if len(lr.data) < rows {
 			return nil, errf(path, "column %q: truncated tag lane", cols[ci])
 		}
-		tags := r.data[r.off : r.off+rows]
-		r.off += rows
+		tags := lr.data[:rows]
+		lr.off = rows
 		lane := make([]item.Item, rows)
 		for ri := 0; ri < rows; ri++ {
 			switch tags[ri] {
@@ -319,25 +424,28 @@ func Decode(path string, data []byte) (*Decoded, error) {
 			case tagTrue:
 				lane[ri] = item.Bool(true)
 			case tagInt:
-				v, err := r.varint()
+				v, err := lr.varint()
 				if err != nil {
 					return nil, err
 				}
 				lane[ri] = item.Int(v)
 			case tagDouble:
-				if len(r.data)-r.off < 8 {
+				if len(lr.data)-lr.off < 8 {
 					return nil, errf(path, "column %q: truncated double lane", cols[ci])
 				}
-				lane[ri] = item.Double(math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.off:])))
-				r.off += 8
+				lane[ri] = item.Double(math.Float64frombits(binary.LittleEndian.Uint64(lr.data[lr.off:])))
+				lr.off += 8
 			case tagString:
-				s, err := r.str()
+				code, err := lr.uvarint()
 				if err != nil {
 					return nil, err
 				}
-				lane[ri] = item.Str(s)
+				if code >= uint64(len(p.table)) {
+					return nil, errf(path, "column %q row %d: string code %d out of range", cols[ci], ri, code)
+				}
+				lane[ri] = item.Str(p.table[code])
 			case tagDec:
-				s, err := r.str()
+				s, err := lr.str()
 				if err != nil {
 					return nil, err
 				}
@@ -347,7 +455,7 @@ func Decode(path string, data []byte) (*Decoded, error) {
 				}
 				lane[ri] = item.NewDecimal(rat)
 			case tagItem:
-				raw, err := r.sized()
+				raw, err := lr.sized()
 				if err != nil {
 					return nil, err
 				}
@@ -361,20 +469,23 @@ func Decode(path string, data []byte) (*Decoded, error) {
 				return nil, errf(path, "column %q row %d: invalid lane tag %d", cols[ci], ri, tags[ri])
 			}
 		}
+		if lr.off != len(lr.data) {
+			return nil, errf(path, "column %q: %d trailing lane bytes", cols[ci], len(lr.data)-lr.off)
+		}
 		lanes[ci] = lane
 	}
 	if r.off != len(r.data) {
 		return nil, errf(path, "%d trailing payload bytes", len(r.data)-r.off)
 	}
 	out := make([]item.Item, rows)
-	for ri := range shapes {
-		if shapes[ri].overflow != nil {
-			out[ri] = shapes[ri].overflow
+	for ri := range p.shapes {
+		if p.shapes[ri].overflow != nil {
+			out[ri] = p.shapes[ri].overflow
 			continue
 		}
-		keys := make([]string, len(shapes[ri].ids))
-		values := make([]item.Item, len(shapes[ri].ids))
-		for i, id := range shapes[ri].ids {
+		keys := make([]string, len(p.shapes[ri].ids))
+		values := make([]item.Item, len(p.shapes[ri].ids))
+		for i, id := range p.shapes[ri].ids {
 			keys[i] = cols[id]
 			v := lanes[id][ri]
 			if v == nil {
@@ -385,6 +496,258 @@ func Decode(path string, data []byte) (*Decoded, error) {
 		out[ri] = item.NewObject(keys, values)
 	}
 	return &Decoded{Rows: out, Cols: cols}, nil
+}
+
+// ColumnSet is the batch-native decode of one segment restricted to a set
+// of projected fields: one full-segment-length vector.Col per field, built
+// straight from the tag and value lanes without materializing row items.
+// String lanes stay dictionary-encoded (codes in the Ints lane, the shared
+// sorted table in Col.Dict). Overflow rows — non-objects, duplicate-key
+// objects — contribute their field values through the same item lookup
+// rule the row materialization uses, so a ColumnSet column is row-for-row
+// identical to vector.Lookup over the decoded items.
+type ColumnSet struct {
+	NumRows int
+	Fields  []string // projected fields, sorted unique
+	Dict    []string // the segment string table
+	cols    map[string]*vector.Col
+}
+
+// Col returns the lane column of a projected field (never nil for a field
+// that was requested; all-absent when no row of the segment has it).
+func (cs *ColumnSet) Col(name string) *vector.Col { return cs.cols[name] }
+
+// MemBytes estimates the in-memory bytes the column set pins — the typed
+// lanes, the dictionary strings, and any overflow items — so the buffer
+// pool budget bounds real memory under column projection.
+func (cs *ColumnSet) MemBytes() int64 {
+	n := int64(0)
+	for _, s := range cs.Dict {
+		n += stringBytes + int64(len(s))
+	}
+	for _, f := range cs.Fields {
+		c := cs.cols[f]
+		n += int64(len(c.Tags)) * (1 + 8 + 8 + stringBytes) // tag+int+num+str headers
+		for _, s := range c.Strs {
+			n += int64(len(s))
+		}
+		for _, it := range c.Items {
+			n += ifaceBytes
+			if it != nil {
+				n += itemCost(it)
+			}
+		}
+	}
+	return n
+}
+
+// newLaneCol returns a full-length, all-absent column sharing the segment
+// dictionary.
+func newLaneCol(rows int, dict []string) *vector.Col {
+	return &vector.Col{
+		Tags: make([]vector.Tag, rows),
+		Ints: make([]int64, rows),
+		Nums: make([]float64, rows),
+		Strs: make([]string, rows),
+		Dict: dict,
+	}
+}
+
+func putLaneItem(c *vector.Col, ri int, v item.Item) {
+	c.Tags[ri] = vector.TagItem
+	for len(c.Items) <= ri {
+		c.Items = append(c.Items, nil)
+	}
+	c.Items[ri] = v
+}
+
+// materializeStrings converts a dictionary column to plain strings: every
+// code row resolves through the dictionary into the Strs lane. Needed only
+// when an overflow row carries a string the table does not list (possible
+// in hand-crafted images; Encode always lists them).
+func materializeStrings(c *vector.Col) {
+	for i, tg := range c.Tags {
+		if tg == vector.TagString {
+			c.Strs[i] = c.Dict[c.Ints[i]]
+			c.Ints[i] = 0
+		}
+	}
+	c.Dict = nil
+}
+
+// setLaneValue overwrites row ri of c with an overflow row's field value,
+// routing it exactly as Col.AppendItem would.
+func setLaneValue(c *vector.Col, ri int, v item.Item) {
+	switch t := v.(type) {
+	case item.Null:
+		c.Tags[ri] = vector.TagNull
+	case item.Bool:
+		if t {
+			c.Tags[ri] = vector.TagTrue
+		} else {
+			c.Tags[ri] = vector.TagFalse
+		}
+	case item.Int:
+		c.Tags[ri] = vector.TagInt
+		c.Ints[ri] = int64(t)
+	case item.Double:
+		c.Tags[ri] = vector.TagDouble
+		c.Nums[ri] = float64(t)
+	case item.Str:
+		if c.Dict != nil {
+			i := sort.SearchStrings(c.Dict, string(t))
+			if i < len(c.Dict) && c.Dict[i] == string(t) {
+				c.Tags[ri] = vector.TagString
+				c.Ints[ri] = int64(i)
+				return
+			}
+			materializeStrings(c)
+		}
+		c.Tags[ri] = vector.TagString
+		c.Strs[ri] = string(t)
+	default:
+		putLaneItem(c, ri, v)
+	}
+}
+
+// decodeLaneCol parses one column's lane block into a vector column:
+// dense tags first, then the sparse value lane, with string values as
+// dictionary codes.
+func decodeLaneCol(path, name string, lr *reader, rows int, table []string) (*vector.Col, error) {
+	if len(lr.data) < rows {
+		return nil, errf(path, "column %q: truncated tag lane", name)
+	}
+	tags := lr.data[:rows]
+	lr.off = rows
+	c := newLaneCol(rows, table)
+	for ri := 0; ri < rows; ri++ {
+		switch tags[ri] {
+		case tagAbsent:
+		case tagNull:
+			c.Tags[ri] = vector.TagNull
+		case tagFalse:
+			c.Tags[ri] = vector.TagFalse
+		case tagTrue:
+			c.Tags[ri] = vector.TagTrue
+		case tagInt:
+			v, err := lr.varint()
+			if err != nil {
+				return nil, err
+			}
+			c.Tags[ri] = vector.TagInt
+			c.Ints[ri] = v
+		case tagDouble:
+			if len(lr.data)-lr.off < 8 {
+				return nil, errf(path, "column %q: truncated double lane", name)
+			}
+			c.Tags[ri] = vector.TagDouble
+			c.Nums[ri] = math.Float64frombits(binary.LittleEndian.Uint64(lr.data[lr.off:]))
+			lr.off += 8
+		case tagString:
+			code, err := lr.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if code >= uint64(len(table)) {
+				return nil, errf(path, "column %q row %d: string code %d out of range", name, ri, code)
+			}
+			c.Tags[ri] = vector.TagString
+			c.Ints[ri] = int64(code)
+		case tagDec:
+			s, err := lr.str()
+			if err != nil {
+				return nil, err
+			}
+			rat, ok := new(big.Rat).SetString(s)
+			if !ok {
+				return nil, errf(path, "column %q: invalid decimal %q", name, s)
+			}
+			putLaneItem(c, ri, item.NewDecimal(rat))
+		case tagItem:
+			raw, err := lr.sized()
+			if err != nil {
+				return nil, err
+			}
+			vr := &reader{path: path, data: raw}
+			v, err := vr.value(0)
+			if err != nil {
+				return nil, err
+			}
+			putLaneItem(c, ri, v)
+		default:
+			return nil, errf(path, "column %q row %d: invalid lane tag %d", name, ri, tags[ri])
+		}
+	}
+	if lr.off != len(lr.data) {
+		return nil, errf(path, "column %q: %d trailing lane bytes", name, len(lr.data)-lr.off)
+	}
+	return c, nil
+}
+
+// DecodeColumns parses a segment byte image into lane columns for the
+// projected fields only: unprojected columns' lane blocks are skipped via
+// their byte-length prefix without being parsed. The whole payload is
+// still CRC-validated, and the same malformations Decode rejects surface
+// as the same structured errors.
+func DecodeColumns(path string, data []byte, fields []string) (*ColumnSet, error) {
+	p, err := parseSegment(path, data)
+	if err != nil {
+		return nil, err
+	}
+	want := append([]string(nil), fields...)
+	sort.Strings(want)
+	uniq := want[:0]
+	for i, f := range want {
+		if i == 0 || f != want[i-1] {
+			uniq = append(uniq, f)
+		}
+	}
+	want = uniq
+	wantSet := make(map[string]bool, len(want))
+	for _, f := range want {
+		wantSet[f] = true
+	}
+	cs := &ColumnSet{NumRows: p.rows, Fields: want, Dict: p.table, cols: make(map[string]*vector.Col, len(want))}
+	for _, name := range p.cols {
+		lr, err := p.laneBlock(name, wantSet[name])
+		if err != nil {
+			return nil, err
+		}
+		if lr == nil {
+			continue
+		}
+		c, err := decodeLaneCol(path, name, lr, p.rows, p.table)
+		if err != nil {
+			return nil, err
+		}
+		cs.cols[name] = c
+	}
+	if p.r.off != len(p.r.data) {
+		return nil, errf(path, "%d trailing payload bytes", len(p.r.data)-p.r.off)
+	}
+	// Fields no lane carries are still projected: all-absent columns, which
+	// overflow rows below may populate.
+	for _, f := range want {
+		if cs.cols[f] == nil {
+			cs.cols[f] = newLaneCol(p.rows, p.table)
+		}
+	}
+	for ri := range p.shapes {
+		v := p.shapes[ri].overflow
+		if v == nil {
+			continue
+		}
+		obj, ok := v.(*item.Object)
+		if !ok {
+			continue // non-object rows are absent in every column
+		}
+		for _, f := range want {
+			if fv, found := obj.Get(f); found {
+				setLaneValue(cs.cols[f], ri, fv)
+			}
+		}
+	}
+	return cs, nil
 }
 
 // --- exact item encoding (overflow rows and nested lane values) ---

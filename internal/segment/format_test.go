@@ -156,6 +156,79 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+// expectedField is the item a projected column must surface for one row:
+// the first value under key f of an object row, absent otherwise — the
+// same contract a per-row object lookup implements.
+func expectedField(row item.Item, f string) item.Item {
+	o, ok := row.(*item.Object)
+	if !ok {
+		return nil
+	}
+	v, ok := o.Get(f)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+// TestDecodeColumnsMatchesLookup pins the projected decoder against the
+// row decoder: for every corpus image and every field (plus one the
+// segment lacks), DecodeColumns must surface exactly the items a per-row
+// field lookup over Decode's rows yields — including dictionary string
+// lanes, NaN/-0.0 doubles, non-UTF-8 strings, and overflow rows.
+func TestDecodeColumnsMatchesLookup(t *testing.T) {
+	cases := map[string][]item.Item{
+		"mixed":     roundTripRows(),
+		"empty":     {},
+		"uniform":   {obj("g", item.Int(1)), obj("g", item.Int(2)), obj("g", item.Int(3))},
+		"overflows": {item.Int(1), item.Str("two"), item.NewArray(nil)},
+	}
+	// Overflow row mid-segment surrounded by lane rows: projected string
+	// columns must serve the dup-key row's fields through the dictionary.
+	mid := make([]item.Item, 0, 64)
+	for i := 0; i < 64; i++ {
+		if i == 31 {
+			mid = append(mid, obj("s", item.Str("dup1"), "s", item.Str("dup2"), "v", item.Int(int64(i))))
+			continue
+		}
+		mid = append(mid, obj("s", item.Str(fmt.Sprintf("s%d", i%5)), "v", item.Int(int64(i))))
+	}
+	cases["overflow-mid"] = mid
+
+	for name, rows := range cases {
+		t.Run(name, func(t *testing.T) {
+			data, err := Encode(rows)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			fields := []string{"definitely-missing"}
+			for _, cz := range ZoneMaps(rows) {
+				fields = append(fields, cz.Name)
+			}
+			cs, err := DecodeColumns("t.rseg", data, fields)
+			if err != nil {
+				t.Fatalf("DecodeColumns: %v", err)
+			}
+			if cs.NumRows != len(rows) {
+				t.Fatalf("NumRows = %d, want %d", cs.NumRows, len(rows))
+			}
+			for _, f := range fields {
+				col := cs.Col(f)
+				if col == nil {
+					t.Fatalf("field %s: no column", f)
+				}
+				for i := range rows {
+					want := expectedField(rows[i], f)
+					got := col.Item(i)
+					if (got == nil) != (want == nil) || (got != nil && !itemsEqual(got, want)) {
+						t.Errorf("field %s row %d: got %v, want %v", f, i, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestEncodeRejectsOverCapacity(t *testing.T) {
 	rows := make([]item.Item, Rows+1)
 	for i := range rows {
@@ -225,6 +298,15 @@ func FuzzSegmentDecode(f *testing.F) {
 		roundTripRows(),
 		{},
 		{obj("g", item.Int(1), "v", item.Double(0.5))},
+		{
+			// Dictionary-heavy seed: repeated strings share codes, and a
+			// duplicate-key row forces the overflow (exact-items) shape.
+			obj("s", item.Str("aa"), "v", item.Int(1)),
+			obj("s", item.Str("bb"), "v", item.Int(2)),
+			obj("s", item.Str("aa"), "v", item.Int(3)),
+			obj("s", item.Str("dup1"), "s", item.Str("dup2"), "v", item.Int(4)),
+			obj("s", item.Str("bb"), "v", item.Int(5)),
+		},
 	} {
 		data, err := Encode(rows)
 		if err != nil {
@@ -240,13 +322,48 @@ func FuzzSegmentDecode(f *testing.F) {
 			if _, ok := err.(*Error); !ok {
 				t.Fatalf("unstructured error %T: %v", err, err)
 			}
+			// The projected decoder sees the same corrupt image; it may
+			// reject or accept (it skips lanes the row decoder reads), but
+			// never with an unstructured error or a panic.
+			if _, cerr := DecodeColumns("fuzz.rseg", data, []string{"g", "v"}); cerr != nil {
+				if _, ok := cerr.(*Error); !ok {
+					t.Fatalf("unstructured DecodeColumns error %T: %v", cerr, cerr)
+				}
+			}
 			return
 		}
 		// A successful decode must be internally consistent: zone maps and
 		// re-encoding must not panic either.
-		ZoneMaps(dec.Rows)
+		zones := ZoneMaps(dec.Rows)
 		if _, err := Encode(dec.Rows); err != nil {
 			t.Fatalf("re-encode of decoded rows failed: %v", err)
+		}
+		// Projected decode of every column (and one the image lacks) must
+		// agree with a per-row field lookup over the decoded rows —
+		// dictionary/code lanes included.
+		fields := []string{"fuzz-missing"}
+		for _, cz := range zones {
+			fields = append(fields, cz.Name)
+		}
+		cs, err := DecodeColumns("fuzz.rseg", data, fields)
+		if err != nil {
+			t.Fatalf("DecodeColumns rejected an image Decode accepted: %v", err)
+		}
+		if cs.NumRows != len(dec.Rows) {
+			t.Fatalf("DecodeColumns rows = %d, Decode rows = %d", cs.NumRows, len(dec.Rows))
+		}
+		for _, f := range fields {
+			col := cs.Col(f)
+			if col == nil {
+				t.Fatalf("field %s: no column", f)
+			}
+			for i := range dec.Rows {
+				want := expectedField(dec.Rows[i], f)
+				got := col.Item(i)
+				if (got == nil) != (want == nil) || (got != nil && !itemsEqual(got, want)) {
+					t.Fatalf("field %s row %d: projected %v, row decode %v", f, i, got, want)
+				}
+			}
 		}
 	})
 }

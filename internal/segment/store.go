@@ -15,6 +15,7 @@ import (
 	"rumble/internal/dfs"
 	"rumble/internal/item"
 	"rumble/internal/jparse"
+	"rumble/internal/vector"
 )
 
 // ManifestName is the dataset manifest file inside a segments directory.
@@ -69,42 +70,127 @@ func (d *Dataset) NumSegments() int { return len(d.Manifest.Segments) }
 // Meta returns the manifest entry of segment i.
 func (d *Dataset) Meta(i int) Meta { return d.Manifest.Segments[i] }
 
+// key is the buffer-pool residency key of segment i's item rows. It
+// includes the manifest's source hash: a background re-ingest reuses
+// segment file names, and pool entries decoded from the previous
+// generation must never serve the new one.
+func (d *Dataset) key(i int) string {
+	return d.Dir + "\x00" + d.Manifest.SourceHash + "\x00" + d.Manifest.Segments[i].File
+}
+
 // Fetch returns the decoded rows of segment i. coldBlocks is non-zero
 // exactly when this call read and decoded the segment file (a buffer-pool
 // miss, or no pool): it reports the simulated I/O blocks the read
 // charges, rounded by the same shared accounting rules as raw line scans.
 func (d *Dataset) Fetch(i int) (rows []item.Item, coldBlocks int, err error) {
 	if d.pool == nil {
-		return d.load(i)
+		v, _, blocks, err := d.loadRows(i)
+		rows, _ = v.([]item.Item)
+		return rows, blocks, err
 	}
-	key := d.Dir + "\x00" + d.Manifest.Segments[i].File
-	return d.pool.get(key, d.Manifest.Segments[i].Bytes, func() ([]item.Item, int, error) {
-		return d.load(i)
+	v, blocks, err := d.pool.get(d.key(i), d.Manifest.Segments[i].Bytes, func() (any, int64, int, error) {
+		return d.loadRows(i)
 	})
+	rows, _ = v.([]item.Item)
+	return rows, blocks, err
 }
 
-// load reads, decodes and validates segment i from disk.
-func (d *Dataset) load(i int) ([]item.Item, int, error) {
+// FetchBatch returns segment i decoded straight into vector lanes for the
+// projected fields, skipping every other column's lane bytes. Distinct
+// projections of one segment are distinct pool residencies, each charged
+// only for the lanes it actually pins — so two plans projecting different
+// column sets never double-charge a shared entry, and --segment-cache-bytes
+// keeps bounding real memory.
+func (d *Dataset) FetchBatch(i int, fields []string) (cs *ColumnSet, coldBlocks int, err error) {
+	if d.pool == nil {
+		v, _, blocks, err := d.loadCols(i, fields)
+		cs, _ = v.(*ColumnSet)
+		return cs, blocks, err
+	}
+	sorted := append([]string(nil), fields...)
+	sort.Strings(sorted)
+	key := d.key(i) + "\x00cols"
+	for _, f := range sorted {
+		key += "\x00" + f
+	}
+	v, blocks, err := d.pool.get(key, d.Manifest.Segments[i].Bytes, func() (any, int64, int, error) {
+		return d.loadCols(i, fields)
+	})
+	cs, _ = v.(*ColumnSet)
+	return cs, blocks, err
+}
+
+// readSegment reads segment i's byte image and reports its I/O blocks.
+func (d *Dataset) readSegment(i int) (Meta, string, []byte, int, error) {
 	meta := d.Manifest.Segments[i]
 	path := filepath.Join(d.Dir, meta.File)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, 0, errf(path, "read: %v", err)
+		return meta, path, nil, 0, errf(path, "read: %v", err)
 	}
-	blocks := dfs.BlocksFor(int64(len(data)))
+	return meta, path, data, dfs.BlocksFor(int64(len(data))), nil
+}
+
+// loadRows reads, decodes and validates segment i from disk as item rows,
+// returning the in-memory cost the rows pin.
+func (d *Dataset) loadRows(i int) (any, int64, int, error) {
+	meta, path, data, blocks, err := d.readSegment(i)
+	if err != nil {
+		return nil, 0, 0, err
+	}
 	dec, err := Decode(path, data)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if len(dec.Rows) != meta.Rows {
-		return nil, 0, errf(path, "segment holds %d rows, manifest says %d", len(dec.Rows), meta.Rows)
+		return nil, 0, 0, errf(path, "segment holds %d rows, manifest says %d", len(dec.Rows), meta.Rows)
 	}
 	// Zone-map consistency: recompute from the decoded lanes and compare.
 	// Pruning decisions must never rest on summaries the data contradicts.
 	if !zonesEqual(ZoneMaps(dec.Rows), meta.Cols) {
-		return nil, 0, errf(path, "zone maps inconsistent with lane data")
+		return nil, 0, 0, errf(path, "zone maps inconsistent with lane data")
 	}
-	return dec.Rows, blocks, nil
+	return dec.Rows, decodedCost(dec.Rows), blocks, nil
+}
+
+// loadCols reads and decodes segment i's projected lanes, returning the
+// lane bytes they pin. The zone-map consistency check runs per projected
+// column: the prunable fields a scan could have skipped on are always a
+// subset of the fields it projects, so summaries the lane data contradicts
+// are still caught before any pruning decision can rest on them.
+func (d *Dataset) loadCols(i int, fields []string) (any, int64, int, error) {
+	meta, path, data, blocks, err := d.readSegment(i)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	cs, err := DecodeColumns(path, data, fields)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if cs.NumRows != meta.Rows {
+		return nil, 0, 0, errf(path, "segment holds %d rows, manifest says %d", cs.NumRows, meta.Rows)
+	}
+	for _, f := range cs.Fields {
+		z := zoneOfLaneCol(cs.Col(f), cs.NumRows)
+		mz, _ := meta.Zone(f) // zero zone when the manifest lists no rows
+		if !zoneEqual(z, mz) {
+			return nil, 0, 0, errf(path, "zone maps inconsistent with lane data")
+		}
+	}
+	return cs, cs.MemBytes(), blocks, nil
+}
+
+// zoneOfLaneCol recomputes the zone map of one projected lane column; lane
+// values follow lookup semantics exactly like ZoneMaps' per-row rule, so a
+// clean decode reproduces the manifest entry bit for bit.
+func zoneOfLaneCol(c *vector.Col, rows int) ZoneMap {
+	var z ZoneMap
+	for i := 0; i < rows; i++ {
+		if it := c.Item(i); it != nil {
+			z.observe(it)
+		}
+	}
+	return z
 }
 
 // OpenDataset loads and strictly validates the segment directory of
@@ -262,12 +348,19 @@ type Store struct {
 
 	mu       sync.Mutex
 	datasets map[string]*datasetEntry
+	rebuilds sync.WaitGroup
+
+	// OnReingest, when set before the store serves queries, is called once
+	// per background re-ingest that completed successfully (metrics hook).
+	OnReingest func()
 }
 
 type datasetEntry struct {
-	once sync.Once
-	ds   *Dataset
-	err  error
+	mu         sync.Mutex
+	resolved   bool
+	rebuilding bool
+	ds         *Dataset
+	err        error
 }
 
 // DefaultCacheBytes is the buffer-pool budget when none is configured.
@@ -282,12 +375,17 @@ func NewStore(cacheBytes int64) *Store {
 	return &Store{pool: newPool(cacheBytes), datasets: map[string]*datasetEntry{}}
 }
 
-// Open returns the segment dataset of the JSON-lines source at path,
-// ingesting it first when no (or stale) segments exist. The result is
-// resolved once per store lifetime: a nil Dataset means the source is not
-// segmentable (for example, a line fails to parse) and the scan must fall
-// back to raw JSON lines — which reports the identical error the tuple
-// backend would.
+// Open returns the segment dataset of the JSON-lines source at path. A
+// source never ingested before (no manifest) ingests synchronously — the
+// first touch pays the build, exactly once per store. A source whose
+// existing segments are stale (the content hash changed since ingest) or
+// from an older format version is served as (nil, nil) — the raw scan —
+// while a single background goroutine per path rebuilds the segments and
+// swaps them in atomically; later Opens see the fresh dataset. A nil
+// Dataset with a nil error therefore means "scan raw for now"; a non-nil
+// error means the source is not segmentable at all (for example, a line
+// fails to parse) and the raw scan will report the identical error the
+// tuple backend would.
 func (s *Store) Open(path string) (*Dataset, error) {
 	s.mu.Lock()
 	e := s.datasets[path]
@@ -296,23 +394,79 @@ func (s *Store) Open(path string) (*Dataset, error) {
 		s.datasets[path] = e
 	}
 	s.mu.Unlock()
-	e.once.Do(func() {
-		ds, err := OpenDataset(path)
-		if err != nil {
-			if err = Ingest(path); err != nil {
-				e.err = err
-				return
-			}
-			if ds, err = OpenDataset(path); err != nil {
-				e.err = err
-				return
-			}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.resolved || e.rebuilding {
+		return e.ds, e.err
+	}
+	ds, err := OpenDataset(path)
+	if err == nil {
+		ds.pool = s.pool
+		e.ds, e.resolved = ds, true
+		return ds, nil
+	}
+	if _, statErr := os.Stat(filepath.Join(Dir(path), ManifestName)); statErr != nil {
+		// First touch: no segments exist yet. Build them synchronously so
+		// the very first scan already reads lanes, not JSON.
+		if err := s.ingestLocked(path, e); err != nil {
+			return nil, err
 		}
+		return e.ds, nil
+	}
+	// A manifest exists but refused to open — stale content hash, older
+	// format version, or corruption. Serve the raw scan immediately and
+	// rebuild in the background, single-flight per path.
+	e.rebuilding = true
+	s.rebuilds.Add(1)
+	go s.rebuild(path, e)
+	return nil, nil
+}
+
+// ingestLocked ingests path and resolves e; the caller holds e.mu.
+func (s *Store) ingestLocked(path string, e *datasetEntry) error {
+	if err := Ingest(path); err != nil {
+		e.err, e.resolved = err, true
+		return err
+	}
+	ds, err := OpenDataset(path)
+	if err != nil {
+		e.err, e.resolved = err, true
+		return err
+	}
+	ds.pool = s.pool
+	e.ds, e.resolved = ds, true
+	return nil
+}
+
+// rebuild re-ingests a stale source off the query path and swaps the new
+// dataset in. On failure the entry resolves to the error: scans keep
+// falling back to raw lines, which report the same source problem.
+func (s *Store) rebuild(path string, e *datasetEntry) {
+	defer s.rebuilds.Done()
+	err := Ingest(path)
+	var ds *Dataset
+	if err == nil {
+		ds, err = OpenDataset(path)
+	}
+	e.mu.Lock()
+	e.rebuilding = false
+	e.resolved = true
+	if err != nil {
+		e.err = err
+	} else {
 		ds.pool = s.pool
 		e.ds = ds
-	})
-	return e.ds, e.err
+	}
+	e.mu.Unlock()
+	if err == nil && s.OnReingest != nil {
+		s.OnReingest()
+	}
 }
+
+// WaitRebuilds blocks until every background re-ingest started so far has
+// settled. It exists for tests and orderly shutdown.
+func (s *Store) WaitRebuilds() { s.rebuilds.Wait() }
 
 // --- buffer pool: byte-bounded LRU of decoded segments ---
 
@@ -333,7 +487,8 @@ type poolEntry struct {
 	cost int64
 
 	once   sync.Once
-	rows   []item.Item
+	val    any
+	actual int64
 	blocks int
 	err    error
 }
@@ -342,13 +497,16 @@ func newPool(capBytes int64) *pool {
 	return &pool{capBytes: capBytes, order: list.New(), entries: map[string]*list.Element{}}
 }
 
-// get returns the decoded rows under key, loading them at most once per
-// residency. coldBlocks is non-zero only for the caller whose load
-// actually ran — the one that must charge the simulated I/O. A failed
-// load is returned to every waiter but never cached: the entry is
-// dropped, so the next get retries instead of replaying a possibly
-// transient error until eviction.
-func (p *pool) get(key string, cost int64, load func() ([]item.Item, int, error)) ([]item.Item, int, error) {
+// get returns the decoded value under key — item rows or a projected
+// ColumnSet — loading it at most once per residency. The loader reports
+// the bytes the value actually pins in memory, which settles the entry's
+// provisional (file-size) cost: decoded item rows can cost several times
+// the on-disk size, a narrow column projection far less. coldBlocks is
+// non-zero only for the caller whose load actually ran — the one that must
+// charge the simulated I/O. A failed load is returned to every waiter but
+// never cached: the entry is dropped, so the next get retries instead of
+// replaying a possibly transient error until eviction.
+func (p *pool) get(key string, cost int64, load func() (any, int64, int, error)) (any, int, error) {
 	p.mu.Lock()
 	el, ok := p.entries[key]
 	if ok {
@@ -364,30 +522,28 @@ func (p *pool) get(key string, cost int64, load func() ([]item.Item, int, error)
 	p.mu.Unlock()
 	var loaded bool
 	e.once.Do(func() {
-		e.rows, e.blocks, e.err = load()
+		e.val, e.actual, e.blocks, e.err = load()
 		loaded = true
 	})
 	if !loaded {
-		return e.rows, 0, e.err
+		return e.val, 0, e.err
 	}
 	// The loading caller settles the entry's pool accounting: drop it on
-	// error, and on success re-cost it by what it actually pins in memory
-	// — decoded item rows, which can be several times the on-disk size the
-	// entry was provisionally charged at.
+	// error, re-cost to the loader-reported in-memory bytes on success.
 	p.mu.Lock()
 	if cur, ok := p.entries[key]; ok && cur == el {
 		if e.err != nil {
 			p.order.Remove(el)
 			delete(p.entries, key)
 			p.bytes -= e.cost
-		} else if dc := decodedCost(e.rows); dc > e.cost {
-			p.bytes += dc - e.cost
-			e.cost = dc
+		} else if e.actual > 0 && e.actual != e.cost {
+			p.bytes += e.actual - e.cost
+			e.cost = e.actual
 			p.evictOver(el)
 		}
 	}
 	p.mu.Unlock()
-	return e.rows, e.blocks, e.err
+	return e.val, e.blocks, e.err
 }
 
 // evictOver removes LRU entries until the pool fits its budget, never

@@ -98,13 +98,29 @@ func TestOpenDatasetStaleHash(t *testing.T) {
 	if _, ok := err.(*Error); !ok || !strings.Contains(err.Error(), "stale") {
 		t.Fatalf("want structured stale-segments error, got %T: %v", err, err)
 	}
-	// The pooled store re-ingests instead and serves the new row.
-	ds, err := NewStore(0).Open(path)
+	// The pooled store serves the raw scan immediately (nil dataset, nil
+	// error) and rebuilds the segments in the background.
+	reingests := 0
+	s := NewStore(0)
+	s.OnReingest = func() { reingests++ }
+	ds, err := s.Open(path)
+	if ds != nil || err != nil {
+		t.Fatalf("Store.Open on stale segments: ds=%v err=%v, want nil/nil (raw scan while rebuilding)", ds, err)
+	}
+	s.WaitRebuilds()
+	if reingests != 1 {
+		t.Fatalf("background re-ingests = %d, want 1", reingests)
+	}
+	ds, err = s.Open(path)
 	if err != nil || ds == nil {
-		t.Fatalf("Store.Open after source change: ds=%v err=%v", ds, err)
+		t.Fatalf("Store.Open after rebuild: ds=%v err=%v", ds, err)
 	}
 	if ds.Manifest.Rows != 101 {
 		t.Fatalf("re-ingested manifest rows = %d, want 101", ds.Manifest.Rows)
+	}
+	rows := fetchAll(t, ds)
+	if len(rows) != 101 || !itemsEqual(rows[100], obj("g", item.Int(0), "v", item.Int(100))) {
+		t.Fatalf("rebuilt dataset rows = %d, want 101 ending with the appended row", len(rows))
 	}
 }
 
@@ -242,15 +258,15 @@ func TestStoreOpenFallbackOnUnparseableSource(t *testing.T) {
 
 func TestBufferPoolLRU(t *testing.T) {
 	loads := map[string]int{}
-	mkLoad := func(key string, rows int) func() ([]item.Item, int, error) {
-		return func() ([]item.Item, int, error) {
+	mkLoad := func(key string, cost int64) func() (any, int64, int, error) {
+		return func() (any, int64, int, error) {
 			loads[key]++
-			return make([]item.Item, rows), 2, nil
+			return make([]item.Item, 1), cost, 2, nil
 		}
 	}
 	p := newPool(100)
 	get := func(key string, cost int64) int {
-		_, blocks, err := p.get(key, cost, mkLoad(key, 1))
+		_, blocks, err := p.get(key, cost, mkLoad(key, cost))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -290,12 +306,12 @@ func TestBufferPoolRetriesFailedLoads(t *testing.T) {
 	// and the failed entry's cost does not leak into the pool budget.
 	p := newPool(100)
 	calls := 0
-	load := func() ([]item.Item, int, error) {
+	load := func() (any, int64, int, error) {
 		calls++
 		if calls < 3 {
-			return nil, 0, errf("x.rseg", "read: too many open files")
+			return nil, 0, 0, errf("x.rseg", "read: too many open files")
 		}
-		return make([]item.Item, 1), 2, nil
+		return make([]item.Item, 1), 10, 2, nil
 	}
 	for i := 0; i < 2; i++ {
 		if _, _, err := p.get("x", 10, load); err == nil {
@@ -305,7 +321,8 @@ func TestBufferPoolRetriesFailedLoads(t *testing.T) {
 			t.Fatalf("get %d: failed entry left %d bytes accounted", i, p.bytes)
 		}
 	}
-	rows, blocks, err := p.get("x", 10, load)
+	v, blocks, err := p.get("x", 10, load)
+	rows, _ := v.([]item.Item)
 	if err != nil || len(rows) != 1 || blocks != 2 {
 		t.Fatalf("retry after transient failure: rows=%v blocks=%d err=%v", rows, blocks, err)
 	}
@@ -318,19 +335,19 @@ func TestBufferPoolRetriesFailedLoads(t *testing.T) {
 }
 
 func TestBufferPoolCostsDecodedSize(t *testing.T) {
-	// Entries are charged by what they pin in memory — the decoded rows —
-	// not the (much smaller) on-disk size passed as the provisional cost,
-	// so the configured budget bounds real memory.
+	// Entries are charged by what they pin in memory — the loader-settled
+	// decoded cost — not the (much smaller) on-disk size passed as the
+	// provisional cost, so the configured budget bounds real memory.
 	p := newPool(4096)
 	loads := map[string]int{}
-	bigLoad := func(key string) func() ([]item.Item, int, error) {
-		return func() ([]item.Item, int, error) {
+	bigLoad := func(key string) func() (any, int64, int, error) {
+		return func() (any, int64, int, error) {
 			loads[key]++
 			rows := make([]item.Item, 50)
 			for i := range rows {
 				rows[i] = item.Str(strings.Repeat("x", 100))
 			}
-			return rows, 1, nil // decoded ≈ 6.6 KiB, nominal cost 10
+			return rows, decodedCost(rows), 1, nil // decoded ≈ 6.6 KiB, nominal cost 10
 		}
 	}
 	if _, _, err := p.get("a", 10, bigLoad("a")); err != nil {

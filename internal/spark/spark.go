@@ -83,6 +83,7 @@ type Metrics struct {
 	SegmentsSkipped  atomic.Int64
 	SegmentCacheHits atomic.Int64
 	SegmentCacheMiss atomic.Int64
+	SegmentReingests atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics.
@@ -114,6 +115,9 @@ type MetricsSnapshot struct {
 	SegmentsSkipped  int64 `json:"segments_skipped"`
 	SegmentCacheHits int64 `json:"segment_cache_hits"`
 	SegmentCacheMiss int64 `json:"segment_cache_miss"`
+	// SegmentReingests counts background dataset rebuilds triggered by a
+	// stale source hash at open time.
+	SegmentReingests int64 `json:"segment_reingests"`
 }
 
 // Metrics returns a snapshot of the counters.
@@ -135,6 +139,7 @@ func (c *Context) Metrics() MetricsSnapshot {
 		SegmentsSkipped:  c.metrics.SegmentsSkipped.Load(),
 		SegmentCacheHits: c.metrics.SegmentCacheHits.Load(),
 		SegmentCacheMiss: c.metrics.SegmentCacheMiss.Load(),
+		SegmentReingests: c.metrics.SegmentReingests.Load(),
 	}
 }
 
@@ -156,6 +161,7 @@ func (c *Context) ResetMetrics() {
 	c.metrics.SegmentsSkipped.Store(0)
 	c.metrics.SegmentCacheHits.Store(0)
 	c.metrics.SegmentCacheMiss.Store(0)
+	c.metrics.SegmentReingests.Store(0)
 }
 
 // AddVectorRun counts one vector-backend pipeline evaluation.
@@ -187,6 +193,9 @@ func (c *Context) AddSegmentCacheHits(n int64) { c.metrics.SegmentCacheHits.Add(
 
 // AddSegmentCacheMiss counts cold segment reads that had to decode.
 func (c *Context) AddSegmentCacheMiss(n int64) { c.metrics.SegmentCacheMiss.Add(n) }
+
+// AddSegmentReingests counts background re-ingests of stale datasets.
+func (c *Context) AddSegmentReingests(n int64) { c.metrics.SegmentReingests.Add(n) }
 
 // AddRecordsRead is called by input sources when they produce records.
 func (c *Context) AddRecordsRead(n int64) { c.metrics.RecordsRead.Add(n) }

@@ -3,6 +3,7 @@ package vector
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"rumble/internal/functions"
 	"rumble/internal/item"
@@ -86,11 +87,59 @@ func Lookup(in *Col, key string, n int) *Col {
 // double row in pure float arithmetic without losing exactness.
 const exactFloatInt = int64(1) << 53
 
+// dictProbe is a comparison literal translated into a sorted dictionary
+// once per batch: lo is the rank of the first dictionary entry >= the
+// literal (sort.SearchStrings), exact whether that entry equals it. A code
+// k then three-way-compares against the literal without touching string
+// bytes: k < lo ⇒ less, k == lo && exact ⇒ equal, otherwise greater.
+type dictProbe struct {
+	lo    int64
+	exact bool
+}
+
+func probeDict(dict []string, lit string) *dictProbe {
+	lo := sort.SearchStrings(dict, lit)
+	return &dictProbe{lo: int64(lo), exact: lo < len(dict) && dict[lo] == lit}
+}
+
+func (p *dictProbe) cmp(code int64) int {
+	switch {
+	case code < p.lo:
+		return -1
+	case code == p.lo && p.exact:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// constString returns the broadcast string of a Const TagString column
+// without a dictionary (the shape a pushed-down comparison literal takes).
+func constString(c *Col) (string, bool) {
+	if c.Const && len(c.Tags) == 1 && c.Tags[0] == TagString && c.Dict == nil {
+		return c.Strs[0], true
+	}
+	return "", false
+}
+
 // Compare applies a value comparison row-by-row with the tuple backend's
 // semantics: an absent operand absorbs to absent, a non-atomic operand is
 // an error, and mixed-type rows fall back to item.CompareValues so cross-
-// type exactness (and its error cases) match exactly.
+// type exactness (and its error cases) match exactly. A dictionary column
+// compared against a constant string literal translates the literal into
+// the dictionary once and compares codes.
 func Compare(l, r *Col, n int, op CmpOp) (*Col, error) {
+	var lProbe, rProbe *dictProbe
+	if l.Dict != nil {
+		if lit, ok := constString(r); ok {
+			lProbe = probeDict(l.Dict, lit)
+		}
+	}
+	if r.Dict != nil {
+		if lit, ok := constString(l); ok {
+			rProbe = probeDict(r.Dict, lit)
+		}
+	}
 	out := NewCol(n)
 	for i := 0; i < n; i++ {
 		li, ri := l.idx(i), r.idx(i)
@@ -114,7 +163,14 @@ func Compare(l, r *Col, n int, op CmpOp) (*Col, error) {
 			// what CompareValues does for double-double pairs.
 			c = cmpFloat(l.Nums[li], r.Nums[ri])
 		case lt == TagString && rt == TagString:
-			c = cmpString(l.Strs[li], r.Strs[ri])
+			switch {
+			case lProbe != nil:
+				c = lProbe.cmp(l.Ints[li])
+			case rProbe != nil:
+				c = -rProbe.cmp(r.Ints[ri])
+			default:
+				c = cmpString(l.str(li), r.str(ri))
+			}
 		case lt == TagInt && rt == TagDouble && intDoubleExact(l.Ints[li], r.Nums[ri]):
 			c = cmpFloat(float64(l.Ints[li]), r.Nums[ri])
 		case lt == TagDouble && rt == TagInt && intDoubleExact(r.Ints[ri], l.Nums[li]):

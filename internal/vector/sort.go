@@ -36,7 +36,7 @@ func (c *Col) OrderKey(i int, emptyGreatest bool) (item.SortKey, error) {
 	case TagDouble:
 		return item.NumberKey(c.Nums[j]), nil
 	case TagString:
-		return item.SortKey{Tag: item.TagString, Str: c.Strs[j]}, nil
+		return item.SortKey{Tag: item.TagString, Str: c.str(j)}, nil
 	default:
 		it := c.Items[j]
 		if !item.IsAtomic(it) {

@@ -67,6 +67,15 @@ type Col struct {
 	Nums  []float64
 	Strs  []string
 	Items []item.Item
+
+	// Dict, when non-nil, makes this a dictionary string column: every
+	// TagString row stores a code into Dict in the Ints lane instead of a
+	// materialized string in Strs. Dict is sorted ascending and shared by
+	// every column decoded from the same segment, so comparison kernels can
+	// translate a literal once and compare codes. Dictionary columns are
+	// read-only views produced by the segment decoder; append methods must
+	// not be used on them.
+	Dict []string
 }
 
 // NewCol returns an empty column with capacity for cap rows.
@@ -110,6 +119,43 @@ func (c *Col) idx(i int) int {
 		return 0
 	}
 	return i
+}
+
+// str returns the string value of physical row i, which must be a
+// TagString row: the dictionary entry for code columns, the Strs lane
+// otherwise.
+func (c *Col) str(i int) string {
+	if c.Dict != nil {
+		return c.Dict[c.Ints[i]]
+	}
+	return c.Strs[i]
+}
+
+// Slice returns a view of rows [off, off+n) sharing the underlying lanes
+// (and dictionary). Const columns pass through: they broadcast over any
+// row range. The view must be treated as read-only.
+func (c *Col) Slice(off, n int) *Col {
+	if c.Const {
+		return c
+	}
+	out := &Col{
+		Tags: c.Tags[off : off+n : off+n],
+		Ints: c.Ints[off : off+n : off+n],
+		Nums: c.Nums[off : off+n : off+n],
+		Strs: c.Strs[off : off+n : off+n],
+		Dict: c.Dict,
+	}
+	// The item lane is lazy: it may end before off+n (or before off) when
+	// no TagItem row lands that late. Any TagItem row inside the window is
+	// covered, which is the lane's only invariant.
+	if len(c.Items) > off {
+		end := off + n
+		if end > len(c.Items) {
+			end = len(c.Items)
+		}
+		out.Items = c.Items[off:end:end]
+	}
+	return out
 }
 
 // grow appends one zeroed row to the typed lanes. The item overflow lane
@@ -202,7 +248,7 @@ func (c *Col) Item(i int) item.Item {
 	case TagDouble:
 		return item.Double(c.Nums[i])
 	case TagString:
-		return item.Str(c.Strs[i])
+		return item.Str(c.str(i))
 	default:
 		return c.Items[i]
 	}
@@ -227,7 +273,7 @@ func (c *Col) SortKey(i int) (item.SortKey, error) {
 	case TagDouble:
 		return item.NumberKey(c.Nums[i]), nil
 	case TagString:
-		return item.SortKey{Tag: item.TagString, Str: c.Strs[i]}, nil
+		return item.SortKey{Tag: item.TagString, Str: c.str(i)}, nil
 	default:
 		return item.EncodeSortKey([]item.Item{c.Items[i]}, false)
 	}
@@ -277,7 +323,7 @@ func (c *Col) EBV(i int) bool {
 	case TagDouble:
 		return c.Nums[i] != 0 && !math.IsNaN(c.Nums[i])
 	case TagString:
-		return c.Strs[i] != ""
+		return c.str(i) != ""
 	default:
 		b, _ := item.EffectiveBoolean([]item.Item{c.Items[i]})
 		return b
@@ -292,6 +338,7 @@ func (c *Col) Compact(keep []bool, kept int) *Col {
 		return c
 	}
 	out := NewCol(kept)
+	out.Dict = c.Dict // codes travel in the Ints lane copied below
 	for i, k := range keep {
 		if !k {
 			continue

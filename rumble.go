@@ -108,6 +108,10 @@ type Config struct {
 	Segments bool
 	// SegmentCacheBytes bounds the segment buffer pool (0 = 64 MiB).
 	SegmentCacheBytes int64
+	// NoLaneScan disables the lane-native segment scan: projected vector
+	// pipelines fall back to materializing whole row items per morsel (the
+	// pre-projection path). The escape hatch for ablation benchmarks.
+	NoLaneScan bool
 }
 
 // Engine compiles and runs JSONiq queries. Engines are safe for concurrent
@@ -129,6 +133,7 @@ func New(cfg Config) *Engine {
 	var segs *segment.Store
 	if cfg.Segments {
 		segs = segment.NewStore(cfg.SegmentCacheBytes)
+		segs.OnReingest = func() { sc.AddSegmentReingests(1) }
 	}
 	return &Engine{
 		sc: sc,
@@ -141,6 +146,7 @@ func New(cfg Config) *Engine {
 			Vectorize:   cfg.Vectorize,
 			VerifyPlans: cfg.VerifyPlans || os.Getenv("RUMBLE_VERIFY_PLANS") == "1",
 			Segments:    segs,
+			NoLaneScan:  cfg.NoLaneScan,
 		},
 	}
 }
